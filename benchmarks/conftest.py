@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Each ``test_figN_*`` benchmark regenerates one paper figure (quick sweep by
+default; set ``REPRO_FULL=1`` for the paper's full ranges), prints the
+ASCII rendition, saves raw JSON under ``benchmarks/results/``, and asserts
+the paper's *qualitative* claims (who wins, where the crossover is) rather
+than absolute numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(result, capsys=None) -> None:
+    """Print a figure (works under pytest's capture)."""
+    from repro.bench.reporting import format_figure, save_figure
+    save_figure(result, RESULTS_DIR)
+    text = format_figure(result)
+    print("\n" + text)

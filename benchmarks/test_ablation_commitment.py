@@ -1,0 +1,49 @@
+"""Ablation: commitment-object implementations (§H.1).
+
+The paper argues the commitment object can be implemented with little
+communication when servers are replicated (decision-point/TRB), and with a
+"Paxos-like consensus protocol" when servers themselves may fail.  This
+benchmark quantifies that trade-off: messages per committed transaction and
+throughput under the local (replicated decision state) backend vs. real
+per-transaction Paxos over per-server acceptors.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.bench.reporting import FigurePoint, FigureResult
+from repro.dist.cluster import ClusterConfig, run_cluster
+from repro.sim.testbed import LOCAL_TESTBED
+from repro.workload.generator import WorkloadConfig
+
+BASE = ClusterConfig(
+    protocol="mvtil-early", profile=LOCAL_TESTBED,
+    workload=WorkloadConfig(num_keys=3_000, tx_size=10, write_fraction=0.5),
+    num_clients=40, warmup=0.5, measure=1.5, seed=21)
+
+
+def test_ablation_commitment_backend(benchmark):
+    def run():
+        points = []
+        for backend in ("local", "paxos"):
+            res = run_cluster(replace(BASE, commitment=backend))
+            per_commit = (res.messages_sent / max(1, res.committed))
+            points.append(FigurePoint(
+                x=0, protocol=backend, throughput=res.throughput,
+                commit_rate=res.commit_rate,
+                extra={"messages_per_commit": round(per_commit, 1)}))
+        return FigureResult("ablation-commitment",
+                            "Commitment backend: local vs Paxos", "-",
+                            points)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result)
+    local = result.at(0, "local")
+    paxos = result.at(0, "paxos")
+    print(f"\nmessages/commit: local={local.extra['messages_per_commit']} "
+          f"paxos={paxos.extra['messages_per_commit']}")
+    # Consensus costs messages and some throughput, but must stay usable.
+    assert (paxos.extra["messages_per_commit"]
+            > local.extra["messages_per_commit"])
+    assert paxos.throughput > 0.5 * local.throughput
+    assert paxos.commit_rate > 0.8

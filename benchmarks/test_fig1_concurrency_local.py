@@ -1,0 +1,31 @@
+"""Figure 1: effect of concurrency level on performance, local test bed.
+
+Paper claims reproduced here:
+  (a) MVTIL (both variants) out-throughputs MVTO+ and 2PL at high
+      concurrency;
+  (b) MVTO+'s commit rate drops as concurrency increases, while MVTIL's
+      stays high ("it can commit at many serialization points").
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.figures import figure1_concurrency_local
+
+
+def test_fig1_concurrency_local(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure1_concurrency_local(seeds=(1,)),
+        rounds=1, iterations=1)
+    emit(result)
+    xs = result.xs()
+    hi = xs[-1]
+
+    mvtil = result.at(hi, "mvtil-early")
+    mvto = result.at(hi, "mvto")
+    twopl = result.at(hi, "2pl")
+    # (a) MVTIL wins at high concurrency.
+    assert mvtil.throughput > mvto.throughput
+    assert mvtil.throughput > twopl.throughput
+    # (b) commit-rate separation at high concurrency.
+    assert mvtil.commit_rate > mvto.commit_rate
+    # MVTIL's commit rate stays reasonably high even at the top of the sweep.
+    assert mvtil.commit_rate > 0.7

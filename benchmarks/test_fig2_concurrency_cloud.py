@@ -1,0 +1,26 @@
+"""Figure 2: effect of concurrency level on performance, cloud test bed.
+
+Paper claims: same ordering as Fig. 1, with a *larger* MVTIL advantage
+("roughly 2x better throughput than the alternatives") because the cloud's
+scarce resources make inefficiency (MVTO+ aborts, 2PL lock waits) costlier.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.figures import figure2_concurrency_cloud
+
+
+def test_fig2_concurrency_cloud(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure2_concurrency_cloud(seeds=(1,)),
+        rounds=1, iterations=1)
+    emit(result)
+    hi = result.xs()[-1]
+    mvtil = result.at(hi, "mvtil-early")
+    mvto = result.at(hi, "mvto")
+    twopl = result.at(hi, "2pl")
+    assert mvtil.throughput > mvto.throughput
+    assert mvtil.throughput > twopl.throughput
+    # The cloud advantage over 2PL (paper: ~2x overall; our simulation
+    # reproduces the direction at ~1.1-1.2x — see EXPERIMENTS.md for the
+    # calibration deviation).
+    assert mvtil.throughput > 1.05 * twopl.throughput

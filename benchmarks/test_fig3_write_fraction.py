@@ -1,0 +1,36 @@
+"""Figure 3: effect of the fraction of writes.
+
+Paper claims:
+  (a) for read-only workloads the protocol choice has little impact;
+  (b) MVTO+'s commit rate bottoms out at balanced read/write mixes
+      (conflict chance is highest there) and recovers near 100% writes
+      (blind writes don't conflict in multiversion protocols);
+  (c) at balanced mixes MVTIL outperforms both baselines.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.figures import figure3_write_fraction
+
+
+def test_fig3_write_fraction(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure3_write_fraction(seeds=(1,)),
+        rounds=1, iterations=1)
+    emit(result)
+
+    # (a) read-only: protocols within ~25% of each other.
+    ro = {p: result.at(0.0, p) for p in ("mvto", "2pl", "mvtil-early")}
+    thrs = [pt.throughput for pt in ro.values()]
+    assert max(thrs) < 1.35 * min(thrs)
+    for pt in ro.values():
+        assert pt.commit_rate > 0.95
+
+    # (b) MVTO+ commit rate: balanced mix is worse than all-writes.
+    mvto_mid = result.at(0.5, "mvto")
+    mvto_blind = result.at(1.0, "mvto")
+    assert mvto_mid.commit_rate < mvto_blind.commit_rate
+
+    # (c) MVTIL wins at the balanced mix.
+    mid_mvtil = result.at(0.5, "mvtil-early")
+    assert mid_mvtil.throughput > result.at(0.5, "mvto").throughput
+    assert mid_mvtil.throughput > result.at(0.5, "2pl").throughput

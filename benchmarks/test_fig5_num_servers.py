@@ -1,0 +1,29 @@
+"""Figure 5: effect of the number of servers (cloud test bed).
+
+Paper claims: the throughput of every protocol increases with more servers,
+and MVTIL scales best — particularly visible with 50% writes.
+"""
+
+from benchmarks.conftest import emit
+from repro.bench.figures import figure5_num_servers
+
+
+def test_fig5_num_servers(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5_num_servers(seeds=(1,)),
+        rounds=1, iterations=1)
+    emit(result)
+    xs = result.xs()
+    lo, hi = xs[0], xs[-1]
+
+    for wf in (25, 50):
+        for proto in ("mvto", "2pl", "mvtil-early"):
+            label = f"{proto}@w{wf}"
+            # Scalability: more servers -> more throughput.
+            assert (result.at(hi, label).throughput
+                    > result.at(lo, label).throughput)
+        # MVTIL on top at the full server count; clearest at 50% writes.
+        mvtil = result.at(hi, f"mvtil-early@w{wf}")
+        assert mvtil.throughput > result.at(hi, f"2pl@w{wf}").throughput
+    assert (result.at(hi, "mvtil-early@w50").throughput
+            > result.at(hi, "mvto@w50").throughput)

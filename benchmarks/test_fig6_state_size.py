@@ -1,0 +1,41 @@
+"""Figure 6: number of locks and versions as time passes, GC on and off.
+
+Paper claims:
+  (a) without purging, lock and version state grows (roughly linearly)
+      with time for MVTIL and MVTO+;
+  (b) with the purge service on (MVTIL-GC), both stay bounded.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.figures import figure6_7_state_and_gc
+
+
+@pytest.fixture(scope="module")
+def fig67():
+    return figure6_7_state_and_gc(seeds=(1,))
+
+
+def test_fig6_state_size(benchmark, fig67):
+    fig6, _fig7 = benchmark.pedantic(lambda: fig67, rounds=1, iterations=1)
+    emit(fig6)
+
+    def series(label, metric):
+        pts = sorted((p for p in fig6.points if p.protocol == label),
+                     key=lambda p: p.x)
+        return [p.extra[metric] for p in pts]
+
+    # (a) growth without GC: final state >> early state.
+    for label in ("mvto+", "mvtil-early"):
+        versions = series(label, "versions")
+        assert versions[-1] > 2.5 * versions[max(0, len(versions) // 4)]
+    locks_nogc = series("mvtil-early", "locks")
+    assert locks_nogc[-1] > 2.0 * locks_nogc[max(0, len(locks_nogc) // 4)]
+
+    # (b) bounded with GC: the second half stays flat-ish.
+    v_gc = series("mvtil-gc", "versions")
+    l_gc = series("mvtil-gc", "locks")
+    assert max(v_gc[len(v_gc) // 2:]) < 2.0 * max(1, min(v_gc[len(v_gc) // 2:]))
+    assert max(v_gc) < 0.5 * max(series("mvtil-early", "versions"))
+    assert max(l_gc) < 0.5 * max(locks_nogc)

@@ -1,0 +1,44 @@
+"""Figure 7: performance as time passes with GC on and off.
+
+Paper claims:
+  (a) without GC, throughput degrades over time (state growth slows
+      version/lock searches) for MVTIL and MVTO+;
+  (b) with GC, throughput stays flat;
+  (c) the overhead of GC is small (compare the *early* windows of the GC
+      and no-GC runs).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench.figures import figure6_7_state_and_gc
+
+
+@pytest.fixture(scope="module")
+def fig67():
+    return figure6_7_state_and_gc(seeds=(1,))
+
+
+def test_fig7_gc_over_time(benchmark, fig67):
+    _fig6, fig7 = benchmark.pedantic(lambda: fig67, rounds=1, iterations=1)
+    emit(fig7)
+
+    def thr_series(label):
+        pts = sorted((p for p in fig7.points if p.protocol == label),
+                     key=lambda p: p.x)
+        return [p.throughput for p in pts]
+
+    nogc = thr_series("mvtil-early")
+    gc = thr_series("mvtil-gc")
+
+    # (a) degradation without GC: last window clearly below the first.
+    assert nogc[-1] < 0.8 * nogc[0]
+
+    # (b) flat with GC.
+    assert gc[-1] > 0.75 * gc[0]
+
+    # (c) small GC overhead at the start (within 25%).
+    assert gc[0] > 0.75 * nogc[0]
+
+    # And by the end, the GC variant clearly wins.
+    assert gc[-1] > nogc[-1]

@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the core data structures.
+
+These quantify the cost of the operations §6 worries about: interval-
+compressed lock state (acquire/conflict-check/freeze/release) and version
+floor lookups.  They are conventional pytest-benchmark timings (many
+rounds), unlike the figure benchmarks which are one-shot simulations.
+"""
+
+import numpy as np
+
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import KeyLockState, LockMode, LockTable
+from repro.core.timestamp import Timestamp
+from repro.core.versions import VersionStore
+
+
+def T(v, p=0):
+    return Timestamp(v, p)
+
+
+def test_bench_interval_set_ops(benchmark):
+    rng = np.random.default_rng(0)
+    sets = []
+    for _ in range(100):
+        pieces = [TsInterval.closed(T(a), T(a + w))
+                  for a, w in zip(rng.uniform(0, 1000, 4),
+                                  rng.uniform(0.1, 10, 4))]
+        sets.append(IntervalSet(pieces))
+
+    def work():
+        acc = sets[0]
+        for s in sets[1:]:
+            acc = acc.union(s)
+        for s in sets[:20]:
+            acc = acc.subtract(s)
+        return len(acc)
+
+    benchmark(work)
+
+
+def test_bench_lock_acquire_release(benchmark):
+    def work():
+        state = KeyLockState()
+        for i in range(50):
+            owner = f"t{i}"
+            state.try_acquire(owner, LockMode.READ,
+                              TsInterval.closed(T(i), T(i + 5)))
+            state.try_acquire(owner, LockMode.WRITE,
+                              TsInterval.point(T(i + 5, 1)))
+        for i in range(0, 50, 2):
+            state.release_unfrozen(f"t{i}")
+        return state.record_count()
+
+    benchmark(work)
+
+
+def test_bench_lock_conflict_scan(benchmark):
+    state = KeyLockState()
+    for i in range(40):
+        state.try_acquire(f"t{i}", LockMode.READ,
+                          TsInterval.closed(T(2 * i), T(2 * i + 1)))
+
+    want = TsInterval.closed(T(0), T(100))
+
+    def work():
+        return state.lockable("probe", LockMode.WRITE, want)
+
+    result = benchmark(work)
+    assert not result.fully_acquired
+
+
+def test_bench_version_floor_lookup(benchmark):
+    store = VersionStore()
+    for i in range(1, 2000):
+        store.install("k", T(float(i)), f"v{i}")
+
+    def work():
+        total = 0
+        for q in range(1, 2000, 37):
+            v = store.latest_before("k", T(q + 0.5))
+            total += v is not None
+        return total
+
+    benchmark(work)
+
+
+def test_bench_lock_table_many_keys(benchmark):
+    def work():
+        table = LockTable()
+        for i in range(300):
+            key = f"k{i % 50}"
+            table.try_acquire(f"t{i % 10}", key, LockMode.READ,
+                              TsInterval.closed(T(i), T(i + 2)))
+        for i in range(10):
+            table.release_all_unfrozen(f"t{i}")
+        return table.total_record_count()
+
+    result = benchmark(work)
+    assert result == 0

@@ -1,0 +1,6 @@
+"""Baseline concurrency-control engines the paper compares against (§8)."""
+
+from .mvto import MVTOEngine
+from .twopl import TwoPLEngine
+
+__all__ = ["MVTOEngine", "TwoPLEngine"]

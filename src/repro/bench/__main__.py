@@ -1,0 +1,65 @@
+"""Command-line figure regeneration.
+
+Usage::
+
+    python -m repro.bench fig1            # one figure
+    python -m repro.bench all             # everything
+    REPRO_FULL=1 python -m repro.bench fig2   # the paper's full sweep
+    python -m repro.bench fig1 --seeds 1 2 3 --out results/
+
+Prints each figure as an ASCII table and saves the raw points as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import (figure1_concurrency_local, figure2_concurrency_cloud,
+                      figure3_write_fraction, figure4_small_transactions,
+                      figure5_num_servers, figure6_7_state_and_gc)
+from .reporting import format_figure, save_figure
+
+FIGURES = {
+    "fig1": figure1_concurrency_local,
+    "fig2": figure2_concurrency_cloud,
+    "fig3": figure3_write_fraction,
+    "fig4": figure4_small_transactions,
+    "fig5": figure5_num_servers,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures (§8).")
+    parser.add_argument("figure",
+                        choices=sorted(FIGURES) + ["fig6", "fig7", "all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1],
+                        help="seeds to average over (paper: 5 repetitions)")
+    parser.add_argument("--out", default="benchmarks/results",
+                        help="directory for raw JSON output")
+    args = parser.parse_args(argv)
+
+    wanted = (sorted(FIGURES) + ["fig6"] if args.figure == "all"
+              else [args.figure])
+    for name in wanted:
+        start = time.time()
+        if name in ("fig6", "fig7"):
+            fig6, fig7 = figure6_7_state_and_gc(seeds=tuple(args.seeds))
+            for result in (fig6, fig7):
+                print(format_figure(result))
+                path = save_figure(result, args.out)
+                print(f"  -> {path}  [{time.time() - start:.0f}s]\n")
+        else:
+            result = FIGURES[name](seeds=tuple(args.seeds))
+            print(format_figure(result))
+            path = save_figure(result, args.out)
+            print(f"  -> {path}  [{time.time() - start:.0f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

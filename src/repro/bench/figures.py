@@ -1,0 +1,275 @@
+"""Regeneration of every figure in §8 (Figures 1-7).
+
+Each ``figure_N`` function sweeps the same parameters as the paper's
+experiment and returns a :class:`~repro.bench.reporting.FigureResult` with
+one point per (x, protocol).  Two fidelity levels:
+
+* **quick** (default) — fewer sweep points, shorter measurement windows;
+  finishes in minutes and preserves every qualitative claim (who wins, where
+  the crossovers are).  Used by ``pytest benchmarks/``.
+* **full** — the paper's sweep ranges (set ``REPRO_FULL=1``); slower.
+
+Time compression for the state/GC experiments (Figs. 6-7): the paper runs
+for 150-600 s with a 15 s purge horizon.  We shrink the key space so state
+*per key* grows several times faster, and shrink horizon/duration by the
+same factor — the figures' content (linear growth vs bounded state; flat vs
+degrading throughput; small GC overhead) is preserved on a laptop-scale
+budget.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..dist.cluster import ClusterConfig, run_cluster
+from ..sim.testbed import CLOUD_TESTBED, LOCAL_TESTBED, TestbedProfile
+from ..workload.generator import WorkloadConfig
+from .reporting import FigurePoint, FigureResult
+
+__all__ = [
+    "full_mode", "sweep_protocols",
+    "figure1_concurrency_local", "figure2_concurrency_cloud",
+    "figure3_write_fraction", "figure4_small_transactions",
+    "figure5_num_servers", "figure6_7_state_and_gc",
+]
+
+#: Protocol sets as plotted in the paper.
+ALL_PROTOCOLS = ("mvto", "2pl", "mvtil-early", "mvtil-late")
+FIG3_PROTOCOLS = ("mvto", "2pl", "mvtil-early")
+
+
+def full_mode() -> bool:
+    """Whether to run the paper's full sweep ranges (env REPRO_FULL=1)."""
+    return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+
+def _mean_result(config: ClusterConfig, seeds: Sequence[int]):
+    """Average throughput / commit rate over repetitions (§8.3: 5 reps)."""
+    thr, cr = [], []
+    for seed in seeds:
+        res = run_cluster(replace(config, seed=seed))
+        thr.append(res.throughput)
+        cr.append(res.commit_rate)
+    return float(np.mean(thr)), float(np.mean(cr))
+
+
+def sweep_protocols(base: ClusterConfig, xs: Iterable[float],
+                    protocols: Sequence[str], seeds: Sequence[int],
+                    apply_x) -> list[FigurePoint]:
+    """Run ``protocols`` x ``xs`` and collect figure points.
+
+    ``apply_x(config, x)`` returns the config for that sweep value.
+    """
+    points = []
+    for x in xs:
+        for proto in protocols:
+            config = apply_x(replace(base, protocol=proto), x)
+            thr, cr = _mean_result(config, seeds)
+            points.append(FigurePoint(x=x, protocol=proto, throughput=thr,
+                                      commit_rate=cr))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: effect of concurrency level, local test bed
+# ---------------------------------------------------------------------------
+
+def figure1_concurrency_local(seeds: Sequence[int] = (1,)) -> FigureResult:
+    """Throughput & commit rate vs #clients; 20 ops, 25% writes, 10K keys,
+    3 servers (local)."""
+    full = full_mode()
+    clients = [30, 90, 150, 300, 450, 600] if full else [30, 150, 600]
+    measure = 3.0 if full else 1.5
+    base = ClusterConfig(
+        profile=LOCAL_TESTBED,
+        workload=WorkloadConfig(num_keys=10_000, tx_size=20,
+                                write_fraction=0.25),
+        warmup=0.5, measure=measure)
+    points = sweep_protocols(
+        base, clients, ALL_PROTOCOLS, seeds,
+        lambda cfg, x: replace(cfg, num_clients=int(x)))
+    return FigureResult(
+        figure="fig1", title="Effect of concurrency level (local test bed)",
+        x_label="# clients", points=points,
+        notes="20 ops/tx, 25% writes, 10K keys, 3 servers")
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: effect of concurrency level, cloud test bed
+# ---------------------------------------------------------------------------
+
+def figure2_concurrency_cloud(seeds: Sequence[int] = (1,)) -> FigureResult:
+    """Same sweep as Fig. 1 on the cloud profile; 50K keys, 8 servers."""
+    full = full_mode()
+    clients = [25, 100, 200, 300, 400] if full else [25, 150, 400]
+    measure = 3.0 if full else 1.5
+    base = ClusterConfig(
+        profile=CLOUD_TESTBED,
+        workload=WorkloadConfig(num_keys=50_000, tx_size=20,
+                                write_fraction=0.25),
+        warmup=0.5, measure=measure)
+    points = sweep_protocols(
+        base, clients, ALL_PROTOCOLS, seeds,
+        lambda cfg, x: replace(cfg, num_clients=int(x)))
+    return FigureResult(
+        figure="fig2", title="Effect of concurrency level (cloud test bed)",
+        x_label="# clients", points=points,
+        notes="20 ops/tx, 25% writes, 50K keys, 8 servers")
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: effect of write fraction
+# ---------------------------------------------------------------------------
+
+def figure3_write_fraction(seeds: Sequence[int] = (1,)) -> FigureResult:
+    """Throughput & commit rate vs % writes; 90 clients, local, 10K keys."""
+    full = full_mode()
+    fractions = ([0.0, 0.1, 0.25, 0.5, 0.75, 1.0] if full
+                 else [0.0, 0.25, 0.5, 1.0])
+    measure = 3.0 if full else 1.5
+    base = ClusterConfig(
+        profile=LOCAL_TESTBED, num_clients=90,
+        workload=WorkloadConfig(num_keys=10_000, tx_size=20),
+        warmup=0.5, measure=measure)
+    points = sweep_protocols(
+        base, fractions, FIG3_PROTOCOLS, seeds,
+        lambda cfg, x: replace(cfg, workload=replace(cfg.workload,
+                                                     write_fraction=x)))
+    return FigureResult(
+        figure="fig3", title="Effect of fraction of writes",
+        x_label="write fraction", points=points,
+        notes="90 clients, 20 ops/tx, 10K keys, local test bed")
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: small transactions
+# ---------------------------------------------------------------------------
+
+def figure4_small_transactions(seeds: Sequence[int] = (1,)) -> FigureResult:
+    """8-op transactions, 50% writes: 2PL slightly ahead at low concurrency,
+    MVTIL ahead as concurrency grows."""
+    full = full_mode()
+    clients = [15, 60, 150, 300, 450, 600] if full else [15, 150, 600]
+    measure = 3.0 if full else 1.5
+    base = ClusterConfig(
+        profile=LOCAL_TESTBED,
+        workload=WorkloadConfig(num_keys=10_000, tx_size=8,
+                                write_fraction=0.5),
+        warmup=0.5, measure=measure)
+    points = sweep_protocols(
+        base, clients, ALL_PROTOCOLS, seeds,
+        lambda cfg, x: replace(cfg, num_clients=int(x)))
+    return FigureResult(
+        figure="fig4", title="Effect of small transaction size",
+        x_label="# clients", points=points,
+        notes="8 ops/tx, 50% writes, 10K keys, local test bed")
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: number of servers
+# ---------------------------------------------------------------------------
+
+def figure5_num_servers(seeds: Sequence[int] = (1,)) -> FigureResult:
+    """Throughput vs #servers (cloud, 400 clients, 100K keys); panels for
+    75% and 50% reads are encoded in the point's ``extra['write_fraction']``."""
+    full = full_mode()
+    servers = [1, 5, 10, 15, 20] if full else [2, 8, 16]
+    # The paper's 400 clients are needed even in quick mode: with fewer,
+    # nothing is scarce and the protocols tie.
+    clients = 400
+    measure = 2.5 if full else 1.5
+    points: list[FigurePoint] = []
+    for wf in (0.25, 0.5):
+        base = ClusterConfig(
+            profile=CLOUD_TESTBED, num_clients=clients,
+            workload=WorkloadConfig(num_keys=100_000, tx_size=20,
+                                    write_fraction=wf),
+            warmup=0.5, measure=measure)
+        for n in servers:
+            for proto in ALL_PROTOCOLS:
+                cfg = replace(base, protocol=proto, num_servers=n)
+                thr, cr = _mean_result(cfg, seeds)
+                points.append(FigurePoint(
+                    x=n, protocol=f"{proto}@w{int(wf * 100)}",
+                    throughput=thr, commit_rate=cr,
+                    extra={"write_fraction": wf}))
+    return FigureResult(
+        figure="fig5", title="Effect of number of servers (cloud test bed)",
+        x_label="# servers", points=points,
+        notes="20 ops/tx, 100K keys; two panels: 25% and 50% writes")
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 + 7: state size and performance over time, GC on/off
+# ---------------------------------------------------------------------------
+
+def figure6_7_state_and_gc(seeds: Sequence[int] = (1,)
+                           ) -> tuple[FigureResult, FigureResult]:
+    """State growth (Fig. 6) and performance over time (Fig. 7).
+
+    Time-compressed: smaller key space makes per-key state grow several
+    times faster than the paper's setup, so a ~40 s simulated run shows
+    what their 150-600 s runs show; the GC horizon shrinks accordingly
+    (15 s -> 6 s).  Variants: MVTO+ (no GC), MVTIL-early (no GC),
+    MVTIL-GC (purge service on).
+    """
+    full = full_mode()
+    duration = 60.0 if full else 30.0
+    num_clients = 20 if full else 12
+    num_keys = 1_500
+    sample_period = 2.0
+    window = 5.0
+    variants = [
+        ("mvto+", "mvto", False),
+        ("mvtil-early", "mvtil-early", False),
+        ("mvtil-gc", "mvtil-early", True),
+    ]
+    state_points: list[FigurePoint] = []
+    perf_points: list[FigurePoint] = []
+    profile = replace(LOCAL_TESTBED, gc_horizon=6.0)
+    for label, proto, gc in variants:
+        cfg = ClusterConfig(
+            protocol=proto, profile=profile, num_clients=num_clients,
+            workload=WorkloadConfig(num_keys=num_keys, tx_size=20,
+                                    write_fraction=0.5),
+            warmup=0.0, measure=duration,
+            gc_enabled=gc, gc_period=6.0,
+            state_sample_period=sample_period,
+            record_completions=True,
+            seed=seeds[0])
+        res = run_cluster(cfg)
+        for sample in res.state_samples:
+            state_points.append(FigurePoint(
+                x=sample.t, protocol=label, throughput=0.0, commit_rate=0.0,
+                extra={"locks": sample.locks, "versions": sample.versions}))
+        for t, thr, cr in _windowed(res, window):
+            perf_points.append(FigurePoint(
+                x=t, protocol=label, throughput=thr, commit_rate=cr))
+    fig6 = FigureResult(
+        figure="fig6", title="Number of locks and versions over time",
+        x_label="time (s)", points=state_points,
+        notes=f"{num_clients} clients, 50% writes, {num_keys} keys; "
+              "time-compressed (see EXPERIMENTS.md)")
+    fig7 = FigureResult(
+        figure="fig7", title="Performance over time with GC on and off",
+        x_label="time (s)", points=perf_points,
+        notes="same runs as fig6; windowed throughput/commit rate")
+    return fig6, fig7
+
+
+def _windowed(res, window: float):
+    if not res.completions:
+        return []
+    buckets: dict[int, list[bool]] = {}
+    for t, ok in res.completions:
+        buckets.setdefault(int(t // window), []).append(ok)
+    out = []
+    for idx in sorted(buckets):
+        flags = buckets[idx]
+        commits = sum(flags)
+        out.append((idx * window, commits / window, commits / len(flags)))
+    return out

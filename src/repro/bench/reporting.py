@@ -1,0 +1,104 @@
+"""Rendering and persisting figure results.
+
+Each figure function in :mod:`repro.bench.figures` returns a
+:class:`FigureResult`; this module renders it as the ASCII analogue of the
+paper's plot (one row per x value, one column pair per protocol) and can
+persist the raw numbers as JSON for EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["FigurePoint", "FigureResult", "format_figure", "save_figure"]
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One (x, protocol) measurement."""
+
+    x: float
+    protocol: str
+    throughput: float
+    commit_rate: float
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class FigureResult:
+    """All measurements for one paper figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    points: list[FigurePoint]
+    notes: str = ""
+
+    def protocols(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.protocol, None)
+        return list(seen)
+
+    def xs(self) -> list[float]:
+        seen: dict[float, None] = {}
+        for p in self.points:
+            seen.setdefault(p.x, None)
+        return sorted(seen)
+
+    def series(self, protocol: str) -> list[FigurePoint]:
+        return sorted((p for p in self.points if p.protocol == protocol),
+                      key=lambda p: p.x)
+
+    def at(self, x: float, protocol: str) -> FigurePoint | None:
+        for p in self.points:
+            if p.x == x and p.protocol == protocol:
+                return p
+        return None
+
+
+def format_figure(result: FigureResult,
+                  metric: str = "both") -> str:
+    """Render the figure as an ASCII table (rows = x, columns = protocols)."""
+    protocols = result.protocols()
+    lines = [f"== {result.figure}: {result.title} =="]
+    if result.notes:
+        lines.append(f"   ({result.notes})")
+    header = [f"{result.x_label:>14s}"]
+    for proto in protocols:
+        if metric in ("both", "throughput"):
+            header.append(f"{proto + ' thr':>16s}")
+        if metric in ("both", "commit_rate"):
+            header.append(f"{proto + ' cr':>14s}")
+    lines.append(" ".join(header))
+    for x in result.xs():
+        row = [f"{x:>14g}"]
+        for proto in protocols:
+            point = result.at(x, proto)
+            if metric in ("both", "throughput"):
+                row.append(f"{point.throughput:>16.1f}" if point
+                           else f"{'-':>16s}")
+            if metric in ("both", "commit_rate"):
+                row.append(f"{point.commit_rate:>14.3f}" if point
+                           else f"{'-':>14s}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def save_figure(result: FigureResult, directory: str | Path) -> Path:
+    """Persist raw figure data as JSON; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.figure}.json"
+    payload: dict[str, Any] = {
+        "figure": result.figure,
+        "title": result.title,
+        "x_label": result.x_label,
+        "notes": result.notes,
+        "points": [asdict(p) for p in result.points],
+    }
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path

@@ -1,0 +1,7 @@
+"""Clock models for timestamp generation (§2, §5.3)."""
+
+from .clock import (Clock, DriftingClock, EpsilonSyncClock, LogicalClock,
+                    PerfectClock, SkewedClock)
+
+__all__ = ["Clock", "PerfectClock", "LogicalClock", "SkewedClock",
+           "EpsilonSyncClock", "DriftingClock"]

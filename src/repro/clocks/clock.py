@@ -1,0 +1,148 @@
+"""Clock models (§2, §5.3, §8.1).
+
+The paper's algorithms read timestamps from local clocks with varying quality
+guarantees: perfectly synchronized, epsilon-synchronized, or arbitrarily
+skewed.  Serial aborts (§5.3) arise precisely when clocks are *not*
+monotonic/synchronized, so tests and benchmarks need to dial clock quality
+explicitly.  All clocks read an underlying *time source* — ``time.monotonic``
+for threaded use, the simulator's clock in the DES — so the same models work
+on both substrates.
+
+Every clock supports ``advance_floor(t)``: the timestamp service of §8.1
+broadcasts an old time T and "clients advance their local clocks to T if they
+are behind", preventing slow clocks from starting transactions that need
+purged versions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "Clock",
+    "PerfectClock",
+    "LogicalClock",
+    "SkewedClock",
+    "EpsilonSyncClock",
+    "DriftingClock",
+]
+
+TimeSource = Callable[[], float]
+
+
+class Clock(ABC):
+    """A local clock producing float timestamp values."""
+
+    def __init__(self) -> None:
+        self._floor = float("-inf")
+
+    @abstractmethod
+    def _raw(self) -> float:
+        """The clock's own reading, before the advance floor is applied."""
+
+    def now(self) -> float:
+        """Current clock value, at least the advance floor."""
+        return max(self._raw(), self._floor)
+
+    def advance_floor(self, t: float) -> None:
+        """Never again return a value below ``t`` (§8.1 broadcast effect)."""
+        if t > self._floor:
+            self._floor = t
+
+
+class PerfectClock(Clock):
+    """A clock exactly equal to the global time source."""
+
+    def __init__(self, source: TimeSource | None = None) -> None:
+        super().__init__()
+        self._source = source if source is not None else time.monotonic
+
+    def _raw(self) -> float:
+        return self._source()
+
+
+class LogicalClock(Clock):
+    """A strictly monotonic counter, shared by all users of the instance.
+
+    Models "synchronized clocks" in single-process tests: successive reads
+    from *any* thread are strictly increasing, so timestamp order matches
+    real-time order.  Thread-safe.
+    """
+
+    def __init__(self, start: float = 1.0, step: float = 1.0) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+        self._counter = itertools.count()
+        self._start = start
+        self._step = step
+
+    def _raw(self) -> float:
+        with self._lock:
+            return self._start + self._step * next(self._counter)
+
+
+class SkewedClock(Clock):
+    """A clock with a constant offset from the global source.
+
+    A negative offset on one process while another has zero offset is the
+    minimal setup that triggers serial aborts under MVTO+ (§5.3's T1/T2
+    example).
+    """
+
+    def __init__(self, source: TimeSource, offset: float) -> None:
+        super().__init__()
+        self._source = source
+        self.offset = offset
+
+    def _raw(self) -> float:
+        return self._source() + self.offset
+
+
+class EpsilonSyncClock(Clock):
+    """An epsilon-synchronized clock: within ``epsilon`` of the source.
+
+    Each reading is ``source() + e`` with ``e`` drawn uniformly from
+    ``[-epsilon, +epsilon]`` (optionally held fixed per clock with
+    ``fixed=True``, modelling per-core offset rather than jitter).
+    """
+
+    def __init__(self, source: TimeSource, epsilon: float,
+                 rng: np.random.Generator | None = None,
+                 fixed: bool = False) -> None:
+        super().__init__()
+        self._source = source
+        self.epsilon = epsilon
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._fixed_offset = (
+            float(self._rng.uniform(-epsilon, epsilon)) if fixed else None)
+
+    def _raw(self) -> float:
+        if self._fixed_offset is not None:
+            return self._source() + self._fixed_offset
+        return self._source() + float(
+            self._rng.uniform(-self.epsilon, self.epsilon))
+
+
+class DriftingClock(Clock):
+    """A clock whose error grows linearly with time (rate ppm-style).
+
+    ``now() = offset + (1 + drift) * source()``.  Used to study how MVTIL's
+    interval shrinking and the timestamp-service floor cope with progressively
+    bad clocks.
+    """
+
+    def __init__(self, source: TimeSource, drift: float,
+                 offset: float = 0.0) -> None:
+        super().__init__()
+        self._source = source
+        self.drift = drift
+        self.offset = offset
+
+    def _raw(self) -> float:
+        return self.offset + (1.0 + self.drift) * self._source()

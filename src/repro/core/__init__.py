@@ -1,0 +1,25 @@
+"""Core MVTL machinery: timestamps, intervals, locks, versions, engine."""
+
+from .collector import BackgroundCollector
+from .engine import EngineAcquireResult, MVTLEngine
+from .exceptions import (DeadlockError, LockTimeout, MVTLError, PolicyError,
+                         TransactionAborted, TransactionStateError)
+from .intervals import EMPTY_SET, FULL_INTERVAL, IntervalSet, TsInterval
+from .locks import (AcquireResult, Conflict, FrozenConflictError,
+                    KeyLockState, LockMode, LockTable)
+from .policy import MVTLPolicy
+from .timestamp import BOTTOM, TS_INF, TS_ZERO, Bottom, Timestamp
+from .transaction import Transaction, TxStatus
+from .versions import PENDING, Pending, Version, VersionStore
+
+__all__ = [
+    "MVTLEngine", "EngineAcquireResult", "MVTLPolicy", "BackgroundCollector",
+    "Transaction", "TxStatus",
+    "Timestamp", "TS_ZERO", "TS_INF", "BOTTOM", "Bottom",
+    "TsInterval", "IntervalSet", "EMPTY_SET", "FULL_INTERVAL",
+    "LockMode", "LockTable", "KeyLockState", "AcquireResult", "Conflict",
+    "FrozenConflictError",
+    "VersionStore", "Version", "PENDING", "Pending",
+    "MVTLError", "TransactionAborted", "TransactionStateError",
+    "DeadlockError", "LockTimeout", "PolicyError",
+]

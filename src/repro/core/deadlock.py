@@ -1,0 +1,61 @@
+"""Wait-for-graph deadlock detection.
+
+Some MVTL policies wait for locks (ε-clock, pessimistic, prioritizer) and may
+deadlock; the paper prescribes "standard techniques for deadlock detection
+... (e.g., cycle detection in the wait-for graph, timeout)" (§4.3).  This
+module provides the wait-for graph; the engine registers an edge set before
+each wait and runs a DFS — if the new edges close a cycle through the waiter,
+the waiter is the victim and receives :class:`~repro.core.exceptions.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["WaitForGraph"]
+
+
+class WaitForGraph:
+    """Who waits for whom.  Not thread-safe; guard externally."""
+
+    __slots__ = ("_edges",)
+
+    def __init__(self) -> None:
+        self._edges: dict[Hashable, frozenset[Hashable]] = {}
+
+    def set_waits(self, waiter: Hashable,
+                  holders: Iterable[Hashable]) -> None:
+        """Declare that ``waiter`` is blocked on ``holders`` (replaces any
+        previous declaration)."""
+        holders = frozenset(h for h in holders if h != waiter)
+        if holders:
+            self._edges[waiter] = holders
+        else:
+            self._edges.pop(waiter, None)
+
+    def clear(self, waiter: Hashable) -> None:
+        """``waiter`` is no longer blocked."""
+        self._edges.pop(waiter, None)
+
+    def find_cycle(self, start: Hashable) -> tuple[Hashable, ...] | None:
+        """A wait-for cycle through ``start``, or None.
+
+        Iterative DFS over the (small) blocked-transaction graph.
+        """
+        stack: list[tuple[Hashable, tuple[Hashable, ...]]] = [(start, (start,))]
+        visited: set[Hashable] = set()
+        while stack:
+            node, path = stack.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt == start:
+                    return path + (start,)
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, path + (nxt,)))
+        return None
+
+    def __contains__(self, waiter: Hashable) -> bool:
+        return waiter in self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)

@@ -1,0 +1,421 @@
+"""The generic MVTL engine — Algorithm 1, centralized version.
+
+This engine is the paper's §4 algorithm, parameterized by a
+:class:`~repro.core.policy.MVTLPolicy` (Algorithm 2).  It is thread-safe and
+genuinely concurrent: any number of threads may run transactions against one
+engine; blocking lock acquisition parks the caller on a condition variable
+and wakes it on every lock release/freeze, with wait-for-graph deadlock
+detection (§4.3).
+
+Safety is enforced *in the engine*, independent of the policy (this is what
+makes Theorem 1 hold for arbitrary policies):
+
+* commit computes the candidate set ``T`` from the locks actually held
+  (Algorithm 1 line 13).  For each read-set entry ``(k, tr)`` only the
+  *contiguous* lock coverage starting immediately after ``tr`` counts — a
+  read lock with a hole above the version it protects would let another
+  transaction slip a version into the hole;
+* the policy's chosen commit timestamp is validated to be a member of ``T``;
+* committed write locks and the read-lock prefix up to the commit timestamp
+  are frozen (never released), sealing the serialization decision.
+
+The distributed version of the engine lives in :mod:`repro.dist`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Callable, Hashable
+
+from ..clocks.clock import Clock, LogicalClock
+from .deadlock import WaitForGraph
+from .exceptions import (DeadlockError, PolicyError, TransactionAborted,
+                         TransactionStateError)
+from .intervals import EMPTY_SET, IntervalSet, TsInterval
+from .locks import Conflict, LockMode, LockTable
+from .policy import MVTLPolicy
+from .timestamp import TS_ZERO, Timestamp
+from .transaction import Transaction, TxStatus
+from .versions import VersionStore
+
+__all__ = ["MVTLEngine", "EngineAcquireResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class EngineAcquireResult:
+    """Outcome of :meth:`MVTLEngine.acquire`.
+
+    ``acquired`` is everything newly granted during the call (possibly over
+    several wait rounds); ``conflicts`` are the holds still blocking the
+    un-granted remainder at exit; ``timed_out`` reports a wait timeout.
+    """
+
+    acquired: IntervalSet
+    conflicts: tuple[Conflict, ...]
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts and not self.timed_out
+
+    @property
+    def frozen_conflicts(self) -> tuple[Conflict, ...]:
+        return tuple(c for c in self.conflicts if c.frozen)
+
+
+class MVTLEngine:
+    """Centralized, thread-safe generic MVTL transactional engine.
+
+    Parameters
+    ----------
+    policy:
+        The locking policy (one of :mod:`repro.policies`, or custom).
+    clock:
+        Clock supplying timestamp *values*; defaults to a shared
+        :class:`~repro.clocks.clock.LogicalClock` (perfectly synchronized).
+        Per-process clocks can be injected via ``clock_for_pid``.
+    clock_for_pid:
+        Optional ``pid -> Clock`` mapping for modelling unsynchronized
+        per-process clocks (serial-abort experiments, §5.3).
+    default_timeout:
+        Upper bound in seconds for any single blocking lock wait; ``None``
+        waits forever (deadlock detection still applies).
+    history:
+        Optional recorder with ``begin/read/commit/abort`` callbacks (see
+        :mod:`repro.verify.history`) used by the serializability checker.
+    """
+
+    def __init__(self, policy: MVTLPolicy, clock: Clock | None = None, *,
+                 clock_for_pid: Callable[[int], Clock] | None = None,
+                 default_timeout: float | None = 10.0,
+                 history: Any | None = None) -> None:
+        self.policy = policy
+        self.clock = clock if clock is not None else LogicalClock()
+        self._clock_for_pid = clock_for_pid
+        self.default_timeout = default_timeout
+        self.history = history
+        self.store = VersionStore()
+        self.locks = LockTable()
+        self._cond = threading.Condition(threading.RLock())
+        self._waits = WaitForGraph()
+        self._tx_counter = count(1)
+        # Statistics for benchmarks/tests.
+        self.stats = {"commits": 0, "aborts": 0, "deadlocks": 0,
+                      "lock_timeouts": 0}
+
+    # ------------------------------------------------------------------
+    # Transaction interface (begin / read / write / commit)
+    # ------------------------------------------------------------------
+
+    def begin(self, pid: int = 0, priority: bool = False) -> Transaction:
+        """Start a transaction (Algorithm 1 ``begin``)."""
+        tx = Transaction(next(self._tx_counter), pid=pid, priority=priority)
+        self.policy.on_begin(self, tx)
+        if self.history is not None:
+            self.history.record_begin(tx.id)
+        return tx
+
+    def read(self, tx: Transaction, key: Hashable) -> Any:
+        """Read ``key`` within ``tx`` (Algorithm 1 ``read``).
+
+        Returns the committed value of the version the policy selected
+        (possibly ``BOTTOM``), or the transaction's own pending write if it
+        wrote the key earlier (read-your-writes; the paper leaves this case
+        open, and serializability is unaffected because the transaction's
+        commit point carries its own write).
+
+        Raises :class:`TransactionAborted` if the read cannot be served
+        (purged version, lock timeout, deadlock victim).
+        """
+        self._check_active(tx)
+        if key in tx.writeset:
+            return tx.writeset[key]
+        try:
+            version = self.policy.read_locks(self, tx, key)
+        except DeadlockError:
+            self._abort(tx, "deadlock")
+            self.stats["deadlocks"] += 1
+            raise TransactionAborted(tx.id, "deadlock") from None
+        if version is None:
+            self._abort(tx, "read-failed")
+            raise TransactionAborted(tx.id, "read-failed")
+        tx.readset.append((key, version.ts))
+        if self.history is not None:
+            self.history.record_read(tx.id, key, version.ts)
+        return version.value
+
+    def write(self, tx: Transaction, key: Hashable, value: Any) -> None:
+        """Buffer a write of ``value`` to ``key`` (Algorithm 1 ``write``)."""
+        self._check_active(tx)
+        try:
+            self.policy.write_locks(self, tx, key)
+        except DeadlockError:
+            self._abort(tx, "deadlock")
+            self.stats["deadlocks"] += 1
+            raise TransactionAborted(tx.id, "deadlock") from None
+        tx.writeset[key] = value
+
+    def commit(self, tx: Transaction) -> bool:
+        """Try to commit ``tx`` (Algorithm 1 ``commit``).
+
+        Returns True on commit, False on abort (the transaction is finished
+        either way).
+        """
+        self._check_active(tx)
+        try:
+            self.policy.commit_locks(self, tx)
+        except DeadlockError:
+            self._abort(tx, "deadlock")
+            self.stats["deadlocks"] += 1
+            return False
+        with self._cond:
+            candidates = self._candidates(tx)
+            commit_ts = (self.policy.commit_ts(self, tx, candidates)
+                         if candidates else None)
+            if commit_ts is None:
+                self._abort_locked(tx, "no-common-timestamp")
+                if self.policy.commit_gc(self, tx):
+                    self.gc(tx)
+                return False
+            if not candidates.contains(commit_ts):
+                self._abort_locked(tx, "no-common-timestamp")
+                raise PolicyError(
+                    f"policy {self.policy.name} picked commit timestamp "
+                    f"{commit_ts!r} outside the locked candidate set")
+            point = TsInterval.point(commit_ts)
+            for key, value in tx.writeset.items():
+                self.locks.freeze(tx.id, key, LockMode.WRITE, point)
+                self.store.install(key, commit_ts, value)
+            tx.commit_ts = commit_ts
+            tx.status = TxStatus.COMMITTED
+            self.stats["commits"] += 1
+            if self.history is not None:
+                self.history.record_commit(tx.id, commit_ts,
+                                           tuple(tx.writeset))
+            self._cond.notify_all()
+        if self.policy.commit_gc(self, tx):
+            self.gc(tx)
+        return True
+
+    def abort(self, tx: Transaction, reason: str = "user-abort") -> None:
+        """Voluntarily abort an active transaction."""
+        self._check_active(tx)
+        self._abort(tx, reason)
+
+    def gc(self, tx: Transaction) -> None:
+        """Garbage-collect ``tx``'s locks after it ended (Algorithm 1 ``gc``).
+
+        For a committed transaction: freeze the read-locks between each read
+        version and the commit timestamp, then release everything unfrozen.
+        May be called eagerly at commit (``commit-gc``) or later in the
+        background.
+        """
+        if tx.is_active:
+            raise TransactionStateError("gc() on an active transaction")
+        with self._cond:
+            if tx.committed and tx.commit_ts is not None:
+                for key, tr in tx.readset:
+                    if tr < tx.commit_ts:
+                        span = TsInterval.open_closed(tr, tx.commit_ts)
+                        self.locks.freeze(tx.id, key, LockMode.READ, span)
+            self.locks.release_all_unfrozen(tx.id)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Primitives used by policies
+    # ------------------------------------------------------------------
+
+    def now(self, tx: Transaction | None = None) -> float:
+        """Read the (per-process) clock."""
+        if tx is not None and self._clock_for_pid is not None:
+            return self._clock_for_pid(tx.pid).now()
+        return self.clock.now()
+
+    def make_ts(self, tx: Transaction, value: float | None = None) -> Timestamp:
+        """Build a unique timestamp for ``tx`` (clock value + pid, §4.1)."""
+        if value is None:
+            value = self.now(tx)
+        return Timestamp(value, tx.pid)
+
+    def acquire(self, tx: Transaction, key: Hashable, mode: LockMode,
+                want: TsInterval | IntervalSet, *, wait: bool = True,
+                stop_on_frozen: bool = True,
+                timeout: float | None = None) -> EngineAcquireResult:
+        """Acquire locks on ``want``, optionally waiting for unfrozen holders.
+
+        * ``wait=False``: single attempt; grant the conflict-free part and
+          report the rest ("without waiting if ... locked").
+        * ``wait=True, stop_on_frozen=True``: park until either everything
+          is granted or a *frozen* conflict appears ("waiting if ...
+          locked but not frozen"); frozen conflicts are returned for the
+          caller to handle (retry with a newer version, or give up).
+        * ``wait=True, stop_on_frozen=False``: frozen ranges are silently
+          skipped (they can never be granted) and the call waits until the
+          entire remainder is granted — the pessimistic/prioritizer idiom
+          of locking "everything lockable up to +inf".
+
+        Raises :class:`DeadlockError` if this wait would close a wait-for
+        cycle (the caller is the victim).
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        want_set = (IntervalSet.from_interval(want)
+                    if isinstance(want, TsInterval) else want)
+        acquired_total = EMPTY_SET
+        skipped_frozen: tuple[Conflict, ...] = ()
+        with self._cond:
+            while True:
+                result = self.locks.try_acquire(tx.id, key, mode, want_set)
+                acquired_total = acquired_total.union(result.acquired)
+                want_set = want_set.subtract(result.acquired)
+                if not result.conflicts:
+                    self._waits.clear(tx.id)
+                    return EngineAcquireResult(acquired_total, skipped_frozen)
+                frozen = tuple(c for c in result.conflicts if c.frozen)
+                if frozen and stop_on_frozen:
+                    self._waits.clear(tx.id)
+                    return EngineAcquireResult(acquired_total, result.conflicts)
+                if frozen:
+                    # Skip permanently unavailable ranges (still reported).
+                    skipped_frozen = skipped_frozen + frozen
+                    for c in frozen:
+                        want_set = want_set.subtract(c.interval)
+                    if want_set.is_empty:
+                        self._waits.clear(tx.id)
+                        return EngineAcquireResult(acquired_total,
+                                                   skipped_frozen)
+                unfrozen = tuple(c for c in result.conflicts if not c.frozen)
+                if not unfrozen:
+                    continue  # only frozen conflicts, now skipped: retry
+                if not wait:
+                    self._waits.clear(tx.id)
+                    return EngineAcquireResult(acquired_total, result.conflicts)
+                holders = {c.holder for c in unfrozen}
+                self._waits.set_waits(tx.id, holders)
+                cycle = self._waits.find_cycle(tx.id)
+                if cycle is not None:
+                    self._waits.clear(tx.id)
+                    raise DeadlockError(tx.id, cycle)
+                remaining = (deadline - time.monotonic()
+                             if deadline is not None else None)
+                if remaining is not None and remaining <= 0:
+                    self._waits.clear(tx.id)
+                    self.stats["lock_timeouts"] += 1
+                    return EngineAcquireResult(acquired_total,
+                                               result.conflicts,
+                                               timed_out=True)
+                self._cond.wait(timeout=min(remaining, 0.05)
+                                if remaining is not None else 0.05)
+
+    def release(self, tx: Transaction, key: Hashable, mode: LockMode,
+                span: TsInterval | IntervalSet) -> None:
+        """Release ``tx``'s unfrozen locks on ``span``."""
+        if isinstance(span, IntervalSet) and span.is_empty:
+            return
+        with self._cond:
+            self.locks.release(tx.id, key, mode, span)
+            self._cond.notify_all()
+
+    def release_all_write_locks(self, tx: Transaction) -> None:
+        """Back out of a failed commit-time write-lock pass (Alg. 3/8)."""
+        with self._cond:
+            for key in self.locks.keys_of(tx.id):
+                state = self.locks.peek(key)
+                if state is None:
+                    continue
+                held = state.held(tx.id, LockMode.WRITE)
+                frozen = state.frozen(tx.id, LockMode.WRITE)
+                releasable = held.subtract(frozen)
+                if not releasable.is_empty:
+                    state.release(tx.id, LockMode.WRITE, releasable)
+            self._cond.notify_all()
+
+    def frozen_write_ranges(self, key: Hashable) -> IntervalSet:
+        """Union of all frozen write locks on ``key``."""
+        with self._cond:
+            state = self.locks.peek(key)
+            return state.frozen_write_ranges() if state else EMPTY_SET
+
+    def held_union(self, tx: Transaction, key: Hashable) -> IntervalSet:
+        """Timestamps ``tx`` holds in either mode on ``key``."""
+        with self._cond:
+            return (self.locks.held(tx.id, key, LockMode.READ)
+                    .union(self.locks.held(tx.id, key, LockMode.WRITE)))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_active(self, tx: Transaction) -> None:
+        if not tx.is_active:
+            raise TransactionStateError(
+                f"operation on finished transaction {tx!r}")
+
+    def _abort(self, tx: Transaction, reason: str) -> None:
+        """Mark ``tx`` aborted and run GC if the policy asks for it.
+
+        Crucially, an aborted transaction's locks are *kept* unless the
+        policy garbage-collects (Algorithm 1 line 21 runs for both
+        outcomes).  Keeping them is what makes MVTL-TO faithfully emulate
+        MVTO+'s persistent read-timestamps — including its ghost aborts —
+        while MVTL-Ghostbuster differs only in always collecting.
+        """
+        with self._cond:
+            self._abort_locked(tx, reason)
+        if self.policy.commit_gc(self, tx):
+            self.gc(tx)
+
+    def _abort_locked(self, tx: Transaction, reason: str) -> None:
+        tx.status = TxStatus.ABORTED
+        tx.abort_reason = reason
+        self.stats["aborts"] += 1
+        self._waits.clear(tx.id)
+        if self.history is not None:
+            self.history.record_abort(tx.id, reason)
+        self._cond.notify_all()
+
+    def _candidates(self, tx: Transaction) -> IntervalSet:
+        """Algorithm 1 line 13: the set T of commit-viable timestamps.
+
+        Read-set keys contribute their *contiguous* lock coverage starting
+        just above the version read; write-set keys contribute the held
+        write-lock set.  TS_ZERO is excluded: every key's initial version
+        lives there, so it can never be a commit point.  Caller must hold
+        the engine lock.
+        """
+        cand = IntervalSet.from_interval(TsInterval.after(TS_ZERO))
+        for key, tr in tx.readset:
+            cover = self._contiguous_cover(tx, key, tr)
+            cand = cand.intersect(cover)
+            if cand.is_empty:
+                return cand
+        for key in tx.writeset:
+            cand = cand.intersect(self.locks.held(tx.id, key, LockMode.WRITE))
+            if cand.is_empty:
+                return cand
+        return cand
+
+    def _contiguous_cover(self, tx: Transaction, key: Hashable,
+                          tr: Timestamp) -> IntervalSet:
+        held = (self.locks.held(tx.id, key, LockMode.READ)
+                .union(self.locks.held(tx.id, key, LockMode.WRITE)))
+        for piece in held:
+            if piece.contains_just_after(tr):
+                clipped = piece.intersect(TsInterval.after(tr))
+                if clipped is not None:
+                    return IntervalSet.from_interval(clipped)
+        return EMPTY_SET
+
+    # -- metrics --------------------------------------------------------------
+
+    def lock_record_count(self) -> int:
+        with self._cond:
+            return self.locks.total_record_count()
+
+    def version_count(self) -> int:
+        with self._cond:
+            return self.store.version_count()

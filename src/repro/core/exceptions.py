@@ -1,0 +1,54 @@
+"""Exception hierarchy for the MVTL library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MVTLError",
+    "TransactionAborted",
+    "TransactionStateError",
+    "DeadlockError",
+    "LockTimeout",
+    "PolicyError",
+]
+
+
+class MVTLError(Exception):
+    """Base class for all library errors."""
+
+
+class TransactionAborted(MVTLError):
+    """The transaction was aborted; the caller should retry or give up.
+
+    Carries the abort ``reason`` (e.g. ``"no-common-timestamp"``,
+    ``"deadlock"``, ``"purged-version"``, ``"lock-timeout"``).
+    """
+
+    def __init__(self, tx_id: object, reason: str) -> None:
+        super().__init__(f"transaction {tx_id!r} aborted: {reason}")
+        self.tx_id = tx_id
+        self.reason = reason
+
+
+class TransactionStateError(MVTLError):
+    """An operation was issued against a finished (or foreign) transaction."""
+
+
+class DeadlockError(MVTLError):
+    """A lock wait would close a cycle in the wait-for graph.
+
+    The waiter receiving this error is the designated victim and must abort.
+    """
+
+    def __init__(self, tx_id: object, cycle: tuple[object, ...]) -> None:
+        super().__init__(f"deadlock: {' -> '.join(map(repr, cycle))}")
+        self.tx_id = tx_id
+        self.cycle = cycle
+
+
+class LockTimeout(MVTLError):
+    """A lock wait exceeded its timeout (2PL-style deadlock prevention)."""
+
+
+class PolicyError(MVTLError):
+    """A policy violated an engine invariant (e.g. picked an unlocked
+    commit timestamp)."""

@@ -1,0 +1,345 @@
+"""Interval algebra over the timestamp line.
+
+MVTL locks *sets of timestamps*.  Conceptually the lock state is one lock per
+timestamp — an infinite state — but every algorithm in the paper only ever
+locks contiguous ranges, so a practical implementation compresses the state
+into intervals (§6, "Reducing lock state space").  This module provides the
+exact interval arithmetic that the lock table and the policies are built on.
+
+The timestamp domain is ``(value: float, pid: int)`` ordered lexicographically
+(§4.1).  Within one clock value the pid axis gives every timestamp a
+*successor* ``(v, pid+1)`` and *predecessor* ``(v, pid-1)``, so every
+non-empty interval — however its endpoints were specified — is equal to a
+**closed** interval ``[min_member, max_member]``.  We canonicalize on
+construction: the paper's discrete ``[tr+1, te]`` (read-lock range "just
+after the version read") is built with :meth:`TsInterval.open_closed`, which
+yields ``[succ(tr), te]``.  Canonical closed form makes intersection, union,
+subtraction, adjacency, and min/max selection exact integer/float
+comparisons with no epsilon fudging and no unrepresentable "open gaps".
+
+Classes
+-------
+:class:`TsInterval`
+    A non-empty contiguous range, canonically closed.
+:class:`IntervalSet`
+    A normalized (sorted, disjoint, non-adjacent) set of intervals; the
+    value type for "the timestamps transaction tx holds locked on key k".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .timestamp import TS_INF, TS_ZERO, Timestamp
+
+__all__ = ["TsInterval", "IntervalSet", "EMPTY_SET", "FULL_INTERVAL",
+           "ts_succ", "ts_pred"]
+
+
+def ts_succ(ts: Timestamp) -> Timestamp:
+    """The immediately following timestamp: ``(v, pid+1)``."""
+    return Timestamp(ts.value, ts.pid + 1)
+
+
+def ts_pred(ts: Timestamp) -> Timestamp:
+    """The immediately preceding timestamp: ``(v, pid-1)``."""
+    return Timestamp(ts.value, ts.pid - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class TsInterval:
+    """A non-empty closed interval ``[lo, hi]`` of timestamps.
+
+    Use the named constructors to build from open/half-open specifications;
+    they canonicalize to closed form (e.g. ``open_closed(a, b) ==
+    closed(succ(a), b)``).
+    """
+
+    lo: Timestamp
+    hi: Timestamp
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: [{self.lo!r}, {self.hi!r}]")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def closed(cls, lo: Timestamp, hi: Timestamp) -> "TsInterval":
+        """``[lo, hi]``."""
+        return cls(lo, hi)
+
+    @classmethod
+    def open_closed(cls, lo: Timestamp, hi: Timestamp) -> "TsInterval":
+        """``(lo, hi]`` — the paper's read-lock range "[tr+1, te]"."""
+        return cls(ts_succ(lo), hi)
+
+    @classmethod
+    def closed_open(cls, lo: Timestamp, hi: Timestamp) -> "TsInterval":
+        """``[lo, hi)``."""
+        return cls(lo, ts_pred(hi))
+
+    @classmethod
+    def open(cls, lo: Timestamp, hi: Timestamp) -> "TsInterval":
+        """``(lo, hi)``."""
+        return cls(ts_succ(lo), ts_pred(hi))
+
+    @classmethod
+    def point(cls, ts: Timestamp) -> "TsInterval":
+        """The single timestamp ``[ts, ts]`` — a write-lock point."""
+        return cls(ts, ts)
+
+    @classmethod
+    def after(cls, ts: Timestamp) -> "TsInterval":
+        """``(ts, +inf]`` — everything strictly above ``ts``."""
+        return cls(ts_succ(ts), TS_INF)
+
+    # -- predicates --------------------------------------------------------
+
+    def contains(self, ts: Timestamp) -> bool:
+        """Whether ``ts`` lies in this interval."""
+        return self.lo <= ts <= self.hi
+
+    def contains_just_after(self, ts: Timestamp) -> bool:
+        """Whether the interval covers the timestamp immediately above ``ts``.
+
+        Used to find the contiguous lock coverage adjacent to a version read
+        at ``ts``: a read-lock interval protects the read only if it starts
+        right after the version, with no gap.
+        """
+        return self.contains(ts_succ(ts))
+
+    def contains_interval(self, other: "TsInterval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def overlaps(self, other: "TsInterval") -> bool:
+        """Whether the two intervals share at least one timestamp."""
+        return max(self.lo, other.lo) <= min(self.hi, other.hi)
+
+    def touches(self, other: "TsInterval") -> bool:
+        """Whether the intervals overlap or are immediately adjacent."""
+        return (max(self.lo, other.lo)
+                <= ts_succ(min(self.hi, other.hi)))
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    # -- algebra -----------------------------------------------------------
+
+    def intersect(self, other: "TsInterval") -> "TsInterval | None":
+        """The overlap of two intervals, or None if disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return TsInterval(lo, hi)
+
+    def union_contiguous(self, other: "TsInterval") -> "TsInterval":
+        """Union of two touching/overlapping intervals.
+
+        Raises ValueError if the intervals have a gap between them.
+        """
+        if not self.touches(other):
+            raise ValueError(f"disjoint intervals: {self} | {other}")
+        return TsInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def subtract(self, other: "TsInterval") -> list["TsInterval"]:
+        """This interval minus ``other``: zero, one, or two pieces."""
+        if not self.overlaps(other):
+            return [self]
+        pieces: list[TsInterval] = []
+        if self.lo < other.lo:
+            pieces.append(TsInterval(self.lo, ts_pred(other.lo)))
+        if other.hi < self.hi:
+            pieces.append(TsInterval(ts_succ(other.hi), self.hi))
+        return pieces
+
+    # -- members -----------------------------------------------------------
+
+    def min_member(self) -> Timestamp:
+        return self.lo
+
+    def max_member(self) -> Timestamp:
+        return self.hi
+
+    def sample(self) -> Timestamp:
+        """Some member (the low endpoint)."""
+        return self.lo
+
+    def __repr__(self) -> str:
+        if self.lo == self.hi:
+            return f"[{self.lo!r}]"
+        return f"[{self.lo!r}, {self.hi!r}]"
+
+
+#: The whole timestamp line ``[TS_ZERO, TS_INF]``.
+FULL_INTERVAL = TsInterval(TS_ZERO, TS_INF)
+
+
+class IntervalSet:
+    """An immutable, normalized set of timestamps.
+
+    Stored as sorted, pairwise disjoint, non-adjacent :class:`TsInterval`
+    pieces.  This is the value type for questions like "which timestamps does
+    transaction tx hold read-locked on key k?" and for the commit-time
+    computation "the set T of timestamps locked across every accessed key"
+    (Algorithm 1, line 13) — which is simply the n-way intersection of
+    per-key IntervalSets.
+    """
+
+    __slots__ = ("_pieces",)
+
+    def __init__(self, pieces: Iterable[TsInterval] = ()) -> None:
+        self._pieces: tuple[TsInterval, ...] = _normalize(list(pieces))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_interval(cls, interval: TsInterval) -> "IntervalSet":
+        s = cls.__new__(cls)
+        s._pieces = (interval,)
+        return s
+
+    @classmethod
+    def point(cls, ts: Timestamp) -> "IntervalSet":
+        return cls.from_interval(TsInterval.point(ts))
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return EMPTY_SET
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def pieces(self) -> tuple[TsInterval, ...]:
+        return self._pieces
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._pieces
+
+    def __bool__(self) -> bool:
+        return bool(self._pieces)
+
+    def __iter__(self) -> Iterator[TsInterval]:
+        return iter(self._pieces)
+
+    def __len__(self) -> int:
+        return len(self._pieces)
+
+    def contains(self, ts: Timestamp) -> bool:
+        # Linear scan: piece counts are tiny in practice (usually 1-2).
+        return any(p.contains(ts) for p in self._pieces)
+
+    def min_member(self) -> Timestamp:
+        if not self._pieces:
+            raise ValueError("empty IntervalSet has no minimum")
+        return self._pieces[0].lo
+
+    def max_member(self) -> Timestamp:
+        if not self._pieces:
+            raise ValueError("empty IntervalSet has no maximum")
+        return self._pieces[-1].hi
+
+    def sample(self) -> Timestamp:
+        if not self._pieces:
+            raise ValueError("cannot sample an empty IntervalSet")
+        return self._pieces[0].lo
+
+    def pick_low(self) -> Timestamp:
+        """The smallest member (the paper's ``min T``)."""
+        return self.min_member()
+
+    def pick_high(self) -> Timestamp:
+        """The largest member (``max T``)."""
+        return self.max_member()
+
+    # -- algebra -----------------------------------------------------------
+
+    def intersect(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
+        if isinstance(other, TsInterval):
+            other = IntervalSet.from_interval(other)
+        out: list[TsInterval] = []
+        for a in self._pieces:
+            for b in other._pieces:
+                got = a.intersect(b)
+                if got is not None:
+                    out.append(got)
+        s = IntervalSet.__new__(IntervalSet)
+        s._pieces = tuple(out)  # already sorted & disjoint by construction
+        return s
+
+    def union(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
+        if isinstance(other, TsInterval):
+            other = IntervalSet.from_interval(other)
+        if not self._pieces:
+            return other
+        if not other._pieces:
+            return self
+        # Linear merge of two already-sorted piece lists (no re-sort).
+        a, b = self._pieces, other._pieces
+        i = j = 0
+        merged: list[TsInterval] = []
+        while i < len(a) or j < len(b):
+            if j >= len(b) or (i < len(a) and a[i].lo <= b[j].lo):
+                piece = a[i]
+                i += 1
+            else:
+                piece = b[j]
+                j += 1
+            if merged and merged[-1].touches(piece):
+                merged[-1] = merged[-1].union_contiguous(piece)
+            else:
+                merged.append(piece)
+        s = IntervalSet.__new__(IntervalSet)
+        s._pieces = tuple(merged)
+        return s
+
+    def subtract(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
+        if isinstance(other, TsInterval):
+            other = IntervalSet.from_interval(other)
+        pieces = list(self._pieces)
+        for b in other._pieces:
+            nxt: list[TsInterval] = []
+            for a in pieces:
+                nxt.extend(a.subtract(b))
+            pieces = nxt
+        s = IntervalSet.__new__(IntervalSet)
+        s._pieces = tuple(pieces)
+        return s
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._pieces == other._pieces
+
+    def __hash__(self) -> int:
+        return hash(self._pieces)
+
+    def __repr__(self) -> str:
+        if not self._pieces:
+            return "IntervalSet()"
+        return "IntervalSet(" + " U ".join(map(repr, self._pieces)) + ")"
+
+
+def _normalize(pieces: Sequence[TsInterval]) -> tuple[TsInterval, ...]:
+    """Sort and merge touching/overlapping intervals."""
+    if not pieces:
+        return ()
+    ordered = sorted(pieces, key=lambda p: (p.lo.value, p.lo.pid))
+    merged: list[TsInterval] = [ordered[0]]
+    for piece in ordered[1:]:
+        last = merged[-1]
+        if last.touches(piece):
+            merged[-1] = last.union_contiguous(piece)
+        else:
+            merged.append(piece)
+    return tuple(merged)
+
+
+#: The empty set of timestamps.
+EMPTY_SET = IntervalSet()

@@ -1,0 +1,488 @@
+"""Freezable timestamp-interval locks (§4.2, §6).
+
+MVTL conceptually keeps one freezable readers-writer lock *per timestamp per
+key*.  A freezable lock is a readers-writer lock whose holder may **freeze**
+it, declaring that it will never be released: a committed transaction freezes
+the write-lock at its commit timestamp (sealing the new version) and the
+read-locks between the version it read and its commit timestamp (sealing the
+read-timestamp range).  Frozen locks tell other transactions not to wait.
+
+This module implements that state *interval-compressed* (§6): per key, each
+owner holds an :class:`~repro.core.intervals.IntervalSet` per mode, plus the
+frozen subset.  The table is a pure data structure — no blocking, no threads.
+Callers (the threaded engine, the simulated servers) decide what to do with
+reported conflicts: wait for unfrozen holders, shrink the requested interval
+(MVTIL), or give up (the "without waiting" branches of Algorithms 3 and 8).
+
+Conflict rules, per timestamp point:
+
+* a WRITE lock excludes every lock (read or write) held by *another* owner;
+* READ locks from different owners may overlap;
+* an owner never conflicts with itself (read->write upgrade is permitted
+  w.r.t. its own read locks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from .intervals import EMPTY_SET, IntervalSet, TsInterval
+
+__all__ = [
+    "LockMode",
+    "Conflict",
+    "AcquireResult",
+    "KeyLockState",
+    "LockTable",
+    "FrozenConflictError",
+]
+
+TxId = Hashable
+
+
+class LockMode(enum.Enum):
+    """Lock mode of a freezable timestamp lock."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class FrozenConflictError(RuntimeError):
+    """Raised on an attempt to release or un-hold a frozen lock range."""
+
+
+@dataclass(frozen=True, slots=True)
+class Conflict:
+    """One conflicting hold discovered during an acquire attempt.
+
+    Attributes
+    ----------
+    interval:
+        The overlap between the request and the conflicting hold.
+    holder:
+        The owning transaction of the conflicting lock.
+    mode:
+        Mode of the conflicting lock.
+    frozen:
+        Whether the conflicting range is frozen.  Waiting for a frozen lock
+        is futile — it will never be released — so policies treat frozen
+        conflicts differently (retry with a different version / shrink /
+        abort) from unfrozen ones (may wait).
+    """
+
+    interval: TsInterval
+    holder: TxId
+    mode: LockMode
+    frozen: bool
+
+
+@dataclass(frozen=True, slots=True)
+class AcquireResult:
+    """Outcome of :meth:`KeyLockState.try_acquire`.
+
+    ``acquired`` is the sub-range actually granted (already recorded in the
+    table); ``conflicts`` describes every blocking hold overlapping the
+    remainder of the request.
+    """
+
+    acquired: IntervalSet
+    conflicts: tuple[Conflict, ...]
+
+    @property
+    def fully_acquired(self) -> bool:
+        return not self.conflicts
+
+    @property
+    def any_frozen_conflict(self) -> bool:
+        return any(c.frozen for c in self.conflicts)
+
+    @property
+    def unfrozen_conflicts(self) -> tuple[Conflict, ...]:
+        return tuple(c for c in self.conflicts if not c.frozen)
+
+
+@dataclass(slots=True)
+class _OwnerLocks:
+    """Lock state of a single owner on a single key."""
+
+    read: IntervalSet = field(default_factory=IntervalSet)
+    write: IntervalSet = field(default_factory=IntervalSet)
+    frozen_read: IntervalSet = field(default_factory=IntervalSet)
+    frozen_write: IntervalSet = field(default_factory=IntervalSet)
+
+    def held(self, mode: LockMode) -> IntervalSet:
+        return self.read if mode is LockMode.READ else self.write
+
+    def set_held(self, mode: LockMode, value: IntervalSet) -> None:
+        if mode is LockMode.READ:
+            self.read = value
+        else:
+            self.write = value
+
+    def frozen(self, mode: LockMode) -> IntervalSet:
+        return (self.frozen_read if mode is LockMode.READ
+                else self.frozen_write)
+
+    def set_frozen(self, mode: LockMode, value: IntervalSet) -> None:
+        if mode is LockMode.READ:
+            self.frozen_read = value
+        else:
+            self.frozen_write = value
+
+    @property
+    def is_empty(self) -> bool:
+        return self.read.is_empty and self.write.is_empty
+
+
+class KeyLockState:
+    """Interval-compressed freezable lock state for one key.
+
+    Not thread-safe; synchronization is the caller's concern (the threaded
+    engine holds a table mutex, DES servers are single-threaded by
+    construction).
+    """
+
+    __slots__ = ("_owners", "version", "_sealed_read", "_sealed_write",
+                 "_sealed_records")
+
+    #: Owner id reported for conflicts with sealed (ownerless) lock state.
+    SEALED = "<sealed>"
+
+    def __init__(self) -> None:
+        self._owners: dict[TxId, _OwnerLocks] = {}
+        #: Monotonic change counter; wait loops use it to detect releases.
+        self.version: int = 0
+        # Permanent lock state of *ended* transactions, merged ownerless
+        # (§6 interval compression taken to its conclusion): frozen read
+        # prefixes and frozen write points of committed transactions, and —
+        # for MVTO+-style policies — the never-released read locks that act
+        # as read-timestamps.  Sealed state is permanent: conflicts with it
+        # are reported frozen, and only purging removes it.
+        self._sealed_read: IntervalSet = EMPTY_SET
+        self._sealed_write: IntervalSet = EMPTY_SET
+        # Metric counter: how many lock records an implementation without
+        # merging would store (Fig. 6's "number of locks").
+        self._sealed_records: int = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def held(self, owner: TxId, mode: LockMode) -> IntervalSet:
+        """Timestamps ``owner`` currently holds in ``mode`` on this key."""
+        ol = self._owners.get(owner)
+        return ol.held(mode) if ol is not None else EMPTY_SET
+
+    def frozen(self, owner: TxId, mode: LockMode) -> IntervalSet:
+        ol = self._owners.get(owner)
+        return ol.frozen(mode) if ol is not None else EMPTY_SET
+
+    def lockable(self, owner: TxId, mode: LockMode,
+                 want: TsInterval | IntervalSet) -> AcquireResult:
+        """Dry-run of :meth:`try_acquire`: nothing is recorded.
+
+        ``acquired`` in the result is the conflict-free sub-range that an
+        acquire *would* grant.
+        """
+        return self._split(owner, mode, _as_set(want))
+
+    def frozen_write_ranges(self) -> IntervalSet:
+        """Union of all frozen write locks on this key (any owner).
+
+        Used by read policies: a frozen write lock marks a committed (or
+        committing) version boundary that a read interval must not cross
+        (Algorithms 3/4/8 "if found frozen write-lock ... retry").
+        """
+        out = self._sealed_write
+        for ol in self._owners.values():
+            out = out.union(ol.frozen_write)
+        return out
+
+    def seal(self, owner: TxId, keep_all_reads: bool = False) -> None:
+        """Fold an *ended* transaction's permanent locks into the sealed
+        aggregate and drop its owner record.
+
+        ``keep_all_reads=False`` (commit-with-GC, or abort): frozen read and
+        write locks become sealed, unfrozen locks are released.
+        ``keep_all_reads=True`` (MVTO+-style end): *all* read locks become
+        sealed — MVTO+'s read-timestamps are never rolled back (§3) — plus
+        the frozen writes; unfrozen write locks are released.
+
+        Sealing is semantically equivalent to keeping the records under the
+        dead owner, but conflict checks stay O(active transactions).
+        """
+        ol = self._owners.pop(owner, None)
+        if ol is None:
+            return
+        reads = ol.read if keep_all_reads else ol.frozen_read
+        self._sealed_records += len(reads) + len(ol.frozen_write)
+        if reads:
+            self._sealed_read = self._sealed_read.union(reads)
+        if ol.frozen_write:
+            self._sealed_write = self._sealed_write.union(ol.frozen_write)
+        self.version += 1
+
+    def sealed_read_ranges(self) -> IntervalSet:
+        return self._sealed_read
+
+    def sealed_write_ranges(self) -> IntervalSet:
+        return self._sealed_write
+
+    def owners(self) -> Iterable[TxId]:
+        return self._owners.keys()
+
+    def record_count(self) -> int:
+        """Number of stored lock intervals (state-size metric, Fig. 6).
+
+        Counts live per-owner records plus what an implementation without
+        ownerless merging would keep for ended transactions (the sealed
+        counter) — i.e. the state the paper's prototype stores.
+        """
+        return self._sealed_records + sum(
+            len(ol.read) + len(ol.write) for ol in self._owners.values())
+
+    @property
+    def is_empty(self) -> bool:
+        return (not self._owners and self._sealed_read.is_empty
+                and self._sealed_write.is_empty)
+
+    # -- mutation ----------------------------------------------------------
+
+    def try_acquire(self, owner: TxId, mode: LockMode,
+                    want: TsInterval | IntervalSet) -> AcquireResult:
+        """Acquire as much of ``want`` as is conflict-free.
+
+        The conflict-free portion is granted and recorded; the rest is
+        reported via ``conflicts``.  Idempotent for ranges already held by
+        ``owner`` in the same mode.
+        """
+        result = self._split(owner, mode, _as_set(want))
+        if result.acquired:
+            ol = self._owners.setdefault(owner, _OwnerLocks())
+            ol.set_held(mode, ol.held(mode).union(result.acquired))
+            self.version += 1
+        return result
+
+    def freeze(self, owner: TxId, mode: LockMode,
+               span: TsInterval | IntervalSet) -> None:
+        """Freeze the part of ``owner``'s ``mode`` locks inside ``span``.
+
+        Freezing is what makes a commit durable to other transactions:
+        frozen locks are never released and survive GC.
+        """
+        span_set = _as_set(span)
+        ol = self._owners.get(owner)
+        if ol is None:
+            return  # nothing held (already released): freezing is a no-op
+        to_freeze = ol.held(mode).intersect(span_set)
+        if to_freeze.is_empty:
+            return
+        ol.set_frozen(mode, ol.frozen(mode).union(to_freeze))
+        self.version += 1
+
+    def release(self, owner: TxId, mode: LockMode,
+                span: TsInterval | IntervalSet) -> None:
+        """Release ``owner``'s unfrozen ``mode`` locks inside ``span``.
+
+        Attempting to release a frozen range raises
+        :class:`FrozenConflictError` — frozen means "never released".
+        """
+        ol = self._owners.get(owner)
+        if ol is None:
+            return
+        span_set = _as_set(span)
+        if not ol.frozen(mode).intersect(span_set).is_empty:
+            raise FrozenConflictError(
+                f"{owner!r} attempted to release a frozen {mode.value} range")
+        held = ol.held(mode)
+        remaining = held.subtract(span_set)
+        if remaining != held:
+            ol.set_held(mode, remaining)
+            self._prune(owner, ol)
+            self.version += 1
+
+    def release_unfrozen(self, owner: TxId) -> None:
+        """Release every unfrozen lock of ``owner`` on this key.
+
+        This is the tail of Algorithm 1's ``gc`` and the abort path.
+        """
+        ol = self._owners.get(owner)
+        if ol is None:
+            return
+        changed = False
+        for mode in LockMode:
+            held = ol.held(mode)
+            frozen = ol.frozen(mode)
+            if held != frozen:
+                ol.set_held(mode, frozen)
+                changed = True
+        if changed:
+            self._prune(owner, ol)
+            self.version += 1
+
+    def purge_below(self, bound: TsInterval) -> int:
+        """Drop all lock state (frozen included) inside ``bound``.
+
+        Called when the versions covered by these locks are purged (§6):
+        the lock state "can be discarded when the associated versions are
+        purged".  Returns the number of owners whose state changed.
+        """
+        changed = 0
+        new_sealed_read = self._sealed_read.subtract(bound)
+        new_sealed_write = self._sealed_write.subtract(bound)
+        if (new_sealed_read != self._sealed_read
+                or new_sealed_write != self._sealed_write):
+            self._sealed_read = new_sealed_read
+            self._sealed_write = new_sealed_write
+            # Purging compacts the surviving representation.
+            self._sealed_records = (len(new_sealed_read)
+                                    + len(new_sealed_write))
+            changed += 1
+        for owner in list(self._owners):
+            ol = self._owners[owner]
+            touched = False
+            for mode in LockMode:
+                held = ol.held(mode)
+                new_held = held.subtract(bound)
+                if new_held != held:
+                    ol.set_held(mode, new_held)
+                    ol.set_frozen(mode, ol.frozen(mode).subtract(bound))
+                    touched = True
+            if touched:
+                changed += 1
+                self._prune(owner, ol)
+        if changed:
+            self.version += 1
+        return changed
+
+    # -- internals ---------------------------------------------------------
+
+    def _prune(self, owner: TxId, ol: _OwnerLocks) -> None:
+        if ol.is_empty:
+            del self._owners[owner]
+
+    def _split(self, owner: TxId, mode: LockMode,
+               want: IntervalSet) -> AcquireResult:
+        """Partition ``want`` into a grantable part and per-holder conflicts."""
+        free = want
+        conflicts: list[Conflict] = []
+        # Sealed (ended-transaction) state first: permanent, hence frozen.
+        sealed_blockers = (self._sealed_write if mode is LockMode.READ
+                           else self._sealed_write.union(self._sealed_read))
+        if sealed_blockers:
+            overlap = want.intersect(sealed_blockers)
+            if not overlap.is_empty:
+                for piece in overlap:
+                    blocking_mode = (LockMode.WRITE
+                                     if self._sealed_write.intersect(
+                                         IntervalSet.from_interval(piece))
+                                     else LockMode.READ)
+                    conflicts.append(Conflict(piece, self.SEALED,
+                                              blocking_mode, True))
+                free = free.subtract(overlap)
+        for other, ol in self._owners.items():
+            if other == owner:
+                continue
+            # WRITE requests conflict with the other's read and write locks;
+            # READ requests only with the other's write locks.
+            blocking_modes = ((LockMode.READ, LockMode.WRITE)
+                              if mode is LockMode.WRITE
+                              else (LockMode.WRITE,))
+            for bmode in blocking_modes:
+                held = ol.held(bmode)
+                if held.is_empty:
+                    continue
+                overlap = want.intersect(held)
+                if overlap.is_empty:
+                    continue
+                frozen = ol.frozen(bmode)
+                for piece in overlap:
+                    piece_set = IntervalSet.from_interval(piece)
+                    frozen_part = piece_set.intersect(frozen)
+                    for fp in frozen_part:
+                        conflicts.append(Conflict(fp, other, bmode, True))
+                    for up in piece_set.subtract(frozen_part):
+                        conflicts.append(Conflict(up, other, bmode, False))
+                free = free.subtract(overlap)
+        return AcquireResult(acquired=free, conflicts=tuple(conflicts))
+
+
+class LockTable:
+    """Per-key map of :class:`KeyLockState`.
+
+    Tracks which keys each owner touched so that transaction-wide release
+    (abort, GC) does not scan the whole table.
+    """
+
+    __slots__ = ("_keys", "_owner_keys")
+
+    def __init__(self) -> None:
+        self._keys: dict[Hashable, KeyLockState] = {}
+        self._owner_keys: dict[TxId, set[Hashable]] = {}
+
+    def state(self, key: Hashable) -> KeyLockState:
+        st = self._keys.get(key)
+        if st is None:
+            st = self._keys[key] = KeyLockState()
+        return st
+
+    def peek(self, key: Hashable) -> KeyLockState | None:
+        return self._keys.get(key)
+
+    def try_acquire(self, owner: TxId, key: Hashable, mode: LockMode,
+                    want: TsInterval | IntervalSet) -> AcquireResult:
+        result = self.state(key).try_acquire(owner, mode, want)
+        if result.acquired:
+            self._owner_keys.setdefault(owner, set()).add(key)
+        return result
+
+    def note_owner(self, owner: TxId, key: Hashable) -> None:
+        """Record that ``owner`` holds state on ``key`` (for callers that
+        acquire through the KeyLockState directly)."""
+        self._owner_keys.setdefault(owner, set()).add(key)
+
+    def forget_owner(self, owner: TxId) -> None:
+        """Drop the owner->keys index entry (after all locks are released
+        or intentionally left frozen-only)."""
+        self._owner_keys.pop(owner, None)
+
+    def all_keys(self) -> list[Hashable]:
+        return list(self._keys)
+
+    def held(self, owner: TxId, key: Hashable, mode: LockMode) -> IntervalSet:
+        st = self._keys.get(key)
+        return st.held(owner, mode) if st is not None else EMPTY_SET
+
+    def freeze(self, owner: TxId, key: Hashable, mode: LockMode,
+               span: TsInterval | IntervalSet) -> None:
+        self.state(key).freeze(owner, mode, span)
+
+    def release(self, owner: TxId, key: Hashable, mode: LockMode,
+                span: TsInterval | IntervalSet) -> None:
+        st = self._keys.get(key)
+        if st is not None:
+            st.release(owner, mode, span)
+
+    def release_all_unfrozen(self, owner: TxId) -> None:
+        """Release every unfrozen lock of ``owner`` across all keys."""
+        for key in self._owner_keys.pop(owner, ()):
+            st = self._keys.get(key)
+            if st is not None:
+                st.release_unfrozen(owner)
+
+    def keys_of(self, owner: TxId) -> frozenset[Hashable]:
+        return frozenset(self._owner_keys.get(owner, ()))
+
+    def total_record_count(self) -> int:
+        """Total stored lock intervals across keys (Fig. 6 metric)."""
+        return sum(st.record_count() for st in self._keys.values())
+
+    def purge_below(self, key: Hashable, bound: TsInterval) -> int:
+        st = self._keys.get(key)
+        return st.purge_below(bound) if st is not None else 0
+
+
+def _as_set(want: TsInterval | IntervalSet) -> IntervalSet:
+    if isinstance(want, TsInterval):
+        return IntervalSet.from_interval(want)
+    return want

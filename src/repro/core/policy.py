@@ -1,0 +1,157 @@
+"""The MVTL policy interface (Algorithm 2).
+
+The generic MVTL algorithm (Algorithm 1, :mod:`repro.core.engine`) delegates
+*which timestamps to lock and how* to a policy with five hooks mirroring the
+paper's ``write-locks`` / ``read-locks`` / ``commit-locks`` / ``commit-ts`` /
+``commit-gc`` functions, plus an ``Initialization`` hook used by every
+concrete algorithm in §5.  Theorem 1 guarantees serializability for *any*
+policy; the hooks only determine performance (which transactions manage to
+find a common locked timestamp).
+
+Policies express the paper's blocking idioms through the engine's
+``acquire`` primitive:
+
+* "waiting if write-locked but not frozen"  ->  ``wait=True`` (the engine
+  parks the caller until conflicting unfrozen locks are released or frozen,
+  with deadlock detection);
+* "without waiting if a timestamp is read-locked"  ->  ``wait=False``;
+* "found frozen write-lock -> release and retry"  ->  inspect
+  ``result.frozen_conflicts`` and loop (the shared
+  :meth:`MVTLPolicy.read_lock_interval` helper implements the retry loop
+  that Algorithms 3, 4, 6, 8 and 10 all share).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Hashable
+
+from .intervals import IntervalSet, TsInterval
+from .locks import LockMode
+from .timestamp import Timestamp
+from .transaction import Transaction
+from .versions import Version
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import MVTLEngine
+
+__all__ = ["MVTLPolicy"]
+
+
+class MVTLPolicy(ABC):
+    """Base class for MVTL locking policies (Algorithm 2)."""
+
+    #: Human-readable algorithm name, used in reports and histories.
+    name: str = "mvtl-generic"
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_begin(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        """The paper's ``Initialization(tx)``: assign timestamps/intervals."""
+
+    @abstractmethod
+    def write_locks(self, engine: "MVTLEngine", tx: Transaction,
+                    key: Hashable) -> None:
+        """Acquire write-locks for a ``write(tx, k, v)`` (Alg. 1 line 4).
+
+        May acquire nothing (deferred policies lock at commit time).
+        """
+
+    @abstractmethod
+    def read_locks(self, engine: "MVTLEngine", tx: Transaction,
+                   key: Hashable) -> Version | None:
+        """Acquire read-locks and choose the version to read (line 7).
+
+        Must read-lock a contiguous interval starting immediately after the
+        returned version's timestamp.  Return None to fail the read (which
+        aborts the transaction — e.g. the needed version was purged).
+        """
+
+    @abstractmethod
+    def commit_locks(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        """Acquire any commit-time locks (line 12)."""
+
+    @abstractmethod
+    def commit_ts(self, engine: "MVTLEngine", tx: Transaction,
+                  candidates: IntervalSet) -> Timestamp | None:
+        """Pick the commit timestamp from the engine-computed set ``T``.
+
+        ``candidates`` is exactly Algorithm 1 line 13's set: timestamps
+        locked (read or write) on every read key and write-locked on every
+        written key.  Return None to abort.  The returned timestamp must be
+        a member of ``candidates``; the engine verifies this.
+        """
+
+    @abstractmethod
+    def commit_gc(self, engine: "MVTLEngine", tx: Transaction) -> bool:
+        """Whether to garbage-collect the transaction's locks at commit."""
+
+    # -- shared helper ---------------------------------------------------------
+
+    def read_lock_interval(self, engine: "MVTLEngine", tx: Transaction,
+                           key: Hashable, upper: Timestamp, *,
+                           version_below: Timestamp | None = None,
+                           wait: bool = True) -> tuple[Version, IntervalSet] | None:
+        """The read-lock retry loop shared by the §5 algorithms.
+
+        Repeatedly: find ``tr`` = latest version strictly below
+        ``version_below`` (default: ``upper``); try to read-lock
+        ``(tr, upper]``, waiting on unfrozen write locks if ``wait``; on
+        discovering a *frozen* write lock inside the range (a concurrent
+        commit installed a newer version), release what was just acquired
+        and retry with the new ``tr``.
+
+        The range actually locked is pre-truncated at the first *frozen*
+        write lock above ``tr`` (Algorithm 3 line 8's ``tmax`` computation):
+        waiting for a frozen lock is futile, and a frozen write above the
+        version-selection bound marks a committed version the caller's
+        timestamp choice must stay below.
+
+        Returns ``(version_read, locked_interval_set)`` on success, or None
+        if the needed version was purged or the lock wait timed out.  When
+        ``tr >= upper`` the read succeeds with an empty locked set (the
+        interval ``(tr, upper]`` is empty; nothing needs locking).
+        """
+        below = version_below if version_below is not None else upper
+        while True:
+            version = engine.store.latest_before(key, below)
+            if version is None:
+                return None  # purged (§6): the transaction must abort
+            if version.ts >= upper:
+                # Nothing to lock: the interval (tr, upper] is empty.
+                return version, IntervalSet.empty()
+            want = TsInterval.open_closed(version.ts, upper)
+            # Truncate at the first frozen write lock: the contiguous piece
+            # starting just after tr.
+            frozen = engine.frozen_write_ranges(key)
+            available = IntervalSet.from_interval(want).subtract(frozen)
+            if available.is_empty:
+                return version, IntervalSet.empty()
+            first = available.pieces[0]
+            if not first.contains_just_after(version.ts):
+                # A frozen write sits immediately above tr whose version is
+                # outside our floor-lookup bound; we cannot lock a contiguous
+                # interval adjacent to the version we read.
+                return version, IntervalSet.empty()
+            result = engine.acquire(tx, key, LockMode.READ, first,
+                                    wait=wait, stop_on_frozen=True)
+            if result.timed_out:
+                engine.release(tx, key, LockMode.READ, result.acquired)
+                return None
+            if not result.frozen_conflicts:
+                if first.hi < upper:
+                    # The range was truncated at a frozen write — a version
+                    # newer than the one we looked up committed in between.
+                    # If it is visible within our lookup bound, retry so tr
+                    # moves up and the coverage regains its full extent.
+                    refreshed = engine.store.latest_before(key, below)
+                    if refreshed is not None and refreshed.ts > version.ts:
+                        engine.release(tx, key, LockMode.READ,
+                                       result.acquired)
+                        continue
+                return version, result.acquired
+            # A frozen write-lock appeared inside (tr, upper] while we were
+            # acquiring: a concurrent transaction committed a newer version.
+            # Release what we just took and retry (the new version moves tr
+            # up, or the new frozen range shrinks the truncation point).
+            engine.release(tx, key, LockMode.READ, result.acquired)

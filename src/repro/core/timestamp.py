@@ -1,0 +1,128 @@
+"""Timestamps for multiversion timestamp locking.
+
+The paper (§4.1) draws timestamps from a dense, totally ordered domain: a
+timestamp is a pair ``(value, pid)`` ordered lexicographically, where
+``value`` is a real number (typically a clock reading) and ``pid`` is the id
+of the process that produced it.  Appending the process id guarantees global
+uniqueness of timestamps produced by distinct processes even when their clock
+values collide.
+
+Two distinguished timestamps bracket the domain:
+
+* :data:`TS_ZERO` — the smallest timestamp; ``Values[k, TS_ZERO]`` holds the
+  initial ``BOTTOM`` version of every key.
+* :data:`TS_INF` — plus infinity, used by the pessimistic and prioritizer
+  policies which lock "all timestamps up to +inf" (Algorithms 6 and 9).
+
+Timestamps are immutable, hashable, and cheap; they are used pervasively as
+dictionary keys and interval endpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Timestamp", "TS_ZERO", "TS_INF", "BOTTOM", "Bottom"]
+
+
+class Bottom:
+    """The distinguished "no value" marker (the paper's ``⊥``).
+
+    A singleton: ``Values[k, TS_ZERO] is BOTTOM`` for every key initially.
+    Reading a key that only has its initial version returns :data:`BOTTOM`.
+    """
+
+    _instance: "Bottom | None" = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+    def __reduce__(self) -> tuple[Any, ...]:
+        return (Bottom, ())
+
+
+#: Singleton instance of :class:`Bottom`.
+BOTTOM = Bottom()
+
+
+# pid values reserved for the distinguished endpoints so that TS_ZERO is
+# strictly below every real timestamp with value 0.0 and TS_INF strictly
+# above every real timestamp.
+_PID_MIN = -(2**31)
+_PID_MAX = 2**31
+
+
+@dataclass(frozen=True, slots=True)
+class Timestamp:
+    """A globally unique point on the timestamp line.
+
+    Ordered lexicographically by ``(value, pid)`` (§4.1).  ``value`` is a
+    float (clock reading, simulated seconds in the DES); ``pid`` breaks ties
+    between processes.
+
+    Examples
+    --------
+    >>> Timestamp(1.0, 2) < Timestamp(1.0, 3) < Timestamp(2.0, 0)
+    True
+    >>> TS_ZERO < Timestamp(0.0, 0) < TS_INF
+    True
+    """
+
+    value: float
+    pid: int = 0
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.value):
+            raise ValueError("timestamp value may not be NaN")
+
+    def _key(self) -> tuple[float, int]:
+        return (self.value, self.pid)
+
+    # Hand-rolled comparators: these run in the innermost loops of the lock
+    # table, and avoiding per-comparison tuple allocation matters there.
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if self.value != other.value:
+            return self.value < other.value
+        return self.pid < other.pid
+
+    def __le__(self, other: "Timestamp") -> bool:
+        if self.value != other.value:
+            return self.value < other.value
+        return self.pid <= other.pid
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        if self.value != other.value:
+            return self.value > other.value
+        return self.pid > other.pid
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        if self.value != other.value:
+            return self.value > other.value
+        return self.pid >= other.pid
+
+    @property
+    def is_infinite(self) -> bool:
+        """True for the +inf sentinel (and any other infinite-valued ts)."""
+        return math.isinf(self.value)
+
+    def __repr__(self) -> str:
+        if self is TS_INF or (math.isinf(self.value) and self.value > 0):
+            return "TS_INF"
+        if self.value == 0.0 and self.pid == _PID_MIN:
+            return "TS_ZERO"
+        return f"ts({self.value:g},{self.pid})"
+
+
+#: The smallest timestamp; holds the initial BOTTOM version of every key.
+TS_ZERO = Timestamp(0.0, _PID_MIN)
+
+#: Plus infinity; upper endpoint for "lock everything upward" policies.
+TS_INF = Timestamp(math.inf, _PID_MAX)

@@ -1,0 +1,223 @@
+"""Multiversion value store — the paper's ``Values[k, t]`` array.
+
+Each key holds a timeline of committed versions ordered by timestamp, with an
+initial version ``(TS_ZERO, BOTTOM)``.  Reads are *floor* lookups: "the
+version with the largest timestamp strictly before t" (§3).  Old versions can
+be purged (§6) — transactions that subsequently need a purged version abort.
+
+The store is a pure data structure; concurrency control lives in the lock
+table and the engines.  A PENDING marker supports the §6 technique for
+removing Algorithm 1's atomic commit block: a committing transaction first
+installs PENDING at its commit timestamp, then overwrites it with the real
+value; concurrent readers that see PENDING must wait (the threaded engine
+does this; the DES server installs in a single event and never needs it).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+from .timestamp import BOTTOM, TS_ZERO, Timestamp
+
+__all__ = ["Version", "Pending", "PENDING", "VersionStore"]
+
+
+class Pending:
+    """Marker for a version whose value is not yet exposed (§6)."""
+
+    _instance: "Pending | None" = None
+
+    def __new__(cls) -> "Pending":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "PENDING"
+
+
+#: Singleton instance of :class:`Pending`.
+PENDING = Pending()
+
+
+@dataclass(frozen=True, slots=True)
+class Version:
+    """One committed (or pending) version of a key."""
+
+    ts: Timestamp
+    value: Any
+
+    @property
+    def is_pending(self) -> bool:
+        return self.value is PENDING
+
+
+class _KeyVersions:
+    """Sorted version chain for one key."""
+
+    __slots__ = ("timestamps", "values")
+
+    def __init__(self) -> None:
+        self.timestamps: list[Timestamp] = [TS_ZERO]
+        self.values: list[Any] = [BOTTOM]
+
+    def floor_before(self, ts: Timestamp) -> Version | None:
+        """Latest version with timestamp strictly below ``ts``, if any."""
+        idx = bisect_left(self.timestamps, ts)
+        if idx == 0:
+            return None
+        return Version(self.timestamps[idx - 1], self.values[idx - 1])
+
+    def at(self, ts: Timestamp) -> Version | None:
+        idx = bisect_left(self.timestamps, ts)
+        if idx < len(self.timestamps) and self.timestamps[idx] == ts:
+            return Version(ts, self.values[idx])
+        return None
+
+    def install(self, ts: Timestamp, value: Any) -> None:
+        idx = bisect_left(self.timestamps, ts)
+        if idx < len(self.timestamps) and self.timestamps[idx] == ts:
+            if self.values[idx] is PENDING:
+                self.values[idx] = value  # finalize a pending install
+                return
+            raise ValueError(f"version at {ts!r} already exists")
+        self.timestamps.insert(idx, ts)
+        self.values.insert(idx, value)
+
+    def latest(self) -> Version:
+        return Version(self.timestamps[-1], self.values[-1])
+
+    def purge_before(self, bound: Timestamp) -> tuple[int, Timestamp | None]:
+        """Drop versions with ts < bound, keeping the most recent of them.
+
+        Keeping the last version below the bound preserves reads above it:
+        their floor is intact.  Returns ``(dropped, kept_floor)`` where
+        ``kept_floor`` is the oldest surviving version's timestamp — reads
+        at or below it can no longer be served faithfully.
+        """
+        idx = bisect_left(self.timestamps, bound)
+        drop = max(0, idx - 1)
+        if not drop:
+            return 0, None
+        del self.timestamps[:drop]
+        del self.values[:drop]
+        return drop, self.timestamps[0]
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+
+class VersionStore:
+    """``Values[k, t]`` for all keys.
+
+    Keys are created lazily with the initial ``(TS_ZERO, BOTTOM)`` version on
+    first access, matching "initially Values[k, 0] = BOTTOM for every k".
+    """
+
+    __slots__ = ("_keys", "_purge_floor")
+
+    def __init__(self) -> None:
+        self._keys: dict[Hashable, _KeyVersions] = {}
+        # Per-key purge floor: reads strictly below it must abort because
+        # the versions they would need may have been discarded.
+        self._purge_floor: dict[Hashable, Timestamp] = {}
+
+    def _chain(self, key: Hashable) -> _KeyVersions:
+        chain = self._keys.get(key)
+        if chain is None:
+            chain = self._keys[key] = _KeyVersions()
+        return chain
+
+    # -- reads --------------------------------------------------------------
+
+    def latest_before(self, key: Hashable, ts: Timestamp) -> Version | None:
+        """The version a timestamp-``ts`` read observes, or None if purged.
+
+        Returns None only when the needed version was purged (§6): the
+        caller must abort the transaction.
+        """
+        floor = self._purge_floor.get(key)
+        if floor is not None and ts <= floor:
+            return None
+        return self._chain(key).floor_before(ts)
+
+    def version_at(self, key: Hashable, ts: Timestamp) -> Version | None:
+        return self._chain(key).at(ts)
+
+    def latest(self, key: Hashable) -> Version:
+        return self._chain(key).latest()
+
+    # -- writes --------------------------------------------------------------
+
+    def install(self, key: Hashable, ts: Timestamp, value: Any) -> None:
+        """Expose a committed value at (key, ts).
+
+        Also finalizes a PENDING version at the same timestamp.
+        """
+        self._chain(key).install(ts, value)
+
+    def install_pending(self, key: Hashable, ts: Timestamp) -> None:
+        """Reserve (key, ts) with the PENDING marker (§6 atomic-block removal)."""
+        self._chain(key).install(ts, PENDING)
+
+    def drop(self, key: Hashable, ts: Timestamp) -> None:
+        """Remove the version at (key, ts); used to back out PENDING installs."""
+        chain = self._chain(key)
+        idx = bisect_left(chain.timestamps, ts)
+        if idx < len(chain.timestamps) and chain.timestamps[idx] == ts:
+            del chain.timestamps[idx]
+            del chain.values[idx]
+
+    # -- purging (§6) ---------------------------------------------------------
+
+    def purge_before(self, bound: Timestamp) -> int:
+        """Purge versions older than ``bound`` on every key (keep newest-below).
+
+        Returns the total number of versions dropped.  Reads at or below the
+        kept newest-below version subsequently fail (their true floor may be
+        gone); reads above it are unaffected.
+        """
+        dropped = 0
+        for key, chain in self._keys.items():
+            n, kept = chain.purge_before(bound)
+            if n:
+                dropped += n
+                self._raise_floor(key, kept)
+        return dropped
+
+    def purge_key_before(self, key: Hashable, bound: Timestamp) -> int:
+        chain = self._keys.get(key)
+        if chain is None:
+            return 0
+        n, kept = chain.purge_before(bound)
+        if n:
+            self._raise_floor(key, kept)
+        return n
+
+    def _raise_floor(self, key: Hashable, kept: Timestamp | None) -> None:
+        if kept is None:
+            return
+        prev = self._purge_floor.get(key)
+        if prev is None or prev < kept:
+            self._purge_floor[key] = kept
+
+    # -- metrics --------------------------------------------------------------
+
+    def version_count(self, key: Hashable | None = None) -> int:
+        """Number of stored versions for ``key`` (or all keys)."""
+        if key is not None:
+            chain = self._keys.get(key)
+            return len(chain) if chain is not None else 0
+        return sum(len(c) for c in self._keys.values())
+
+    def key_count(self) -> int:
+        """Number of keys ever touched."""
+        return len(self._keys)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._keys

@@ -1,0 +1,17 @@
+"""Distributed MVTL (§7, §H) and the §8 prototype protocols over the DES."""
+
+from .client import BaseClient, MVTILClient, MVTOClient, TwoPLClient
+from .cluster import PROTOCOLS, ClusterConfig, ClusterResult, run_cluster
+from .commitment import ABORT, CommitmentObject, CommitmentRegistry
+from .failure import CrashInjector
+from .gc_service import TimestampService
+from .partition import Partition
+from .server import MVTLServer, TwoPLServer
+
+__all__ = [
+    "MVTILClient", "MVTOClient", "TwoPLClient", "BaseClient",
+    "MVTLServer", "TwoPLServer", "Partition",
+    "CommitmentObject", "CommitmentRegistry", "ABORT",
+    "TimestampService", "CrashInjector",
+    "ClusterConfig", "ClusterResult", "run_cluster", "PROTOCOLS",
+]

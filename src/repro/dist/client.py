@@ -1,0 +1,468 @@
+"""Transaction coordinators — the client side of the distributed protocols.
+
+Three client protocols over the simulated network, mirroring §8.1 ("our
+implementations of MVTO+ and 2PL use the same framework, but run a different
+client protocol and keep a different server state"):
+
+* :class:`MVTILClient` — the paper's prototype (Alg. 11/12 with the §8
+  interval policy): interval ``I = [t, t+delta]``, shrink on partial grants,
+  commit at min/max of ``I`` via the commitment object, fire-and-forget
+  freeze + GC.  One round trip per read, two per written key.
+* :class:`MVTOClient` — MVTO+ over the same servers: single timestamp,
+  server-side waiting reads, no-wait commit-time point write locks; aborts
+  release only write locks (read-timestamps persist — ghost aborts and all).
+* :class:`TwoPLClient` — strict 2PL: lock per access, client-side lock
+  timeout as deadlock prevention (the paper tunes this timeout for
+  throughput), commit installs values and releases.
+
+Client methods that talk to servers are **generators** — simulation
+coroutines to be driven with ``yield from`` inside a process (see
+:mod:`repro.workload.runner`).  A coordinator failure is simulated by simply
+not running the rest of the generator (see :mod:`repro.dist.failure`); the
+servers' write-lock timeout then aborts the orphaned transaction via its
+commitment object.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from types import SimpleNamespace
+from typing import Any, Generator, Hashable
+
+from ..clocks.clock import Clock
+from ..core.exceptions import TransactionAborted
+from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
+from ..core.timestamp import Timestamp
+from ..sim.network import Network
+from ..sim.simulator import RECV_TIMEOUT, Mailbox, Recv, Simulator
+from .commitment import ABORT, CommitmentRegistry
+from .messages import (ClockBroadcast, CommitReq, MVTLReadReq,
+                       MVTLWriteLockReq, ReleaseReq, Reply, TwoPLCommitReq,
+                       TwoPLLockReq, TwoPLReleaseReq)
+from .partition import Partition
+
+__all__ = ["BaseClient", "MVTILClient", "MVTOClient", "TwoPLClient"]
+
+
+class BaseClient:
+    """Shared client wiring: mailbox, RPC with timeout, clock, history."""
+
+    def __init__(self, sim: Simulator, net: Network, client_id: Hashable,
+                 pid: int, partition: Partition, clock: Clock,
+                 registry: CommitmentRegistry, *,
+                 history: Any | None = None,
+                 rpc_timeout: float = 5.0,
+                 consensus: Any | None = None) -> None:
+        self.sim = sim
+        self.net = net
+        self.client_id = client_id
+        self.pid = pid
+        self.partition = partition
+        self.clock = clock
+        self.registry = registry
+        #: Optional PaxosConsensus backend for transaction outcomes (§H.1
+        #: "servers may fail" mode); None = the shared in-sim object.
+        self.consensus = consensus
+        self.history = history
+        self.rpc_timeout = rpc_timeout
+        self.mailbox = Mailbox(sim)
+        net.register(client_id, self._on_message)
+        self._req_counter = count(1)
+        self._tx_counter = count(1)
+        self.stats = {"commits": 0, "aborts": 0, "rpc_timeouts": 0}
+
+    # -- messaging ------------------------------------------------------------
+
+    def _on_message(self, msg: Any) -> None:
+        if isinstance(msg, ClockBroadcast):
+            # Timestamp-service effect 2 (§8.1): slow clocks advance to T.
+            self.clock.advance_floor(msg.t)
+            return
+        self.mailbox.deliver(msg)
+
+    def _send(self, server: Hashable, msg: Any) -> None:
+        self.net.send(server, msg, src=self.client_id)
+
+    def _rpc(self, server: Hashable, msg: Any,
+             timeout: float | None = None) -> Generator[Any, Any, Reply | None]:
+        """Send and await the matching reply; None on timeout.
+
+        Stale replies (from earlier timed-out requests) are discarded by
+        request id.
+        """
+        self._send(server, msg)
+        deadline = self.sim.now + (timeout if timeout is not None
+                                   else self.rpc_timeout)
+        while True:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                self.stats["rpc_timeouts"] += 1
+                return None
+            reply = yield Recv(self.mailbox, timeout=remaining)
+            if reply is RECV_TIMEOUT:
+                self.stats["rpc_timeouts"] += 1
+                return None
+            if isinstance(reply, Reply) and reply.req_id == msg.req_id:
+                return reply
+            # Stale reply from an earlier timed-out request: drop it.
+
+    def _next_req(self) -> int:
+        return next(self._req_counter)
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _begin_record(self, tx: SimpleNamespace) -> None:
+        if self.history is not None:
+            self.history.record_begin(tx.id)
+
+    def _abort(self, tx: SimpleNamespace, reason: str) -> None:
+        tx.aborted = True
+        tx.abort_reason = reason
+        self.stats["aborts"] += 1
+        if self.history is not None:
+            self.history.record_abort(tx.id, reason)
+
+    def _propose(self, tx_id: Hashable,
+                 outcome: Any) -> "Generator[Any, Any, Any]":
+        """Decide the transaction outcome via the configured backend."""
+        if self.consensus is not None:
+            decision = yield from self.consensus.propose(
+                tx_id, outcome, proposer_id=self.pid)
+            return decision
+        return self.registry.get(tx_id).propose(outcome)
+
+    def server_of(self, key: Hashable) -> Hashable:
+        return self.partition.server_of(key)
+
+
+class MVTILClient(BaseClient):
+    """The MVTIL coordinator (§8, Alg. 11/12)."""
+
+    def __init__(self, *args: Any, delta: float = 0.005, late: bool = False,
+                 gc_on_commit: bool = True, read_timeout: float = 0.25,
+                 **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.delta = delta
+        self.late = late
+        self.gc_on_commit = gc_on_commit
+        #: Bound on a read's server-side lock wait.  Waiting reads can form
+        #: wait cycles with writers (the deadlock risk §4.3 notes for
+        #: waiting policies); timing out and restarting the transaction is
+        #: the standard resolution.
+        self.read_timeout = read_timeout
+        self.name = "mvtil-late" if late else "mvtil-early"
+
+    def begin(self) -> SimpleNamespace:
+        now = self.clock.now()
+        interval = TsInterval.closed(Timestamp(now, self.pid),
+                                     Timestamp(now + self.delta, self.pid))
+        tx = SimpleNamespace(
+            id=(self.client_id, next(self._tx_counter)),
+            interval=IntervalSet.from_interval(interval),
+            readset=[], writeset={}, touched=set(),
+            aborted=False, abort_reason=None)
+        self._begin_record(tx)
+        return tx
+
+    # Each op is a simulation coroutine; drive with ``yield from``.
+
+    def read(self, tx: SimpleNamespace, key: Hashable) -> Generator[Any, Any, Any]:
+        if key in tx.writeset:
+            return tx.writeset[key]
+        if tx.interval.is_empty:
+            yield from self._fail(tx, "interval-empty")
+        server = self.server_of(key)
+        req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
+                          upper=tx.interval.pick_high(), wait=True,
+                          floor=tx.interval.pick_low())
+        tx.touched.add(server)
+        reply = yield from self._rpc(server, req,
+                                     timeout=self.read_timeout)
+        if reply is None:
+            yield from self._fail(tx, "read-lock-timeout")
+        if reply.tr is None:
+            yield from self._fail(tx, "purged-version")
+        tx.interval = tx.interval.intersect(reply.locked)
+        if tx.interval.is_empty:
+            yield from self._fail(tx, "interval-empty")
+        tx.readset.append((key, reply.tr))
+        if self.history is not None:
+            self.history.record_read(tx.id, key, reply.tr)
+        return reply.value
+
+    def write(self, tx: SimpleNamespace, key: Hashable,
+              value: Any) -> Generator[Any, Any, None]:
+        if tx.interval.is_empty:
+            yield from self._fail(tx, "interval-empty")
+        server = self.server_of(key)
+        req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
+                               key=key, value=value, want=tx.interval,
+                               wait=False)
+        tx.touched.add(server)
+        if not tx.writeset:
+            # First written key's server is the decision point (§H.1).
+            self.registry.set_decision_point(tx.id, server)
+        reply = yield from self._rpc(server, req)
+        if reply is None:
+            yield from self._fail(tx, "rpc-timeout")
+        tx.interval = tx.interval.intersect(reply.acquired)
+        if tx.interval.is_empty:
+            yield from self._fail(tx, "interval-empty")
+        tx.writeset[key] = value
+
+    def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
+        if tx.interval.is_empty:
+            yield from self._fail(tx, "interval-empty")
+        ts = (tx.interval.pick_high() if self.late
+              else tx.interval.pick_low())
+        decision = yield from self._propose(tx.id, ts)
+        if decision == ABORT:
+            yield from self._fail(tx, "commitment-abort")
+        ts = decision
+        # One CommitReq per touched server: freeze+install the write keys,
+        # freeze the read-lock prefixes (they seal the serialization
+        # decision), and — if gc_on_commit — release the rest.  The server
+        # applies all of it atomically under the key latches (§8.1).
+        self._send_commit(tx, ts, release=self.gc_on_commit)
+        if self.history is not None:
+            self.history.record_commit(tx.id, ts, tuple(tx.writeset))
+        self.stats["commits"] += 1
+        self.registry.forget(tx.id)
+        tx.committed = True
+        return True
+
+    def _send_commit(self, tx: SimpleNamespace, ts: Timestamp,
+                     release: bool = True) -> None:
+        """Alg. 11 commit tail + gc, batched per server."""
+        spans_by_server: dict[Hashable, dict[Hashable, IntervalSet]] = {}
+        for key, tr in tx.readset:
+            if tr < ts:
+                span = IntervalSet.from_interval(
+                    TsInterval.open_closed(tr, ts))
+            else:
+                span = EMPTY_SET
+            spans_by_server.setdefault(self.server_of(key), {})[key] = span
+        writes_by_server: dict[Hashable, list[Hashable]] = {}
+        for key in tx.writeset:
+            writes_by_server.setdefault(self.server_of(key), []).append(key)
+        for server in tx.touched:
+            self._send(server, CommitReq(
+                tx.id, self.client_id, self._next_req(), ts=ts,
+                write_keys=tuple(writes_by_server.get(server, ())),
+                spans=spans_by_server.get(server, {}),
+                release=release))
+
+    def _fail(self, tx: SimpleNamespace,
+              reason: str) -> Generator[Any, Any, None]:
+        """Abort: agree on the outcome, release our locks everywhere.
+
+        No consensus round is needed on this path: we release our locks
+        explicitly, and nobody else will ever propose commit for us (only
+        the coordinator does, §H Lemma 2).  In local mode we still record
+        the abort in the shared object so late server proposals see it.
+        """
+        if self.consensus is None:
+            self.registry.get(tx.id).propose(ABORT)
+        for server in tx.touched:
+            self._send(server, ReleaseReq(tx.id, self.client_id,
+                                          self._next_req()))
+        self.registry.forget(tx.id)
+        self._abort(tx, reason)
+        raise TransactionAborted(tx.id, reason)
+        yield  # pragma: no cover - makes this a generator
+
+
+class MVTOClient(BaseClient):
+    """MVTO+ coordinator over the MVTL servers (§8.1 baseline)."""
+
+    name = "mvto+"
+
+    def begin(self) -> SimpleNamespace:
+        tx = SimpleNamespace(
+            id=(self.client_id, next(self._tx_counter)),
+            ts=Timestamp(self.clock.now(), self.pid),
+            readset=[], writeset={}, touched=set(), write_servers=set(),
+            aborted=False, abort_reason=None)
+        self._begin_record(tx)
+        return tx
+
+    def read(self, tx: SimpleNamespace, key: Hashable) -> Generator[Any, Any, Any]:
+        if key in tx.writeset:
+            return tx.writeset[key]
+        server = self.server_of(key)
+        req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
+                          upper=tx.ts, wait=True)
+        tx.touched.add(server)
+        reply = yield from self._rpc(server, req)
+        if reply is None:
+            yield from self._fail(tx, "rpc-timeout")
+        if reply.tr is None:
+            yield from self._fail(tx, "purged-version")
+        tx.readset.append((key, reply.tr))
+        if self.history is not None:
+            self.history.record_read(tx.id, key, reply.tr)
+        return reply.value
+
+    def write(self, tx: SimpleNamespace, key: Hashable,
+              value: Any) -> Generator[Any, Any, None]:
+        tx.writeset[key] = value  # lock only at commit (like MVTL-TO)
+        return
+        yield  # pragma: no cover - generator for interface uniformity
+
+    def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
+        point = IntervalSet.point(tx.ts)
+        for key in tx.writeset:
+            server = self.server_of(key)
+            tx.touched.add(server)
+            tx.write_servers.add(server)
+            if len(tx.write_servers) == 1:
+                self.registry.set_decision_point(tx.id, server)
+            req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
+                                   key=key, value=tx.writeset[key],
+                                   want=point, wait=False,
+                                   all_or_nothing=True)
+            reply = yield from self._rpc(server, req)
+            if reply is None:
+                yield from self._fail(tx, "rpc-timeout")
+            if reply.acquired.is_empty:
+                # Read-timestamp conflict: abort, releasing write locks
+                # only.  Read locks persist — MVTO+'s read-timestamps are
+                # never rolled back (§3), hence ghost aborts.
+                yield from self._fail(tx, "write-conflict")
+        decision = yield from self._propose(tx.id, tx.ts)
+        if decision == ABORT:
+            yield from self._fail(tx, "commitment-abort")
+        writes_by_server: dict[Hashable, list[Hashable]] = {}
+        for key in tx.writeset:
+            writes_by_server.setdefault(self.server_of(key), []).append(key)
+        for server, keys in writes_by_server.items():
+            # Freeze write locks only; read locks stay held-unfrozen forever
+            # (MVTO+'s persistent read-timestamps), hence release=False and
+            # no read spans.
+            self._send(server, CommitReq(
+                tx.id, self.client_id, self._next_req(), ts=tx.ts,
+                write_keys=tuple(keys), spans={}, release=False))
+        if self.history is not None:
+            self.history.record_commit(tx.id, tx.ts, tuple(tx.writeset))
+        self.stats["commits"] += 1
+        self.registry.forget(tx.id)
+        tx.committed = True
+        return True
+
+    def _fail(self, tx: SimpleNamespace,
+              reason: str) -> Generator[Any, Any, None]:
+        if self.consensus is None:
+            self.registry.get(tx.id).propose(ABORT)
+        for server in tx.write_servers:
+            self._send(server, ReleaseReq(tx.id, self.client_id,
+                                          self._next_req(), write_only=True))
+        self.registry.forget(tx.id)
+        self._abort(tx, reason)
+        raise TransactionAborted(tx.id, reason)
+        yield  # pragma: no cover
+
+
+class TwoPLClient(BaseClient):
+    """Strict-2PL coordinator (§8.1 baseline).
+
+    The lock-wait timeout is the deadlock-prevention mechanism, and the
+    paper tunes it per deployment ("we set the timeout such as to maximize
+    total throughput").  We automate that tuning: the client keeps an EWMA
+    of granted-lock round-trip times (which includes server queueing) and
+    times out at ``rtt_multiple`` times it — long enough that deep server
+    queues and ordinary waits behind a writer don't abort transactions
+    spuriously, short enough that genuine deadlocks break quickly.
+    ``lock_timeout`` is the floor.
+    """
+
+    name = "2pl"
+
+    def __init__(self, *args: Any, lock_timeout: float = 0.05,
+                 rtt_multiple: float = 3.0, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.lock_timeout = lock_timeout
+        self.rtt_multiple = rtt_multiple
+        self._rtt_ewma: float | None = None
+
+    def _observe_rtt(self, rtt: float) -> None:
+        if self._rtt_ewma is None:
+            self._rtt_ewma = rtt
+        else:
+            self._rtt_ewma = 0.9 * self._rtt_ewma + 0.1 * rtt
+
+    def _current_timeout(self) -> float:
+        if self._rtt_ewma is None:
+            return max(self.lock_timeout, 1.0)  # generous until calibrated
+        return min(2.0, max(self.lock_timeout,
+                            self.rtt_multiple * self._rtt_ewma))
+
+    def begin(self) -> SimpleNamespace:
+        tx = SimpleNamespace(
+            id=(self.client_id, next(self._tx_counter)),
+            readset=[], writeset={}, locked_keys=set(),
+            aborted=False, abort_reason=None)
+        self._begin_record(tx)
+        return tx
+
+    def read(self, tx: SimpleNamespace, key: Hashable) -> Generator[Any, Any, Any]:
+        if key in tx.writeset:
+            return tx.writeset[key]
+        reply = yield from self._lock(tx, key, write=False)
+        tx.readset.append((key, reply.version_ts))
+        if self.history is not None:
+            self.history.record_read(tx.id, key, reply.version_ts)
+        return reply.value
+
+    def write(self, tx: SimpleNamespace, key: Hashable,
+              value: Any) -> Generator[Any, Any, None]:
+        yield from self._lock(tx, key, write=True)
+        tx.writeset[key] = value
+
+    def _lock(self, tx: SimpleNamespace, key: Hashable,
+              write: bool) -> Generator[Any, Any, Any]:
+        server = self.server_of(key)
+        req = TwoPLLockReq(tx.id, self.client_id, self._next_req(), key=key,
+                           write=write)
+        tx.locked_keys.add(key)
+        sent_at = self.sim.now
+        reply = yield from self._rpc(server, req,
+                                     timeout=self._current_timeout())
+        if reply is None:
+            # Lock-wait timeout: the paper's deadlock prevention.  Abort and
+            # release everything (the server drops our queued request too).
+            yield from self._fail(tx, "lock-timeout")
+        self._observe_rtt(self.sim.now - sent_at)
+        return reply
+
+    def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
+        commit_ts = Timestamp(self.sim.now, self.pid)
+        by_server: dict[Hashable, tuple[dict, list]] = {}
+        for key in tx.locked_keys:
+            server = self.server_of(key)
+            writes, releases = by_server.setdefault(server, ({}, []))
+            if key in tx.writeset:
+                writes[key] = tx.writeset[key]
+            else:
+                releases.append(key)
+        for server, (writes, releases) in by_server.items():
+            self._send(server, TwoPLCommitReq(
+                tx.id, self.client_id, self._next_req(), writes=writes,
+                release_keys=tuple(releases), commit_ts=commit_ts))
+        if self.history is not None:
+            self.history.record_commit(tx.id, commit_ts, tuple(tx.writeset))
+        self.stats["commits"] += 1
+        tx.committed = True
+        return True
+        yield  # pragma: no cover
+
+    def _fail(self, tx: SimpleNamespace,
+              reason: str) -> Generator[Any, Any, None]:
+        by_server: dict[Hashable, list] = {}
+        for key in tx.locked_keys:
+            by_server.setdefault(self.server_of(key), []).append(key)
+        for server, keys in by_server.items():
+            self._send(server, TwoPLReleaseReq(
+                tx.id, self.client_id, self._next_req(), keys=tuple(keys)))
+        self._abort(tx, reason)
+        raise TransactionAborted(tx.id, reason)
+        yield  # pragma: no cover

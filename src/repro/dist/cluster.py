@@ -1,0 +1,195 @@
+"""Cluster assembly and experiment execution.
+
+:func:`run_cluster` is the single entry point every benchmark and
+integration test uses: it builds a simulated deployment — servers behind
+service queues, closed-loop clients with per-client clocks, the timestamp
+service, optional failure injection — runs warm-up plus measurement
+(§8.3), and returns throughput, commit rate, state samples and (optionally)
+the full history for serializability checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..clocks.clock import EpsilonSyncClock
+from ..sim.network import Network
+from ..sim.rng import RngFactory
+from ..sim.simulator import Simulator
+from ..sim.testbed import LOCAL_TESTBED, TestbedProfile
+from ..verify.history import HistoryRecorder
+from ..workload.generator import WorkloadConfig, WorkloadGenerator
+from ..workload.runner import closed_loop_client
+from ..workload.stats import RunStats, StateSampler
+from .client import MVTILClient, MVTOClient, TwoPLClient
+from .commitment import CommitmentRegistry
+from .gc_service import TimestampService
+from .partition import Partition
+from .server import MVTLServer, TwoPLServer
+
+__all__ = ["ClusterConfig", "ClusterResult", "run_cluster", "PROTOCOLS"]
+
+#: Protocols accepted by :class:`ClusterConfig`.
+PROTOCOLS = ("mvtil-early", "mvtil-late", "mvto", "2pl")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything that defines one experiment run (one figure data point)."""
+
+    protocol: str = "mvtil-early"
+    profile: TestbedProfile = LOCAL_TESTBED
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    num_clients: int = 90
+    num_servers: int | None = None  # None = profile default
+    seed: int = 0
+    warmup: float = 1.0
+    measure: float = 4.0
+    #: MVTIL interval width (paper: 5 ms).
+    delta: float = 0.005
+    #: MVTIL read-lock wait bound (deadlock resolution for waiting reads).
+    read_timeout: float = 0.25
+    #: 2PL lock-wait timeout (tuned for throughput, §8.4.1).
+    lock_timeout: float = 0.05
+    #: Server-side unfrozen-write-lock timeout (§H failure handling).
+    write_lock_timeout: float = 2.0
+    #: Restarts per transaction before giving up (§8.1).
+    max_restarts: int = 2
+    #: Commitment-object backend: "local" models replicated, non-failing
+    #: decision state (§H.1's common case); "paxos" runs real single-decree
+    #: consensus over per-server acceptors (§H.1's servers-may-fail case).
+    commitment: str = "local"
+    #: Run the timestamp service (version/lock purging + clock floor).
+    gc_enabled: bool = True
+    gc_period: float = 15.0
+    #: Record the full history and check nothing with it here (the caller
+    #: runs the MVSG checker); heavy for long runs.
+    record_history: bool = False
+    #: Sample lock/version counts every N seconds (0 = off).
+    state_sample_period: float = 0.0
+    #: Record per-completion timestamps for windowed series (Fig. 7).
+    record_completions: bool = False
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"expected one of {PROTOCOLS}")
+        if self.commitment not in ("local", "paxos"):
+            raise ValueError(f"unknown commitment backend "
+                             f"{self.commitment!r}")
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one run."""
+
+    config: ClusterConfig
+    throughput: float
+    commit_rate: float
+    committed: int
+    aborted: int
+    history: HistoryRecorder | None
+    state_samples: list[Any]
+    completions: list[tuple[float, bool]]
+    messages_sent: int
+    server_stats: list[dict]
+    mean_latency: float = 0.0
+    p95_latency: float = 0.0
+
+    def summary(self) -> str:
+        return (f"{self.config.protocol:12s} clients={self.config.num_clients:4d} "
+                f"thr={self.throughput:8.1f} txs/s  commit_rate={self.commit_rate:.3f}")
+
+
+def run_cluster(config: ClusterConfig) -> ClusterResult:
+    """Build the simulated deployment described by ``config`` and run it."""
+    sim = Simulator()
+    rngs = RngFactory(config.seed)
+    net = Network(sim, config.profile.latency, rngs.stream())
+    registry = CommitmentRegistry(sim)
+    history = HistoryRecorder() if config.record_history else None
+
+    num_servers = (config.num_servers if config.num_servers is not None
+                   else config.profile.num_servers)
+    server_ids = [f"server-{i}" for i in range(num_servers)]
+    consensus = None
+    if config.commitment == "paxos" and config.protocol != "2pl":
+        # One acceptor per storage server node ("all the servers in the
+        # system as participants", §H.1).
+        from .paxos import PaxosAcceptor, PaxosConsensus
+        acceptor_ids = [f"{sid}-acceptor" for sid in server_ids]
+        for aid in acceptor_ids:
+            PaxosAcceptor(sim, net, aid)
+        consensus = PaxosConsensus(sim, net, acceptor_ids,
+                                   rng=rngs.stream())
+    servers: list[Any] = []
+    for sid in server_ids:
+        if config.protocol == "2pl":
+            servers.append(TwoPLServer(sim, net, sid, config.profile,
+                                       rngs.stream()))
+        else:
+            servers.append(MVTLServer(
+                sim, net, sid, config.profile, rngs.stream(), registry,
+                write_lock_timeout=config.write_lock_timeout,
+                consensus=consensus))
+    partition = Partition(server_ids)
+
+    stats = RunStats(sim, config.warmup, config.measure)
+    stats.record_completions = config.record_completions
+
+    client_ids = []
+    for i in range(config.num_clients):
+        cid = f"client-{i}"
+        client_ids.append(cid)
+        pid = i + 1
+        clock = EpsilonSyncClock(lambda: sim.now,
+                                 config.profile.clock_skew,
+                                 rng=rngs.stream(), fixed=True)
+        common = dict(history=history, consensus=consensus)
+        if config.protocol in ("mvtil-early", "mvtil-late"):
+            client = MVTILClient(sim, net, cid, pid, partition, clock,
+                                 registry, delta=config.delta,
+                                 late=config.protocol.endswith("late"),
+                                 read_timeout=config.read_timeout,
+                                 **common)
+        elif config.protocol == "mvto":
+            client = MVTOClient(sim, net, cid, pid, partition, clock,
+                                registry, **common)
+        else:
+            client = TwoPLClient(sim, net, cid, pid, partition, clock,
+                                 registry, lock_timeout=config.lock_timeout,
+                                 **common)
+        workload = WorkloadGenerator(config.workload, rngs.stream())
+        sim.spawn(closed_loop_client(
+            client, workload, stats, rngs.stream(),
+            client_overhead=config.profile.client_overhead,
+            max_restarts=config.max_restarts), name=cid)
+
+    service = TimestampService(sim, net, server_ids, client_ids,
+                               horizon=config.profile.gc_horizon,
+                               period=config.gc_period,
+                               enabled=config.gc_enabled)
+    service.start()
+
+    sampler = None
+    if config.state_sample_period > 0:
+        sampler = StateSampler(sim, servers, config.state_sample_period)
+        sim.spawn(sampler.process(), name="state-sampler")
+
+    sim.run_until(config.warmup + config.measure)
+
+    return ClusterResult(
+        config=config,
+        throughput=stats.throughput,
+        commit_rate=stats.commit_rate,
+        committed=stats.committed,
+        aborted=stats.aborted,
+        history=history,
+        state_samples=sampler.samples if sampler else [],
+        completions=stats.completions,
+        messages_sent=net.messages_sent,
+        server_stats=[s.stats for s in servers],
+        mean_latency=stats.mean_latency,
+        p95_latency=stats.latency_percentile(95),
+    )

@@ -1,0 +1,98 @@
+"""Commitment objects: consensus on a transaction's outcome (§7, §H).
+
+A failed coordinator can leave write locks unfrozen forever; a commitment
+object per transaction lets coordinator and servers agree on the outcome —
+"abort" or "commit at timestamp t" — with the standard uniform-consensus
+properties (§H.2): validity (the decision was proposed), agreement (no two
+participants decide differently), integrity, termination.
+
+Two implementations:
+
+:class:`CommitmentObject`
+    The consensus state machine itself: first proposal wins.  Because the
+    DES executes events sequentially, a shared in-sim instance is trivially
+    linearizable — this models the §H.1 setting where storage is replicated
+    and the commitment "logical entity" does not fail.
+
+:class:`CommitmentRegistry`
+    Creates/locates the object for a transaction and implements the §H.1
+    *decision-point* optimization used by the message-based protocol: the
+    first write-set server is designated the decision point, and proposals
+    are RPCs to it (or local calls when the proposer *is* the decision
+    server), so the failure-free commit path adds no extra round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from ..core.timestamp import Timestamp
+from ..sim.simulator import SimEvent, Simulator
+
+__all__ = ["ABORT", "CommitmentObject", "CommitmentRegistry"]
+
+#: The abort outcome (commit outcomes are the commit Timestamp itself).
+ABORT = "abort"
+
+
+class CommitmentObject:
+    """Single-shot consensus: the first proposed outcome is decided.
+
+    ``propose`` returns the decided outcome (which may differ from the
+    proposal if someone else proposed first).  ``decision_event`` lets
+    simulation processes await the decision.
+    """
+
+    __slots__ = ("tx_id", "_decision", "decision_event")
+
+    def __init__(self, sim: Simulator, tx_id: Hashable) -> None:
+        self.tx_id = tx_id
+        self._decision: Any = None
+        self.decision_event = SimEvent(sim)
+
+    @property
+    def decided(self) -> bool:
+        return self._decision is not None
+
+    @property
+    def decision(self) -> Any:
+        return self._decision
+
+    def propose(self, outcome: Any) -> Any:
+        """Propose ``outcome`` ("abort" or a commit Timestamp); returns the
+        decision."""
+        if outcome != ABORT and not isinstance(outcome, Timestamp):
+            raise ValueError(f"invalid outcome {outcome!r}")
+        if self._decision is None:
+            self._decision = outcome
+            self.decision_event.set(outcome)
+        return self._decision
+
+
+class CommitmentRegistry:
+    """Per-transaction commitment objects plus decision-point bookkeeping."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._objects: dict[Hashable, CommitmentObject] = {}
+        #: tx -> node id of the designated decision-point server (§H.1).
+        self.decision_point: dict[Hashable, Hashable] = {}
+
+    def get(self, tx_id: Hashable) -> CommitmentObject:
+        obj = self._objects.get(tx_id)
+        if obj is None:
+            obj = self._objects[tx_id] = CommitmentObject(self._sim, tx_id)
+        return obj
+
+    def set_decision_point(self, tx_id: Hashable, server: Hashable) -> None:
+        """Designate ``server`` as tx's decision point (first write server);
+        later designations are ignored."""
+        self.decision_point.setdefault(tx_id, server)
+
+    def forget(self, tx_id: Hashable) -> None:
+        """Drop state for a finished transaction (bounds registry growth)."""
+        self._objects.pop(tx_id, None)
+        self.decision_point.pop(tx_id, None)
+
+    def __len__(self) -> int:
+        return len(self._objects)

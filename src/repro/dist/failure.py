@@ -1,0 +1,42 @@
+"""Failure injection (§7, §H).
+
+Coordinator (client) crashes are the failure mode the distributed algorithm
+must survive: a crashed coordinator may leave unfrozen write locks behind,
+and §H's liveness theorems say the servers' write-lock timeout + commitment
+object eventually abort the orphaned transaction and release its locks, so
+correct coordinators are never delayed forever (Theorems 9-10).
+
+:class:`CrashInjector` crashes a client mid-transaction: the client's
+process is cancelled (it never takes another step) and its network node is
+unregistered (replies to it vanish) — exactly how a crash looks to the rest
+of an asynchronous system.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..sim.network import Network
+from ..sim.simulator import Process, Simulator
+
+__all__ = ["CrashInjector"]
+
+
+class CrashInjector:
+    """Crash simulated clients at chosen times."""
+
+    def __init__(self, sim: Simulator, net: Network) -> None:
+        self.sim = sim
+        self.net = net
+        self.crashed: list[Hashable] = []
+
+    def crash_client_at(self, when: float, client_id: Hashable,
+                        process: Process) -> None:
+        """Schedule a crash of ``client_id`` (and its driver process)."""
+        self.sim.schedule(max(0.0, when - self.sim.now), self._crash,
+                          client_id, process)
+
+    def _crash(self, client_id: Hashable, process: Process) -> None:
+        process.cancel()
+        self.net.unregister(client_id)
+        self.crashed.append(client_id)

@@ -1,0 +1,232 @@
+"""Wire messages of the distributed MVTL protocol (Algorithms 11-13) and of
+the baseline client protocols (§8.1).
+
+Every request carries the issuing transaction, the client's node id (for the
+reply) and a client-chosen request id so the client coroutine can match
+replies to requests and discard stale ones (e.g. a reply arriving after the
+client timed out and moved on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..core.intervals import IntervalSet
+from ..core.timestamp import Timestamp
+
+__all__ = [
+    "Request", "Reply",
+    "MVTLReadReq", "MVTLReadReply",
+    "MVTLWriteLockReq", "MVTLWriteLockReply",
+    "FreezeWriteReq", "FreezeReadReq", "ReleaseReq", "GcReq", "CommitReq",
+    "TwoPLLockReq", "TwoPLLockReply", "TwoPLCommitReq", "TwoPLReleaseReq",
+    "PurgeReq", "ClockBroadcast",
+    "ProposeReq", "DecisionReply",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """Base: fields common to every client->server request."""
+
+    tx_id: Hashable
+    client: Hashable
+    req_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Reply:
+    """Base: every server->client reply echoes the request id."""
+
+    req_id: int
+
+
+# -- MVTL family (MVTIL and MVTO+ run the same server ops, §8.1) -------------
+
+@dataclass(frozen=True, slots=True)
+class MVTLReadReq(Request):
+    """Read ``key`` and read-lock a contiguous interval below ``upper``.
+
+    ``wait`` selects the blocking idiom ("waiting if write-locked but not
+    frozen"): with ``wait=True`` the request parks while the contiguous
+    grantable prefix cannot reach ``floor`` (default: ``upper``).  MVTO+
+    needs the full range up to its timestamp (``floor`` unset); an MVTIL
+    client only needs the prefix to reach into its interval ``I``, so it
+    passes ``floor = min I`` and *shrinks* instead of waiting whenever some
+    of ``I`` is still reachable (§8.1).  ``wait=False`` never parks.
+    """
+
+    key: Hashable = None
+    upper: Timestamp = None
+    wait: bool = True
+    floor: Timestamp | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class MVTLReadReply(Reply):
+    """``tr``/``value`` is the version read; ``locked`` the granted range.
+
+    ``tr is None`` means the read failed permanently (version purged).
+    """
+
+    tr: Timestamp | None = None
+    value: Any = None
+    locked: IntervalSet = field(default_factory=IntervalSet)
+
+
+@dataclass(frozen=True, slots=True)
+class MVTLWriteLockReq(Request):
+    """Write-lock some of ``want`` on ``key`` and buffer ``value`` (Alg. 13).
+
+    ``wait=False`` grants the conflict-free subset immediately (MVTIL);
+    ``wait=True`` parks until all of ``want`` is grantable or a frozen
+    conflict makes that impossible (TO's commit-time point lock uses
+    ``wait=False`` too — it *fails* on any conflict).
+    ``all_or_nothing`` makes a partially-grantable request fail instead of
+    shrinking.
+    """
+
+    key: Hashable = None
+    value: Any = None
+    want: IntervalSet = field(default_factory=IntervalSet)
+    wait: bool = False
+    all_or_nothing: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class MVTLWriteLockReply(Reply):
+    acquired: IntervalSet = field(default_factory=IntervalSet)
+
+
+@dataclass(frozen=True, slots=True)
+class FreezeWriteReq(Request):
+    """Commit notification: freeze tx's write lock at ``ts`` and expose the
+    buffered value (Alg. 13 receive-freeze-write-lock).  No reply needed."""
+
+    key: Hashable = None
+    ts: Timestamp = None
+
+
+@dataclass(frozen=True, slots=True)
+class FreezeReadReq(Request):
+    """GC: freeze tx's read locks on ``key`` over ``span`` (Alg. 11 gc)."""
+
+    key: Hashable = None
+    span: IntervalSet = field(default_factory=IntervalSet)
+
+
+@dataclass(frozen=True, slots=True)
+class ReleaseReq(Request):
+    """Release tx's unfrozen locks on this server (abort / gc tail).
+
+    ``write_only=True`` releases only write locks — the MVTO+ abort path,
+    whose persistent read-timestamps (kept read locks) are the source of its
+    ghost aborts (§3, §5.5).
+    """
+
+    key: Hashable = None  # None = all keys tx touched on this server
+    write_only: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class GcReq(Request):
+    """Commit-time GC, batched per server (Alg. 11 ``gc``): freeze the given
+    read-lock spans, then (if ``release``) release every other unfrozen lock
+    of tx.  ``release=False`` freezes only — the no-collection ablation that
+    lets lock state accumulate (Fig. 6)."""
+
+    spans: dict = field(default_factory=dict)  # key -> IntervalSet
+    release: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class CommitReq(Request):
+    """Commit notification, batched per server: atomically propose commit to
+    the transaction's commitment object and — on a commit decision — freeze
+    write locks at ``ts`` and expose the buffered values for ``write_keys``,
+    freeze the read-lock ``spans``, and (if ``release``) release the
+    transaction's remaining unfrozen locks.
+
+    Batching freeze+install+GC into one server-side step closes the window
+    where a separately-delivered GC could release a commit-point write lock
+    before its freeze was processed (the prototype holds the key's latch
+    across this sequence, §8.1).
+    """
+
+    ts: Timestamp = None
+    write_keys: tuple = ()
+    spans: dict = field(default_factory=dict)  # key -> IntervalSet
+    release: bool = True
+
+
+# -- 2PL family ---------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class TwoPLLockReq(Request):
+    """Acquire the per-key readers-writer lock (exclusive if ``write``).
+
+    The server parks the request while the lock is unavailable; the *client*
+    enforces the deadlock-prevention timeout by giving up and aborting.
+    A read lock reply carries the current value.
+    """
+
+    key: Hashable = None
+    write: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class TwoPLLockReply(Reply):
+    granted: bool = True
+    value: Any = None
+    version_ts: Timestamp | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TwoPLCommitReq(Request):
+    """Install ``writes`` at ``commit_ts`` and release all of tx's locks on
+    this server (batched per server, like a real unlock piggyback)."""
+
+    writes: dict = field(default_factory=dict)   # key -> value
+    release_keys: tuple = ()                     # read-locked keys
+    commit_ts: Timestamp = None
+
+
+@dataclass(frozen=True, slots=True)
+class TwoPLReleaseReq(Request):
+    """Release tx's locks on ``keys`` without writing (abort path)."""
+
+    keys: tuple = ()
+
+
+# -- maintenance ---------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class PurgeReq(Request):
+    """From the timestamp service: purge versions/locks older than ``bound``."""
+
+    bound: Timestamp = None
+
+
+@dataclass(frozen=True, slots=True)
+class ClockBroadcast:
+    """Timestamp-service broadcast to clients: advance your clock to ``t``."""
+
+    t: float = 0.0
+
+
+# -- commitment object (consensus) ----------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class ProposeReq(Request):
+    """Propose an outcome for tx to its commitment object.
+
+    ``outcome`` is either the string "abort" or a commit Timestamp.
+    """
+
+    outcome: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionReply(Reply):
+    outcome: Any = None  # "abort" or the decided commit Timestamp

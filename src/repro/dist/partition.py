@@ -1,0 +1,32 @@
+"""Key -> server partitioning (§7: "clients know how to find the server
+responsible for a key, e.g. by hashing the key")."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable, Sequence
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """Deterministic hash partitioning of keys over a fixed server list."""
+
+    def __init__(self, servers: Sequence[Hashable]) -> None:
+        if not servers:
+            raise ValueError("need at least one server")
+        self._servers = tuple(servers)
+
+    @property
+    def servers(self) -> tuple[Hashable, ...]:
+        return self._servers
+
+    def server_of(self, key: Hashable) -> Hashable:
+        if isinstance(key, int):
+            idx = key % len(self._servers)
+        else:
+            idx = zlib.crc32(str(key).encode()) % len(self._servers)
+        return self._servers[idx]
+
+    def __len__(self) -> int:
+        return len(self._servers)

@@ -1,0 +1,546 @@
+"""Storage servers (Alg. 13 and the §8.1 prototype's server side).
+
+A server owns a partition of the keys and, per key, the lock and version
+state (§8.1 keeps two skip lists per key — here the interval-compressed
+:class:`~repro.core.locks.LockTable` and the sorted
+:class:`~repro.core.versions.VersionStore`).  Requests arrive through a
+:class:`~repro.sim.server_queue.ServiceQueue` modelling the server's CPU;
+handlers run when a slot frees.
+
+Blocking requests ("waiting if locked but not frozen") are *parked*: the
+handler stores them on the key's wait list and returns (releasing the CPU
+slot); any lock-state change on that key re-submits them through the queue.
+Non-waiting requests (MVTIL's shrink, TO's no-wait commit lock) reply
+immediately with whatever was grantable.
+
+Fault tolerance (§H): a server that has held an *unfrozen* write lock past
+``write_lock_timeout`` suspects the coordinator, proposes abort to the
+transaction's commitment object and applies the decision — releasing the
+locks on a decided abort, or freezing/installing on a decided commit
+(Alg. 13's write-lock-timeout handler).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
+from ..core.locks import LockMode, LockTable
+from ..core.timestamp import BOTTOM, TS_ZERO, Timestamp
+from ..core.versions import VersionStore
+from ..sim.network import Network
+from ..sim.server_queue import ServiceQueue
+from ..sim.simulator import Simulator
+from ..sim.testbed import TestbedProfile
+from .commitment import ABORT, CommitmentRegistry
+from .messages import (CommitReq, FreezeReadReq, FreezeWriteReq, GcReq,
+                       MVTLReadReply,
+                       MVTLReadReq, MVTLWriteLockReply, MVTLWriteLockReq,
+                       PurgeReq, ReleaseReq, TwoPLCommitReq, TwoPLLockReply,
+                       TwoPLLockReq, TwoPLReleaseReq)
+
+__all__ = ["MVTLServer", "TwoPLServer"]
+
+
+class _ServerBase:
+    """Shared wiring: service queue, network registration, parking."""
+
+    def __init__(self, sim: Simulator, net: Network, server_id: Hashable,
+                 profile: TestbedProfile, rng: np.random.Generator) -> None:
+        self.sim = sim
+        self.net = net
+        self.server_id = server_id
+        self.profile = profile
+        self.queue = ServiceQueue(sim, profile.service_time,
+                                  profile.server_concurrency, rng,
+                                  self._handle)
+        net.register(server_id, self.queue.submit)
+        self._parked: dict[Hashable, list[Any]] = {}
+        self.stats = {"requests": 0, "parked": 0}
+
+    def _handle(self, msg: Any) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _reply(self, req: Any, reply: Any) -> None:
+        self.net.send(req.client, reply, src=self.server_id)
+
+    def _park(self, key: Hashable, req: Any) -> None:
+        self._parked.setdefault(key, []).append(req)
+        self.stats["parked"] += 1
+
+    def _unpark(self, key: Hashable) -> None:
+        """Re-submit everything waiting on ``key`` (lock state changed)."""
+        waiting = self._parked.pop(key, None)
+        if waiting:
+            for req in waiting:
+                self.queue.submit(req)
+
+    def _drop_parked(self, tx_id: Hashable) -> None:
+        """Discard parked requests of an aborted transaction.
+
+        Without this, a request parked on behalf of a transaction whose
+        coordinator has already given up would eventually be granted and
+        leave orphaned locks behind.
+        """
+        for key in list(self._parked):
+            remaining = [r for r in self._parked[key] if r.tx_id != tx_id]
+            if remaining:
+                self._parked[key] = remaining
+            else:
+                del self._parked[key]
+
+
+class MVTLServer(_ServerBase):
+    """The MVTL-family storage server (serves both MVTIL and MVTO+ clients)."""
+
+    #: How much each extra state record per key inflates request cost.
+    #: Models the slower version/lock searches of a grown store ("a larger
+    #: state makes it slower to search for and access versions", §8.4.5).
+    #: Calibrated against Fig. 7: ~100 records/key after ~10 unpurged
+    #: minutes costs ~1.4x — while the handful of records/key accumulated
+    #: within a normal measurement window costs only a few percent.
+    STATE_COST_FACTOR = 0.004
+    #: Recompute the (expensive) aggregate state metric this often.
+    _STATE_REFRESH = 512
+
+    def __init__(self, sim: Simulator, net: Network, server_id: Hashable,
+                 profile: TestbedProfile, rng: np.random.Generator,
+                 registry: CommitmentRegistry, *,
+                 write_lock_timeout: float = 2.0,
+                 consensus: Any | None = None) -> None:
+        super().__init__(sim, net, server_id, profile, rng)
+        self.registry = registry
+        #: Optional PaxosConsensus: when set, transaction outcomes are
+        #: decided by real message-passing consensus over the acceptor set
+        #: (§H.1 "servers may fail" mode) instead of the in-sim object.
+        self.consensus = consensus
+        self._proposer_id = abs(hash(server_id)) % (2**20) + 2**20
+        self.write_lock_timeout = write_lock_timeout
+        self.locks = LockTable()
+        self.store = VersionStore()
+        #: Buffered values awaiting freeze: (tx, key) -> value (Alg. 13 l.3).
+        self.pending: dict[tuple[Hashable, Hashable], Any] = {}
+        self._state_multiplier = 1.0
+        self._state_refresh_at = 0
+        self.queue.service_time_fn = self._service_time
+
+    #: Relative CPU cost of control notifications (commit/gc/release/
+    #: purge) vs. data requests: they carry no value payload and do no
+    #: version search — in the prototype they are cheap latched updates,
+    #: not full skip-list operations.
+    CONTROL_MSG_WEIGHT = 0.3
+
+    def _service_time(self, msg: Any = None) -> float:
+        """Per-request service time: type weight x state inflation (Fig. 7)."""
+        if self.queue.requests_served >= self._state_refresh_at:
+            self._state_refresh_at = (self.queue.requests_served
+                                      + self._STATE_REFRESH)
+            keys = max(1, self.store.key_count())
+            records = (self.locks.total_record_count()
+                       + self.store.version_count())
+            per_key = records / keys
+            # Baseline is ~2 records/key (one version + one lock interval).
+            self._state_multiplier = 1.0 + self.STATE_COST_FACTOR * max(
+                0.0, per_key - 2.0)
+        weight = (self.CONTROL_MSG_WEIGHT
+                  if isinstance(msg, (CommitReq, GcReq, ReleaseReq,
+                                      FreezeWriteReq, FreezeReadReq,
+                                      PurgeReq))
+                  else 1.0)
+        return self.profile.service_time * self._state_multiplier * weight
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _handle(self, msg: Any) -> None:
+        self.stats["requests"] += 1
+        if isinstance(msg, MVTLReadReq):
+            self._handle_read(msg)
+        elif isinstance(msg, MVTLWriteLockReq):
+            self._handle_write_lock(msg)
+        elif isinstance(msg, FreezeWriteReq):
+            self._handle_freeze_write(msg)
+        elif isinstance(msg, FreezeReadReq):
+            self._handle_freeze_read(msg)
+        elif isinstance(msg, CommitReq):
+            self._handle_commit_req(msg)
+        elif isinstance(msg, GcReq):
+            self._handle_gc(msg)
+        elif isinstance(msg, ReleaseReq):
+            self._handle_release(msg)
+        elif isinstance(msg, PurgeReq):
+            self._handle_purge(msg)
+        else:
+            raise TypeError(f"MVTLServer got unknown message {msg!r}")
+
+    # -- reads ---------------------------------------------------------------
+
+    def _handle_read(self, req: MVTLReadReq) -> None:
+        """Read + read-lock a contiguous interval (Alg. 13 lines 5-7).
+
+        Picks ``tr`` = latest version below ``req.upper``, then grants read
+        locks on the contiguous range just above ``tr``, truncated at the
+        first frozen write lock.  On an *unfrozen* write conflict: park if
+        ``req.wait`` (MVTO+), else grant the conflict-free prefix (MVTIL).
+        """
+        key = req.key
+        state = self.locks.state(key)
+        version = self.store.latest_before(key, req.upper)
+        if version is None:
+            self._reply(req, MVTLReadReply(req.req_id))  # purged: tr=None
+            return
+        if version.ts >= req.upper:
+            self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
+                                           value=version.value,
+                                           locked=EMPTY_SET))
+            return
+        want = TsInterval.open_closed(version.ts, req.upper)
+        available = (IntervalSet.from_interval(want)
+                     .subtract(state.frozen_write_ranges()))
+        if (available.is_empty
+                or not available.pieces[0].contains_just_after(version.ts)):
+            # A frozen write sits immediately above tr: with freeze+install
+            # atomic on the server this cannot happen (the floor lookup
+            # would have found that version), but purge/floor races are
+            # answered conservatively with an unprotected read.
+            self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
+                                           value=version.value,
+                                           locked=EMPTY_SET))
+            return
+        first = available.pieces[0]
+        probe = state.lockable(req.tx_id, LockMode.READ, first)
+        # The contiguous grantable prefix adjacent to the version read.
+        prefix: TsInterval | None = None
+        for piece in probe.acquired:
+            if piece.contains_just_after(version.ts):
+                prefix = piece
+                break
+        floor = req.floor if req.floor is not None else req.upper
+        reaches_floor = prefix is not None and prefix.hi >= floor
+        # Waiting only helps if an *unfrozen* conflict is what limits the
+        # prefix; a frozen truncation (first.hi < upper) never moves.
+        unfrozen_limited = prefix is None or prefix.hi < first.hi
+        if req.wait and not reaches_floor and unfrozen_limited:
+            # "Waiting if write-locked but not frozen": the usable prefix
+            # does not reach what the client needs yet; park until the
+            # conflicting (unfrozen) locks move.
+            self._park(key, req)
+            return
+        locked = EMPTY_SET
+        if prefix is not None:
+            state.try_acquire(req.tx_id, LockMode.READ, prefix)
+            self.locks.note_owner(req.tx_id, key)
+            locked = IntervalSet.from_interval(prefix)
+        self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
+                                       value=version.value, locked=locked))
+
+    # -- write locks -----------------------------------------------------------
+
+    def _handle_write_lock(self, req: MVTLWriteLockReq) -> None:
+        """Acquire write locks and buffer the value (Alg. 13 lines 1-4)."""
+        key = req.key
+        state = self.locks.state(key)
+        probe = state.lockable(req.tx_id, LockMode.WRITE, req.want)
+        if not probe.fully_acquired:
+            if req.wait and not probe.any_frozen_conflict:
+                self._park(key, req)
+                return
+            if req.all_or_nothing:
+                self._reply(req, MVTLWriteLockReply(req.req_id,
+                                                    acquired=EMPTY_SET))
+                return
+        result = state.try_acquire(req.tx_id, LockMode.WRITE, req.want)
+        acquired_total = state.held(req.tx_id, LockMode.WRITE).intersect(
+            req.want)
+        if not acquired_total.is_empty:
+            self.locks.note_owner(req.tx_id, key)
+            self.pending[(req.tx_id, key)] = req.value
+            self.sim.schedule(self.write_lock_timeout,
+                              self._write_lock_timeout, req.tx_id, key)
+        self._reply(req, MVTLWriteLockReply(req.req_id,
+                                            acquired=acquired_total))
+
+    def _write_lock_timeout(self, tx_id: Hashable, key: Hashable) -> None:
+        """Alg. 13 write-lock-timeout: suspect the coordinator."""
+        if (tx_id, key) not in self.pending:
+            return  # already frozen or released
+        state = self.locks.peek(key)
+        if state is None:
+            return
+        held = state.held(tx_id, LockMode.WRITE)
+        frozen = state.frozen(tx_id, LockMode.WRITE)
+        if held.is_empty or held == frozen:
+            return
+        def apply(decision: Any) -> None:
+            if (tx_id, key) not in self.pending:
+                return  # resolved while consensus was running
+            if decision == ABORT:
+                self._drop_tx_on_key(tx_id, key)
+                self._unpark(key)
+            else:
+                self._apply_commit(tx_id, key, decision)
+
+        self._decide(tx_id, ABORT, apply)
+
+    # -- commit / abort ----------------------------------------------------------
+
+    def _handle_freeze_write(self, req: FreezeWriteReq) -> None:
+        """Alg. 13 receive-freeze-write-lock: propose commit, apply decision."""
+
+        def apply(decision: Any) -> None:
+            if decision == ABORT:
+                self._drop_tx_on_key(req.tx_id, req.key)
+                self._unpark(req.key)
+                return
+            self._apply_commit(req.tx_id, req.key, decision)
+
+        self._decide(req.tx_id, req.ts, apply)
+
+    def _apply_commit(self, tx_id: Hashable, key: Hashable,
+                      ts: Timestamp) -> None:
+        value = self.pending.pop((tx_id, key), None)
+        state = self.locks.state(key)
+        state.freeze(tx_id, LockMode.WRITE, TsInterval.point(ts))
+        if self.store.version_at(key, ts) is None:
+            self.store.install(key, ts, value)
+        # Other write-locked timestamps of tx stay until gc/release.
+        self._unpark(key)
+
+    def _decide(self, tx_id: Hashable, outcome: Any,
+                callback: Any) -> None:
+        """Obtain the transaction's decision, then run ``callback(decision)``.
+
+        Local mode decides synchronously via the shared commitment object;
+        Paxos mode runs a proposer coroutine over the acceptor quorum and
+        applies the callback when consensus completes (locks stay held —
+        and block others — exactly until then, as in Alg. 13).
+        """
+        if self.consensus is None:
+            callback(self.registry.get(tx_id).propose(outcome))
+            return
+        cached = self.consensus.decided(tx_id)
+        if cached is not None:
+            callback(cached)
+            return
+
+        def proc():
+            decision = yield from self.consensus.propose(
+                tx_id, outcome, proposer_id=self._proposer_id)
+            callback(decision)
+
+        self.sim.spawn(proc(), name=f"{self.server_id}-decide")
+
+    def _handle_commit_req(self, req: CommitReq) -> None:
+        """Atomic commit application: propose, freeze+install, GC (§8.1)."""
+
+        def apply(decision: Any) -> None:
+            if decision == ABORT:
+                self._release_tx(req.tx_id, write_only=False)
+                return
+            for key in req.write_keys:
+                self._apply_commit(req.tx_id, key, decision)
+            for key, span in req.spans.items():
+                state = self.locks.peek(key)
+                if state is not None:
+                    state.freeze(req.tx_id, LockMode.READ, span)
+            # Seal the ended transaction's permanent locks.  With
+            # release=True only the frozen prefix survives (Alg. 11 gc);
+            # with release=False every read lock is kept — the MVTO+/no-GC
+            # behaviour where read-timestamps persist and state accumulates
+            # (Fig. 6).
+            self._seal_tx(req.tx_id, keep_all_reads=not req.release)
+
+        self._decide(req.tx_id, req.ts, apply)
+
+    def _handle_freeze_read(self, req: FreezeReadReq) -> None:
+        state = self.locks.peek(req.key)
+        if state is not None:
+            state.freeze(req.tx_id, LockMode.READ, req.span)
+
+    def _handle_gc(self, req: GcReq) -> None:
+        """Freeze the read spans, then release everything else of tx here."""
+        for key, span in req.spans.items():
+            state = self.locks.peek(key)
+            if state is not None:
+                state.freeze(req.tx_id, LockMode.READ, span)
+        if req.release:
+            self._release_tx(req.tx_id, write_only=False)
+
+    def _handle_release(self, req: ReleaseReq) -> None:
+        self._release_tx(req.tx_id, write_only=req.write_only)
+
+    def _release_tx(self, tx_id: Hashable, write_only: bool) -> None:
+        """End-of-transaction lock cleanup, sealing what must persist.
+
+        ``write_only=True`` is the MVTO+ abort: unfrozen write locks go,
+        but the read locks persist as read-timestamps (sealed).
+        ``write_only=False`` drops everything unfrozen and seals the frozen
+        remainder.
+        """
+        self._seal_tx(tx_id, keep_all_reads=write_only)
+
+    def _seal_tx(self, tx_id: Hashable, keep_all_reads: bool) -> None:
+        self._drop_parked(tx_id)
+        for key in self.locks.keys_of(tx_id):
+            state = self.locks.peek(key)
+            if state is not None:
+                state.seal(tx_id, keep_all_reads=keep_all_reads)
+            self.pending.pop((tx_id, key), None)
+            self._unpark(key)
+        self.locks.forget_owner(tx_id)
+
+    def _drop_tx_on_key(self, tx_id: Hashable, key: Hashable) -> None:
+        """Release tx's unfrozen locks on one key (timeout-abort path)."""
+        state = self.locks.peek(key)
+        if state is not None:
+            state.seal(tx_id, keep_all_reads=False)
+        self.pending.pop((tx_id, key), None)
+
+    # -- purge (§6, §8.1) ----------------------------------------------------------
+
+    def _handle_purge(self, req: PurgeReq) -> None:
+        bound_iv = TsInterval.closed_open(
+            Timestamp(float("-inf"), 0), req.bound)
+        purged = self.store.purge_before(req.bound)
+        for key in self.locks.all_keys():
+            self.locks.purge_below(key, bound_iv)
+        self.stats["purged_versions"] = (
+            self.stats.get("purged_versions", 0) + purged)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def lock_record_count(self) -> int:
+        return self.locks.total_record_count()
+
+    def version_count(self) -> int:
+        return self.store.version_count()
+
+
+class _TwoPLKey:
+    __slots__ = ("readers", "writer", "waitq", "value", "version_ts")
+
+    def __init__(self) -> None:
+        self.readers: set[Hashable] = set()
+        self.writer: Hashable | None = None
+        self.waitq: list[TwoPLLockReq] = []
+        self.value: Any = None
+        self.version_ts: Timestamp | None = None
+
+
+class TwoPLServer(_ServerBase):
+    """Strict-2PL storage server: one readers-writer lock per key (§8.1).
+
+    Waiters queue FIFO; the client enforces the deadlock-prevention timeout
+    (a timed-out client aborts and sends releases — the server then drops
+    its queued requests and held locks).
+    """
+
+    #: Same control-message discount as the MVTL server (fairness).
+    CONTROL_MSG_WEIGHT = 0.3
+
+    def __init__(self, sim: Simulator, net: Network, server_id: Hashable,
+                 profile: TestbedProfile, rng: np.random.Generator) -> None:
+        super().__init__(sim, net, server_id, profile, rng)
+        self._keys: dict[Hashable, _TwoPLKey] = {}
+        self._aborted: set[Hashable] = set()
+        self.queue.service_time_fn = self._service_time
+
+    def _service_time(self, msg: Any = None) -> float:
+        weight = (self.CONTROL_MSG_WEIGHT
+                  if isinstance(msg, (TwoPLCommitReq, TwoPLReleaseReq,
+                                      PurgeReq))
+                  else 1.0)
+        return self.profile.service_time * weight
+
+    def _handle(self, msg: Any) -> None:
+        self.stats["requests"] += 1
+        if isinstance(msg, TwoPLLockReq):
+            self._handle_lock(msg)
+        elif isinstance(msg, TwoPLCommitReq):
+            self._handle_commit(msg)
+        elif isinstance(msg, TwoPLReleaseReq):
+            self._handle_tx_release(msg)
+        elif isinstance(msg, PurgeReq):
+            pass  # single-version store: nothing to purge
+        else:
+            raise TypeError(f"TwoPLServer got unknown message {msg!r}")
+
+    def _key(self, key: Hashable) -> _TwoPLKey:
+        entry = self._keys.get(key)
+        if entry is None:
+            entry = self._keys[key] = _TwoPLKey()
+        return entry
+
+    def _handle_lock(self, req: TwoPLLockReq) -> None:
+        if req.tx_id in self._aborted:
+            return  # client gave up; drop silently
+        entry = self._key(req.key)
+        if self._compatible(entry, req):
+            self._grant(entry, req)
+        else:
+            entry.waitq.append(req)
+
+    def _compatible(self, entry: _TwoPLKey, req: TwoPLLockReq) -> bool:
+        if req.write:
+            writer_ok = entry.writer in (None, req.tx_id)
+            readers_ok = not (entry.readers - {req.tx_id})
+            return writer_ok and readers_ok
+        return entry.writer in (None, req.tx_id)
+
+    def _grant(self, entry: _TwoPLKey, req: TwoPLLockReq) -> None:
+        if req.write:
+            entry.readers.discard(req.tx_id)
+            entry.writer = req.tx_id
+        elif entry.writer != req.tx_id:
+            entry.readers.add(req.tx_id)
+        value = entry.value if entry.version_ts is not None else BOTTOM
+        version_ts = entry.version_ts if entry.version_ts is not None else TS_ZERO
+        self._reply(req, TwoPLLockReply(req.req_id, granted=True,
+                                        value=value, version_ts=version_ts))
+
+    def _handle_commit(self, req: TwoPLCommitReq) -> None:
+        for key, value in req.writes.items():
+            entry = self._key(key)
+            entry.value = value
+            entry.version_ts = req.commit_ts
+            self._release_key(entry, req.tx_id)
+        for key in req.release_keys:
+            self._release_key(self._key(key), req.tx_id)
+
+    def _handle_tx_release(self, req: TwoPLReleaseReq) -> None:
+        self._aborted.add(req.tx_id)
+        for key in req.keys:
+            entry = self._keys.get(key)
+            if entry is not None:
+                entry.waitq = [r for r in entry.waitq
+                               if r.tx_id != req.tx_id]
+                self._release_key(entry, req.tx_id)
+
+    def _release_key(self, entry: _TwoPLKey, tx_id: Hashable) -> None:
+        entry.readers.discard(tx_id)
+        if entry.writer == tx_id:
+            entry.writer = None
+        # Grant waiters in FIFO order while compatible.
+        progressed = True
+        while progressed and entry.waitq:
+            progressed = False
+            head = entry.waitq[0]
+            if head.tx_id in self._aborted:
+                entry.waitq.pop(0)
+                progressed = True
+                continue
+            if self._compatible(entry, head):
+                entry.waitq.pop(0)
+                self._grant(entry, head)
+                progressed = True
+
+    # -- metrics ---------------------------------------------------------------
+
+    def lock_record_count(self) -> int:
+        return sum(len(e.readers) + (1 if e.writer else 0)
+                   for e in self._keys.values())
+
+    def version_count(self) -> int:
+        return sum(1 for e in self._keys.values()
+                   if e.version_ts is not None)

@@ -1,0 +1,34 @@
+"""The MVTL policies of §5 and §8.
+
+Every class here specializes the generic Algorithm 2 policy; by Theorem 1
+each yields a serializable engine.  They differ in which workloads commit:
+
+============================  ==========================================
+:class:`MVTLTimestampOrdering`  emulates MVTO+ (Thm. 5)
+:class:`MVTLPessimistic`        emulates pessimistic locking (Thm. 6)
+:class:`MVTLPreferential`       commits strictly more than MVTO+ (Thm. 2)
+:class:`MVTLPrioritizer`        critical txs never aborted by normal (Thm. 3)
+:class:`MVTLEpsilonClock`       no serial aborts with eps-clocks (Thm. 4)
+:class:`MVTLGhostbuster`        no ghost aborts (Thm. 7)
+:class:`MVTIL`                  the §8 prototype (early/late variants)
+============================  ==========================================
+"""
+
+from .epsilon_clock import MVTLEpsilonClock
+from .ghostbuster import MVTLGhostbuster
+from .mvtil import MVTIL
+from .pessimistic import MVTLPessimistic
+from .pref import MVTLPreferential, offset_alternatives
+from .prio import MVTLPrioritizer
+from .to import MVTLTimestampOrdering
+
+__all__ = [
+    "MVTLTimestampOrdering",
+    "MVTLGhostbuster",
+    "MVTLPessimistic",
+    "MVTLPreferential",
+    "offset_alternatives",
+    "MVTLPrioritizer",
+    "MVTLEpsilonClock",
+    "MVTIL",
+]

@@ -1,0 +1,97 @@
+"""MVTL-epsilon-clock: no serial aborts with epsilon-synchronized clocks
+(Alg. 4/7, §5.3).
+
+MVTO+ aborts even in *serial* executions when clocks are skewed: a later
+transaction can draw a smaller timestamp and collide with an earlier
+transaction's read-timestamps.  The epsilon-clock policy hedges against skew:
+a transaction reads its clock ``t`` and works with the whole interval
+``[t - eps, t + eps]`` — guaranteed to contain the true real time when clocks
+are epsilon-synchronized.  Writes lock as much of the interval as possible
+(waiting on unfrozen locks), reads lock up to the interval's top, the
+interval shrinks to what was actually locked, and commit takes the *lowest*
+common locked timestamp, then garbage-collects.
+
+Committing low and collecting eagerly is the point (Theorem 4): in a serial
+execution each transaction commits at or below its start's real time and
+frees every higher timestamp, so the next transaction's interval — which
+contains *its* real time — is unobstructed.  The trade-off is pessimistic
+behaviour between transactions that start within ``2*eps`` of each other:
+they may wait for one another, and deadlocks are possible (handled by the
+engine's wait-for-graph detection).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
+from ..core.locks import LockMode
+from ..core.policy import MVTLPolicy
+from ..core.timestamp import Timestamp
+from ..core.transaction import Transaction
+from ..core.versions import Version
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import MVTLEngine
+
+__all__ = ["MVTLEpsilonClock"]
+
+
+class MVTLEpsilonClock(MVTLPolicy):
+    """The MVTL-epsilon-clock policy (Theorem 4: no serial aborts)."""
+
+    name = "mvtl-epsilon-clock"
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+
+    def on_begin(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        now = engine.now(tx)
+        interval = TsInterval.closed(
+            Timestamp(now - self.epsilon, tx.pid),
+            Timestamp(now + self.epsilon, tx.pid))
+        tx.state.ts_set = IntervalSet.from_interval(interval)
+
+    def write_locks(self, engine: "MVTLEngine", tx: Transaction,
+                    key: Hashable) -> None:
+        ts_set: IntervalSet = tx.state.ts_set
+        if ts_set.is_empty:
+            return  # doomed; commit will abort
+        result = engine.acquire(tx, key, LockMode.WRITE, ts_set,
+                                wait=True, stop_on_frozen=False)
+        # tx.TS <- the write-locks tx could acquire (Alg. 7 line 6).
+        tx.state.ts_set = result.acquired.union(
+            engine.locks.held(tx.id, key, LockMode.WRITE).intersect(ts_set))
+
+    def read_locks(self, engine: "MVTLEngine", tx: Transaction,
+                   key: Hashable) -> Version | None:
+        ts_set: IntervalSet = tx.state.ts_set
+        if ts_set.is_empty:
+            return None  # Alg. 7 line 8
+        m = ts_set.pick_high()
+        got = self.read_lock_interval(engine, tx, key, m)
+        if got is None:
+            return None
+        version, locked = got
+        # tx.TS <- tx.TS  intersect  (tr, m] (Alg. 7 line 16).  Intersect
+        # with what was actually locked (equal to (tr, m] unless a frozen
+        # write truncated it).
+        own_write = engine.locks.held(tx.id, key, LockMode.WRITE)
+        cover = locked.union(own_write)
+        tx.state.ts_set = ts_set.intersect(
+            cover if not cover.is_empty else EMPTY_SET)
+        return version
+
+    def commit_locks(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        return  # Alg. 7 line 18
+
+    def commit_ts(self, engine: "MVTLEngine", tx: Transaction,
+                  candidates: IntervalSet) -> Timestamp | None:
+        if candidates.is_empty:
+            return None
+        return candidates.pick_low()  # Alg. 7 line 19: min T
+
+    def commit_gc(self, engine: "MVTLEngine", tx: Transaction) -> bool:
+        return True  # Alg. 7 line 20: release higher timestamps promptly

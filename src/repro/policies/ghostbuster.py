@@ -1,0 +1,49 @@
+"""MVTL-Ghostbuster: timestamp ordering without ghost aborts (Alg. 10, §5.5).
+
+A *ghost abort* is an abort caused by a conflict with a transaction that had
+already aborted — under MVTO+ an aborted transaction's read-timestamps linger
+and can kill later writers.  MVTL-Ghostbuster is MVTL-TO with one change:
+garbage collection always runs when a transaction ends, so an aborted
+transaction's locks vanish with it and only *active* conflicts can abort
+anyone (Theorem 7).
+
+A second difference from Algorithm 8: commit-time write-locking *waits* on
+unfrozen locks instead of failing immediately (Algorithm 10 line 15), since
+with prompt GC a conflicting read lock belongs to a live transaction that
+will soon release or freeze it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from ..core.intervals import IntervalSet, TsInterval
+from ..core.locks import LockMode
+from ..core.timestamp import Timestamp
+from ..core.transaction import Transaction
+from .to import MVTLTimestampOrdering
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import MVTLEngine
+
+__all__ = ["MVTLGhostbuster"]
+
+
+class MVTLGhostbuster(MVTLTimestampOrdering):
+    """The MVTL-Ghostbuster policy (Theorem 7: no ghost aborts)."""
+
+    name = "mvtl-ghostbuster"
+
+    def commit_locks(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        ts: Timestamp = tx.state.ts
+        point = TsInterval.point(ts)
+        for key in tx.writeset:
+            result = engine.acquire(tx, key, LockMode.WRITE, point,
+                                    wait=True, stop_on_frozen=True)
+            if not result.ok:
+                engine.release_all_write_locks(tx)
+                tx.state.commit_failed = True
+                return
+
+    def commit_gc(self, engine: "MVTLEngine", tx: Transaction) -> bool:
+        return True  # always collect: aborted transactions leave no locks

@@ -1,0 +1,63 @@
+"""MVTL-Pessimistic: pessimistic concurrency control as MVTL (Alg. 9, §5.4).
+
+Writes lock *all* timestamps ``[0, +inf]`` of a key (waiting on anything
+unfrozen, skipping frozen history) and reads lock ``(tr, +inf]`` above the
+latest version.  Holding up to +inf is what object-granularity locking looks
+like on the timestamp line: nobody else can touch the key's future until the
+transaction ends.  Commit picks the lowest commonly locked timestamp and
+always garbage-collects, releasing the future for the next transaction.
+
+Theorem 6: this behaves as classic pessimistic (2PL-style) concurrency
+control; the only aborts are deadlock victims.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from ..core.intervals import FULL_INTERVAL, IntervalSet
+from ..core.locks import LockMode
+from ..core.policy import MVTLPolicy
+from ..core.timestamp import TS_INF, Timestamp
+from ..core.transaction import Transaction
+from ..core.versions import Version
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import MVTLEngine
+
+__all__ = ["MVTLPessimistic"]
+
+
+class MVTLPessimistic(MVTLPolicy):
+    """The MVTL-Pessimistic policy (Theorem 6)."""
+
+    name = "mvtl-pessimistic"
+
+    def write_locks(self, engine: "MVTLEngine", tx: Transaction,
+                    key: Hashable) -> None:
+        # Lock every timestamp, waiting for unfrozen holders ("for t = +inf
+        # downto 0 ... waiting if read- or write-locked but not frozen");
+        # frozen history is skipped — committed versions below are immutable
+        # anyway and the commit timestamp lands above them.
+        engine.acquire(tx, key, LockMode.WRITE, FULL_INTERVAL,
+                       wait=True, stop_on_frozen=False)
+
+    def read_locks(self, engine: "MVTLEngine", tx: Transaction,
+                   key: Hashable) -> Version | None:
+        got = self.read_lock_interval(engine, tx, key, TS_INF)
+        if got is None:
+            return None
+        version, _locked = got
+        return version
+
+    def commit_locks(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        return
+
+    def commit_ts(self, engine: "MVTLEngine", tx: Transaction,
+                  candidates: IntervalSet) -> Timestamp | None:
+        if candidates.is_empty:
+            return None
+        return candidates.pick_low()
+
+    def commit_gc(self, engine: "MVTLEngine", tx: Transaction) -> bool:
+        return True  # release the future for the next transaction

@@ -1,0 +1,73 @@
+"""MVTL-TO: multiversion timestamp ordering as an MVTL policy (Alg. 8, §5.4).
+
+Each transaction takes one timestamp ``ts`` from its clock at begin and tries
+to serialize everything there: reads lock ``(tr, ts]`` (waiting on unfrozen
+write locks), writes lock nothing until commit, and commit write-locks the
+single point ``ts`` for every written key *without waiting* — any read lock
+held there by another transaction (frozen or not, including locks left
+behind by ended transactions) fails the commit.
+
+With ``commit-gc = false`` the locks of finished transactions persist, which
+is exactly MVTO+'s persistent read-timestamps: Theorem 5 says this policy
+*behaves as* MVTO+, inheriting both its guarantees (reads never abort) and
+its pathologies (serial aborts with bad clocks, ghost aborts).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from ..core.intervals import IntervalSet, TsInterval
+from ..core.locks import LockMode
+from ..core.policy import MVTLPolicy
+from ..core.timestamp import Timestamp
+from ..core.transaction import Transaction
+from ..core.versions import Version
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import MVTLEngine
+
+__all__ = ["MVTLTimestampOrdering"]
+
+
+class MVTLTimestampOrdering(MVTLPolicy):
+    """The MVTL-TO policy (emulates MVTO+; Theorem 5)."""
+
+    name = "mvtl-to"
+
+    def on_begin(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        tx.state.ts = engine.make_ts(tx)
+        tx.state.commit_failed = False
+
+    def write_locks(self, engine: "MVTLEngine", tx: Transaction,
+                    key: Hashable) -> None:
+        return  # writes lock only at commit time
+
+    def read_locks(self, engine: "MVTLEngine", tx: Transaction,
+                   key: Hashable) -> Version | None:
+        got = self.read_lock_interval(engine, tx, key, tx.state.ts)
+        if got is None:
+            return None
+        version, _locked = got
+        return version
+
+    def commit_locks(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        ts: Timestamp = tx.state.ts
+        point = TsInterval.point(ts)
+        for key in tx.writeset:
+            result = engine.acquire(tx, key, LockMode.WRITE, point,
+                                    wait=False)
+            if not result.ok:
+                engine.release_all_write_locks(tx)
+                tx.state.commit_failed = True
+                return
+
+    def commit_ts(self, engine: "MVTLEngine", tx: Transaction,
+                  candidates: IntervalSet) -> Timestamp | None:
+        if tx.state.commit_failed:
+            return None
+        ts: Timestamp = tx.state.ts
+        return ts if candidates.contains(ts) else None
+
+    def commit_gc(self, engine: "MVTLEngine", tx: Transaction) -> bool:
+        return False  # locks persist, like MVTO+ read-timestamps

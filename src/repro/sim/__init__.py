@@ -1,0 +1,21 @@
+"""Deterministic discrete-event simulation substrate.
+
+Replaces the paper's physical testbeds (§8.2) with a reproducible event
+loop: coroutine client processes, message-driven servers behind service
+queues, and a lognormal-latency network.  See DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .network import LatencyModel, Network
+from .rng import RngFactory
+from .server_queue import ServiceQueue
+from .simulator import (RECV_TIMEOUT, Mailbox, Process, Recv, SimEvent,
+                        Simulator, Sleep, WaitEvent)
+from .testbed import CLOUD_TESTBED, LOCAL_TESTBED, TestbedProfile
+
+__all__ = [
+    "Simulator", "Process", "Mailbox", "SimEvent",
+    "Sleep", "Recv", "WaitEvent", "RECV_TIMEOUT",
+    "Network", "LatencyModel", "ServiceQueue", "RngFactory",
+    "TestbedProfile", "LOCAL_TESTBED", "CLOUD_TESTBED",
+]

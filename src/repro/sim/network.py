@@ -1,0 +1,111 @@
+"""Simulated message-passing network.
+
+Models the wire between clients and storage servers: each ``send`` delivers
+the message to the destination after a sampled one-way latency.  Latencies
+are lognormal — a good first-order fit for both switched LANs (low mean, low
+variance) and virtualized cloud networks (higher mean, heavy tail), the two
+environments of §8.2.  Message loss is not modelled (the paper's evaluation
+uses TCP/Thrift); *crash* failures are modelled by unregistering a node, after
+which messages to it vanish — exactly how a crashed process looks to others
+in an asynchronous system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from .simulator import Simulator
+
+__all__ = ["LatencyModel", "Network"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Lognormal one-way latency: ``exp(N(mu, sigma))`` seconds.
+
+    Use :meth:`from_mean` to specify by mean/jitter instead of log-space
+    parameters.
+    """
+
+    mu: float
+    sigma: float
+
+    @classmethod
+    def from_mean(cls, mean: float, cv: float = 0.2) -> "LatencyModel":
+        """Build from the desired mean and coefficient of variation.
+
+        For a lognormal, ``mean = exp(mu + sigma^2/2)`` and
+        ``cv^2 = exp(sigma^2) - 1``.
+        """
+        sigma2 = np.log1p(cv * cv)
+        mu = np.log(mean) - sigma2 / 2.0
+        return cls(float(mu), float(np.sqrt(sigma2)))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    @property
+    def mean(self) -> float:
+        return float(np.exp(self.mu + self.sigma**2 / 2.0))
+
+
+class Network:
+    """Routes messages between registered nodes with sampled latency.
+
+    Delivery is FIFO per ``(src, dst)`` pair, like the TCP connections the
+    paper's Thrift transport rides on: a later send between the same two
+    nodes never overtakes an earlier one.  (The distributed commit path
+    relies on this the same way the prototype does — e.g. a freeze-write
+    message reaching a server before the follow-up GC message.)
+    """
+
+    def __init__(self, sim: Simulator, latency: LatencyModel,
+                 rng: np.random.Generator) -> None:
+        self.sim = sim
+        self.latency = latency
+        self._rng = rng
+        self._nodes: dict[Hashable, Callable[[Any], None]] = {}
+        self._last_arrival: dict[tuple[Hashable, Hashable], float] = {}
+        self.messages_sent = 0
+
+    def register(self, node_id: Hashable,
+                 deliver: Callable[[Any], None]) -> None:
+        """Attach a node; ``deliver(msg)`` is invoked for each arrival."""
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._nodes[node_id] = deliver
+
+    def unregister(self, node_id: Hashable) -> None:
+        """Detach a node (crash): in-flight and future messages are dropped."""
+        self._nodes.pop(node_id, None)
+
+    def is_up(self, node_id: Hashable) -> bool:
+        return node_id in self._nodes
+
+    def send(self, dst: Hashable, msg: Any,
+             src: Hashable | None = None) -> None:
+        """Deliver ``msg`` to ``dst`` after a sampled one-way latency.
+
+        Pass ``src`` to get FIFO ordering with earlier sends on the same
+        (src, dst) connection.  Sends to unknown/crashed destinations are
+        silently dropped (the asynchronous-system view of a crashed
+        process).
+        """
+        self.messages_sent += 1
+        delay = self.latency.sample(self._rng)
+        arrival = self.sim.now + delay
+        if src is not None:
+            conn = (src, dst)
+            prev = self._last_arrival.get(conn, 0.0)
+            if arrival < prev:
+                arrival = prev  # FIFO: do not overtake the previous message
+            self._last_arrival[conn] = arrival
+        self.sim.schedule(arrival - self.sim.now, self._deliver, dst, msg)
+
+    def _deliver(self, dst: Hashable, msg: Any) -> None:
+        deliver = self._nodes.get(dst)
+        if deliver is not None:
+            deliver(msg)

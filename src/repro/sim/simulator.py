@@ -1,0 +1,252 @@
+"""Discrete-event simulation kernel.
+
+The paper's evaluation ran a C++/Thrift prototype on physical testbeds; this
+substrate replaces machines, threads and wires with a deterministic event
+loop (see DESIGN.md §2 for why this substitution preserves the phenomena the
+figures measure).  The kernel is deliberately tiny:
+
+* :class:`Simulator` — a time-ordered event heap with ``schedule`` / ``run``;
+* :class:`Process` — a generator-coroutine driven by the simulator; client
+  logic is written as ordinary sequential code that ``yield``s effects;
+* effects — :class:`Sleep`, :class:`Recv` (on a :class:`Mailbox`, with
+  optional timeout), :class:`WaitEvent` on a :class:`SimEvent`.
+
+Servers do not need coroutines: they are message-driven state machines (see
+:mod:`repro.dist.server`) invoked as plain callbacks.
+
+Determinism: events at equal times fire in schedule order (a monotone
+sequence number breaks ties), and all randomness comes from
+:class:`repro.sim.rng.RngFactory`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["Simulator", "Process", "Mailbox", "SimEvent", "Sleep", "Recv",
+           "WaitEvent", "RECV_TIMEOUT"]
+
+
+class _TimeoutSentinel:
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "RECV_TIMEOUT"
+
+
+#: Returned by a timed-out ``Recv``.
+RECV_TIMEOUT = _TimeoutSentinel()
+
+
+@dataclass(frozen=True, slots=True)
+class Sleep:
+    """Effect: resume the process after ``delay`` simulated seconds."""
+
+    delay: float
+
+
+@dataclass(frozen=True, slots=True)
+class Recv:
+    """Effect: resume with the next message from ``mailbox``.
+
+    With a ``timeout``, resumes with :data:`RECV_TIMEOUT` if nothing arrives
+    in time.
+    """
+
+    mailbox: "Mailbox"
+    timeout: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class WaitEvent:
+    """Effect: resume (with the event's value) once ``event`` is set."""
+
+    event: "SimEvent"
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = count()
+        self._processes: list[Process] = []
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None],
+                 *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        if args:
+            heapq.heappush(self._heap,
+                           (self.now + delay, next(self._seq),
+                            lambda: fn(*args)))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+
+    def spawn(self, gen: Generator[Any, Any, Any],
+              name: str = "proc") -> "Process":
+        """Start a coroutine process; its first step runs at the current time."""
+        proc = Process(self, gen, name)
+        self._processes.append(proc)
+        self.schedule(0.0, proc._step, None)
+        return proc
+
+    # -- running -----------------------------------------------------------
+
+    def run_until(self, t_end: float) -> None:
+        """Process events up to and including time ``t_end``."""
+        while self._heap and self._heap[0][0] <= t_end:
+            when, _seq, fn = heapq.heappop(self._heap)
+            self.now = when
+            fn()
+        if self.now < t_end:
+            self.now = t_end
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until the event heap drains (or ``max_events`` fired)."""
+        fired = 0
+        while self._heap:
+            when, _seq, fn = heapq.heappop(self._heap)
+            self.now = when
+            fn()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+
+class Process:
+    """A generator coroutine driven by the simulator.
+
+    The generator yields effect objects (:class:`Sleep`, :class:`Recv`,
+    :class:`WaitEvent`) and is resumed with the effect's result.  Exceptions
+    raised by the generator propagate out of the event loop — a crashing
+    process is a bug, not a simulated failure (simulated crashes are modelled
+    explicitly, by stopping message delivery).
+    """
+
+    __slots__ = ("sim", "name", "_gen", "done", "_cancelled")
+
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any],
+                 name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.done = False
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Stop the process; it never resumes (models a client crash)."""
+        self._cancelled = True
+        self.done = True
+
+    def _step(self, value: Any) -> None:
+        if self.done:
+            return
+        try:
+            effect = self._gen.send(value)
+        except StopIteration:
+            self.done = True
+            return
+        self._register(effect)
+
+    def _register(self, effect: Any) -> None:
+        if isinstance(effect, Sleep):
+            self.sim.schedule(effect.delay, self._step, None)
+        elif isinstance(effect, Recv):
+            effect.mailbox._register(self, effect.timeout)
+        elif isinstance(effect, WaitEvent):
+            effect.event._register(self)
+        else:
+            raise TypeError(f"process {self.name} yielded non-effect "
+                            f"{effect!r}")
+
+
+class Mailbox:
+    """A FIFO message queue a process can ``Recv`` on.
+
+    At most one process may wait at a time (each client owns its mailbox).
+    A waiting ``Recv`` with a timeout is guarded by a *wait token*: the token
+    advances whenever the wait ends (message or new registration), so a
+    stale timer from an earlier ``Recv`` can never interrupt a later one.
+    """
+
+    __slots__ = ("sim", "_queue", "_waiter", "_wait_token")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._queue: list[Any] = []
+        self._waiter: Process | None = None
+        self._wait_token = 0
+
+    def deliver(self, msg: Any) -> None:
+        """Enqueue ``msg``; wakes the waiting process, if any."""
+        if self._waiter is not None:
+            proc = self._waiter
+            self._waiter = None
+            self._wait_token += 1  # invalidate any pending timeout
+            self.sim.schedule(0.0, proc._step, msg)
+        else:
+            self._queue.append(msg)
+
+    def _register(self, proc: Process, timeout: float | None) -> None:
+        if self._queue:
+            self.sim.schedule(0.0, proc._step, self._queue.pop(0))
+            return
+        if self._waiter is not None:
+            raise RuntimeError("mailbox already has a waiting process")
+        self._waiter = proc
+        self._wait_token += 1
+        if timeout is not None:
+            token = self._wait_token
+
+            def on_timeout() -> None:
+                if self._waiter is proc and self._wait_token == token:
+                    self._waiter = None
+                    self._wait_token += 1
+                    proc._step(RECV_TIMEOUT)
+
+            self.sim.schedule(timeout, on_timeout)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class SimEvent:
+    """A one-shot event processes can wait on (commitment decisions etc.)."""
+
+    __slots__ = ("sim", "_set", "value", "_waiters")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._set = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        """Set the event (idempotent; later calls are ignored)."""
+        if self._set:
+            return
+        self._set = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim.schedule(0.0, proc._step, value)
+
+    def _register(self, proc: Process) -> None:
+        if self._set:
+            self.sim.schedule(0.0, proc._step, self.value)
+        else:
+            self._waiters.append(proc)

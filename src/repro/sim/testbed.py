@@ -1,0 +1,86 @@
+"""Testbed profiles (§8.2): the local and the cloud environments.
+
+The paper uses two test beds:
+
+* **local** — three dedicated multi-socket servers (4x12-core E7, 2x10-core
+  E5, 4x12-core Opteron) on a 1 Gbps LAN: low latency, lots of CPU headroom;
+* **cloud** — several hundred EC2 t2.micro instances (1 vCPU each): higher
+  and less predictable network latency, scarce processing power.
+
+A profile bundles the simulation parameters that stand in for those
+machines.  The absolute values are calibrated so that simulated throughput
+lands in the paper's ballpark (thousands of transactions/second); what the
+experiments actually compare — protocol-induced aborts and waiting — depends
+only on the *ratios* between latency, service time and transaction length,
+which mirror the real testbeds (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .network import LatencyModel
+
+__all__ = ["TestbedProfile", "LOCAL_TESTBED", "CLOUD_TESTBED"]
+
+
+@dataclass(frozen=True)
+class TestbedProfile:
+    """Simulation parameters describing one hardware environment."""
+
+    name: str
+    #: One-way network latency between clients and servers.
+    latency: LatencyModel
+    #: Mean CPU time a server spends on one request (lock/version work).
+    service_time: float
+    #: Parallel service slots per server (cores available to the server).
+    server_concurrency: int
+    #: Default number of storage servers (§8.3).
+    num_servers: int
+    #: Client-side think time between operations (request marshalling etc.).
+    client_overhead: float
+    #: Purge-service period K: versions older than now-K may be purged (§8.1).
+    gc_horizon: float
+    #: Per-client fixed clock offset bound (clocks are NOT assumed
+    #: synchronized; each client's clock is off by a fixed draw from
+    #: [-skew, +skew]).
+    clock_skew: float
+
+    def with_servers(self, n: int) -> "TestbedProfile":
+        return replace(self, num_servers=n)
+
+
+# Service times are calibrated so that aggregate server capacity saturates
+# near the paper's throughput ceilings for 20-op transactions:
+#   local: 3 servers x (8 / 0.35ms) ~ 68k ops/s ~ 3.4k txs/s  (Fig. 1)
+#   cloud: 8 servers x (1 / 0.2ms)  ~ 40k ops/s ~ 2.0k txs/s  (Fig. 2)
+# The per-request cost includes RPC dispatch, hash-table + skip-list work
+# and latching — hundreds of microseconds in the Thrift-based prototype.
+# The cloud figure is set low enough that its 1-vCPU servers are genuinely
+# CPU-bound at the paper's client counts ("resources are scarce", §8.4.1):
+# that scarcity is what converts the baselines' wasted work (MVTO+ restart
+# re-execution, 2PL lock waits) into the throughput gap of Figure 2.
+
+#: The dedicated-hardware testbed: 1 Gbps LAN (~100 us one-way), fat servers.
+LOCAL_TESTBED = TestbedProfile(
+    name="local",
+    latency=LatencyModel.from_mean(120e-6, cv=0.25),
+    service_time=350e-6,
+    server_concurrency=8,
+    num_servers=3,
+    client_overhead=20e-6,
+    gc_horizon=15.0,
+    clock_skew=200e-6,
+)
+
+#: The public-cloud testbed: virtualized network (heavier tail), 1 vCPU.
+CLOUD_TESTBED = TestbedProfile(
+    name="cloud",
+    latency=LatencyModel.from_mean(700e-6, cv=0.8),
+    service_time=200e-6,
+    server_concurrency=1,
+    num_servers=8,
+    client_overhead=40e-6,
+    gc_horizon=60.0,
+    clock_skew=2e-3,
+)

@@ -1,0 +1,7 @@
+"""Serializability verification: history recording + MVSG checking."""
+
+from .history import HistoryRecorder, TxRecord
+from .mvsg import SerializabilityReport, build_mvsg, check_serializable
+
+__all__ = ["HistoryRecorder", "TxRecord", "SerializabilityReport",
+           "build_mvsg", "check_serializable"]

@@ -1,0 +1,97 @@
+"""Multiversion history recording.
+
+Every engine in this library (MVTL with any policy, the MVTO+ and 2PL
+baselines, the distributed cluster) can be given a :class:`HistoryRecorder`;
+it captures, per transaction, which versions were read, which keys were
+written and the commit timestamp.  The recorded history is the input to the
+MVSG serializability checker (:mod:`repro.verify.mvsg`) — Appendix A's
+correctness argument turned into an executable oracle.
+
+Thread-safe: engines call it from arbitrary worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..core.timestamp import Timestamp
+
+__all__ = ["TxRecord", "HistoryRecorder"]
+
+
+@dataclass(slots=True)
+class TxRecord:
+    """Everything the checker needs to know about one transaction."""
+
+    tx_id: Hashable
+    reads: list[tuple[Hashable, Timestamp]] = field(default_factory=list)
+    writes: tuple[Hashable, ...] = ()
+    commit_ts: Timestamp | None = None
+    aborted: bool = False
+    abort_reason: str | None = None
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_ts is not None and not self.aborted
+
+
+class HistoryRecorder:
+    """Collects the multiversion history of an execution."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[Hashable, TxRecord] = {}
+        self._order: list[Hashable] = []
+
+    # -- engine callbacks -----------------------------------------------------
+
+    def record_begin(self, tx_id: Hashable) -> None:
+        with self._lock:
+            if tx_id not in self._records:
+                self._records[tx_id] = TxRecord(tx_id)
+                self._order.append(tx_id)
+
+    def record_read(self, tx_id: Hashable, key: Hashable,
+                    version_ts: Timestamp) -> None:
+        with self._lock:
+            self._ensure(tx_id).reads.append((key, version_ts))
+
+    def record_commit(self, tx_id: Hashable, commit_ts: Timestamp,
+                      written_keys: tuple[Hashable, ...]) -> None:
+        with self._lock:
+            rec = self._ensure(tx_id)
+            rec.commit_ts = commit_ts
+            rec.writes = tuple(written_keys)
+
+    def record_abort(self, tx_id: Hashable, reason: str) -> None:
+        with self._lock:
+            rec = self._ensure(tx_id)
+            rec.aborted = True
+            rec.abort_reason = reason
+
+    def _ensure(self, tx_id: Hashable) -> TxRecord:
+        rec = self._records.get(tx_id)
+        if rec is None:
+            rec = self._records[tx_id] = TxRecord(tx_id)
+            self._order.append(tx_id)
+        return rec
+
+    # -- queries ---------------------------------------------------------------
+
+    def records(self) -> list[TxRecord]:
+        """All transaction records, in begin order."""
+        with self._lock:
+            return [self._records[t] for t in self._order]
+
+    def committed(self) -> list[TxRecord]:
+        """The committed projection C(H) (Appendix A)."""
+        return [r for r in self.records() if r.committed]
+
+    def aborted(self) -> list[TxRecord]:
+        return [r for r in self.records() if r.aborted]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

@@ -1,0 +1,9 @@
+"""Workload generation, closed-loop driving, and measurement (§8.3)."""
+
+from .generator import Op, TxSpec, WorkloadConfig, WorkloadGenerator
+from .runner import closed_loop_client, run_tx
+from .stats import RunStats, StateSample, StateSampler
+
+__all__ = ["Op", "TxSpec", "WorkloadConfig", "WorkloadGenerator",
+           "closed_loop_client", "run_tx",
+           "RunStats", "StateSample", "StateSampler"]

@@ -1,0 +1,91 @@
+"""Workload generation (§8.3).
+
+An experiment fixes: transaction size (operations per transaction), fraction
+of writes, key-space size, and key distribution.  Keys and values are small
+8-character strings like the prototype's.  Each client owns an independent
+random stream, so runs are reproducible and clients are uncorrelated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Op", "TxSpec", "WorkloadConfig", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One operation of a transaction."""
+
+    is_write: bool
+    key: str
+    value: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TxSpec:
+    """A transaction to execute: its operations in order."""
+
+    ops: tuple[Op, ...]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of §8.3: size, write mix, key space, skew."""
+
+    num_keys: int = 10_000
+    tx_size: int = 20
+    write_fraction: float = 0.25
+    #: Zipf exponent for key popularity; 0 = uniform (the paper's setting).
+    zipf_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.tx_size < 1 or self.num_keys < 1:
+            raise ValueError("tx_size and num_keys must be positive")
+
+
+class WorkloadGenerator:
+    """Yields :class:`TxSpec`s for one client."""
+
+    def __init__(self, config: WorkloadConfig,
+                 rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self._value_counter = 0
+        if config.zipf_s > 0.0:
+            ranks = np.arange(1, config.num_keys + 1, dtype=float)
+            weights = ranks ** (-config.zipf_s)
+            self._probs = weights / weights.sum()
+        else:
+            self._probs = None
+
+    def _pick_key(self) -> str:
+        if self._probs is None:
+            idx = int(self._rng.integers(self.config.num_keys))
+        else:
+            idx = int(self._rng.choice(self.config.num_keys, p=self._probs))
+        return f"k{idx:07d}"  # 8-character keys, like the prototype
+
+    def _pick_value(self) -> str:
+        self._value_counter += 1
+        return f"v{self._value_counter % 10**7:07d}"  # 8-character values
+
+    def next_tx(self) -> TxSpec:
+        cfg = self.config
+        ops = []
+        for _ in range(cfg.tx_size):
+            key = self._pick_key()
+            if self._rng.random() < cfg.write_fraction:
+                ops.append(Op(True, key, self._pick_value()))
+            else:
+                ops.append(Op(False, key))
+        return TxSpec(tuple(ops))
+
+    def __iter__(self) -> Iterator[TxSpec]:
+        while True:
+            yield self.next_tx()

@@ -1,0 +1,122 @@
+"""Measurement (§8.3): throughput, commit rate, and state-size sampling.
+
+"We measure the aggregate throughput of committed transactions and the
+commit rate, which is the fraction of transactions that commit.  Before
+measuring, we run a warm-up stage ...; we then measure the system ..."
+
+:class:`RunStats` counts transaction completions inside the measurement
+window; :class:`StateSampler` periodically records the total number of lock
+records and versions across the servers (Fig. 6) and windowed
+throughput/commit-rate (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from ..sim.simulator import Simulator, Sleep
+
+__all__ = ["RunStats", "StateSample", "StateSampler"]
+
+
+class RunStats:
+    """Counts commits/aborts inside [warmup, warmup + measure]."""
+
+    def __init__(self, sim: Simulator, warmup: float,
+                 measure: float) -> None:
+        self.sim = sim
+        self.warmup = warmup
+        self.measure = measure
+        self.committed = 0
+        self.aborted = 0
+        self.committed_total = 0
+        self.aborted_total = 0
+        #: (time, committed_flag) completions for windowed series (Fig. 7).
+        self.completions: list[tuple[float, bool]] = []
+        self.record_completions = False
+        #: Per-transaction latencies (begin of first attempt -> decision)
+        #: of committed transactions inside the window.
+        self.latencies: list[float] = []
+
+    def tx_done(self, committed: bool, latency: float | None = None) -> None:
+        now = self.sim.now
+        if committed:
+            self.committed_total += 1
+        else:
+            self.aborted_total += 1
+        if self.record_completions:
+            self.completions.append((now, committed))
+        if self.warmup <= now <= self.warmup + self.measure:
+            if committed:
+                self.committed += 1
+                if latency is not None:
+                    self.latencies.append(latency)
+            else:
+                self.aborted += 1
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per second in the measurement window."""
+        return self.committed / self.measure if self.measure > 0 else 0.0
+
+    @property
+    def commit_rate(self) -> float:
+        """Fraction of transactions that committed in the window."""
+        total = self.committed + self.aborted
+        return self.committed / total if total else 1.0
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile (0..100) of committed-transaction latency."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    @property
+    def mean_latency(self) -> float:
+        return (sum(self.latencies) / len(self.latencies)
+                if self.latencies else 0.0)
+
+    def windowed_series(self, window: float) -> list[tuple[float, float, float]]:
+        """(t, throughput, commit_rate) per ``window`` bucket (Fig. 7)."""
+        if not self.completions:
+            return []
+        buckets: dict[int, list[bool]] = {}
+        for t, ok in self.completions:
+            buckets.setdefault(int(t // window), []).append(ok)
+        out = []
+        for idx in sorted(buckets):
+            flags = buckets[idx]
+            commits = sum(flags)
+            out.append((idx * window, commits / window,
+                        commits / len(flags)))
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class StateSample:
+    """One Fig. 6 data point."""
+
+    t: float
+    locks: int
+    versions: int
+
+
+class StateSampler:
+    """Samples aggregate server state every ``period`` simulated seconds."""
+
+    def __init__(self, sim: Simulator, servers: list[Any],
+                 period: float = 5.0) -> None:
+        self.sim = sim
+        self.servers = servers
+        self.period = period
+        self.samples: list[StateSample] = []
+
+    def process(self) -> Generator[Any, Any, None]:
+        while True:
+            yield Sleep(self.period)
+            locks = sum(s.lock_record_count() for s in self.servers)
+            versions = sum(s.version_count() for s in self.servers)
+            self.samples.append(StateSample(self.sim.now, locks, versions))

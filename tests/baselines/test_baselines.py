@@ -1,0 +1,221 @@
+"""Tests for the standalone MVTO+ and 2PL baseline engines."""
+
+import random
+import threading
+
+import pytest
+
+from repro.baselines import MVTOEngine, TwoPLEngine
+from repro.core.exceptions import TransactionAborted, TransactionStateError
+from repro.core.timestamp import BOTTOM, Timestamp
+from repro.verify import HistoryRecorder, check_serializable
+
+
+class TestMVTOBasics:
+    def test_read_write_commit(self):
+        engine = MVTOEngine()
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "v")
+        assert engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "k") == "v"
+        assert engine.commit(t2)
+
+    def test_reads_never_abort(self):
+        engine = MVTOEngine()
+        for i in range(30):
+            tx = engine.begin(pid=1)
+            engine.read(tx, f"k{i % 3}")
+            assert engine.commit(tx)
+
+    def test_read_timestamp_conflict_aborts_writer(self):
+        engine = MVTOEngine()
+        reader = engine.begin(pid=2)      # ts 1
+        writer = engine.begin(pid=1)      # ts 2... order matters:
+        # reader must have the LARGER timestamp; re-begin to fix order.
+        engine2 = MVTOEngine()
+        w = engine2.begin(pid=1)          # ts 1
+        r = engine2.begin(pid=2)          # ts 2
+        assert engine2.read(r, "x") is BOTTOM  # read-ts of v0 becomes 2
+        engine2.write(w, "x", "late")
+        assert not engine2.commit(w)      # write at ts 1 under read-ts 2
+
+    def test_write_above_read_timestamp_commits(self):
+        engine = MVTOEngine()
+        r = engine.begin(pid=1)           # ts 1
+        engine.read(r, "x")
+        w = engine.begin(pid=2)           # ts 2 > read-ts 1
+        engine.write(w, "x", "ok")
+        assert engine.commit(w)
+
+    def test_read_your_writes(self):
+        engine = MVTOEngine()
+        tx = engine.begin()
+        engine.write(tx, "k", 7)
+        assert engine.read(tx, "k") == 7
+
+    def test_purge_aborts_old_readers(self):
+        engine = MVTOEngine()
+        w1 = engine.begin(pid=1)
+        engine.write(w1, "k", "v1")
+        assert engine.commit(w1)
+        w2 = engine.begin(pid=2)
+        engine.write(w2, "k", "v2")
+        assert engine.commit(w2)
+        engine.purge_before(w2.commit_ts)
+        old = engine.begin(pid=3)
+        old.state.ts = Timestamp(w1.commit_ts.value, 99)  # pre-purge view
+        with pytest.raises(TransactionAborted):
+            engine.read(old, "k")
+
+    def test_finished_tx_rejected(self):
+        engine = MVTOEngine()
+        tx = engine.begin()
+        engine.commit(tx)
+        with pytest.raises(TransactionStateError):
+            engine.write(tx, "k", 1)
+
+    def test_version_count_metric(self):
+        engine = MVTOEngine()
+        t = engine.begin()
+        engine.write(t, "a", 1)
+        engine.write(t, "b", 2)
+        engine.commit(t)
+        assert engine.version_count() == 4  # 2 keys x (initial + 1)
+
+
+class TestMVTOConcurrent:
+    def test_threaded_serializable(self):
+        history = HistoryRecorder()
+        engine = MVTOEngine(history=history)
+
+        def worker(wid):
+            rnd = random.Random(wid)
+            for i in range(50):
+                tx = engine.begin(pid=wid)
+                try:
+                    for _ in range(3):
+                        k = f"k{rnd.randrange(5)}"
+                        if rnd.random() < 0.5:
+                            engine.read(tx, k)
+                        else:
+                            engine.write(tx, k, (wid, i))
+                    engine.commit(tx)
+                except TransactionAborted:
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(1, 5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert check_serializable(history).serializable
+
+
+class TestTwoPLBasics:
+    def test_read_write_commit(self):
+        engine = TwoPLEngine()
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "v")
+        assert engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "k") == "v"
+        assert engine.commit(t2)
+
+    def test_lock_timeout_aborts(self):
+        engine = TwoPLEngine(lock_timeout=0.05)
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", 1)      # holds X lock
+        t2 = engine.begin(pid=2)
+        with pytest.raises(TransactionAborted):
+            engine.read(t2, "k")
+        assert engine.stats["lock_timeouts"] == 1
+        assert engine.commit(t1)
+
+    def test_shared_readers(self):
+        engine = TwoPLEngine()
+        t1 = engine.begin(pid=1)
+        t2 = engine.begin(pid=2)
+        assert engine.read(t1, "k") is BOTTOM
+        assert engine.read(t2, "k") is BOTTOM  # no blocking
+        assert engine.commit(t1) and engine.commit(t2)
+
+    def test_upgrade_own_lock(self):
+        engine = TwoPLEngine()
+        tx = engine.begin()
+        engine.read(tx, "k")
+        engine.write(tx, "k", 1)  # read -> write upgrade, same tx
+        assert engine.commit(tx)
+
+    def test_abort_releases_locks(self):
+        engine = TwoPLEngine(lock_timeout=0.05)
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", 1)
+        engine.abort(t1)
+        t2 = engine.begin(pid=2)
+        engine.write(t2, "k", 2)   # no timeout: lock was released
+        assert engine.commit(t2)
+
+    def test_commit_ts_monotonic_for_conflicting_txs(self):
+        engine = TwoPLEngine()
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", 1)
+        engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        engine.write(t2, "k", 2)
+        engine.commit(t2)
+        assert t1.commit_ts < t2.commit_ts
+
+
+class TestTwoPLConcurrent:
+    def test_threaded_serializable(self):
+        history = HistoryRecorder()
+        engine = TwoPLEngine(history=history, lock_timeout=0.2)
+
+        def worker(wid):
+            rnd = random.Random(wid)
+            for i in range(40):
+                tx = engine.begin(pid=wid)
+                try:
+                    for _ in range(3):
+                        k = f"k{rnd.randrange(5)}"
+                        if rnd.random() < 0.5:
+                            engine.read(tx, k)
+                        else:
+                            engine.write(tx, k, (wid, i))
+                    engine.commit(tx)
+                except TransactionAborted:
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(1, 5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert check_serializable(history).serializable
+
+    def test_no_lost_updates(self):
+        engine = TwoPLEngine(lock_timeout=1.0)
+
+        def worker(wid, n):
+            done = 0
+            while done < n:
+                tx = engine.begin(pid=wid)
+                try:
+                    v = engine.read(tx, "c")
+                    engine.write(tx, "c", (0 if v is BOTTOM else v) + 1)
+                    if engine.commit(tx):
+                        done += 1
+                except TransactionAborted:
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(w, 20))
+                   for w in range(1, 4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        final = engine.begin(pid=9)
+        assert engine.read(final, "c") == 60

@@ -1,0 +1,57 @@
+"""Tests for the `python -m repro.bench` command-line interface."""
+
+import json
+
+import pytest
+
+import repro.bench.__main__ as cli
+from repro.bench.reporting import FigurePoint, FigureResult
+
+
+@pytest.fixture
+def stub_figures(monkeypatch):
+    def make(name):
+        def fn(seeds=(1,)):
+            return FigureResult(
+                figure=name, title=f"stub {name}", x_label="x",
+                points=[FigurePoint(x=1, protocol="p", throughput=10.0,
+                                    commit_rate=1.0)],
+                notes=f"seeds={tuple(seeds)}")
+        return fn
+
+    monkeypatch.setattr(cli, "FIGURES",
+                        {name: make(name) for name in cli.FIGURES})
+
+    def fig67(seeds=(1,)):
+        return make("fig6")(seeds), make("fig7")(seeds)
+
+    monkeypatch.setattr(cli, "figure6_7_state_and_gc", fig67)
+
+
+class TestCLI:
+    def test_single_figure(self, stub_figures, tmp_path, capsys):
+        assert cli.main(["fig1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stub fig1" in out
+        data = json.loads((tmp_path / "fig1.json").read_text())
+        assert data["figure"] == "fig1"
+
+    def test_seeds_forwarded(self, stub_figures, tmp_path, capsys):
+        cli.main(["fig3", "--seeds", "4", "5", "--out", str(tmp_path)])
+        data = json.loads((tmp_path / "fig3.json").read_text())
+        assert "seeds=(4, 5)" in data["notes"]
+
+    def test_fig67_pair(self, stub_figures, tmp_path):
+        cli.main(["fig6", "--out", str(tmp_path)])
+        assert (tmp_path / "fig6.json").exists()
+        assert (tmp_path / "fig7.json").exists()
+
+    def test_all(self, stub_figures, tmp_path):
+        cli.main(["all", "--out", str(tmp_path)])
+        for name in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+                     "fig7"):
+            assert (tmp_path / f"{name}.json").exists()
+
+    def test_unknown_figure_rejected(self, stub_figures):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])

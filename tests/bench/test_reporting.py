@@ -1,0 +1,64 @@
+"""Tests for the figure reporting/persistence helpers."""
+
+import json
+
+import pytest
+
+from repro.bench.reporting import (FigurePoint, FigureResult, format_figure,
+                                   save_figure)
+
+
+@pytest.fixture
+def result():
+    points = [
+        FigurePoint(x=10, protocol="mvtil-early", throughput=100.0,
+                    commit_rate=0.99),
+        FigurePoint(x=10, protocol="2pl", throughput=80.0, commit_rate=0.9),
+        FigurePoint(x=20, protocol="mvtil-early", throughput=150.0,
+                    commit_rate=0.97),
+        FigurePoint(x=20, protocol="2pl", throughput=90.0, commit_rate=0.8),
+    ]
+    return FigureResult(figure="figX", title="Test figure",
+                        x_label="# clients", points=points, notes="note")
+
+
+class TestFigureResult:
+    def test_protocols_in_insertion_order(self, result):
+        assert result.protocols() == ["mvtil-early", "2pl"]
+
+    def test_xs_sorted(self, result):
+        assert result.xs() == [10, 20]
+
+    def test_series_sorted_by_x(self, result):
+        series = result.series("2pl")
+        assert [p.x for p in series] == [10, 20]
+
+    def test_at(self, result):
+        assert result.at(10, "2pl").throughput == 80.0
+        assert result.at(99, "2pl") is None
+
+
+class TestFormatting:
+    def test_contains_all_cells(self, result):
+        text = format_figure(result)
+        assert "figX" in text and "note" in text
+        assert "100.0" in text and "0.800" in text
+        assert "# clients" in text
+
+    def test_missing_cells_dashed(self, result):
+        result.points.pop()  # drop (20, 2pl)
+        text = format_figure(result)
+        assert "-" in text
+
+    def test_metric_selection(self, result):
+        text = format_figure(result, metric="throughput")
+        assert "0.990" not in text
+
+
+class TestPersistence:
+    def test_round_trip(self, result, tmp_path):
+        path = save_figure(result, tmp_path)
+        data = json.loads(path.read_text())
+        assert data["figure"] == "figX"
+        assert len(data["points"]) == 4
+        assert data["points"][0]["protocol"] == "mvtil-early"

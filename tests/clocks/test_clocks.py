@@ -1,0 +1,113 @@
+"""Clock model tests (§2, §5.3, §8.1)."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import (DriftingClock, EpsilonSyncClock, LogicalClock,
+                          PerfectClock, SkewedClock)
+
+
+class FakeSource:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestLogicalClock:
+    def test_strictly_increasing(self):
+        clock = LogicalClock()
+        readings = [clock.now() for _ in range(100)]
+        assert readings == sorted(readings)
+        assert len(set(readings)) == 100
+
+    def test_start_and_step(self):
+        clock = LogicalClock(start=10.0, step=2.0)
+        assert clock.now() == 10.0
+        assert clock.now() == 12.0
+
+    def test_thread_safety(self):
+        import threading
+        clock = LogicalClock()
+        seen = []
+        lock = threading.Lock()
+
+        def reader():
+            vals = [clock.now() for _ in range(200)]
+            with lock:
+                seen.extend(vals)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == len(seen)  # all unique
+
+
+class TestPerfectClock:
+    def test_tracks_source(self):
+        src = FakeSource()
+        clock = PerfectClock(src)
+        src.t = 5.0
+        assert clock.now() == 5.0
+
+
+class TestSkewedClock:
+    def test_constant_offset(self):
+        src = FakeSource()
+        clock = SkewedClock(src, -2.5)
+        src.t = 10.0
+        assert clock.now() == 7.5
+
+
+class TestEpsilonSyncClock:
+    def test_within_epsilon(self):
+        src = FakeSource()
+        rng = np.random.default_rng(0)
+        clock = EpsilonSyncClock(src, epsilon=0.5, rng=rng)
+        src.t = 100.0
+        for _ in range(50):
+            assert 99.5 <= clock.now() <= 100.5
+
+    def test_fixed_offset_is_constant(self):
+        src = FakeSource()
+        rng = np.random.default_rng(1)
+        clock = EpsilonSyncClock(src, epsilon=0.5, rng=rng, fixed=True)
+        src.t = 10.0
+        a = clock.now()
+        b = clock.now()
+        assert a == b
+        assert 9.5 <= a <= 10.5
+
+
+class TestDriftingClock:
+    def test_drift_grows_with_time(self):
+        src = FakeSource()
+        clock = DriftingClock(src, drift=0.01, offset=1.0)
+        src.t = 100.0
+        assert clock.now() == pytest.approx(1.0 + 101.0)
+
+
+class TestAdvanceFloor:
+    """The §8.1 timestamp-service effect: slow clocks advance to T."""
+
+    def test_floor_lifts_slow_clock(self):
+        src = FakeSource()
+        clock = SkewedClock(src, -100.0)
+        src.t = 50.0
+        assert clock.now() == -50.0
+        clock.advance_floor(42.0)
+        assert clock.now() == 42.0
+        src.t = 200.0
+        assert clock.now() == 100.0  # raw exceeds floor again
+
+    def test_floor_never_lowers(self):
+        src = FakeSource()
+        clock = PerfectClock(src)
+        src.t = 10.0
+        clock.advance_floor(5.0)
+        assert clock.now() == 10.0
+        clock.advance_floor(3.0)
+        assert clock.now() == 10.0

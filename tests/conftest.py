@@ -1,0 +1,56 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.timestamp import TS_INF, TS_ZERO, Timestamp
+
+# Keep hypothesis snappy and deterministic in CI-style runs.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# -- strategies ----------------------------------------------------------------
+
+def timestamps(min_value: float = 0.0, max_value: float = 100.0):
+    """Finite timestamps on a small grid (collisions are interesting)."""
+    values = st.one_of(
+        st.integers(0, 20).map(float),
+        st.floats(min_value=min_value, max_value=max_value,
+                  allow_nan=False, allow_infinity=False),
+    )
+    pids = st.integers(-5, 5)
+    return st.builds(Timestamp, value=values, pid=pids)
+
+
+def intervals():
+    """Non-empty canonical closed intervals."""
+
+    def build(a: Timestamp, b: Timestamp) -> TsInterval:
+        return TsInterval(min(a, b), max(a, b))
+
+    return st.builds(build, timestamps(), timestamps())
+
+
+def interval_sets(max_pieces: int = 4):
+    return st.lists(intervals(), min_size=0, max_size=max_pieces).map(
+        IntervalSet)
+
+
+@pytest.fixture
+def ts():
+    """Shorthand timestamp factory."""
+
+    def make(value: float, pid: int = 0) -> Timestamp:
+        return Timestamp(value, pid)
+
+    return make

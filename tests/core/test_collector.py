@@ -1,0 +1,118 @@
+"""Tests for the background collector (deferred Algorithm 1 gc)."""
+
+import time
+
+import pytest
+
+from repro.core.collector import BackgroundCollector
+from repro.core.engine import MVTLEngine
+from repro.core.locks import LockMode
+from repro.core.timestamp import Timestamp
+from repro.policies import MVTLTimestampOrdering
+
+
+@pytest.fixture
+def engine():
+    return MVTLEngine(MVTLTimestampOrdering())
+
+
+class TestCollectNow:
+    def test_collects_committed_locks(self, engine):
+        collector = BackgroundCollector(engine)
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "v")
+        assert engine.commit(t1)
+        collector.note_finished(t1)
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "k") == "v"
+        assert engine.commit(t2)
+        collector.note_finished(t2)
+        assert collector.collect_now() == 2
+        # t2's read locks are frozen up to its commit ts, rest released.
+        state = engine.locks.peek("k")
+        held = state.held(t2.id, LockMode.READ)
+        frozen = state.frozen(t2.id, LockMode.READ)
+        assert held == frozen
+        assert frozen.contains(t2.commit_ts)
+
+    def test_grace_period_defers(self, engine):
+        collector = BackgroundCollector(engine, grace=100.0)
+        tx = engine.begin(pid=1)
+        engine.commit(tx)
+        collector.note_finished(tx)
+        assert collector.collect_now() == 0
+        assert collector.pending == 1
+        # Far in the "future", it collects.
+        assert collector.collect_now(now=time.monotonic() + 200.0) == 1
+        assert collector.pending == 0
+
+    def test_collect_aborted_removes_ghost_locks(self, engine):
+        collector = BackgroundCollector(engine, collect_aborted=True)
+        t1 = engine.begin(pid=1)
+        engine.read(t1, "x")
+        engine.abort(t1)
+        collector.note_finished(t1)
+        collector.collect_now()
+        state = engine.locks.peek("x")
+        assert state is None or state.held(t1.id, LockMode.READ).is_empty
+
+    def test_keep_aborted_preserves_mvto_semantics(self, engine):
+        collector = BackgroundCollector(engine, collect_aborted=False)
+        t1 = engine.begin(pid=1)
+        engine.read(t1, "x")
+        engine.abort(t1)
+        collector.note_finished(t1)
+        collector.collect_now()
+        # The aborted transaction's read locks persist (ghost-abort mode).
+        assert not engine.locks.held(t1.id, "x", LockMode.READ).is_empty
+
+    def test_active_tx_rejected(self, engine):
+        collector = BackgroundCollector(engine)
+        tx = engine.begin()
+        with pytest.raises(ValueError):
+            collector.note_finished(tx)
+        engine.abort(tx)
+
+    def test_purge_horizon(self, engine):
+        collector = BackgroundCollector(engine, purge_horizon=0.0)
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "old")
+        assert engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        engine.write(t2, "k", "new")
+        assert engine.commit(t2)
+        collector.note_finished(t1)
+        collector.note_finished(t2)
+        before = engine.store.version_count()
+        collector.collect_now()
+        assert engine.store.version_count() < before
+        assert collector.stats["purged_versions"] > 0
+
+
+class TestDaemonMode:
+    def test_start_stop(self, engine):
+        collector = BackgroundCollector(engine)
+        collector.start(period=0.01)
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", 1)
+        engine.commit(tx)
+        collector.note_finished(tx)
+        deadline = time.monotonic() + 5.0
+        while collector.pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        collector.stop()
+        assert collector.pending == 0
+        assert collector.stats["collected"] >= 1
+
+    def test_double_start_rejected(self, engine):
+        collector = BackgroundCollector(engine)
+        collector.start(period=1.0)
+        try:
+            with pytest.raises(RuntimeError):
+                collector.start()
+        finally:
+            collector.stop()
+
+    def test_stop_idempotent(self, engine):
+        collector = BackgroundCollector(engine)
+        collector.stop()  # never started: no-op

@@ -1,0 +1,191 @@
+"""Unit tests for the generic MVTL engine (Algorithm 1)."""
+
+import threading
+
+import pytest
+
+from repro.core.engine import MVTLEngine
+from repro.core.exceptions import (PolicyError, TransactionAborted,
+                                   TransactionStateError)
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import LockMode
+from repro.core.timestamp import BOTTOM, TS_ZERO, Timestamp
+from repro.core.transaction import TxStatus
+from repro.policies import MVTLGhostbuster, MVTLTimestampOrdering
+from repro.verify import HistoryRecorder, check_serializable
+
+
+@pytest.fixture
+def engine():
+    return MVTLEngine(MVTLTimestampOrdering())
+
+
+class TestBasicLifecycle:
+    def test_read_your_writes(self, engine):
+        tx = engine.begin()
+        engine.write(tx, "k", 42)
+        assert engine.read(tx, "k") == 42
+
+    def test_fresh_key_reads_bottom(self, engine):
+        tx = engine.begin()
+        assert engine.read(tx, "k") is BOTTOM
+
+    def test_commit_then_visible(self, engine):
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "v")
+        assert engine.commit(t1)
+        assert t1.status is TxStatus.COMMITTED
+        assert t1.commit_ts is not None
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "k") == "v"
+
+    def test_aborted_write_invisible(self, engine):
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "dirty")
+        engine.abort(t1)
+        assert t1.status is TxStatus.ABORTED
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "k") is BOTTOM
+
+    def test_empty_transaction_commits(self, engine):
+        tx = engine.begin()
+        assert engine.commit(tx)
+
+    def test_read_only_transaction_commits(self, engine):
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", 1)
+        assert engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "k") == 1
+        assert engine.commit(t2)
+
+    def test_operations_on_finished_tx_raise(self, engine):
+        tx = engine.begin()
+        engine.commit(tx)
+        with pytest.raises(TransactionStateError):
+            engine.read(tx, "k")
+        with pytest.raises(TransactionStateError):
+            engine.write(tx, "k", 1)
+        with pytest.raises(TransactionStateError):
+            engine.commit(tx)
+
+    def test_gc_on_active_tx_raises(self, engine):
+        tx = engine.begin()
+        with pytest.raises(TransactionStateError):
+            engine.gc(tx)
+
+    def test_stats_track_outcomes(self, engine):
+        t1 = engine.begin()
+        engine.commit(t1)
+        t2 = engine.begin()
+        engine.abort(t2)
+        assert engine.stats["commits"] == 1
+        assert engine.stats["aborts"] == 1
+
+
+class TestCommitMechanics:
+    def test_commit_freezes_write_point(self, engine):
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "v")
+        assert engine.commit(t1)
+        state = engine.locks.peek("k")
+        frozen = state.frozen(t1.id, LockMode.WRITE)
+        assert frozen.contains(t1.commit_ts)
+
+    def test_gc_freezes_read_prefix(self):
+        engine = MVTLEngine(MVTLGhostbuster())  # gc on commit
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "a", 1)
+        assert engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "a") == 1
+        engine.write(t2, "b", 2)
+        assert engine.commit(t2)
+        state = engine.locks.peek("a")
+        frozen = state.frozen(t2.id, LockMode.READ)
+        # The prefix (t1.commit_ts, t2.commit_ts] is frozen.
+        assert frozen.contains(t2.commit_ts)
+
+    def test_candidates_exclude_ts_zero(self, engine):
+        # A blind write must not commit at TS_ZERO (initial version slot).
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", "v")
+        assert engine.commit(tx)
+        assert tx.commit_ts > TS_ZERO
+
+    def test_policy_picking_unlocked_ts_raises(self):
+        class BadPolicy(MVTLTimestampOrdering):
+            def commit_ts(self, engine, tx, candidates):
+                return Timestamp(99999.0, 99)  # never locked
+
+        engine = MVTLEngine(BadPolicy())
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", 1)
+        with pytest.raises(PolicyError):
+            engine.commit(tx)
+        assert tx.aborted
+
+
+class TestHistoryRecording:
+    def test_history_records_everything(self):
+        history = HistoryRecorder()
+        engine = MVTLEngine(MVTLTimestampOrdering(), history=history)
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", "v")
+        engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        engine.read(t2, "k")
+        engine.commit(t2)
+        t3 = engine.begin(pid=3)
+        engine.abort(t3, "test")
+        records = {r.tx_id: r for r in history.records()}
+        assert records[t1.tx_id if hasattr(t1, 'tx_id') else t1.id].writes == ("k",)
+        assert records[t2.id].reads == [("k", t1.commit_ts)]
+        assert records[t3.id].aborted
+
+    def test_history_serializable(self):
+        history = HistoryRecorder()
+        engine = MVTLEngine(MVTLTimestampOrdering(), history=history)
+        for i in range(20):
+            tx = engine.begin(pid=1)
+            engine.read(tx, f"k{i % 3}")
+            engine.write(tx, f"k{(i + 1) % 3}", i)
+            engine.commit(tx)
+        assert check_serializable(history).serializable
+
+
+class TestConcurrentEngine:
+    """Real threads against one engine: mutual exclusion + serializability."""
+
+    def test_concurrent_counter_increments_never_lost(self):
+        history = HistoryRecorder()
+        engine = MVTLEngine(MVTLGhostbuster(), history=history,
+                            default_timeout=5.0)
+        committed = []
+        lock = threading.Lock()
+
+        def worker(wid):
+            done = 0
+            while done < 15:
+                tx = engine.begin(pid=wid)
+                try:
+                    v = engine.read(tx, "counter")
+                    v = 0 if v is BOTTOM else v
+                    engine.write(tx, "counter", v + 1)
+                    if engine.commit(tx):
+                        done += 1
+                        with lock:
+                            committed.append(tx)
+                except TransactionAborted:
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(w,))
+                   for w in range(1, 5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Every committed increment must be visible: final value == count.
+        final = engine.begin(pid=99)
+        assert engine.read(final, "counter") == 4 * 15
+        assert check_serializable(history).serializable

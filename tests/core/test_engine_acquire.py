@@ -1,0 +1,146 @@
+"""Tests for the engine's blocking acquire primitive — the three waiting
+idioms the paper's pseudo-code uses (§4.3, Algorithms 3-10)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import MVTLEngine
+from repro.core.intervals import FULL_INTERVAL, IntervalSet, TsInterval
+from repro.core.locks import LockMode
+from repro.core.timestamp import Timestamp
+from repro.policies import MVTLTimestampOrdering
+
+
+def T(v, p=0):
+    return Timestamp(v, p)
+
+
+@pytest.fixture
+def engine():
+    return MVTLEngine(MVTLTimestampOrdering(), default_timeout=2.0)
+
+
+def iv(a, b):
+    return TsInterval.closed(T(a), T(b))
+
+
+class TestNoWait:
+    def test_grants_free_part_immediately(self, engine):
+        t1 = engine.begin(pid=1)
+        t2 = engine.begin(pid=2)
+        engine.acquire(t1, "k", LockMode.WRITE, iv(3, 5), wait=False)
+        result = engine.acquire(t2, "k", LockMode.WRITE, iv(1, 9),
+                                wait=False)
+        assert result.acquired.contains(T(1))
+        assert result.acquired.contains(T(8))
+        assert not result.acquired.contains(T(4))
+        assert result.conflicts
+        assert not result.ok
+
+    def test_ok_when_no_conflict(self, engine):
+        tx = engine.begin(pid=1)
+        result = engine.acquire(tx, "k", LockMode.READ, iv(1, 5),
+                                wait=False)
+        assert result.ok and not result.timed_out
+
+
+class TestWaitStopOnFrozen:
+    def test_wakes_on_release(self, engine):
+        t1 = engine.begin(pid=1)
+        t2 = engine.begin(pid=2)
+        engine.acquire(t1, "k", LockMode.WRITE, iv(3, 5), wait=False)
+        got = {}
+
+        def waiter():
+            got["result"] = engine.acquire(t2, "k", LockMode.READ, iv(1, 9),
+                                           wait=True, stop_on_frozen=True)
+
+        th = threading.Thread(target=waiter)
+        th.start()
+        time.sleep(0.1)
+        engine.release(t1, "k", LockMode.WRITE, iv(3, 5))
+        th.join(timeout=5)
+        assert got["result"].ok
+
+    def test_returns_on_freeze(self, engine):
+        t1 = engine.begin(pid=1)
+        t2 = engine.begin(pid=2)
+        engine.acquire(t1, "k", LockMode.WRITE, iv(3, 5), wait=False)
+        got = {}
+
+        def waiter():
+            got["result"] = engine.acquire(t2, "k", LockMode.READ, iv(1, 9),
+                                           wait=True, stop_on_frozen=True)
+
+        th = threading.Thread(target=waiter)
+        th.start()
+        time.sleep(0.1)
+        with engine._cond:
+            engine.locks.freeze(t1.id, "k", LockMode.WRITE,
+                                TsInterval.point(T(4)))
+            engine._cond.notify_all()
+        th.join(timeout=5)
+        result = got["result"]
+        assert result.frozen_conflicts  # stopped because of the frozen lock
+
+    def test_timeout(self, engine):
+        t1 = engine.begin(pid=1)
+        t2 = engine.begin(pid=2)
+        engine.acquire(t1, "k", LockMode.WRITE, iv(3, 5), wait=False)
+        result = engine.acquire(t2, "k", LockMode.READ, iv(1, 9),
+                                wait=True, timeout=0.2)
+        assert result.timed_out
+        assert engine.stats["lock_timeouts"] == 1
+
+
+class TestWaitSkipFrozen:
+    def test_skips_frozen_waits_for_unfrozen(self, engine):
+        holder = engine.begin(pid=1)
+        engine.acquire(holder, "k", LockMode.WRITE, TsInterval.point(T(2)),
+                       wait=False)
+        with engine._cond:
+            engine.locks.freeze(holder.id, "k", LockMode.WRITE,
+                                TsInterval.point(T(2)))
+        blocker = engine.begin(pid=2)
+        engine.acquire(blocker, "k", LockMode.READ, iv(5, 6), wait=False)
+        asker = engine.begin(pid=3)
+        got = {}
+
+        def waiter():
+            got["result"] = engine.acquire(
+                asker, "k", LockMode.WRITE, iv(1, 9),
+                wait=True, stop_on_frozen=False)
+
+        th = threading.Thread(target=waiter)
+        th.start()
+        time.sleep(0.1)
+        engine.release(blocker, "k", LockMode.READ, iv(5, 6))
+        th.join(timeout=5)
+        result = got["result"]
+        # Everything except the frozen point was eventually acquired.
+        assert result.acquired.contains(T(1))
+        assert result.acquired.contains(T(9))
+        assert result.acquired.contains(T(5))
+        assert not result.acquired.contains(T(2))
+        # The skipped frozen range is reported.
+        assert result.frozen_conflicts
+
+
+class TestReleaseAllWriteLocks:
+    def test_backs_out_unfrozen_only(self, engine):
+        tx = engine.begin(pid=1)
+        engine.acquire(tx, "a", LockMode.WRITE, TsInterval.point(T(1)),
+                       wait=False)
+        engine.acquire(tx, "b", LockMode.WRITE, TsInterval.point(T(1)),
+                       wait=False)
+        engine.acquire(tx, "b", LockMode.READ, iv(3, 4), wait=False)
+        with engine._cond:
+            engine.locks.freeze(tx.id, "a", LockMode.WRITE,
+                                TsInterval.point(T(1)))
+        engine.release_all_write_locks(tx)
+        assert engine.locks.held(tx.id, "a", LockMode.WRITE) == \
+            IntervalSet.point(T(1))  # frozen stays
+        assert engine.locks.held(tx.id, "b", LockMode.WRITE).is_empty
+        assert not engine.locks.held(tx.id, "b", LockMode.READ).is_empty

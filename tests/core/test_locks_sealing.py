@@ -1,0 +1,101 @@
+"""Tests for sealed (ended-transaction) lock state — the §6 compression
+taken to its conclusion, plus the Fig. 6 record-count metric."""
+
+import pytest
+
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import KeyLockState, LockMode
+from repro.core.timestamp import Timestamp
+
+
+def T(v, p=0):
+    return Timestamp(v, p)
+
+
+def iv(a, b):
+    return TsInterval.closed(T(a), T(b))
+
+
+class TestSealSemantics:
+    def test_seal_frozen_only(self):
+        st = KeyLockState()
+        st.try_acquire("t1", LockMode.READ, iv(1, 9))
+        st.try_acquire("t1", LockMode.WRITE, TsInterval.point(T(5, 1)))
+        st.freeze("t1", LockMode.READ, iv(1, 5))
+        st.freeze("t1", LockMode.WRITE, TsInterval.point(T(5, 1)))
+        st.seal("t1", keep_all_reads=False)
+        # Owner record gone...
+        assert "t1" not in list(st.owners())
+        # ...frozen state still blocks conflicting requests, as frozen.
+        res = st.try_acquire("t2", LockMode.WRITE, iv(2, 4))
+        assert res.acquired.is_empty
+        assert all(c.frozen for c in res.conflicts)
+        # Unfrozen remainder (read locks 6..9) was released:
+        res2 = st.try_acquire("t2", LockMode.WRITE, iv(7, 9))
+        assert not res2.acquired.is_empty
+
+    def test_seal_keep_all_reads(self):
+        """MVTO+ end-of-transaction: every read lock persists."""
+        st = KeyLockState()
+        st.try_acquire("t1", LockMode.READ, iv(1, 9))
+        st.try_acquire("t1", LockMode.WRITE, TsInterval.point(T(12, 1)))
+        st.seal("t1", keep_all_reads=True)
+        # All reads sealed: writers blocked across 1..9.
+        res = st.try_acquire("t2", LockMode.WRITE, TsInterval.point(T(8)))
+        assert res.acquired.is_empty and res.any_frozen_conflict
+        # Unfrozen write lock was dropped.
+        res2 = st.try_acquire("t2", LockMode.WRITE,
+                              TsInterval.point(T(12, 1)))
+        assert not res2.acquired.is_empty
+
+    def test_sealed_reads_do_not_block_readers(self):
+        st = KeyLockState()
+        st.try_acquire("t1", LockMode.READ, iv(1, 9))
+        st.seal("t1", keep_all_reads=True)
+        res = st.try_acquire("t2", LockMode.READ, iv(3, 7))
+        assert res.fully_acquired
+
+    def test_sealed_write_blocks_readers_frozen(self):
+        st = KeyLockState()
+        st.try_acquire("t1", LockMode.WRITE, TsInterval.point(T(5)))
+        st.freeze("t1", LockMode.WRITE, TsInterval.point(T(5)))
+        st.seal("t1")
+        res = st.try_acquire("t2", LockMode.READ, iv(1, 9))
+        assert res.any_frozen_conflict
+        assert not res.acquired.contains(T(5))
+        assert st.frozen_write_ranges().contains(T(5))
+
+    def test_seal_unknown_owner_noop(self):
+        st = KeyLockState()
+        st.seal("ghost")
+        assert st.is_empty
+
+
+class TestSealedMetrics:
+    def test_record_count_counts_unmerged(self):
+        """The Fig. 6 metric counts what an uncompacted store would keep."""
+        st = KeyLockState()
+        for i in range(10):
+            owner = f"t{i}"
+            st.try_acquire(owner, LockMode.READ, iv(0, 100))
+            st.freeze(owner, LockMode.READ, iv(0, 100))
+            st.seal(owner)
+        # The sealed set merges to one interval, but the metric counts 10.
+        assert len(st.sealed_read_ranges()) == 1
+        assert st.record_count() == 10
+
+    def test_purge_compacts_metric(self):
+        st = KeyLockState()
+        for i in range(5):
+            owner = f"t{i}"
+            st.try_acquire(owner, LockMode.WRITE,
+                           TsInterval.point(T(float(i * 10 + 1))))
+            st.freeze(owner, LockMode.WRITE,
+                      TsInterval.point(T(float(i * 10 + 1))))
+            st.seal(owner)
+        assert st.record_count() == 5
+        st.purge_below(TsInterval.closed(T(0), T(25)))
+        # Points at 1, 11, 21 purged; 31, 41 survive.
+        assert st.record_count() == 2
+        assert not st.frozen_write_ranges().contains(T(11.0))
+        assert st.frozen_write_ranges().contains(T(41.0))

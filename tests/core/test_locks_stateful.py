@@ -1,0 +1,107 @@
+"""Rule-based stateful testing of the freezable lock table.
+
+Hypothesis drives arbitrary acquire/freeze/release/seal/purge sequences
+against a :class:`KeyLockState` and checks the safety invariants after
+every step:
+
+* no two owners hold conflicting locks at any timestamp;
+* frozen is always a subset of held;
+* sealed write ranges never overlap any live owner's grants made after
+  sealing;
+* released ranges really become grantable.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import FrozenConflictError, KeyLockState, LockMode
+from repro.core.timestamp import Timestamp
+
+OWNERS = ["t1", "t2", "t3"]
+
+
+def T(v, p=0):
+    return Timestamp(float(v), p)
+
+
+small_intervals = st.builds(
+    lambda a, w: TsInterval.closed(T(a), T(a + w)),
+    st.integers(0, 30), st.integers(0, 6))
+
+
+class LockTableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.state = KeyLockState()
+
+    @rule(owner=st.sampled_from(OWNERS),
+          mode=st.sampled_from([LockMode.READ, LockMode.WRITE]),
+          want=small_intervals)
+    def acquire(self, owner, mode, want):
+        self.state.try_acquire(owner, mode, want)
+
+    @rule(owner=st.sampled_from(OWNERS),
+          mode=st.sampled_from([LockMode.READ, LockMode.WRITE]),
+          span=small_intervals)
+    def freeze(self, owner, mode, span):
+        self.state.freeze(owner, mode, span)
+
+    @rule(owner=st.sampled_from(OWNERS),
+          mode=st.sampled_from([LockMode.READ, LockMode.WRITE]),
+          span=small_intervals)
+    def release(self, owner, mode, span):
+        try:
+            self.state.release(owner, mode, span)
+        except FrozenConflictError:
+            pass  # legal refusal: the span touched frozen state
+
+    @rule(owner=st.sampled_from(OWNERS))
+    def release_unfrozen(self, owner):
+        self.state.release_unfrozen(owner)
+
+    @rule(owner=st.sampled_from(OWNERS), keep=st.booleans())
+    def seal(self, owner, keep):
+        self.state.seal(owner, keep_all_reads=keep)
+
+    @rule(bound=st.integers(0, 30))
+    def purge(self, bound):
+        self.state.purge_below(TsInterval.closed(T(0), T(bound)))
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def no_conflicting_grants(self):
+        owners = list(self.state.owners())
+        for i, a in enumerate(owners):
+            aw = self.state.held(a, LockMode.WRITE)
+            ar = self.state.held(a, LockMode.READ)
+            # vs other live owners
+            for b in owners[i + 1:]:
+                bw = self.state.held(b, LockMode.WRITE)
+                br = self.state.held(b, LockMode.READ)
+                assert aw.intersect(bw).is_empty
+                assert aw.intersect(br).is_empty
+                assert bw.intersect(ar).is_empty
+            # vs sealed state
+            assert aw.intersect(self.state.sealed_read_ranges()).is_empty
+            assert aw.intersect(self.state.sealed_write_ranges()).is_empty
+            assert ar.intersect(self.state.sealed_write_ranges()).is_empty
+
+    @invariant()
+    def frozen_subset_of_held(self):
+        for owner in self.state.owners():
+            for mode in LockMode:
+                frozen = self.state.frozen(owner, mode)
+                held = self.state.held(owner, mode)
+                assert frozen.subtract(held).is_empty
+
+    @invariant()
+    def record_count_nonnegative(self):
+        assert self.state.record_count() >= 0
+
+
+LockTableMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None)
+TestLockTableStateful = LockTableMachine.TestCase

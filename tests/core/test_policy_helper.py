@@ -1,0 +1,114 @@
+"""Edge cases of the shared read-lock retry loop (MVTLPolicy helper).
+
+The helper implements the "read-lock [tr+1, te], waiting on unfrozen,
+retrying past frozen" idiom shared by Algorithms 3, 4, 6, 8 and 10; these
+tests poke its corner cases directly through a minimal probe policy.
+"""
+
+import pytest
+
+from repro.core.engine import MVTLEngine
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import LockMode
+from repro.core.policy import MVTLPolicy
+from repro.core.timestamp import BOTTOM, TS_ZERO, Timestamp
+from repro.policies import MVTLTimestampOrdering
+
+
+def T(v, p=0):
+    return Timestamp(v, p)
+
+
+class ProbePolicy(MVTLTimestampOrdering):
+    """TO policy whose read upper bound is settable per test."""
+
+    def __init__(self, upper):
+        self.upper = upper
+
+    def read_locks(self, engine, tx, key):
+        got = self.read_lock_interval(engine, tx, key, self.upper,
+                                      wait=False)
+        if got is None:
+            return None
+        version, locked = got
+        tx.state.last_locked = locked
+        return version
+
+
+class TestReadLockInterval:
+    def test_basic_lock_range(self):
+        engine = MVTLEngine(ProbePolicy(T(5, 9)))
+        tx = engine.begin(pid=1)
+        assert engine.read(tx, "k") is BOTTOM
+        locked = tx.state.last_locked
+        assert locked.contains(T(5, 9))
+        assert locked.contains(T(0, 0))
+        assert not locked.contains(TS_ZERO)
+
+    def test_version_at_or_above_upper_locks_nothing(self):
+        engine = MVTLEngine(MVTLTimestampOrdering())
+        seed = engine.begin(pid=1)
+        engine.write(seed, "k", "v")
+        assert engine.commit(seed)
+        probe_policy = ProbePolicy(Timestamp(seed.commit_ts.value,
+                                             seed.commit_ts.pid - 1))
+        probe_engine = MVTLEngine(probe_policy)
+        # Read below any version: fresh store, upper below TS_ZERO content.
+        tx = probe_engine.begin(pid=2)
+        v = probe_engine.read(tx, "fresh")
+        assert v is BOTTOM
+
+    def test_truncates_at_frozen_write_of_purged_future(self):
+        """A frozen write above the version-lookup bound caps the range."""
+        engine = MVTLEngine(ProbePolicy(T(10, 9)))
+        blocker = engine.begin(pid=5)
+        # Write-lock and freeze a point at (6,5) *without* installing a
+        # version (simulates a commit in progress elsewhere).
+        engine.acquire(blocker, "k", LockMode.WRITE, TsInterval.point(T(6, 5)),
+                       wait=False)
+        with engine._cond:
+            engine.locks.freeze(blocker.id, "k", LockMode.WRITE,
+                                TsInterval.point(T(6, 5)))
+        tx = engine.begin(pid=1)
+        assert engine.read(tx, "k") is BOTTOM
+        locked = tx.state.last_locked
+        assert locked.contains(T(5, 0))
+        assert not locked.contains(T(7, 0))  # capped below the frozen point
+
+    def test_purged_version_fails_read(self):
+        engine = MVTLEngine(ProbePolicy(T(1, 0)))
+        engine.store.install("k", T(5), "future")
+        engine.store.purge_before(T(6))  # drops TS_ZERO; keeps v@5 as floor
+        tx = engine.begin(pid=1)
+        from repro.core.exceptions import TransactionAborted
+        with pytest.raises(TransactionAborted):
+            engine.read(tx, "k")
+
+    def test_nonwaiting_partial_grant_returns_fragments(self):
+        engine = MVTLEngine(ProbePolicy(T(10, 9)))
+        other = engine.begin(pid=7)
+        engine.acquire(other, "k", LockMode.WRITE, TsInterval.point(T(4, 7)),
+                       wait=False)
+        tx = engine.begin(pid=1)
+        assert engine.read(tx, "k") is BOTTOM
+        locked = tx.state.last_locked
+        # Non-waiting: the point (4,7) is excluded, rest granted.
+        assert not locked.contains(T(4, 7))
+        assert locked.contains(T(3, 0))
+        assert locked.contains(T(9, 0))
+
+    def test_retry_after_concurrent_commit(self):
+        """If a version commits between lookup and locking, the helper
+        retries and returns the newer version."""
+        engine = MVTLEngine(ProbePolicy(T(100, 9)))
+        writer = engine.begin(pid=3)
+        # Install a committed version the classic way.
+        engine.acquire(writer, "k", LockMode.WRITE, TsInterval.point(T(2, 3)),
+                       wait=False)
+        with engine._cond:
+            engine.locks.freeze(writer.id, "k", LockMode.WRITE,
+                                TsInterval.point(T(2, 3)))
+            engine.store.install("k", T(2, 3), "newer")
+        tx = engine.begin(pid=1)
+        assert engine.read(tx, "k") == "newer"
+        assert tx.readset[-1] == ("k", T(2, 3))

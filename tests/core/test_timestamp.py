@@ -1,0 +1,68 @@
+"""Unit tests for the timestamp domain (§4.1)."""
+
+import math
+import pickle
+
+import pytest
+from hypothesis import given
+
+from repro.core.timestamp import BOTTOM, TS_INF, TS_ZERO, Bottom, Timestamp
+from tests.conftest import timestamps
+
+
+class TestOrdering:
+    def test_lexicographic_by_value_then_pid(self):
+        assert Timestamp(1.0, 5) < Timestamp(2.0, 0)
+        assert Timestamp(1.0, 1) < Timestamp(1.0, 2)
+        assert not Timestamp(1.0, 2) < Timestamp(1.0, 2)
+
+    def test_all_comparisons(self):
+        a, b = Timestamp(1.0, 1), Timestamp(1.0, 2)
+        assert a < b and a <= b and b > a and b >= a and a != b
+        assert a <= a and a >= a and a == Timestamp(1.0, 1)
+
+    def test_zero_below_everything_finite(self):
+        assert TS_ZERO < Timestamp(0.0, 0)
+        assert TS_ZERO < Timestamp(0.0, -100)
+        assert TS_ZERO < Timestamp(-1.0, 0) or Timestamp(-1.0, 0) < TS_ZERO
+
+    def test_inf_above_everything(self):
+        assert Timestamp(1e300, 2**30) < TS_INF
+        assert TS_INF.is_infinite
+        assert not Timestamp(5.0, 0).is_infinite
+
+    @given(timestamps(), timestamps())
+    def test_total_order(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(timestamps(), timestamps(), timestamps())
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+
+class TestBasics:
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Timestamp(float("nan"), 0)
+
+    def test_hashable_and_equal(self):
+        assert hash(Timestamp(3.0, 1)) == hash(Timestamp(3.0, 1))
+        assert len({Timestamp(3.0, 1), Timestamp(3.0, 1)}) == 1
+
+    def test_repr_sentinels(self):
+        assert repr(TS_ZERO) == "TS_ZERO"
+        assert repr(TS_INF) == "TS_INF"
+        assert "2.5" in repr(Timestamp(2.5, 7))
+
+    def test_default_pid_zero(self):
+        assert Timestamp(1.0).pid == 0
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"

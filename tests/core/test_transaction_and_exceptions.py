@@ -1,0 +1,88 @@
+"""Unit tests for transaction objects, exceptions, and engine clock
+plumbing."""
+
+import pytest
+
+from repro.clocks import LogicalClock, SkewedClock
+from repro.core.engine import MVTLEngine
+from repro.core.exceptions import (DeadlockError, TransactionAborted,
+                                   TransactionStateError)
+from repro.core.timestamp import Timestamp
+from repro.core.transaction import Transaction, TxStatus
+from repro.policies import MVTLTimestampOrdering
+
+
+class TestTransaction:
+    def test_initial_state(self):
+        tx = Transaction("t1", pid=3, priority=True)
+        assert tx.is_active and not tx.committed and not tx.aborted
+        assert tx.pid == 3 and tx.priority
+        assert tx.readset == [] and tx.writeset == {}
+        assert tx.commit_ts is None
+
+    def test_read_keys_deduplicates_in_order(self):
+        tx = Transaction("t1")
+        tx.readset = [("b", Timestamp(1.0)), ("a", Timestamp(2.0)),
+                      ("b", Timestamp(3.0))]
+        assert tx.read_keys() == ["b", "a"]
+
+    def test_status_transitions(self):
+        tx = Transaction("t1")
+        tx.status = TxStatus.COMMITTED
+        assert tx.committed and not tx.is_active
+
+    def test_repr(self):
+        tx = Transaction("t9", priority=True)
+        assert "t9" in repr(tx) and "prio" in repr(tx)
+
+    def test_policy_state_namespace(self):
+        tx = Transaction("t1")
+        tx.state.anything = 42
+        assert tx.state.anything == 42
+
+
+class TestExceptions:
+    def test_transaction_aborted_carries_reason(self):
+        exc = TransactionAborted("t1", "deadlock")
+        assert exc.tx_id == "t1" and exc.reason == "deadlock"
+        assert "deadlock" in str(exc)
+
+    def test_deadlock_error_carries_cycle(self):
+        exc = DeadlockError("a", ("a", "b", "a"))
+        assert exc.cycle == ("a", "b", "a")
+        assert "->" in str(exc)
+
+
+class TestEngineClockPlumbing:
+    def test_shared_clock_orders_transactions(self):
+        engine = MVTLEngine(MVTLTimestampOrdering(),
+                            clock=LogicalClock(start=5.0))
+        t1 = engine.begin(pid=1)
+        t2 = engine.begin(pid=2)
+        assert t1.state.ts < t2.state.ts
+        assert t1.state.ts.value == 5.0
+
+    def test_per_pid_clocks(self):
+        source = lambda: 100.0
+        clocks = {1: SkewedClock(source, -50.0),
+                  2: SkewedClock(source, 0.0)}
+        engine = MVTLEngine(MVTLTimestampOrdering(),
+                            clock_for_pid=lambda pid: clocks[pid])
+        t1 = engine.begin(pid=1)
+        t2 = engine.begin(pid=2)
+        assert t1.state.ts.value == 50.0
+        assert t2.state.ts.value == 100.0
+
+    def test_make_ts_embeds_pid(self):
+        engine = MVTLEngine(MVTLTimestampOrdering())
+        tx = engine.begin(pid=7)
+        ts = engine.make_ts(tx, value=3.5)
+        assert ts == Timestamp(3.5, 7)
+
+    def test_metrics_helpers(self):
+        engine = MVTLEngine(MVTLTimestampOrdering())
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", 1)
+        engine.commit(tx)
+        assert engine.version_count() >= 2  # initial + committed
+        assert engine.lock_record_count() >= 1

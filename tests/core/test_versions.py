@@ -1,0 +1,152 @@
+"""Unit tests for the multiversion value store (§3, §6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timestamp import BOTTOM, TS_INF, TS_ZERO, Timestamp
+from repro.core.versions import PENDING, VersionStore
+
+
+def T(v, p=0):
+    return Timestamp(v, p)
+
+
+class TestFloorReads:
+    def test_initial_bottom(self):
+        store = VersionStore()
+        v = store.latest_before("k", T(5))
+        assert v.ts == TS_ZERO and v.value is BOTTOM
+
+    def test_floor_is_strictly_below(self):
+        store = VersionStore()
+        store.install("k", T(3), "a")
+        assert store.latest_before("k", T(3)).value is BOTTOM
+        assert store.latest_before("k", T(3, 1)).value == "a"
+
+    def test_floor_picks_largest_below(self):
+        store = VersionStore()
+        store.install("k", T(2), "a")
+        store.install("k", T(9), "b")
+        assert store.latest_before("k", T(6)).value == "a"
+        assert store.latest_before("k", TS_INF).value == "b"
+
+    def test_paper_figure_example(self):
+        """The §3 timeline: X has a@2, b@9; Y has c@4; Z has d@8; tx at 6."""
+        store = VersionStore()
+        store.install("X", T(2), "a")
+        store.install("X", T(9), "b")
+        store.install("Y", T(4), "c")
+        store.install("Z", T(8), "d")
+        at6 = T(6)
+        assert store.latest_before("X", at6).value == "a"
+        assert store.latest_before("Y", at6).value == "c"
+        assert store.latest_before("Z", at6).value is BOTTOM
+
+    def test_version_at(self):
+        store = VersionStore()
+        store.install("k", T(2), "a")
+        assert store.version_at("k", T(2)).value == "a"
+        assert store.version_at("k", T(3)) is None
+
+    def test_latest(self):
+        store = VersionStore()
+        assert store.latest("k").value is BOTTOM
+        store.install("k", T(1), "x")
+        assert store.latest("k").value == "x"
+
+
+class TestInstall:
+    def test_duplicate_install_rejected(self):
+        store = VersionStore()
+        store.install("k", T(1), "a")
+        with pytest.raises(ValueError):
+            store.install("k", T(1), "b")
+
+    def test_out_of_order_installs(self):
+        store = VersionStore()
+        store.install("k", T(5), "later")
+        store.install("k", T(2), "earlier")
+        assert store.latest_before("k", T(4)).value == "earlier"
+        assert store.latest_before("k", T(9)).value == "later"
+
+    def test_pending_then_finalize(self):
+        store = VersionStore()
+        store.install_pending("k", T(3))
+        assert store.version_at("k", T(3)).is_pending
+        store.install("k", T(3), "real")  # finalize
+        assert store.version_at("k", T(3)).value == "real"
+
+    def test_drop_backs_out_pending(self):
+        store = VersionStore()
+        store.install_pending("k", T(3))
+        store.drop("k", T(3))
+        assert store.version_at("k", T(3)) is None
+
+    @given(st.lists(st.tuples(st.integers(1, 50), st.integers(0, 5)),
+                    min_size=1, max_size=30, unique=True))
+    def test_floor_matches_naive(self, entries):
+        store = VersionStore()
+        for v, p in entries:
+            store.install("k", T(float(v), p), f"{v}.{p}")
+        installed = sorted(T(float(v), p) for v, p in entries)
+        for q_v in range(0, 55, 7):
+            q = T(float(q_v), 3)
+            expected = [t for t in installed if t < q]
+            got = store.latest_before("k", q)
+            if expected:
+                assert got.ts == expected[-1]
+            else:
+                assert got.ts == TS_ZERO
+
+
+class TestPurge:
+    def test_purge_keeps_newest_below(self):
+        store = VersionStore()
+        for i in range(1, 6):
+            store.install("k", T(i), f"v{i}")
+        dropped = store.purge_before(T(4))
+        assert dropped == 3  # TS_ZERO, v1, v2 gone; v3 kept (newest below 4)
+        assert store.latest_before("k", T(3.5, 10)).value == "v3"
+
+    def test_reads_at_or_below_kept_floor_fail(self):
+        store = VersionStore()
+        store.install("k", T(1), "old")
+        store.install("k", T(10), "new")
+        store.purge_before(T(5))  # drops TS_ZERO, keeps v@1 (newest below 5)
+        assert store.latest_before("k", T(1)) is None     # needs purged data
+        assert store.latest_before("k", T(0.5)) is None
+        assert store.latest_before("k", T(2)).value == "old"  # floor intact
+        assert store.latest_before("k", T(20)).value == "new"
+
+    def test_purge_key_before(self):
+        store = VersionStore()
+        store.install("a", T(1), "x")
+        store.install("a", T(2), "y")
+        store.install("b", T(1), "z")
+        # Drops only TS_ZERO: v@1 is the newest below the bound and is kept.
+        assert store.purge_key_before("a", T(2)) == 1
+        assert store.version_count("a") == 2
+        assert store.version_count("b") == 2  # untouched (incl. TS_ZERO)
+
+    def test_purge_noop_when_nothing_below(self):
+        store = VersionStore()
+        store.install("k", T(5), "v")
+        assert store.purge_before(T(0, -10)) == 0
+
+
+class TestMetrics:
+    def test_version_count(self):
+        store = VersionStore()
+        assert store.version_count() == 0
+        store.install("a", T(1), "x")
+        store.install("b", T(1), "y")
+        assert store.version_count() == 4  # two keys x (initial + 1)
+        assert store.version_count("a") == 2
+        assert store.version_count("missing") == 0
+
+    def test_key_count_and_contains(self):
+        store = VersionStore()
+        store.latest_before("a", T(1))
+        assert "a" in store and store.key_count() == 1
+        assert "b" not in store

@@ -1,0 +1,94 @@
+"""The unbatched Alg. 11/13 messages (FreezeWriteReq / FreezeReadReq /
+GcReq) — kept for protocol fidelity alongside the batched CommitReq path."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import LockMode
+from repro.core.timestamp import Timestamp
+from repro.dist.commitment import CommitmentRegistry
+from repro.dist.messages import (FreezeReadReq, FreezeWriteReq, GcReq,
+                                 MVTLReadReq, MVTLWriteLockReq)
+from repro.dist.server import MVTLServer
+from repro.sim.network import LatencyModel, Network
+from repro.sim.simulator import Simulator
+from repro.sim.testbed import LOCAL_TESTBED
+
+
+def T(v, p=0):
+    return Timestamp(v, p)
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    net = Network(sim, LatencyModel.from_mean(1e-5, cv=0.01),
+                  np.random.default_rng(0))
+    registry = CommitmentRegistry(sim)
+    server = MVTLServer(sim, net, "srv", LOCAL_TESTBED,
+                        np.random.default_rng(1), registry)
+    replies = []
+    net.register("cli", replies.append)
+
+    def send(msg):
+        net.send("srv", msg, src="cli")
+        sim.run_until(sim.now + 0.05)
+
+    return sim, server, send, replies
+
+
+class TestFreezeWriteReq:
+    def test_freeze_installs_value(self, rig):
+        _sim, server, send, _ = rig
+        want = IntervalSet.from_interval(TsInterval.closed(T(1, 1), T(3, 1)))
+        send(MVTLWriteLockReq("t1", "cli", 1, key="k", value="v",
+                              want=want))
+        send(FreezeWriteReq("t1", "cli", 2, key="k", ts=T(2, 1)))
+        assert server.store.version_at("k", T(2, 1)).value == "v"
+        state = server.locks.state("k")
+        assert state.frozen("t1", LockMode.WRITE).contains(T(2, 1))
+
+
+class TestFreezeReadReq:
+    def test_freezes_span(self, rig):
+        _sim, server, send, replies = rig
+        send(MVTLReadReq("t1", "cli", 1, key="k", upper=T(5, 1)))
+        span = IntervalSet.from_interval(
+            TsInterval.open_closed(T(0, -2**31), T(3, 1)))
+        send(FreezeReadReq("t1", "cli", 2, key="k", span=span))
+        state = server.locks.state("k")
+        assert state.frozen("t1", LockMode.READ).contains(T(3, 1))
+
+    def test_unknown_key_noop(self, rig):
+        _sim, server, send, _ = rig
+        send(FreezeReadReq("t1", "cli", 1, key="nope",
+                           span=IntervalSet.point(T(1))))
+        # no crash, no state
+        assert server.locks.peek("nope") is None
+
+
+class TestGcReq:
+    def test_freeze_and_release(self, rig):
+        _sim, server, send, _ = rig
+        send(MVTLReadReq("t1", "cli", 1, key="k", upper=T(5, 1)))
+        span = IntervalSet.from_interval(
+            TsInterval.open_closed(T(0, -2**31), T(2, 1)))
+        send(GcReq("t1", "cli", 2, spans={"k": span}, release=True))
+        state = server.locks.state("k")
+        # Frozen prefix sealed; the rest released; owner record gone.
+        assert "t1" not in list(state.owners())
+        assert state.sealed_read_ranges().contains(T(2, 1))
+        assert not state.sealed_read_ranges().contains(T(4, 1))
+
+    def test_freeze_only_keeps_all_reads(self, rig):
+        _sim, server, send, _ = rig
+        send(MVTLReadReq("t1", "cli", 1, key="k", upper=T(5, 1)))
+        span = IntervalSet.from_interval(
+            TsInterval.open_closed(T(0, -2**31), T(2, 1)))
+        send(GcReq("t1", "cli", 2, spans={"k": span}, release=False))
+        state = server.locks.state("k")
+        # release=False: the frozen prefix is frozen, and the rest of the
+        # read locks stay held (state accumulates — the Fig. 6 regime).
+        assert state.frozen("t1", LockMode.READ).contains(T(1, 1))
+        assert state.held("t1", LockMode.READ).contains(T(4, 1))

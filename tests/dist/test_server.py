@@ -1,0 +1,227 @@
+"""Unit tests for the MVTL storage server (Alg. 13) driven directly."""
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import LockMode
+from repro.core.timestamp import BOTTOM, TS_INF, Timestamp
+from repro.dist.commitment import ABORT, CommitmentRegistry
+from repro.dist.messages import (CommitReq, MVTLReadReply, MVTLReadReq,
+                                 MVTLWriteLockReply, MVTLWriteLockReq,
+                                 PurgeReq, ReleaseReq)
+from repro.dist.server import MVTLServer
+from repro.sim.network import LatencyModel, Network
+from repro.sim.simulator import Simulator
+from repro.sim.testbed import LOCAL_TESTBED
+
+
+def T(v, p=0):
+    return Timestamp(v, p)
+
+
+class Harness:
+    """A server plus a fake client mailbox collecting replies."""
+
+    def __init__(self, write_lock_timeout=2.0):
+        self.sim = Simulator()
+        self.net = Network(self.sim, LatencyModel.from_mean(1e-5, cv=0.01),
+                           np.random.default_rng(0))
+        self.registry = CommitmentRegistry(self.sim)
+        self.server = MVTLServer(self.sim, self.net, "srv", LOCAL_TESTBED,
+                                 np.random.default_rng(1), self.registry,
+                                 write_lock_timeout=write_lock_timeout)
+        self.replies = []
+        self.net.register("cli", self.replies.append)
+        self._req = 0
+
+    def send(self, msg):
+        # Advance just enough for delivery + service, without draining
+        # far-future events (e.g. the write-lock timeout).
+        self.net.send("srv", msg, src="cli")
+        self.sim.run_until(self.sim.now + 0.05)
+
+    def req_id(self):
+        self._req += 1
+        return self._req
+
+    def read(self, tx, key, upper, wait=True, floor=None):
+        rid = self.req_id()
+        self.send(MVTLReadReq(tx, "cli", rid, key=key, upper=upper,
+                              wait=wait, floor=floor))
+        return self._last(rid)
+
+    def write_lock(self, tx, key, value, want, wait=False,
+                   all_or_nothing=False):
+        rid = self.req_id()
+        self.send(MVTLWriteLockReq(tx, "cli", rid, key=key, value=value,
+                                   want=want, wait=wait,
+                                   all_or_nothing=all_or_nothing))
+        return self._last(rid)
+
+    def commit(self, tx, ts, write_keys=(), spans=None, release=True):
+        self.send(CommitReq(tx, "cli", self.req_id(), ts=ts,
+                            write_keys=tuple(write_keys),
+                            spans=spans or {}, release=release))
+
+    def _last(self, rid):
+        for r in reversed(self.replies):
+            if r.req_id == rid:
+                return r
+        return None
+
+
+class TestReadPath:
+    def test_read_fresh_key(self):
+        h = Harness()
+        reply = h.read("t1", "k", T(5, 1))
+        assert reply.value is BOTTOM
+        assert not reply.locked.is_empty
+        assert reply.locked.contains(T(5, 1))
+
+    def test_read_after_commit(self):
+        h = Harness()
+        want = IntervalSet.from_interval(TsInterval.closed(T(1, 1), T(2, 1)))
+        wl = h.write_lock("t1", "k", "v1", want)
+        assert not wl.acquired.is_empty
+        h.commit("t1", T(1, 1), write_keys=("k",))
+        reply = h.read("t2", "k", T(9, 2))
+        assert reply.value == "v1"
+        assert reply.tr == T(1, 1)
+
+    def test_waiting_read_parks_until_commit(self):
+        h = Harness()
+        want = IntervalSet.from_interval(TsInterval.closed(T(1, 1), T(3, 1)))
+        h.write_lock("t1", "k", "v1", want)
+        # t2 reads up to T(5): blocked by t1's unfrozen write locks.
+        rid = h.req_id()
+        h.send(MVTLReadReq("t2", "cli", rid, key="k", upper=T(5, 2),
+                           wait=True))
+        assert h._last(rid) is None  # parked
+        h.commit("t1", T(2, 1), write_keys=("k",))
+        h.sim.run()
+        reply = h._last(rid)
+        assert reply is not None
+        assert reply.value == "v1"
+
+    def test_nonwaiting_read_shrinks(self):
+        h = Harness()
+        want = IntervalSet.from_interval(TsInterval.closed(T(3, 1), T(6, 1)))
+        h.write_lock("t1", "k", "v1", want)
+        reply = h.read("t2", "k", T(9, 2), wait=False)
+        assert reply.value is BOTTOM
+        assert reply.locked.contains(T(1, 0))
+        assert not reply.locked.contains(T(4, 0))  # truncated at t1's lock
+
+    def test_read_with_floor_grants_partial(self):
+        h = Harness()
+        want = IntervalSet.from_interval(TsInterval.closed(T(5, 1), T(8, 1)))
+        h.write_lock("t1", "k", "v", want)
+        # Reader needs only something above floor=T(2): prefix suffices.
+        reply = h.read("t2", "k", T(9, 2), wait=True, floor=T(2, 2))
+        assert reply is not None
+        assert reply.locked.contains(T(2, 2))
+
+    def test_purged_read_fails(self):
+        h = Harness()
+        want = IntervalSet.from_interval(TsInterval.point(T(1, 1)))
+        h.write_lock("t1", "k", "v1", want)
+        h.commit("t1", T(1, 1), write_keys=("k",))
+        want2 = IntervalSet.from_interval(TsInterval.point(T(10, 1)))
+        h.write_lock("t3", "k", "v2", want2)
+        h.commit("t3", T(10, 1), write_keys=("k",))
+        h.send(PurgeReq("svc", "cli", 0, bound=T(8)))
+        # v1@(1,1) is kept as newest-below-the-bound; reads above it are
+        # still served, reads at or below it need purged data and fail.
+        ok = h.read("t2", "k", T(5, 5))
+        assert ok.value == "v1"
+        reply = h.read("t4", "k", T(1, 0))  # below the kept version
+        assert reply.tr is None
+
+
+class TestWriteLockPath:
+    def test_all_or_nothing_fails_on_conflict(self):
+        h = Harness()
+        h.read("reader", "k", T(5, 1))  # read locks up to (5,1)
+        point = IntervalSet.from_interval(TsInterval.point(T(3, 2)))
+        reply = h.write_lock("writer", "k", "v", point, all_or_nothing=True)
+        assert reply.acquired.is_empty
+
+    def test_partial_grant(self):
+        h = Harness()
+        h.read("reader", "k", T(5, 1))
+        want = IntervalSet.from_interval(TsInterval.closed(T(3, 2), T(9, 2)))
+        reply = h.write_lock("writer", "k", "v", want)
+        assert not reply.acquired.is_empty
+        assert not reply.acquired.contains(T(4, 2))
+        assert reply.acquired.contains(T(8, 2))
+
+    def test_waiting_write_unparks_on_release(self):
+        h = Harness()
+        h.read("reader", "k", T(5, 1))
+        point = IntervalSet.from_interval(TsInterval.point(T(3, 2)))
+        rid = h.req_id()
+        h.send(MVTLWriteLockReq("writer", "cli", rid, key="k", value="v",
+                                want=point, wait=True, all_or_nothing=True))
+        assert h._last(rid) is None  # parked behind the read lock
+        h.send(ReleaseReq("reader", "cli", h.req_id()))
+        h.sim.run()
+        reply = h._last(rid)
+        assert reply is not None and reply.acquired.contains(T(3, 2))
+
+
+class TestCommitAndTimeout:
+    def test_commit_installs_and_freezes(self):
+        h = Harness()
+        want = IntervalSet.from_interval(TsInterval.closed(T(1, 1), T(4, 1)))
+        h.write_lock("t1", "k", "val", want)
+        h.commit("t1", T(2, 1), write_keys=("k",))
+        assert h.server.store.version_at("k", T(2, 1)).value == "val"
+        assert h.server.locks.state("k").frozen_write_ranges().contains(
+            T(2, 1))
+
+    def test_commit_decided_abort_releases(self):
+        h = Harness()
+        want = IntervalSet.from_interval(TsInterval.point(T(1, 1)))
+        h.write_lock("t1", "k", "v", want)
+        h.registry.get("t1").propose(ABORT)   # e.g. another server timed out
+        h.commit("t1", T(1, 1), write_keys=("k",))
+        assert h.server.store.version_at("k", T(1, 1)) is None
+        assert h.server.locks.state("k").held("t1", LockMode.WRITE).is_empty
+
+    def test_orphaned_write_lock_times_out(self):
+        """§H: a crashed coordinator's write locks are eventually aborted."""
+        h = Harness(write_lock_timeout=0.5)
+        want = IntervalSet.from_interval(TsInterval.point(T(1, 1)))
+        h.write_lock("dead-tx", "k", "v", want)
+        # Coordinator never commits; run past the timeout.
+        h.sim.run_until(h.sim.now + 1.0)
+        assert h.registry.get("dead-tx").decision == ABORT
+        assert h.server.locks.state("k").held(
+            "dead-tx", LockMode.WRITE).is_empty
+
+    def test_timeout_after_client_decision_commits(self):
+        """If the commitment already decided commit, the timeout freezes
+        instead of aborting (Alg. 13 write-lock-timeout, commit branch)."""
+        h = Harness(write_lock_timeout=0.5)
+        want = IntervalSet.from_interval(TsInterval.point(T(1, 1)))
+        h.write_lock("t1", "k", "v", want)
+        h.registry.get("t1").propose(T(1, 1))  # decided commit
+        h.sim.run_until(h.sim.now + 1.0)       # timeout fires
+        assert h.server.store.version_at("k", T(1, 1)).value == "v"
+
+    def test_release_write_only_keeps_read_locks(self):
+        """MVTO+ abort: read locks persist as read-timestamps."""
+        h = Harness()
+        h.read("t1", "k", T(5, 1))
+        want = IntervalSet.from_interval(TsInterval.point(T(9, 1)))
+        h.write_lock("t1", "k2", "v", want)
+        h.send(ReleaseReq("t1", "cli", h.req_id(), write_only=True))
+        # Write lock gone...
+        assert h.server.locks.state("k2").held("t1", LockMode.WRITE).is_empty
+        # ...but the read range still blocks writers (sealed).
+        probe = h.write_lock("t2", "k", "v2",
+                             IntervalSet.from_interval(
+                                 TsInterval.point(T(3, 2))),
+                             all_or_nothing=True)
+        assert probe.acquired.is_empty

@@ -1,0 +1,172 @@
+"""Unit tests of per-policy internals beyond the §5 schedules."""
+
+import pytest
+
+from repro.core.engine import MVTLEngine
+from repro.core.exceptions import TransactionAborted
+from repro.core.intervals import IntervalSet
+from repro.core.locks import LockMode
+from repro.core.timestamp import TS_INF, BOTTOM, Timestamp
+from repro.policies import (MVTIL, MVTLEpsilonClock, MVTLPessimistic,
+                            MVTLPreferential, MVTLPrioritizer,
+                            MVTLTimestampOrdering, offset_alternatives)
+
+
+class TestOffsetAlternatives:
+    def test_offsets_applied(self):
+        alt = offset_alternatives(-10, 5)
+        got = alt(Timestamp(100.0, 3))
+        assert Timestamp(90.0, 3) in got
+        assert Timestamp(105.0, 3) in got
+
+    def test_zero_offset_skipped(self):
+        alt = offset_alternatives(0, -1)
+        got = alt(Timestamp(10.0, 1))
+        assert got == [Timestamp(9.0, 1)]
+
+    def test_preserves_pid(self):
+        alt = offset_alternatives(-2)
+        (t,) = alt(Timestamp(5.0, 42))
+        assert t.pid == 42
+
+
+class TestPrefState:
+    def test_poss_starts_with_pref_first(self):
+        engine = MVTLEngine(MVTLPreferential(offset_alternatives(-1, -2)))
+        tx = engine.begin(pid=1)
+        assert tx.state.poss[0] == tx.state.pref_ts
+        assert len(tx.state.poss) == 3
+
+    def test_poss_shrinks_on_read(self):
+        engine = MVTLEngine(MVTLPreferential(offset_alternatives(-100.0)))
+        # Commit a version between the alternative and the preferential ts
+        # so the alternative dies during the read.
+        t0 = engine.begin(pid=1)     # pref ts 1, alt -99
+        engine.write(t0, "x", "v")
+        assert engine.commit(t0)     # commits at ts 1
+        t1 = engine.begin(pid=2)     # pref ts 2, alt -98 (< version ts 1)
+        engine.read(t1, "x")         # reads v@1; locks (1, 2]
+        # The alternative below the version read is no longer possible.
+        assert all(t > t0.commit_ts or t == t1.state.pref_ts
+                   for t in t1.state.poss)
+
+    def test_write_only_tx_uses_pref(self):
+        engine = MVTLEngine(MVTLPreferential())
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", 1)
+        assert engine.commit(tx)
+        assert tx.commit_ts == tx.state.pref_ts
+
+
+class TestEpsilonClockState:
+    def test_interval_width(self):
+        engine = MVTLEngine(MVTLEpsilonClock(epsilon=3.0))
+        tx = engine.begin(pid=1)
+        ts_set = tx.state.ts_set
+        width = ts_set.max_member().value - ts_set.min_member().value
+        assert width == pytest.approx(6.0)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            MVTLEpsilonClock(epsilon=-1.0)
+
+    def test_commit_at_or_below_start(self):
+        """The Theorem 4 mechanics: serial transactions commit at a point
+        no higher than their own clock reading."""
+        engine = MVTLEngine(MVTLEpsilonClock(epsilon=2.0))
+        for i in range(5):
+            tx = engine.begin(pid=1)
+            engine.write(tx, "k", i)
+            assert engine.commit(tx)
+            # pick_low of the locked set: never above the interval top.
+            assert tx.commit_ts <= tx.state.ts_set.max_member()
+
+
+class TestMVTILState:
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            MVTIL(delta=0.0)
+
+    def test_names(self):
+        assert MVTIL(delta=1.0).name == "mvtil-early"
+        assert MVTIL(delta=1.0, late=True).name == "mvtil-late"
+
+    def test_aborted_tx_releases_even_without_gc_on_commit(self):
+        policy = MVTIL(delta=5.0, gc_on_commit=False)
+        engine = MVTLEngine(policy)
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", "v")
+        engine.abort(tx)
+        state = engine.locks.peek("k")
+        assert state is None or state.held(tx.id, LockMode.WRITE).is_empty
+
+    def test_interval_never_grows(self):
+        engine = MVTLEngine(MVTIL(delta=10.0))
+        tx = engine.begin(pid=1)
+        widths = []
+
+        def width():
+            s = tx.state.interval
+            return (s.max_member().value - s.min_member().value
+                    if not s.is_empty else -1.0)
+
+        widths.append(width())
+        engine.write(tx, "a", 1)
+        widths.append(width())
+        engine.read(tx, "b")
+        widths.append(width())
+        assert widths == sorted(widths, reverse=True) or all(
+            w >= widths[-1] for w in widths)
+
+
+class TestPessimisticState:
+    def test_write_locks_reach_infinity(self):
+        engine = MVTLEngine(MVTLPessimistic())
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", "v")
+        held = engine.locks.held(tx.id, "k", LockMode.WRITE)
+        assert held.contains(TS_INF)
+
+    def test_read_locks_reach_infinity(self):
+        engine = MVTLEngine(MVTLPessimistic())
+        tx = engine.begin(pid=1)
+        engine.read(tx, "k")
+        held = engine.locks.held(tx.id, "k", LockMode.READ)
+        assert held.contains(TS_INF)
+
+    def test_commit_releases_future(self):
+        engine = MVTLEngine(MVTLPessimistic())
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", "v")
+        assert engine.commit(tx)
+        # Only the frozen commit point survives.
+        state = engine.locks.peek("k")
+        held = state.held(tx.id, LockMode.WRITE)
+        assert held == IntervalSet.point(tx.commit_ts)
+
+
+class TestPrioState:
+    def test_normal_gets_clock_ts(self):
+        engine = MVTLEngine(MVTLPrioritizer())
+        tx = engine.begin(pid=1)
+        assert hasattr(tx.state, "ts")
+
+    def test_critical_skips_clock(self):
+        engine = MVTLEngine(MVTLPrioritizer())
+        tx = engine.begin(pid=1, priority=True)
+        assert not hasattr(tx.state, "ts")
+
+    def test_critical_commits_low(self):
+        engine = MVTLEngine(MVTLPrioritizer())
+        normal = engine.begin(pid=1)
+        engine.write(normal, "x", 1)
+        assert engine.commit(normal)
+        crit = engine.begin(pid=2, priority=True)
+        assert engine.read(crit, "x") == 1
+        engine.write(crit, "y", 2)
+        assert engine.commit(crit)
+        # Critical commits at the lowest common timestamp: just above the
+        # version it read.
+        assert crit.commit_ts < normal.commit_ts or \
+            crit.commit_ts.value == pytest.approx(normal.commit_ts.value,
+                                                  abs=1.0)

@@ -1,0 +1,161 @@
+"""Network (latency, FIFO, crash semantics) and service-queue tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import LatencyModel, Network
+from repro.sim.rng import RngFactory
+from repro.sim.server_queue import ServiceQueue
+from repro.sim.simulator import Simulator
+from repro.sim.testbed import CLOUD_TESTBED, LOCAL_TESTBED
+
+
+class TestLatencyModel:
+    def test_from_mean_hits_mean(self):
+        model = LatencyModel.from_mean(1e-3, cv=0.3)
+        assert model.mean == pytest.approx(1e-3, rel=1e-6)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(1e-3, rel=0.05)
+
+    def test_samples_positive(self):
+        model = LatencyModel.from_mean(5e-4, cv=1.0)
+        rng = np.random.default_rng(1)
+        assert all(model.sample(rng) > 0 for _ in range(1000))
+
+
+class TestNetwork:
+    def _net(self):
+        sim = Simulator()
+        net = Network(sim, LatencyModel.from_mean(1e-3, cv=0.2),
+                      np.random.default_rng(0))
+        return sim, net
+
+    def test_delivery(self):
+        sim, net = self._net()
+        got = []
+        net.register("dst", got.append)
+        net.send("dst", "hello")
+        sim.run()
+        assert got == ["hello"]
+        assert net.messages_sent == 1
+
+    def test_fifo_per_connection(self):
+        sim, net = self._net()
+        got = []
+        net.register("dst", got.append)
+        for i in range(200):
+            net.send("dst", i, src="src")
+        sim.run()
+        assert got == list(range(200))
+
+    def test_no_fifo_without_src_can_reorder(self):
+        sim, net = self._net()
+        got = []
+        net.register("dst", got.append)
+        for i in range(200):
+            net.send("dst", i)
+        sim.run()
+        assert sorted(got) == list(range(200))
+        assert got != list(range(200))  # lognormal jitter reorders some
+
+    def test_crash_drops_messages(self):
+        sim, net = self._net()
+        got = []
+        net.register("dst", got.append)
+        net.send("dst", "before")
+        sim.run()
+        net.unregister("dst")
+        net.send("dst", "after")
+        sim.run()
+        assert got == ["before"]
+        assert not net.is_up("dst")
+
+    def test_duplicate_register_rejected(self):
+        _sim, net = self._net()
+        net.register("a", lambda m: None)
+        with pytest.raises(ValueError):
+            net.register("a", lambda m: None)
+
+
+class TestServiceQueue:
+    def test_processes_all_requests(self):
+        sim = Simulator()
+        handled = []
+        q = ServiceQueue(sim, 1e-3, 2, np.random.default_rng(0),
+                         handled.append)
+        for i in range(50):
+            q.submit(i)
+        sim.run()
+        assert sorted(handled) == list(range(50))
+        assert q.requests_served == 50
+
+    def test_concurrency_limits_parallelism(self):
+        sim = Simulator()
+        q = ServiceQueue(sim, 1.0, 1, np.random.default_rng(0),
+                         lambda r: None)
+        q.submit("a")
+        q.submit("b")
+        assert q.busy_slots == 1
+        assert q.queue_length == 1
+
+    def test_dynamic_service_time(self):
+        sim = Simulator()
+        calls = []
+        q = ServiceQueue(sim, 1e-3, 1, np.random.default_rng(0),
+                         lambda r: None,
+                         service_time_fn=lambda req: calls.append(req) or 5e-3)
+        q.submit("x")
+        sim.run()
+        assert calls  # the dynamic provider was consulted
+
+    def test_invalid_concurrency(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ServiceQueue(sim, 1e-3, 0, np.random.default_rng(0),
+                         lambda r: None)
+
+    def test_handler_exception_frees_slot(self):
+        sim = Simulator()
+
+        def handler(req):
+            if req == "bad":
+                raise RuntimeError("boom")
+
+        q = ServiceQueue(sim, 1e-3, 1, np.random.default_rng(0), handler)
+        q.submit("bad")
+        q.submit("good")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        sim.run()  # the good request still gets served
+        assert q.requests_served == 2
+
+
+class TestRngFactory:
+    def test_deterministic_streams(self):
+        a = RngFactory(7)
+        b = RngFactory(7)
+        assert a.stream().random() == b.stream().random()
+
+    def test_independent_streams(self):
+        f = RngFactory(7)
+        s1, s2 = f.stream(), f.stream()
+        assert s1.random() != s2.random()
+
+    def test_streams_batch(self):
+        f = RngFactory(3)
+        streams = f.streams(4)
+        vals = [s.random() for s in streams]
+        assert len(set(vals)) == 4
+
+
+class TestTestbedProfiles:
+    def test_local_faster_than_cloud(self):
+        assert LOCAL_TESTBED.latency.mean < CLOUD_TESTBED.latency.mean
+        assert (LOCAL_TESTBED.server_concurrency
+                > CLOUD_TESTBED.server_concurrency)
+
+    def test_with_servers(self):
+        p = LOCAL_TESTBED.with_servers(7)
+        assert p.num_servers == 7
+        assert p.name == LOCAL_TESTBED.name

@@ -1,0 +1,133 @@
+"""Workload generator, stats and runner tests (§8.3)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.workload.generator import (Op, TxSpec, WorkloadConfig,
+                                      WorkloadGenerator)
+from repro.workload.stats import RunStats, StateSampler
+
+
+class TestWorkloadConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(tx_size=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_keys=0)
+
+
+class TestWorkloadGenerator:
+    def _gen(self, seed=0, **kwargs):
+        return WorkloadGenerator(WorkloadConfig(**kwargs),
+                                 np.random.default_rng(seed))
+
+    def test_tx_size_respected(self):
+        gen = self._gen(tx_size=7, num_keys=100)
+        for _ in range(10):
+            assert len(gen.next_tx().ops) == 7
+
+    def test_write_fraction_zero_and_one(self):
+        gen = self._gen(write_fraction=0.0, num_keys=10)
+        assert all(not op.is_write for op in gen.next_tx().ops)
+        gen = self._gen(write_fraction=1.0, num_keys=10)
+        assert all(op.is_write for op in gen.next_tx().ops)
+
+    def test_write_fraction_statistics(self):
+        gen = self._gen(write_fraction=0.25, tx_size=20, num_keys=1000)
+        writes = sum(op.is_write for _ in range(200)
+                     for op in gen.next_tx().ops)
+        assert writes / (200 * 20) == pytest.approx(0.25, abs=0.03)
+
+    def test_keys_within_space(self):
+        gen = self._gen(num_keys=50)
+        for _ in range(20):
+            for op in gen.next_tx().ops:
+                assert op.key.startswith("k")
+                assert 0 <= int(op.key[1:]) < 50
+
+    def test_eight_char_keys_and_values(self):
+        gen = self._gen(num_keys=100, write_fraction=1.0)
+        op = gen.next_tx().ops[0]
+        assert len(op.key) == 8
+        assert len(op.value) == 8
+
+    def test_deterministic_with_seed(self):
+        a = self._gen(seed=5).next_tx()
+        b = self._gen(seed=5).next_tx()
+        assert a == b
+
+    def test_zipf_skews_popularity(self):
+        gen = self._gen(num_keys=100, zipf_s=1.2, tx_size=20)
+        counts = {}
+        for _ in range(100):
+            for op in gen.next_tx().ops:
+                counts[op.key] = counts.get(op.key, 0) + 1
+        top = max(counts.values())
+        assert top > 3 * (sum(counts.values()) / len(counts))
+
+    def test_iterable(self):
+        gen = self._gen()
+        it = iter(gen)
+        assert isinstance(next(it), TxSpec)
+
+
+class TestRunStats:
+    def test_window_filtering(self):
+        sim = Simulator()
+        stats = RunStats(sim, warmup=10.0, measure=10.0)
+        sim.now = 5.0
+        stats.tx_done(True)           # before window
+        sim.now = 15.0
+        stats.tx_done(True)           # inside
+        stats.tx_done(False)          # inside
+        sim.now = 25.0
+        stats.tx_done(True)           # after window
+        assert stats.committed == 1
+        assert stats.aborted == 1
+        assert stats.committed_total == 3
+        assert stats.throughput == pytest.approx(0.1)
+        assert stats.commit_rate == pytest.approx(0.5)
+
+    def test_commit_rate_empty_window(self):
+        sim = Simulator()
+        stats = RunStats(sim, warmup=0.0, measure=1.0)
+        assert stats.commit_rate == 1.0
+        assert stats.throughput == 0.0
+
+    def test_windowed_series(self):
+        sim = Simulator()
+        stats = RunStats(sim, warmup=0.0, measure=100.0)
+        stats.record_completions = True
+        for t, ok in [(1.0, True), (2.0, True), (12.0, False), (13.0, True)]:
+            sim.now = t
+            stats.tx_done(ok)
+        series = stats.windowed_series(10.0)
+        assert series[0] == (0.0, 0.2, 1.0)
+        assert series[1][0] == 10.0
+        assert series[1][2] == pytest.approx(0.5)
+
+
+class TestStateSampler:
+    def test_samples_periodically(self):
+        sim = Simulator()
+
+        class FakeServer:
+            def __init__(self):
+                self.n = 0
+
+            def lock_record_count(self):
+                self.n += 1
+                return self.n
+
+            def version_count(self):
+                return 10
+
+        sampler = StateSampler(sim, [FakeServer()], period=1.0)
+        sim.spawn(sampler.process())
+        sim.run_until(5.5)
+        assert len(sampler.samples) == 5
+        assert sampler.samples[0].t == 1.0
+        assert sampler.samples[0].versions == 10
