@@ -18,9 +18,10 @@ Quickstart
 True
 """
 
-from .core import (BOTTOM, TS_INF, TS_ZERO, DeadlockError, IntervalSet,
-                   LockMode, MVTLEngine, MVTLError, MVTLPolicy, Timestamp,
-                   Transaction, TransactionAborted, TsInterval, TxStatus)
+from .core import (BOTTOM, TS_INF, TS_ZERO, AbortReason, DeadlockError,
+                   IntervalSet, LockMode, MVTLEngine, MVTLError, MVTLPolicy,
+                   Timestamp, Transaction, TransactionAborted, TsInterval,
+                   TxStatus)
 
 __version__ = "1.0.0"
 
@@ -28,6 +29,6 @@ __all__ = [
     "MVTLEngine", "MVTLPolicy", "Transaction", "TxStatus",
     "Timestamp", "TS_ZERO", "TS_INF", "BOTTOM",
     "TsInterval", "IntervalSet", "LockMode",
-    "MVTLError", "TransactionAborted", "DeadlockError",
+    "AbortReason", "MVTLError", "TransactionAborted", "DeadlockError",
     "__version__",
 ]

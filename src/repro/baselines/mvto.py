@@ -31,7 +31,8 @@ from itertools import count
 from typing import Any, Hashable
 
 from ..clocks.clock import Clock, LogicalClock
-from ..core.exceptions import TransactionAborted, TransactionStateError
+from ..core.exceptions import (AbortReason, TransactionAborted,
+                               TransactionStateError)
 from ..core.timestamp import BOTTOM, TS_ZERO, Timestamp
 from ..core.transaction import Transaction, TxStatus
 
@@ -117,12 +118,12 @@ class MVTOEngine:
         with self._lock:
             floor = self._purge_floor.get(key)
             if floor is not None and ts <= floor:
-                self._abort_locked(tx, "purged-version")
-                raise TransactionAborted(tx.id, "purged-version")
+                self._abort_locked(tx, AbortReason.PURGED_VERSION)
+                raise TransactionAborted(tx.id, AbortReason.PURGED_VERSION)
             version = self._chain(key).floor_before(ts)
             if version is None:
-                self._abort_locked(tx, "purged-version")
-                raise TransactionAborted(tx.id, "purged-version")
+                self._abort_locked(tx, AbortReason.PURGED_VERSION)
+                raise TransactionAborted(tx.id, AbortReason.PURGED_VERSION)
             if ts > version.read_ts:
                 version.read_ts = ts
             tx.readset.append((key, version.ts))
@@ -141,13 +142,13 @@ class MVTOEngine:
             for key in tx.writeset:
                 version = self._chain(key).floor_before(ts)
                 if version is None:
-                    self._abort_locked(tx, "purged-version")
+                    self._abort_locked(tx, AbortReason.PURGED_VERSION)
                     return False
                 if version.read_ts > ts:
                     # Someone read the predecessor version at a timestamp
                     # above our write point: installing would invalidate
                     # that read.
-                    self._abort_locked(tx, "read-timestamp-conflict")
+                    self._abort_locked(tx, AbortReason.READ_TIMESTAMP_CONFLICT)
                     return False
             for key, value in tx.writeset.items():
                 self._chain(key).install(ts, value)
@@ -158,7 +159,8 @@ class MVTOEngine:
                 self.history.record_commit(tx.id, ts, tuple(tx.writeset))
         return True
 
-    def abort(self, tx: Transaction, reason: str = "user-abort") -> None:
+    def abort(self, tx: Transaction,
+              reason: str = AbortReason.USER_ABORT) -> None:
         self._check_active(tx)
         with self._lock:
             self._abort_locked(tx, reason)
@@ -201,7 +203,7 @@ class MVTOEngine:
 
     def _abort_locked(self, tx: Transaction, reason: str) -> None:
         tx.status = TxStatus.ABORTED
-        tx.abort_reason = reason
+        tx.abort_reason = AbortReason.of(reason)
         self.stats["aborts"] += 1
         if self.history is not None:
             self.history.record_abort(tx.id, reason)

@@ -20,7 +20,8 @@ import time
 from itertools import count
 from typing import Any, Hashable
 
-from ..core.exceptions import TransactionAborted, TransactionStateError
+from ..core.exceptions import (AbortReason, TransactionAborted,
+                               TransactionStateError)
 from ..core.timestamp import BOTTOM, TS_ZERO, Timestamp
 from ..core.transaction import Transaction, TxStatus
 
@@ -76,8 +77,8 @@ class TwoPLEngine:
         if key in tx.writeset:
             return tx.writeset[key]
         if not self._acquire(tx, key, write=False):
-            self._do_abort(tx, "lock-timeout")
-            raise TransactionAborted(tx.id, "lock-timeout")
+            self._do_abort(tx, AbortReason.LOCK_TIMEOUT)
+            raise TransactionAborted(tx.id, AbortReason.LOCK_TIMEOUT)
         value, version_ts = self._values.get(key, (BOTTOM, TS_ZERO))
         tx.readset.append((key, version_ts))
         if self.history is not None:
@@ -87,8 +88,8 @@ class TwoPLEngine:
     def write(self, tx: Transaction, key: Hashable, value: Any) -> None:
         self._check_active(tx)
         if not self._acquire(tx, key, write=True):
-            self._do_abort(tx, "lock-timeout")
-            raise TransactionAborted(tx.id, "lock-timeout")
+            self._do_abort(tx, AbortReason.LOCK_TIMEOUT)
+            raise TransactionAborted(tx.id, AbortReason.LOCK_TIMEOUT)
         tx.writeset[key] = value
 
     def commit(self, tx: Transaction) -> bool:
@@ -107,7 +108,8 @@ class TwoPLEngine:
             self._cond.notify_all()
         return True
 
-    def abort(self, tx: Transaction, reason: str = "user-abort") -> None:
+    def abort(self, tx: Transaction,
+              reason: str = AbortReason.USER_ABORT) -> None:
         self._check_active(tx)
         self._do_abort(tx, reason)
 
@@ -149,7 +151,7 @@ class TwoPLEngine:
     def _do_abort(self, tx: Transaction, reason: str) -> None:
         with self._cond:
             tx.status = TxStatus.ABORTED
-            tx.abort_reason = reason
+            tx.abort_reason = AbortReason.of(reason)
             self.stats["aborts"] += 1
             if self.history is not None:
                 self.history.record_abort(tx.id, reason)

@@ -19,7 +19,8 @@ import time
 from .figures import (figure1_concurrency_local, figure2_concurrency_cloud,
                       figure3_write_fraction, figure4_small_transactions,
                       figure5_num_servers, figure6_7_state_and_gc)
-from .reporting import format_figure, save_figure
+from .reporting import (RunObservations, format_figure, save_figure,
+                        save_observability)
 
 FIGURES = {
     "fig1": figure1_concurrency_local,
@@ -41,23 +42,39 @@ def main(argv: list[str] | None = None) -> int:
                         help="seeds to average over (paper: 5 repetitions)")
     parser.add_argument("--out", default="benchmarks/results",
                         help="directory for raw JSON output")
+    parser.add_argument("--trace", action="store_true",
+                        help="attach a repro.obs tracer to every run and "
+                             "write <figure>.trace.jsonl + "
+                             "<figure>.metrics.json sidecars "
+                             "(inspect with `python -m repro.obs report`)")
     args = parser.parse_args(argv)
 
     wanted = (sorted(FIGURES) + ["fig6"] if args.figure == "all"
               else [args.figure])
     for name in wanted:
         start = time.time()
+        obs = RunObservations() if args.trace else None
+        kwargs = {"seeds": tuple(args.seeds)}
+        if obs is not None:
+            kwargs["obs"] = obs
         if name in ("fig6", "fig7"):
-            fig6, fig7 = figure6_7_state_and_gc(seeds=tuple(args.seeds))
+            fig6, fig7 = figure6_7_state_and_gc(**kwargs)
+            sidecar_anchor = None
             for result in (fig6, fig7):
                 print(format_figure(result))
                 path = save_figure(result, args.out)
+                sidecar_anchor = sidecar_anchor or path
                 print(f"  -> {path}  [{time.time() - start:.0f}s]\n")
+            path = sidecar_anchor
         else:
-            result = FIGURES[name](seeds=tuple(args.seeds))
+            result = FIGURES[name](**kwargs)
             print(format_figure(result))
             path = save_figure(result, args.out)
             print(f"  -> {path}  [{time.time() - start:.0f}s]\n")
+        if obs is not None and not obs.empty:
+            trace_path, metrics_path = save_observability(obs, path)
+            print(f"  -> {trace_path}")
+            print(f"  -> {metrics_path}\n")
     return 0
 
 

@@ -28,7 +28,7 @@ import numpy as np
 from ..dist.cluster import ClusterConfig, run_cluster
 from ..sim.testbed import CLOUD_TESTBED, LOCAL_TESTBED, TestbedProfile
 from ..workload.generator import WorkloadConfig
-from .reporting import FigurePoint, FigureResult
+from .reporting import FigurePoint, FigureResult, RunObservations
 
 __all__ = [
     "full_mode", "sweep_protocols",
@@ -47,11 +47,20 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
 
 
-def _mean_result(config: ClusterConfig, seeds: Sequence[int]):
-    """Average throughput / commit rate over repetitions (§8.3: 5 reps)."""
+def _mean_result(config: ClusterConfig, seeds: Sequence[int],
+                 obs: RunObservations | None = None):
+    """Average throughput / commit rate over repetitions (§8.3: 5 reps).
+
+    With ``obs`` set, every run is traced (``ClusterConfig.trace``) and its
+    result collected for the figure's observability sidecars.  Tracing does
+    not perturb the simulation, so the numbers are identical either way.
+    """
     thr, cr = [], []
     for seed in seeds:
-        res = run_cluster(replace(config, seed=seed))
+        cfg = replace(config, seed=seed, trace=obs is not None)
+        res = run_cluster(cfg)
+        if obs is not None:
+            obs.add(res)
         thr.append(res.throughput)
         cr.append(res.commit_rate)
     return float(np.mean(thr)), float(np.mean(cr))
@@ -59,7 +68,8 @@ def _mean_result(config: ClusterConfig, seeds: Sequence[int]):
 
 def sweep_protocols(base: ClusterConfig, xs: Iterable[float],
                     protocols: Sequence[str], seeds: Sequence[int],
-                    apply_x) -> list[FigurePoint]:
+                    apply_x,
+                    obs: RunObservations | None = None) -> list[FigurePoint]:
     """Run ``protocols`` x ``xs`` and collect figure points.
 
     ``apply_x(config, x)`` returns the config for that sweep value.
@@ -68,7 +78,7 @@ def sweep_protocols(base: ClusterConfig, xs: Iterable[float],
     for x in xs:
         for proto in protocols:
             config = apply_x(replace(base, protocol=proto), x)
-            thr, cr = _mean_result(config, seeds)
+            thr, cr = _mean_result(config, seeds, obs)
             points.append(FigurePoint(x=x, protocol=proto, throughput=thr,
                                       commit_rate=cr))
     return points
@@ -78,7 +88,9 @@ def sweep_protocols(base: ClusterConfig, xs: Iterable[float],
 # Figure 1: effect of concurrency level, local test bed
 # ---------------------------------------------------------------------------
 
-def figure1_concurrency_local(seeds: Sequence[int] = (1,)) -> FigureResult:
+def figure1_concurrency_local(seeds: Sequence[int] = (1,),
+                              obs: RunObservations | None = None
+                              ) -> FigureResult:
     """Throughput & commit rate vs #clients; 20 ops, 25% writes, 10K keys,
     3 servers (local)."""
     full = full_mode()
@@ -91,7 +103,7 @@ def figure1_concurrency_local(seeds: Sequence[int] = (1,)) -> FigureResult:
         warmup=0.5, measure=measure)
     points = sweep_protocols(
         base, clients, ALL_PROTOCOLS, seeds,
-        lambda cfg, x: replace(cfg, num_clients=int(x)))
+        lambda cfg, x: replace(cfg, num_clients=int(x)), obs)
     return FigureResult(
         figure="fig1", title="Effect of concurrency level (local test bed)",
         x_label="# clients", points=points,
@@ -102,7 +114,9 @@ def figure1_concurrency_local(seeds: Sequence[int] = (1,)) -> FigureResult:
 # Figure 2: effect of concurrency level, cloud test bed
 # ---------------------------------------------------------------------------
 
-def figure2_concurrency_cloud(seeds: Sequence[int] = (1,)) -> FigureResult:
+def figure2_concurrency_cloud(seeds: Sequence[int] = (1,),
+                              obs: RunObservations | None = None
+                              ) -> FigureResult:
     """Same sweep as Fig. 1 on the cloud profile; 50K keys, 8 servers."""
     full = full_mode()
     clients = [25, 100, 200, 300, 400] if full else [25, 150, 400]
@@ -114,7 +128,7 @@ def figure2_concurrency_cloud(seeds: Sequence[int] = (1,)) -> FigureResult:
         warmup=0.5, measure=measure)
     points = sweep_protocols(
         base, clients, ALL_PROTOCOLS, seeds,
-        lambda cfg, x: replace(cfg, num_clients=int(x)))
+        lambda cfg, x: replace(cfg, num_clients=int(x)), obs)
     return FigureResult(
         figure="fig2", title="Effect of concurrency level (cloud test bed)",
         x_label="# clients", points=points,
@@ -125,7 +139,9 @@ def figure2_concurrency_cloud(seeds: Sequence[int] = (1,)) -> FigureResult:
 # Figure 3: effect of write fraction
 # ---------------------------------------------------------------------------
 
-def figure3_write_fraction(seeds: Sequence[int] = (1,)) -> FigureResult:
+def figure3_write_fraction(seeds: Sequence[int] = (1,),
+                           obs: RunObservations | None = None
+                           ) -> FigureResult:
     """Throughput & commit rate vs % writes; 90 clients, local, 10K keys."""
     full = full_mode()
     fractions = ([0.0, 0.1, 0.25, 0.5, 0.75, 1.0] if full
@@ -138,7 +154,8 @@ def figure3_write_fraction(seeds: Sequence[int] = (1,)) -> FigureResult:
     points = sweep_protocols(
         base, fractions, FIG3_PROTOCOLS, seeds,
         lambda cfg, x: replace(cfg, workload=replace(cfg.workload,
-                                                     write_fraction=x)))
+                                                     write_fraction=x)),
+        obs)
     return FigureResult(
         figure="fig3", title="Effect of fraction of writes",
         x_label="write fraction", points=points,
@@ -149,7 +166,9 @@ def figure3_write_fraction(seeds: Sequence[int] = (1,)) -> FigureResult:
 # Figure 4: small transactions
 # ---------------------------------------------------------------------------
 
-def figure4_small_transactions(seeds: Sequence[int] = (1,)) -> FigureResult:
+def figure4_small_transactions(seeds: Sequence[int] = (1,),
+                               obs: RunObservations | None = None
+                               ) -> FigureResult:
     """8-op transactions, 50% writes: 2PL slightly ahead at low concurrency,
     MVTIL ahead as concurrency grows."""
     full = full_mode()
@@ -162,7 +181,7 @@ def figure4_small_transactions(seeds: Sequence[int] = (1,)) -> FigureResult:
         warmup=0.5, measure=measure)
     points = sweep_protocols(
         base, clients, ALL_PROTOCOLS, seeds,
-        lambda cfg, x: replace(cfg, num_clients=int(x)))
+        lambda cfg, x: replace(cfg, num_clients=int(x)), obs)
     return FigureResult(
         figure="fig4", title="Effect of small transaction size",
         x_label="# clients", points=points,
@@ -173,7 +192,9 @@ def figure4_small_transactions(seeds: Sequence[int] = (1,)) -> FigureResult:
 # Figure 5: number of servers
 # ---------------------------------------------------------------------------
 
-def figure5_num_servers(seeds: Sequence[int] = (1,)) -> FigureResult:
+def figure5_num_servers(seeds: Sequence[int] = (1,),
+                        obs: RunObservations | None = None
+                        ) -> FigureResult:
     """Throughput vs #servers (cloud, 400 clients, 100K keys); panels for
     75% and 50% reads are encoded in the point's ``extra['write_fraction']``."""
     full = full_mode()
@@ -192,7 +213,7 @@ def figure5_num_servers(seeds: Sequence[int] = (1,)) -> FigureResult:
         for n in servers:
             for proto in ALL_PROTOCOLS:
                 cfg = replace(base, protocol=proto, num_servers=n)
-                thr, cr = _mean_result(cfg, seeds)
+                thr, cr = _mean_result(cfg, seeds, obs)
                 points.append(FigurePoint(
                     x=n, protocol=f"{proto}@w{int(wf * 100)}",
                     throughput=thr, commit_rate=cr,
@@ -207,7 +228,8 @@ def figure5_num_servers(seeds: Sequence[int] = (1,)) -> FigureResult:
 # Figures 6 + 7: state size and performance over time, GC on/off
 # ---------------------------------------------------------------------------
 
-def figure6_7_state_and_gc(seeds: Sequence[int] = (1,)
+def figure6_7_state_and_gc(seeds: Sequence[int] = (1,),
+                           obs: RunObservations | None = None
                            ) -> tuple[FigureResult, FigureResult]:
     """State growth (Fig. 6) and performance over time (Fig. 7).
 
@@ -240,8 +262,10 @@ def figure6_7_state_and_gc(seeds: Sequence[int] = (1,)
             gc_enabled=gc, gc_period=6.0,
             state_sample_period=sample_period,
             record_completions=True,
-            seed=seeds[0])
+            seed=seeds[0], trace=obs is not None)
         res = run_cluster(cfg)
+        if obs is not None:
+            obs.add(res)
         for sample in res.state_samples:
             state_points.append(FigurePoint(
                 x=sample.t, protocol=label, throughput=0.0, commit_rate=0.0,

@@ -9,11 +9,15 @@ persist the raw numbers as JSON for EXPERIMENTS.md bookkeeping.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
-__all__ = ["FigurePoint", "FigureResult", "format_figure", "save_figure"]
+from ..obs.export import (event_to_dict, metrics_sidecar_path,
+                          trace_sidecar_path, write_metrics_json)
+
+__all__ = ["FigurePoint", "FigureResult", "format_figure", "save_figure",
+           "RunObservations", "save_observability"]
 
 
 @dataclass(frozen=True)
@@ -102,3 +106,52 @@ def save_figure(result: FigureResult, directory: str | Path) -> Path:
     }
     path.write_text(json.dumps(payload, indent=2, default=str))
     return path
+
+
+class RunObservations:
+    """Traces and metrics collected across one figure's cluster runs.
+
+    Figure functions append each traced :class:`~repro.dist.cluster.
+    ClusterResult`; :func:`save_observability` then writes one combined
+    JSONL trace and one metrics sidecar next to the figure's results JSON.
+    """
+
+    def __init__(self) -> None:
+        self.runs: list[tuple[str, Any]] = []
+
+    def add(self, result: Any) -> str:
+        """Record one traced run; returns its label within the sidecars."""
+        label = (f"run{len(self.runs)}:{result.config.protocol}"
+                 f"/seed={result.config.seed}")
+        self.runs.append((label, result))
+        return label
+
+    @property
+    def empty(self) -> bool:
+        return not self.runs
+
+
+def save_observability(obs: RunObservations,
+                       results_json: str | Path) -> tuple[Path, Path]:
+    """Write ``<figure>.trace.jsonl`` and ``<figure>.metrics.json``.
+
+    Transaction ids are namespaced by run label (different runs reuse the
+    same client ids), so the combined trace still satisfies the one-
+    terminal-event-per-transaction invariant and the contention report can
+    fold it directly.
+    """
+    results_json = Path(results_json)
+    trace_path = trace_sidecar_path(results_json)
+    with trace_path.open("w") as fh:
+        for label, res in obs.runs:
+            for ev in (res.trace or ()):
+                tx = ((label,) + ev.tx if isinstance(ev.tx, tuple)
+                      else (label, ev.tx))
+                fh.write(json.dumps(event_to_dict(replace(ev, tx=tx),
+                                                  run=label),
+                                    separators=(",", ":")))
+                fh.write("\n")
+    metrics_path = write_metrics_json(
+        {"runs": {label: res.metrics for label, res in obs.runs}},
+        metrics_sidecar_path(results_json))
+    return trace_path, metrics_path

@@ -2,8 +2,9 @@
 
 from .collector import BackgroundCollector
 from .engine import EngineAcquireResult, MVTLEngine
-from .exceptions import (DeadlockError, LockTimeout, MVTLError, PolicyError,
-                         TransactionAborted, TransactionStateError)
+from .exceptions import (AbortReason, DeadlockError, LockTimeout, MVTLError,
+                         PolicyError, TransactionAborted,
+                         TransactionStateError)
 from .intervals import EMPTY_SET, FULL_INTERVAL, IntervalSet, TsInterval
 from .locks import (AcquireResult, Conflict, FrozenConflictError,
                     KeyLockState, LockMode, LockTable)
@@ -20,6 +21,6 @@ __all__ = [
     "LockMode", "LockTable", "KeyLockState", "AcquireResult", "Conflict",
     "FrozenConflictError",
     "VersionStore", "Version", "PENDING", "Pending",
-    "MVTLError", "TransactionAborted", "TransactionStateError",
-    "DeadlockError", "LockTimeout", "PolicyError",
+    "AbortReason", "MVTLError", "TransactionAborted",
+    "TransactionStateError", "DeadlockError", "LockTimeout", "PolicyError",
 ]

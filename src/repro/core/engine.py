@@ -31,9 +31,10 @@ from itertools import count
 from typing import Any, Callable, Hashable
 
 from ..clocks.clock import Clock, LogicalClock
+from ..obs.trace import NULL_TRACER
 from .deadlock import WaitForGraph
-from .exceptions import (DeadlockError, PolicyError, TransactionAborted,
-                         TransactionStateError)
+from .exceptions import (AbortReason, DeadlockError, PolicyError,
+                         TransactionAborted, TransactionStateError)
 from .intervals import EMPTY_SET, IntervalSet, TsInterval
 from .locks import Conflict, LockMode, LockTable
 from .policy import MVTLPolicy
@@ -86,17 +87,24 @@ class MVTLEngine:
     history:
         Optional recorder with ``begin/read/commit/abort`` callbacks (see
         :mod:`repro.verify.history`) used by the serializability checker.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`; defaults to the no-op
+        :data:`~repro.obs.trace.NULL_TRACER`, in which case every hook is
+        a single attribute check.  Events are stamped with the tracer's
+        own clock (``perf_counter`` unless overridden).
     """
 
     def __init__(self, policy: MVTLPolicy, clock: Clock | None = None, *,
                  clock_for_pid: Callable[[int], Clock] | None = None,
                  default_timeout: float | None = 10.0,
-                 history: Any | None = None) -> None:
+                 history: Any | None = None,
+                 tracer: Any | None = None) -> None:
         self.policy = policy
         self.clock = clock if clock is not None else LogicalClock()
         self._clock_for_pid = clock_for_pid
         self.default_timeout = default_timeout
         self.history = history
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.store = VersionStore()
         self.locks = LockTable()
         self._cond = threading.Condition(threading.RLock())
@@ -116,6 +124,8 @@ class MVTLEngine:
         self.policy.on_begin(self, tx)
         if self.history is not None:
             self.history.record_begin(tx.id)
+        if self.tracer.enabled:
+            self.tracer.begin(tx.id, pid=pid)
         return tx
 
     def read(self, tx: Transaction, key: Hashable) -> Any:
@@ -136,15 +146,17 @@ class MVTLEngine:
         try:
             version = self.policy.read_locks(self, tx, key)
         except DeadlockError:
-            self._abort(tx, "deadlock")
+            self._abort(tx, AbortReason.DEADLOCK)
             self.stats["deadlocks"] += 1
-            raise TransactionAborted(tx.id, "deadlock") from None
+            raise TransactionAborted(tx.id, AbortReason.DEADLOCK) from None
         if version is None:
-            self._abort(tx, "read-failed")
-            raise TransactionAborted(tx.id, "read-failed")
+            self._abort(tx, AbortReason.READ_FAILED)
+            raise TransactionAborted(tx.id, AbortReason.READ_FAILED)
         tx.readset.append((key, version.ts))
         if self.history is not None:
             self.history.record_read(tx.id, key, version.ts)
+        if self.tracer.enabled:
+            self.tracer.read(tx.id, key, ts=version.ts)
         return version.value
 
     def write(self, tx: Transaction, key: Hashable, value: Any) -> None:
@@ -153,10 +165,12 @@ class MVTLEngine:
         try:
             self.policy.write_locks(self, tx, key)
         except DeadlockError:
-            self._abort(tx, "deadlock")
+            self._abort(tx, AbortReason.DEADLOCK)
             self.stats["deadlocks"] += 1
-            raise TransactionAborted(tx.id, "deadlock") from None
+            raise TransactionAborted(tx.id, AbortReason.DEADLOCK) from None
         tx.writeset[key] = value
+        if self.tracer.enabled:
+            self.tracer.write(tx.id, key)
 
     def commit(self, tx: Transaction) -> bool:
         """Try to commit ``tx`` (Algorithm 1 ``commit``).
@@ -168,7 +182,7 @@ class MVTLEngine:
         try:
             self.policy.commit_locks(self, tx)
         except DeadlockError:
-            self._abort(tx, "deadlock")
+            self._abort(tx, AbortReason.DEADLOCK)
             self.stats["deadlocks"] += 1
             return False
         with self._cond:
@@ -176,12 +190,12 @@ class MVTLEngine:
             commit_ts = (self.policy.commit_ts(self, tx, candidates)
                          if candidates else None)
             if commit_ts is None:
-                self._abort_locked(tx, "no-common-timestamp")
+                self._abort_locked(tx, AbortReason.NO_COMMON_TIMESTAMP)
                 if self.policy.commit_gc(self, tx):
                     self.gc(tx)
                 return False
             if not candidates.contains(commit_ts):
-                self._abort_locked(tx, "no-common-timestamp")
+                self._abort_locked(tx, AbortReason.NO_COMMON_TIMESTAMP)
                 raise PolicyError(
                     f"policy {self.policy.name} picked commit timestamp "
                     f"{commit_ts!r} outside the locked candidate set")
@@ -189,21 +203,27 @@ class MVTLEngine:
             for key, value in tx.writeset.items():
                 self.locks.freeze(tx.id, key, LockMode.WRITE, point)
                 self.store.install(key, commit_ts, value)
+                if self.tracer.enabled:
+                    self.tracer.freeze(tx.id, key, LockMode.WRITE.value,
+                                       span=point)
             tx.commit_ts = commit_ts
             tx.status = TxStatus.COMMITTED
             self.stats["commits"] += 1
             if self.history is not None:
                 self.history.record_commit(tx.id, commit_ts,
                                            tuple(tx.writeset))
+            if self.tracer.enabled:
+                self.tracer.commit(tx.id, ts=commit_ts)
             self._cond.notify_all()
         if self.policy.commit_gc(self, tx):
             self.gc(tx)
         return True
 
-    def abort(self, tx: Transaction, reason: str = "user-abort") -> None:
+    def abort(self, tx: Transaction,
+              reason: str = AbortReason.USER_ABORT) -> None:
         """Voluntarily abort an active transaction."""
         self._check_active(tx)
-        self._abort(tx, reason)
+        self._abort(tx, AbortReason.of(reason))
 
     def gc(self, tx: Transaction) -> None:
         """Garbage-collect ``tx``'s locks after it ended (Algorithm 1 ``gc``).
@@ -221,6 +241,10 @@ class MVTLEngine:
                     if tr < tx.commit_ts:
                         span = TsInterval.open_closed(tr, tx.commit_ts)
                         self.locks.freeze(tx.id, key, LockMode.READ, span)
+                        if self.tracer.enabled:
+                            self.tracer.freeze(tx.id, key,
+                                               LockMode.READ.value,
+                                               span=span)
             self.locks.release_all_unfrozen(tx.id)
             self._cond.notify_all()
 
@@ -265,6 +289,33 @@ class MVTLEngine:
         deadline = (time.monotonic() + timeout) if timeout is not None else None
         want_set = (IntervalSet.from_interval(want)
                     if isinstance(want, TsInterval) else want)
+        if not self.tracer.enabled:
+            return self._acquire_loop(tx, key, mode, want_set, wait,
+                                      stop_on_frozen, deadline, None)
+        waited = [0.0]
+        result: EngineAcquireResult | None = None
+        try:
+            result = self._acquire_loop(tx, key, mode, want_set, wait,
+                                        stop_on_frozen, deadline, waited)
+            return result
+        finally:
+            # One lock-acquire span per call (requested vs granted), plus a
+            # wait span if any parking happened; a None result means the
+            # call ended as a deadlock victim.
+            self.tracer.lock_acquire(
+                tx.id, key, mode.value, requested=want_set,
+                granted=result.acquired if result is not None else None,
+                conflicts=(len(result.conflicts) if result is not None
+                           else None),
+                timed_out=result.timed_out if result is not None else None,
+                deadlock=result is None)
+            if waited[0] > 0.0:
+                self.tracer.wait(tx.id, key, dur=waited[0])
+
+    def _acquire_loop(self, tx: Transaction, key: Hashable, mode: LockMode,
+                      want_set: IntervalSet, wait: bool,
+                      stop_on_frozen: bool, deadline: float | None,
+                      waited: list[float] | None) -> EngineAcquireResult:
         acquired_total = EMPTY_SET
         skipped_frozen: tuple[Conflict, ...] = ()
         with self._cond:
@@ -308,8 +359,14 @@ class MVTLEngine:
                     return EngineAcquireResult(acquired_total,
                                                result.conflicts,
                                                timed_out=True)
-                self._cond.wait(timeout=min(remaining, 0.05)
-                                if remaining is not None else 0.05)
+                if waited is None:
+                    self._cond.wait(timeout=min(remaining, 0.05)
+                                    if remaining is not None else 0.05)
+                else:
+                    t0 = time.monotonic()
+                    self._cond.wait(timeout=min(remaining, 0.05)
+                                    if remaining is not None else 0.05)
+                    waited[0] += time.monotonic() - t0
 
     def release(self, tx: Transaction, key: Hashable, mode: LockMode,
                 span: TsInterval | IntervalSet) -> None:
@@ -371,11 +428,13 @@ class MVTLEngine:
 
     def _abort_locked(self, tx: Transaction, reason: str) -> None:
         tx.status = TxStatus.ABORTED
-        tx.abort_reason = reason
+        tx.abort_reason = AbortReason.of(reason)
         self.stats["aborts"] += 1
         self._waits.clear(tx.id)
         if self.history is not None:
             self.history.record_abort(tx.id, reason)
+        if self.tracer.enabled:
+            self.tracer.abort(tx.id, reason=reason)
         self._cond.notify_all()
 
     def _candidates(self, tx: Transaction) -> IntervalSet:

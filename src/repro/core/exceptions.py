@@ -1,8 +1,11 @@
-"""Exception hierarchy for the MVTL library."""
+"""Exception hierarchy and the abort-reason taxonomy for the MVTL library."""
 
 from __future__ import annotations
 
+import enum
+
 __all__ = [
+    "AbortReason",
     "MVTLError",
     "TransactionAborted",
     "TransactionStateError",
@@ -12,6 +15,60 @@ __all__ = [
 ]
 
 
+class AbortReason(str, enum.Enum):
+    """The exhaustive taxonomy of abort causes, across both substrates.
+
+    A ``str`` subclass so members compare (and hash) equal to the legacy
+    free-form reason strings — ``AbortReason.DEADLOCK == "deadlock"`` —
+    which keeps recorded histories, stats dictionaries and old callers
+    working unchanged while making the taxonomy typo-proof.
+    """
+
+    #: Commit found no timestamp locked across the whole read/write set
+    #: (Algorithm 1 line 13 yields an empty candidate set).
+    NO_COMMON_TIMESTAMP = "no-common-timestamp"
+    #: The transaction was chosen as a wait-for-cycle victim (§4.3).
+    DEADLOCK = "deadlock"
+    #: A read could not be served (policy returned no version).
+    READ_FAILED = "read-failed"
+    #: Voluntary abort requested by the application.
+    USER_ABORT = "user-abort"
+    #: A lock wait exceeded its timeout (2PL deadlock prevention, §8.1).
+    LOCK_TIMEOUT = "lock-timeout"
+    #: An MVTIL read's bounded server-side lock wait expired.
+    READ_LOCK_TIMEOUT = "read-lock-timeout"
+    #: The version a read needed was purged by the timestamp service (§6).
+    PURGED_VERSION = "purged-version"
+    #: MVTO+ commit-time validation: a reader already passed our write point.
+    READ_TIMESTAMP_CONFLICT = "read-timestamp-conflict"
+    #: MVTIL's interval shrank to nothing — no commit timestamp can exist.
+    INTERVAL_EMPTY = "interval-empty"
+    #: An RPC to a storage server timed out (§H failure handling).
+    RPC_TIMEOUT = "rpc-timeout"
+    #: The commitment object decided abort (another participant won, §7).
+    COMMITMENT_ABORT = "commitment-abort"
+    #: MVTO+'s no-wait commit write lock was refused (write-write conflict).
+    WRITE_CONFLICT = "write-conflict"
+
+    # str() / format() yield the raw value ("deadlock"), not the member
+    # name, so messages and JSON exports stay identical to the legacy
+    # strings.
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @classmethod
+    def of(cls, reason: "str | AbortReason") -> "str | AbortReason":
+        """Coerce a reason string to its taxonomy member when known.
+
+        Unknown strings pass through untouched: ad-hoc reasons from tests
+        or downstream code must not crash accounting.
+        """
+        try:
+            return cls(reason)
+        except ValueError:
+            return reason
+
+
 class MVTLError(Exception):
     """Base class for all library errors."""
 
@@ -19,11 +76,12 @@ class MVTLError(Exception):
 class TransactionAborted(MVTLError):
     """The transaction was aborted; the caller should retry or give up.
 
-    Carries the abort ``reason`` (e.g. ``"no-common-timestamp"``,
-    ``"deadlock"``, ``"purged-version"``, ``"lock-timeout"``).
+    Carries the abort ``reason`` (an :class:`AbortReason` member for every
+    cause the library itself produces; plain strings pass through).
     """
 
-    def __init__(self, tx_id: object, reason: str) -> None:
+    def __init__(self, tx_id: object, reason: "str | AbortReason") -> None:
+        reason = AbortReason.of(reason)
         super().__init__(f"transaction {tx_id!r} aborted: {reason}")
         self.tx_id = tx_id
         self.reason = reason

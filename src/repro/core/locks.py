@@ -414,11 +414,16 @@ class LockTable:
     (abort, GC) does not scan the whole table.
     """
 
-    __slots__ = ("_keys", "_owner_keys")
+    __slots__ = ("_keys", "_owner_keys", "_conflicts")
 
     def __init__(self) -> None:
         self._keys: dict[Hashable, KeyLockState] = {}
         self._owner_keys: dict[TxId, set[Hashable]] = {}
+        # Per-key count of acquire attempts that hit a conflict — the raw
+        # material for the obs layer's hot-key attribution.  A plain dict
+        # increment on the (already slow) conflict path; the uncontended
+        # path pays nothing.
+        self._conflicts: dict[Hashable, int] = {}
 
     def state(self, key: Hashable) -> KeyLockState:
         st = self._keys.get(key)
@@ -434,7 +439,19 @@ class LockTable:
         result = self.state(key).try_acquire(owner, mode, want)
         if result.acquired:
             self._owner_keys.setdefault(owner, set()).add(key)
+        if result.conflicts:
+            self._conflicts[key] = self._conflicts.get(key, 0) + 1
         return result
+
+    def note_conflict(self, key: Hashable, n: int = 1) -> None:
+        """Count a contended access on ``key`` (callers that acquire
+        through :meth:`KeyLockState.try_acquire` directly, e.g. the DES
+        servers, report their conflicts here)."""
+        self._conflicts[key] = self._conflicts.get(key, 0) + n
+
+    def conflict_counts(self) -> dict[Hashable, int]:
+        """Per-key conflicted-acquire counts since construction."""
+        return dict(self._conflicts)
 
     def note_owner(self, owner: TxId, key: Hashable) -> None:
         """Record that ``owner`` holds state on ``key`` (for callers that

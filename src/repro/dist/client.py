@@ -30,9 +30,10 @@ from types import SimpleNamespace
 from typing import Any, Generator, Hashable
 
 from ..clocks.clock import Clock
-from ..core.exceptions import TransactionAborted
+from ..core.exceptions import AbortReason, TransactionAborted
 from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
 from ..core.timestamp import Timestamp
+from ..obs.trace import NULL_TRACER
 from ..sim.network import Network
 from ..sim.simulator import RECV_TIMEOUT, Mailbox, Recv, Simulator
 from .commitment import ABORT, CommitmentRegistry
@@ -52,7 +53,8 @@ class BaseClient:
                  registry: CommitmentRegistry, *,
                  history: Any | None = None,
                  rpc_timeout: float = 5.0,
-                 consensus: Any | None = None) -> None:
+                 consensus: Any | None = None,
+                 tracer: Any | None = None) -> None:
         self.sim = sim
         self.net = net
         self.client_id = client_id
@@ -64,6 +66,7 @@ class BaseClient:
         #: "servers may fail" mode); None = the shared in-sim object.
         self.consensus = consensus
         self.history = history
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.rpc_timeout = rpc_timeout
         self.mailbox = Mailbox(sim)
         net.register(client_id, self._on_message)
@@ -114,13 +117,18 @@ class BaseClient:
     def _begin_record(self, tx: SimpleNamespace) -> None:
         if self.history is not None:
             self.history.record_begin(tx.id)
+        if self.tracer.enabled:
+            self.tracer.begin(tx.id, pid=self.pid)
 
     def _abort(self, tx: SimpleNamespace, reason: str) -> None:
+        reason = AbortReason.of(reason)
         tx.aborted = True
         tx.abort_reason = reason
         self.stats["aborts"] += 1
         if self.history is not None:
             self.history.record_abort(tx.id, reason)
+        if self.tracer.enabled:
+            self.tracer.abort(tx.id, reason=reason)
 
     def _propose(self, tx_id: Hashable,
                  outcome: Any) -> "Generator[Any, Any, Any]":
@@ -170,21 +178,27 @@ class MVTILClient(BaseClient):
         if key in tx.writeset:
             return tx.writeset[key]
         if tx.interval.is_empty:
-            yield from self._fail(tx, "interval-empty")
+            yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         server = self.server_of(key)
         req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
                           upper=tx.interval.pick_high(), wait=True,
                           floor=tx.interval.pick_low())
         tx.touched.add(server)
+        requested = tx.interval
         reply = yield from self._rpc(server, req,
                                      timeout=self.read_timeout)
         if reply is None:
-            yield from self._fail(tx, "read-lock-timeout")
+            yield from self._fail(tx, AbortReason.READ_LOCK_TIMEOUT)
         if reply.tr is None:
-            yield from self._fail(tx, "purged-version")
+            yield from self._fail(tx, AbortReason.PURGED_VERSION)
         tx.interval = tx.interval.intersect(reply.locked)
+        if self.tracer.enabled:
+            self.tracer.lock_acquire(tx.id, key, "read",
+                                     requested=requested,
+                                     granted=tx.interval)
+            self.tracer.read(tx.id, key, ts=reply.tr)
         if tx.interval.is_empty:
-            yield from self._fail(tx, "interval-empty")
+            yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         tx.readset.append((key, reply.tr))
         if self.history is not None:
             self.history.record_read(tx.id, key, reply.tr)
@@ -193,7 +207,7 @@ class MVTILClient(BaseClient):
     def write(self, tx: SimpleNamespace, key: Hashable,
               value: Any) -> Generator[Any, Any, None]:
         if tx.interval.is_empty:
-            yield from self._fail(tx, "interval-empty")
+            yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         server = self.server_of(key)
         req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
                                key=key, value=value, want=tx.interval,
@@ -202,22 +216,28 @@ class MVTILClient(BaseClient):
         if not tx.writeset:
             # First written key's server is the decision point (§H.1).
             self.registry.set_decision_point(tx.id, server)
+        requested = tx.interval
         reply = yield from self._rpc(server, req)
         if reply is None:
-            yield from self._fail(tx, "rpc-timeout")
+            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
         tx.interval = tx.interval.intersect(reply.acquired)
+        if self.tracer.enabled:
+            self.tracer.lock_acquire(tx.id, key, "write",
+                                     requested=requested,
+                                     granted=tx.interval)
+            self.tracer.write(tx.id, key)
         if tx.interval.is_empty:
-            yield from self._fail(tx, "interval-empty")
+            yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         tx.writeset[key] = value
 
     def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
         if tx.interval.is_empty:
-            yield from self._fail(tx, "interval-empty")
+            yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         ts = (tx.interval.pick_high() if self.late
               else tx.interval.pick_low())
         decision = yield from self._propose(tx.id, ts)
         if decision == ABORT:
-            yield from self._fail(tx, "commitment-abort")
+            yield from self._fail(tx, AbortReason.COMMITMENT_ABORT)
         ts = decision
         # One CommitReq per touched server: freeze+install the write keys,
         # freeze the read-lock prefixes (they seal the serialization
@@ -229,6 +249,8 @@ class MVTILClient(BaseClient):
         self.stats["commits"] += 1
         self.registry.forget(tx.id)
         tx.committed = True
+        if self.tracer.enabled:
+            self.tracer.commit(tx.id, ts=ts)
         return True
 
     def _send_commit(self, tx: SimpleNamespace, ts: Timestamp,
@@ -242,6 +264,11 @@ class MVTILClient(BaseClient):
             else:
                 span = EMPTY_SET
             spans_by_server.setdefault(self.server_of(key), {})[key] = span
+            if self.tracer.enabled:
+                self.tracer.freeze(tx.id, key, "read", span=span)
+        if self.tracer.enabled:
+            for key in tx.writeset:
+                self.tracer.freeze(tx.id, key, "write", span=None, ts=ts)
         writes_by_server: dict[Hashable, list[Hashable]] = {}
         for key in tx.writeset:
             writes_by_server.setdefault(self.server_of(key), []).append(key)
@@ -295,17 +322,21 @@ class MVTOClient(BaseClient):
         tx.touched.add(server)
         reply = yield from self._rpc(server, req)
         if reply is None:
-            yield from self._fail(tx, "rpc-timeout")
+            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
         if reply.tr is None:
-            yield from self._fail(tx, "purged-version")
+            yield from self._fail(tx, AbortReason.PURGED_VERSION)
         tx.readset.append((key, reply.tr))
         if self.history is not None:
             self.history.record_read(tx.id, key, reply.tr)
+        if self.tracer.enabled:
+            self.tracer.read(tx.id, key, ts=reply.tr)
         return reply.value
 
     def write(self, tx: SimpleNamespace, key: Hashable,
               value: Any) -> Generator[Any, Any, None]:
         tx.writeset[key] = value  # lock only at commit (like MVTL-TO)
+        if self.tracer.enabled:
+            self.tracer.write(tx.id, key)
         return
         yield  # pragma: no cover - generator for interface uniformity
 
@@ -323,15 +354,18 @@ class MVTOClient(BaseClient):
                                    all_or_nothing=True)
             reply = yield from self._rpc(server, req)
             if reply is None:
-                yield from self._fail(tx, "rpc-timeout")
+                yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+            if self.tracer.enabled:
+                self.tracer.lock_acquire(tx.id, key, "write", requested=point,
+                                         granted=reply.acquired)
             if reply.acquired.is_empty:
                 # Read-timestamp conflict: abort, releasing write locks
                 # only.  Read locks persist — MVTO+'s read-timestamps are
                 # never rolled back (§3), hence ghost aborts.
-                yield from self._fail(tx, "write-conflict")
+                yield from self._fail(tx, AbortReason.WRITE_CONFLICT)
         decision = yield from self._propose(tx.id, tx.ts)
         if decision == ABORT:
-            yield from self._fail(tx, "commitment-abort")
+            yield from self._fail(tx, AbortReason.COMMITMENT_ABORT)
         writes_by_server: dict[Hashable, list[Hashable]] = {}
         for key in tx.writeset:
             writes_by_server.setdefault(self.server_of(key), []).append(key)
@@ -347,6 +381,8 @@ class MVTOClient(BaseClient):
         self.stats["commits"] += 1
         self.registry.forget(tx.id)
         tx.committed = True
+        if self.tracer.enabled:
+            self.tracer.commit(tx.id, ts=tx.ts)
         return True
 
     def _fail(self, tx: SimpleNamespace,
@@ -411,12 +447,16 @@ class TwoPLClient(BaseClient):
         tx.readset.append((key, reply.version_ts))
         if self.history is not None:
             self.history.record_read(tx.id, key, reply.version_ts)
+        if self.tracer.enabled:
+            self.tracer.read(tx.id, key, ts=reply.version_ts)
         return reply.value
 
     def write(self, tx: SimpleNamespace, key: Hashable,
               value: Any) -> Generator[Any, Any, None]:
         yield from self._lock(tx, key, write=True)
         tx.writeset[key] = value
+        if self.tracer.enabled:
+            self.tracer.write(tx.id, key)
 
     def _lock(self, tx: SimpleNamespace, key: Hashable,
               write: bool) -> Generator[Any, Any, Any]:
@@ -430,8 +470,11 @@ class TwoPLClient(BaseClient):
         if reply is None:
             # Lock-wait timeout: the paper's deadlock prevention.  Abort and
             # release everything (the server drops our queued request too).
-            yield from self._fail(tx, "lock-timeout")
+            yield from self._fail(tx, AbortReason.LOCK_TIMEOUT)
         self._observe_rtt(self.sim.now - sent_at)
+        if self.tracer.enabled:
+            self.tracer.lock_acquire(tx.id, key, "write" if write else "read",
+                                     rtt=self.sim.now - sent_at)
         return reply
 
     def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
@@ -452,6 +495,8 @@ class TwoPLClient(BaseClient):
             self.history.record_commit(tx.id, commit_ts, tuple(tx.writeset))
         self.stats["commits"] += 1
         tx.committed = True
+        if self.tracer.enabled:
+            self.tracer.commit(tx.id, ts=commit_ts)
         return True
         yield  # pragma: no cover
 

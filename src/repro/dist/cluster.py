@@ -14,9 +14,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..clocks.clock import EpsilonSyncClock
+from ..obs.metrics import MetricsRegistry, fold_trace, merge_conflict_counts
+from ..obs.trace import Tracer
 from ..sim.network import Network
 from ..sim.rng import RngFactory
-from ..sim.simulator import Simulator
+from ..sim.simulator import Simulator, Sleep
 from ..sim.testbed import LOCAL_TESTBED, TestbedProfile
 from ..verify.history import HistoryRecorder
 from ..workload.generator import WorkloadConfig, WorkloadGenerator
@@ -70,6 +72,14 @@ class ClusterConfig:
     state_sample_period: float = 0.0
     #: Record per-completion timestamps for windowed series (Fig. 7).
     record_completions: bool = False
+    #: Attach a recording tracer (repro.obs) to every client and server,
+    #: and return the trace + folded metrics in the result.  The tracer
+    #: never touches RNG streams or the event queue, so a traced run's
+    #: outcome is bit-identical to the untraced run with the same seed.
+    trace: bool = False
+    #: Sample server queue depths every N simulated seconds into the
+    #: metrics registry (0 = off; only meaningful with ``trace=True``).
+    queue_sample_period: float = 0.0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -96,6 +106,15 @@ class ClusterResult:
     server_stats: list[dict]
     mean_latency: float = 0.0
     p95_latency: float = 0.0
+    #: In-window abort-reason counts (attempt-level, str -> count).
+    abort_reasons: dict = field(default_factory=dict)
+    #: p50/p95/p99 + mean + count for committed and aborted attempts.
+    latency_summary: dict = field(default_factory=dict)
+    #: Recorded TraceEvents (``config.trace`` only; else None).
+    trace: list | None = None
+    #: Folded metrics dict (``config.trace`` only; else None) — counters /
+    #: gauges / histograms plus a ``run`` section with the headline numbers.
+    metrics: dict | None = None
 
     def summary(self) -> str:
         return (f"{self.config.protocol:12s} clients={self.config.num_clients:4d} "
@@ -109,6 +128,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
     net = Network(sim, config.profile.latency, rngs.stream())
     registry = CommitmentRegistry(sim)
     history = HistoryRecorder() if config.record_history else None
+    tracer = Tracer(now_fn=lambda: sim.now) if config.trace else None
 
     num_servers = (config.num_servers if config.num_servers is not None
                    else config.profile.num_servers)
@@ -133,6 +153,9 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                 sim, net, sid, config.profile, rngs.stream(), registry,
                 write_lock_timeout=config.write_lock_timeout,
                 consensus=consensus))
+    if tracer is not None:
+        for server in servers:
+            server.tracer = tracer
     partition = Partition(server_ids)
 
     stats = RunStats(sim, config.warmup, config.measure)
@@ -146,7 +169,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         clock = EpsilonSyncClock(lambda: sim.now,
                                  config.profile.clock_skew,
                                  rng=rngs.stream(), fixed=True)
-        common = dict(history=history, consensus=consensus)
+        common = dict(history=history, consensus=consensus, tracer=tracer)
         if config.protocol in ("mvtil-early", "mvtil-late"):
             client = MVTILClient(sim, net, cid, pid, partition, clock,
                                  registry, delta=config.delta,
@@ -177,7 +200,38 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         sampler = StateSampler(sim, servers, config.state_sample_period)
         sim.spawn(sampler.process(), name="state-sampler")
 
+    metrics_reg = MetricsRegistry() if config.trace else None
+    if config.trace and config.queue_sample_period > 0:
+        # Note: unlike the tracer, the sampler *does* schedule simulator
+        # events, so queue-depth sampling is opt-in separately — it can
+        # reorder same-time event ties against an unsampled run.
+        def queue_sampler():
+            depth = metrics_reg.gauge("server.queue_depth")
+            busy = metrics_reg.gauge("server.busy_slots")
+            while True:
+                yield Sleep(config.queue_sample_period)
+                depth.set(sum(s.queue.queue_length for s in servers))
+                busy.set(sum(s.queue.busy_slots for s in servers))
+
+        sim.spawn(queue_sampler(), name="queue-sampler")
+
     sim.run_until(config.warmup + config.measure)
+
+    metrics = None
+    if config.trace:
+        fold_trace(tracer.events, metrics_reg)
+        for server in servers:
+            merge_conflict_counts(metrics_reg, server.conflicts)
+        metrics = metrics_reg.as_dict()
+        metrics["run"] = {
+            "protocol": config.protocol,
+            "throughput": stats.throughput,
+            "commit_rate": stats.commit_rate,
+            "committed": stats.committed,
+            "aborted": stats.aborted,
+            "abort_reasons": dict(stats.abort_reasons),
+            "latency": stats.latency_summary(),
+        }
 
     return ClusterResult(
         config=config,
@@ -192,4 +246,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         server_stats=[s.stats for s in servers],
         mean_latency=stats.mean_latency,
         p95_latency=stats.latency_percentile(95),
+        abort_reasons=dict(stats.abort_reasons),
+        latency_summary=stats.latency_summary(),
+        trace=tracer.events if tracer is not None else None,
+        metrics=metrics,
     )

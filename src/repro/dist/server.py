@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
 from ..core.locks import LockMode, LockTable
+from ..obs.trace import NULL_TRACER
 from ..core.timestamp import BOTTOM, TS_ZERO, Timestamp
 from ..core.versions import VersionStore
 from ..sim.network import Network
@@ -58,6 +59,16 @@ class _ServerBase:
                                   self._handle)
         net.register(server_id, self.queue.submit)
         self._parked: dict[Hashable, list[Any]] = {}
+        #: Park time per waiting request (messages are frozen dataclasses,
+        #: so requests are keyed by identity).  Only the obs layer reads
+        #: these durations; the dict is maintained unconditionally because
+        #: park is already the slow path.
+        self._parked_at: dict[int, float] = {}
+        #: Per-key contended-access counts (parks, partial/refused grants).
+        self.conflicts: dict[Hashable, int] = {}
+        #: Attach point for the obs layer (see :mod:`repro.obs`); the
+        #: cluster assigns a recording tracer after construction.
+        self.tracer: Any = NULL_TRACER
         self.stats = {"requests": 0, "parked": 0}
 
     def _handle(self, msg: Any) -> None:  # pragma: no cover - overridden
@@ -68,13 +79,26 @@ class _ServerBase:
 
     def _park(self, key: Hashable, req: Any) -> None:
         self._parked.setdefault(key, []).append(req)
+        self._parked_at[id(req)] = self.sim.now
+        self._note_conflict(key)
         self.stats["parked"] += 1
+
+    def _note_conflict(self, key: Hashable) -> None:
+        self.conflicts[key] = self.conflicts.get(key, 0) + 1
+
+    def _end_wait(self, key: Hashable, req: Any) -> None:
+        """Close out a parked request's wait span (granted or dropped)."""
+        parked_at = self._parked_at.pop(id(req), None)
+        if parked_at is not None and self.tracer.enabled:
+            self.tracer.wait(req.tx_id, key, dur=self.sim.now - parked_at,
+                             server=self.server_id)
 
     def _unpark(self, key: Hashable) -> None:
         """Re-submit everything waiting on ``key`` (lock state changed)."""
         waiting = self._parked.pop(key, None)
         if waiting:
             for req in waiting:
+                self._end_wait(key, req)
                 self.queue.submit(req)
 
     def _drop_parked(self, tx_id: Hashable) -> None:
@@ -85,7 +109,12 @@ class _ServerBase:
         leave orphaned locks behind.
         """
         for key in list(self._parked):
-            remaining = [r for r in self._parked[key] if r.tx_id != tx_id]
+            remaining = []
+            for r in self._parked[key]:
+                if r.tx_id != tx_id:
+                    remaining.append(r)
+                else:
+                    self._end_wait(key, r)
             if remaining:
                 self._parked[key] = remaining
             else:
@@ -227,6 +256,10 @@ class MVTLServer(_ServerBase):
             # conflicting (unfrozen) locks move.
             self._park(key, req)
             return
+        if prefix is None or prefix.hi < want.hi:
+            # Another transaction's lock truncated the read's lockable
+            # range — a contended access even though nobody waited.
+            self._note_conflict(key)
         locked = EMPTY_SET
         if prefix is not None:
             state.try_acquire(req.tx_id, LockMode.READ, prefix)
@@ -246,6 +279,7 @@ class MVTLServer(_ServerBase):
             if req.wait and not probe.any_frozen_conflict:
                 self._park(key, req)
                 return
+            self._note_conflict(key)
             if req.all_or_nothing:
                 self._reply(req, MVTLWriteLockReply(req.req_id,
                                                     acquired=EMPTY_SET))
@@ -480,6 +514,9 @@ class TwoPLServer(_ServerBase):
             self._grant(entry, req)
         else:
             entry.waitq.append(req)
+            self._parked_at[id(req)] = self.sim.now
+            self._note_conflict(req.key)
+            self.stats["parked"] += 1
 
     def _compatible(self, entry: _TwoPLKey, req: TwoPLLockReq) -> bool:
         if req.write:
@@ -513,8 +550,13 @@ class TwoPLServer(_ServerBase):
         for key in req.keys:
             entry = self._keys.get(key)
             if entry is not None:
-                entry.waitq = [r for r in entry.waitq
-                               if r.tx_id != req.tx_id]
+                remaining = []
+                for r in entry.waitq:
+                    if r.tx_id != req.tx_id:
+                        remaining.append(r)
+                    else:
+                        self._end_wait(key, r)
+                entry.waitq = remaining
                 self._release_key(entry, req.tx_id)
 
     def _release_key(self, entry: _TwoPLKey, tx_id: Hashable) -> None:
@@ -528,10 +570,12 @@ class TwoPLServer(_ServerBase):
             head = entry.waitq[0]
             if head.tx_id in self._aborted:
                 entry.waitq.pop(0)
+                self._end_wait(head.key, head)
                 progressed = True
                 continue
             if self._compatible(entry, head):
                 entry.waitq.pop(0)
+                self._end_wait(head.key, head)
                 self._grant(entry, head)
                 progressed = True
 

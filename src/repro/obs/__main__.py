@@ -1,0 +1,68 @@
+"""Command-line observability reports.
+
+Usage::
+
+    python -m repro.obs report  trace.jsonl [--top 15]
+    python -m repro.obs metrics fig1.metrics.json
+
+``report`` folds a JSONL trace into the contention profile and prints the
+abort-reason breakdown, the top-N hot-key table, and the time-in-phase
+attribution.  ``metrics`` pretty-prints a metrics sidecar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .export import read_metrics_json, read_trace_jsonl
+from .profile import ContentionProfile
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    events = read_trace_jsonl(path)
+    profile = ContentionProfile.from_events(events)
+    print(f"trace: {path} ({len(events)} events)")
+    print(profile.format_report(top=args.top))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    path = Path(args.metrics)
+    if not path.exists():
+        print(f"error: no such metrics file: {path}", file=sys.stderr)
+        return 2
+    print(json.dumps(read_metrics_json(path), indent=2))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect traces and metrics emitted by repro runs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="print the contention report for a JSONL trace")
+    report.add_argument("trace", help="path to a .trace.jsonl file")
+    report.add_argument("--top", type=int, default=10,
+                        help="rows in the hot-key table (default 10)")
+    report.set_defaults(fn=_cmd_report)
+
+    metrics = sub.add_parser(
+        "metrics", help="pretty-print a metrics sidecar JSON")
+    metrics.add_argument("metrics", help="path to a .metrics.json file")
+    metrics.set_defaults(fn=_cmd_metrics)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

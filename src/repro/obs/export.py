@@ -1,0 +1,149 @@
+"""Trace and metrics persistence: JSONL traces, JSON metric sidecars.
+
+The on-disk trace format is one JSON object per line, in emission order,
+with ``None`` fields omitted.  Values that JSON cannot represent natively
+are converted:
+
+* tuples (transaction ids like ``("client-3", 7)``) become lists on write
+  and are restored to tuples on read, recursively;
+* :class:`~repro.core.timestamp.Timestamp`-like objects (``.value`` +
+  ``.pid``) become ``{"ts": [value, pid]}`` markers and are restored to
+  plain ``(value, pid)`` tuples — enough for grouping and display without
+  importing the core types here;
+* anything else non-serializable falls back to ``repr``.
+
+Metric sidecars are plain JSON dumps of
+:meth:`~repro.obs.metrics.MetricsRegistry.as_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterable
+
+from .metrics import MetricsRegistry
+from .trace import TraceEvent
+
+__all__ = [
+    "event_to_dict", "event_from_dict",
+    "write_trace_jsonl", "read_trace_jsonl",
+    "write_metrics_json", "read_metrics_json",
+    "metrics_sidecar_path", "trace_sidecar_path",
+]
+
+
+def _jsonify(value: Any) -> Any:
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if hasattr(value, "value") and hasattr(value, "pid"):
+        return {"ts": [_jsonify(value.value), value.pid]}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _dejsonify(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_dejsonify(v) for v in value)
+    if isinstance(value, dict):
+        if set(value) == {"ts"} and isinstance(value["ts"], list):
+            return tuple(_dejsonify(v) for v in value["ts"])
+        return {k: _dejsonify(v) for k, v in value.items()}
+    if value in ("inf", "-inf"):
+        return float(value)
+    return value
+
+
+def event_to_dict(event: TraceEvent, **extra: Any) -> dict:
+    """Serialize one event, dropping ``None`` fields; ``extra`` keys (e.g.
+    a run label when several runs share one file) are merged in."""
+    out: dict[str, Any] = {"t": event.t, "seq": event.seq,
+                           "kind": event.kind, "tx": _jsonify(event.tx)}
+    if event.key is not None:
+        out["key"] = _jsonify(event.key)
+    if event.mode is not None:
+        out["mode"] = event.mode
+    if event.ts is not None:
+        out["ts"] = _jsonify(event.ts)
+    if event.reason is not None:
+        out["reason"] = event.reason
+    if event.dur is not None:
+        out["dur"] = event.dur
+    if event.data:
+        out["data"] = _jsonify(event.data)
+    for k, v in extra.items():
+        if v is not None:
+            out[k] = _jsonify(v)
+    return out
+
+
+def event_from_dict(payload: dict) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its JSONL line (extra keys are
+    folded into ``data``)."""
+    data = dict(_dejsonify(payload.get("data", {})) or {})
+    for k, v in payload.items():
+        if k not in ("t", "seq", "kind", "tx", "key", "mode", "ts",
+                     "reason", "dur", "data"):
+            data[k] = _dejsonify(v)
+    return TraceEvent(
+        t=payload["t"], seq=payload.get("seq", 0), kind=payload["kind"],
+        tx=_dejsonify(payload["tx"]), key=_dejsonify(payload.get("key")),
+        mode=payload.get("mode"), ts=_dejsonify(payload.get("ts")),
+        reason=payload.get("reason"), dur=payload.get("dur"), data=data)
+
+
+def write_trace_jsonl(events: Iterable[TraceEvent], path: str | Path, *,
+                      append: bool = False, **extra: Any) -> Path:
+    """Write ``events`` as JSONL; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a" if append else "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event, **extra),
+                                separators=(",", ":")))
+            fh.write("\n")
+    return path
+
+
+def read_trace_jsonl(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` objects."""
+    events = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def write_metrics_json(metrics: "MetricsRegistry | dict",
+                       path: str | Path) -> Path:
+    """Persist a metrics registry (or a pre-built dict) as a JSON sidecar."""
+    payload = (metrics.as_dict() if isinstance(metrics, MetricsRegistry)
+               else metrics)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonify(payload), indent=2))
+    return path
+
+
+def read_metrics_json(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def metrics_sidecar_path(results_json: str | Path) -> Path:
+    """``fig1.json -> fig1.metrics.json`` (next to the results file)."""
+    results_json = Path(results_json)
+    return results_json.with_suffix(".metrics.json")
+
+
+def trace_sidecar_path(results_json: str | Path) -> Path:
+    """``fig1.json -> fig1.trace.jsonl`` (next to the results file)."""
+    results_json = Path(results_json)
+    return results_json.with_suffix(".trace.jsonl")

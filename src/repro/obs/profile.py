@@ -1,0 +1,193 @@
+"""Lock-contention profiling: fold traces into attribution tables.
+
+The paper's evaluation attributes MVTIL's wins to *where* time and aborts
+go — which keys are hot, which protocol phases dominate, which abort
+reasons fire (§8.4; Faleiro & Abadi make the same point for MVCC at
+large).  :class:`ContentionProfile` computes exactly those tables from a
+trace:
+
+* **per-key attribution** — contended accesses, lock-wait seconds and
+  interval shrink per key, ranked into a top-N hot-key table;
+* **per-phase attribution** — wall/sim time between consecutive events of
+  a transaction is charged to the later event's kind, yielding a
+  time-in-phase breakdown (read / write / lock-acquire / wait / commit /
+  abort) per policy run;
+* **abort-reason breakdown** — the taxonomy histogram with shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from .trace import TERMINAL_KINDS, EventKind, TraceEvent
+
+__all__ = ["KeyStats", "ContentionProfile", "profile_report"]
+
+
+@dataclass
+class KeyStats:
+    """Aggregated contention evidence for one key."""
+
+    key: Hashable
+    accesses: int = 0
+    contended: int = 0
+    wait_time: float = 0.0
+    shrink: float = 0.0
+
+    @property
+    def hotness(self) -> float:
+        """Ranking score: contended accesses, wait seconds weighted in.
+
+        Waiting is charged at 1 contended-access-equivalent per
+        millisecond so that a key that parks transactions for long beats
+        one that merely shaves interval width.
+        """
+        return self.contended + 1000.0 * self.wait_time
+
+
+@dataclass
+class _TxAccumulator:
+    begins: int = 0
+    terminals: int = 0
+    last_t: float | None = None
+
+
+class ContentionProfile:
+    """Per-key and per-phase attribution tables folded from a trace."""
+
+    def __init__(self) -> None:
+        self.keys: dict[Hashable, KeyStats] = {}
+        self.phase_time: dict[str, float] = {}
+        self.abort_reasons: dict[str, int] = {}
+        self.commits = 0
+        self.aborts = 0
+        self.tx_seen = 0
+        self.span: tuple[float, float] | None = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "ContentionProfile":
+        profile = cls()
+        txs: dict[Hashable, _TxAccumulator] = {}
+        t_min = t_max = None
+        for event in events:
+            t_min = event.t if t_min is None else min(t_min, event.t)
+            t_max = event.t if t_max is None else max(t_max, event.t)
+            acc = txs.get(event.tx)
+            if acc is None:
+                acc = txs[event.tx] = _TxAccumulator()
+            # Phase attribution: the gap since the transaction's previous
+            # event is time spent *producing* this event.
+            if acc.last_t is not None and event.t >= acc.last_t:
+                profile.phase_time[event.kind] = (
+                    profile.phase_time.get(event.kind, 0.0)
+                    + (event.t - acc.last_t))
+            acc.last_t = event.t
+            kind = event.kind
+            if kind == EventKind.BEGIN:
+                acc.begins += 1
+            elif kind in TERMINAL_KINDS:
+                acc.terminals += 1
+                if kind == EventKind.COMMIT:
+                    profile.commits += 1
+                else:
+                    profile.aborts += 1
+                    reason = event.reason or "unknown"
+                    profile.abort_reasons[reason] = (
+                        profile.abort_reasons.get(reason, 0) + 1)
+            if event.key is not None:
+                stats = profile.keys.get(event.key)
+                if stats is None:
+                    stats = profile.keys[event.key] = KeyStats(event.key)
+                if kind in (EventKind.READ, EventKind.WRITE,
+                            EventKind.LOCK_ACQUIRE):
+                    stats.accesses += 1
+                if kind == EventKind.WAIT:
+                    stats.contended += 1
+                    if event.dur is not None:
+                        stats.wait_time += event.dur
+                elif kind == EventKind.LOCK_ACQUIRE:
+                    shrink = event.data.get("shrink")
+                    if shrink:
+                        stats.contended += 1
+                        stats.shrink += shrink
+                    elif event.data.get("conflicts"):
+                        stats.contended += 1
+        profile.tx_seen = len(txs)
+        if t_min is not None:
+            profile.span = (t_min, t_max)
+        return profile
+
+    # -- tables --------------------------------------------------------------
+
+    def top_hot_keys(self, n: int = 10) -> list[KeyStats]:
+        """The ``n`` hottest keys by :attr:`KeyStats.hotness` (desc)."""
+        ranked = sorted((s for s in self.keys.values() if s.contended > 0),
+                        key=lambda s: (-s.hotness, str(s.key)))
+        return ranked[:n]
+
+    def phase_breakdown(self) -> list[tuple[str, float, float]]:
+        """``(phase, seconds, share)`` rows, descending by time."""
+        total = sum(self.phase_time.values())
+        rows = sorted(self.phase_time.items(), key=lambda kv: -kv[1])
+        return [(phase, t, (t / total if total else 0.0))
+                for phase, t in rows]
+
+    def abort_breakdown(self) -> list[tuple[str, int, float]]:
+        """``(reason, count, share-of-aborts)`` rows, descending."""
+        total = sum(self.abort_reasons.values())
+        rows = sorted(self.abort_reasons.items(),
+                      key=lambda kv: (-kv[1], kv[0]))
+        return [(reason, n, (n / total if total else 0.0))
+                for reason, n in rows]
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_report(self, top: int = 10) -> str:
+        """Human-readable contention report (the ``repro.obs`` CLI output)."""
+        lines = ["== contention report =="]
+        if self.span is not None:
+            lines.append(f"   trace span: t={self.span[0]:.6g} .. "
+                         f"{self.span[1]:.6g}")
+        total = self.commits + self.aborts
+        rate = self.commits / total if total else 1.0
+        lines.append(f"   transactions: {self.tx_seen} traced, "
+                     f"{self.commits} commits, {self.aborts} aborts "
+                     f"(commit rate {rate:.3f})")
+        lines.append("")
+        lines.append("-- abort reasons --")
+        if self.abort_reasons:
+            for reason, n, share in self.abort_breakdown():
+                lines.append(f"   {reason:<28s} {n:>8d}  {share:>6.1%}")
+        else:
+            lines.append("   (no aborts)")
+        lines.append("")
+        lines.append(f"-- top {top} hot keys --")
+        hot = self.top_hot_keys(top)
+        if hot:
+            lines.append(f"   {'key':<16s} {'accesses':>9s} "
+                         f"{'contended':>10s} {'wait(s)':>10s} "
+                         f"{'shrink':>10s}")
+            for stats in hot:
+                lines.append(
+                    f"   {str(stats.key):<16s} {stats.accesses:>9d} "
+                    f"{stats.contended:>10d} {stats.wait_time:>10.4f} "
+                    f"{stats.shrink:>10.4g}")
+        else:
+            lines.append("   (no contended keys)")
+        lines.append("")
+        lines.append("-- time in phase --")
+        phases = self.phase_breakdown()
+        if phases:
+            for phase, t, share in phases:
+                lines.append(f"   {phase:<16s} {t:>10.4f}s  {share:>6.1%}")
+        else:
+            lines.append("   (no timed phases)")
+        return "\n".join(lines)
+
+
+def profile_report(events: Sequence[TraceEvent], top: int = 10) -> str:
+    """One-call helper: fold ``events`` and render the report."""
+    return ContentionProfile.from_events(events).format_report(top=top)

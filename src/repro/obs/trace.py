@@ -1,0 +1,226 @@
+"""Structured per-transaction tracing shared by both substrates.
+
+A :class:`Tracer` records :class:`TraceEvent` objects for every interesting
+moment of a transaction's life — begin, read, write, lock acquisition with
+the requested-versus-granted interval, lock waits, freezes, commit, abort
+with its :class:`~repro.core.exceptions.AbortReason` — stamped by a caller-
+supplied clock: ``Simulator.now`` in the discrete-event substrate,
+``time.perf_counter`` in the threaded engine.
+
+Overhead discipline: instrumented hot paths guard every emission with a
+single attribute check (``if tracer.enabled:``), and the disabled path is
+the :data:`NULL_TRACER` singleton whose ``enabled`` is ``False`` — so a
+run without tracing pays one attribute load and a falsy branch per hook,
+nothing else.  The tracer itself never touches RNG streams and never
+schedules simulation events, which keeps traced and untraced DES runs
+bit-identical (asserted by the test suite).
+
+This module is deliberately dependency-free: interval arguments are
+duck-typed (anything exposing ``pieces`` or ``lo/hi`` endpoints with
+``.value`` floats), so :mod:`repro.core` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable
+
+__all__ = [
+    "EventKind", "TraceEvent", "Tracer", "NullTracer", "NULL_TRACER",
+    "span_width", "TERMINAL_KINDS",
+]
+
+
+class EventKind:
+    """Trace event names (plain strings, JSONL-friendly)."""
+
+    BEGIN = "begin"
+    READ = "read"
+    WRITE = "write"
+    LOCK_ACQUIRE = "lock-acquire"
+    WAIT = "wait"
+    FREEZE = "freeze"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    ALL = (BEGIN, READ, WRITE, LOCK_ACQUIRE, WAIT, FREEZE, COMMIT, ABORT)
+
+
+#: Kinds that end a transaction; every traced transaction has at most one.
+TERMINAL_KINDS = frozenset({EventKind.COMMIT, EventKind.ABORT})
+
+
+def span_width(span: Any) -> float | None:
+    """Total width (in timestamp-value units) of an interval-ish object.
+
+    Accepts ``None``, a single interval (``.lo``/``.hi`` endpoints with
+    ``.value``), or an interval set (iterable ``.pieces``).  Duck-typed so
+    the obs layer needs no import of :mod:`repro.core.intervals`.
+    """
+    if span is None:
+        return None
+    pieces: Iterable[Any]
+    if hasattr(span, "pieces"):
+        pieces = span.pieces
+    elif hasattr(span, "lo"):
+        pieces = (span,)
+    else:
+        return None
+    total = 0.0
+    for piece in pieces:
+        total += piece.hi.value - piece.lo.value
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``t`` is substrate time (simulated seconds or ``perf_counter`` seconds);
+    ``seq`` is a per-tracer monotone sequence number that orders events
+    emitted at identical times.  Optional fields are ``None`` when they do
+    not apply to the event kind; ``data`` carries kind-specific extras
+    (e.g. ``requested``/``granted`` widths for lock acquisitions).
+    """
+
+    t: float
+    seq: int
+    kind: str
+    tx: Hashable
+    key: Hashable | None = None
+    mode: str | None = None
+    ts: Any = None
+    reason: str | None = None
+    dur: float | None = None
+    data: dict = field(default_factory=dict)
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    ``enabled`` is a class attribute so the hot-path guard
+    ``if tracer.enabled:`` is one dictionary-free attribute load.
+    """
+
+    enabled = False
+
+    def begin(self, tx: Hashable, **data: Any) -> None:
+        pass
+
+    def read(self, tx: Hashable, key: Hashable, ts: Any = None,
+             **data: Any) -> None:
+        pass
+
+    def write(self, tx: Hashable, key: Hashable, **data: Any) -> None:
+        pass
+
+    def lock_acquire(self, tx: Hashable, key: Hashable, mode: str,
+                     requested: Any = None, granted: Any = None,
+                     **data: Any) -> None:
+        pass
+
+    def wait(self, tx: Hashable, key: Hashable | None = None,
+             dur: float | None = None, **data: Any) -> None:
+        pass
+
+    def freeze(self, tx: Hashable, key: Hashable, mode: str,
+               span: Any = None, **data: Any) -> None:
+        pass
+
+    def commit(self, tx: Hashable, ts: Any = None, **data: Any) -> None:
+        pass
+
+    def abort(self, tx: Hashable, reason: Any = None, **data: Any) -> None:
+        pass
+
+
+#: Shared no-op tracer; attach-points default to this.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """A recording tracer: appends :class:`TraceEvent`\\ s to ``events``.
+
+    Parameters
+    ----------
+    now_fn:
+        Zero-argument clock used to stamp events.  Pass ``lambda: sim.now``
+        in the DES; defaults to ``time.perf_counter`` for the threaded
+        engine.
+    sink:
+        Optional callable receiving each event as it is emitted (streaming
+        export); events are still appended to ``events`` unless ``keep``
+        is False.
+    keep:
+        Whether to retain events in memory (default True).
+    """
+
+    enabled = True
+
+    def __init__(self, now_fn: Callable[[], float] | None = None, *,
+                 sink: Callable[[TraceEvent], None] | None = None,
+                 keep: bool = True) -> None:
+        self.now = now_fn if now_fn is not None else time.perf_counter
+        self.sink = sink
+        self.keep = keep
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+
+    def emit(self, kind: str, tx: Hashable, *, key: Hashable | None = None,
+             mode: str | None = None, ts: Any = None,
+             reason: str | None = None, dur: float | None = None,
+             **data: Any) -> TraceEvent:
+        self._seq += 1
+        event = TraceEvent(self.now(), self._seq, kind, tx, key=key,
+                           mode=mode, ts=ts, reason=reason, dur=dur,
+                           data=data)
+        if self.keep:
+            self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
+        return event
+
+    # -- per-kind conveniences (the wiring points call these) ---------------
+
+    def begin(self, tx: Hashable, **data: Any) -> None:
+        self.emit(EventKind.BEGIN, tx, **data)
+
+    def read(self, tx: Hashable, key: Hashable, ts: Any = None,
+             **data: Any) -> None:
+        self.emit(EventKind.READ, tx, key=key, ts=ts, **data)
+
+    def write(self, tx: Hashable, key: Hashable, **data: Any) -> None:
+        self.emit(EventKind.WRITE, tx, key=key, **data)
+
+    def lock_acquire(self, tx: Hashable, key: Hashable, mode: str,
+                     requested: Any = None, granted: Any = None,
+                     **data: Any) -> None:
+        """Record an acquisition with requested-vs-granted interval widths.
+
+        ``shrink`` — how much of the requested width was *not* granted —
+        is the per-access magnitude MVTIL's interval loses to conflicts;
+        its distribution is one of the headline metrics.
+        """
+        req_w = span_width(requested)
+        got_w = span_width(granted)
+        if req_w is not None and got_w is not None:
+            data.setdefault("shrink", max(0.0, req_w - got_w))
+        self.emit(EventKind.LOCK_ACQUIRE, tx, key=key, mode=mode,
+                  requested=req_w, granted=got_w, **data)
+
+    def wait(self, tx: Hashable, key: Hashable | None = None,
+             dur: float | None = None, **data: Any) -> None:
+        self.emit(EventKind.WAIT, tx, key=key, dur=dur, **data)
+
+    def freeze(self, tx: Hashable, key: Hashable, mode: str,
+               span: Any = None, **data: Any) -> None:
+        self.emit(EventKind.FREEZE, tx, key=key, mode=mode,
+                  span=span_width(span), **data)
+
+    def commit(self, tx: Hashable, ts: Any = None, **data: Any) -> None:
+        self.emit(EventKind.COMMIT, tx, ts=ts, **data)
+
+    def abort(self, tx: Hashable, reason: Any = None, **data: Any) -> None:
+        self.emit(EventKind.ABORT, tx,
+                  reason=str(reason) if reason is not None else None, **data)

@@ -61,11 +61,15 @@ def closed_loop_client(client: Any, workload: WorkloadGenerator,
         committed = False
         started = stats.sim.now
         while True:
+            attempt_started = stats.sim.now
             try:
                 yield from run_tx(client, spec, client_overhead)
                 committed = True
                 break
-            except TransactionAborted:
+            except TransactionAborted as exc:
+                stats.attempt_aborted(
+                    reason=exc.reason,
+                    latency=stats.sim.now - attempt_started)
                 if attempts >= max_restarts:
                     break  # give up on this transaction
                 attempts += 1

@@ -38,6 +38,27 @@ class RunStats:
         #: Per-transaction latencies (begin of first attempt -> decision)
         #: of committed transactions inside the window.
         self.latencies: list[float] = []
+        #: Per-*attempt* latencies of aborted attempts inside the window
+        #: (begin of the attempt -> abort).  Attempt-level, not
+        #: transaction-level: a transaction that aborts twice then commits
+        #: contributes two entries here and one to ``latencies``.
+        self.abort_latencies: list[float] = []
+        #: Abort-reason counts of in-window aborted attempts.
+        self.abort_reasons: dict[str, int] = {}
+        self.aborted_attempts_total = 0
+
+    def attempt_aborted(self, reason: object = None,
+                        latency: float | None = None) -> None:
+        """Record one aborted attempt (called per abort, incl. restarts)."""
+        self.aborted_attempts_total += 1
+        now = self.sim.now
+        if self.warmup <= now <= self.warmup + self.measure:
+            if latency is not None:
+                self.abort_latencies.append(latency)
+            if reason is not None:
+                reason = str(reason)
+                self.abort_reasons[reason] = (
+                    self.abort_reasons.get(reason, 0) + 1)
 
     def tx_done(self, committed: bool, latency: float | None = None) -> None:
         now = self.sim.now
@@ -66,13 +87,36 @@ class RunStats:
         total = self.committed + self.aborted
         return self.committed / total if total else 1.0
 
-    def latency_percentile(self, q: float) -> float:
-        """q-th percentile (0..100) of committed-transaction latency."""
-        if not self.latencies:
+    @staticmethod
+    def _percentile(samples: list[float], q: float) -> float:
+        if not samples:
             return 0.0
-        ordered = sorted(self.latencies)
+        ordered = sorted(samples)
         idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
         return ordered[idx]
+
+    def latency_percentile(self, q: float, *, aborted: bool = False) -> float:
+        """q-th percentile (0..100) of transaction latency.
+
+        ``aborted=False`` (default): committed-transaction latencies;
+        ``aborted=True``: aborted-attempt latencies.
+        """
+        return self._percentile(
+            self.abort_latencies if aborted else self.latencies, q)
+
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        """p50/p95/p99 + mean + count for committed and aborted attempts."""
+        out = {}
+        for name, samples in (("committed", self.latencies),
+                              ("aborted", self.abort_latencies)):
+            out[name] = {
+                "count": len(samples),
+                "mean": sum(samples) / len(samples) if samples else 0.0,
+                "p50": self._percentile(samples, 50),
+                "p95": self._percentile(samples, 95),
+                "p99": self._percentile(samples, 99),
+            }
+        return out
 
     @property
     def mean_latency(self) -> float:

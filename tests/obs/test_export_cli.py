@@ -1,0 +1,110 @@
+"""JSONL/JSON round trips and the ``python -m repro.obs`` CLI."""
+
+import json
+
+from repro.core.timestamp import Timestamp
+from repro.obs.__main__ import main as obs_main
+from repro.obs.export import (event_from_dict, event_to_dict,
+                              metrics_sidecar_path, read_metrics_json,
+                              read_trace_jsonl, trace_sidecar_path,
+                              write_metrics_json, write_trace_jsonl)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer
+
+
+def sample_events():
+    t = Tracer(now_fn=iter([0.1, 0.2, 0.3, 0.4]).__next__)
+    t.begin(("client-1", 7), pid=3)
+    t.read(("client-1", 7), "k", ts=Timestamp(1.5, 2))
+    t.wait(("client-1", 7), "k", dur=0.05)
+    t.commit(("client-1", 7), ts=Timestamp(2.0, 3))
+    return t.events
+
+
+class TestEventRoundTrip:
+    def test_tuple_tx_survives(self):
+        ev = sample_events()[0]
+        back = event_from_dict(json.loads(json.dumps(event_to_dict(ev))))
+        assert back.tx == ("client-1", 7)
+        assert back.kind == "begin"
+        assert back.data["pid"] == 3
+
+    def test_timestamp_becomes_value_pid_tuple(self):
+        ev = sample_events()[1]
+        payload = event_to_dict(ev)
+        assert payload["ts"] == {"ts": [1.5, 2]}
+        back = event_from_dict(json.loads(json.dumps(payload)))
+        assert back.ts == (1.5, 2)
+
+    def test_none_fields_omitted(self):
+        payload = event_to_dict(TraceEvent(0.0, 1, "begin", "tx"))
+        assert set(payload) == {"t", "seq", "kind", "tx"}
+
+    def test_extra_keys_fold_into_data(self):
+        ev = sample_events()[0]
+        payload = event_to_dict(ev, run="run0:mvtil-early/seed=1")
+        back = event_from_dict(json.loads(json.dumps(payload)))
+        assert back.data["run"] == "run0:mvtil-early/seed=1"
+
+
+class TestFileRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        events = sample_events()
+        path = write_trace_jsonl(events, tmp_path / "t.trace.jsonl")
+        back = read_trace_jsonl(path)
+        assert len(back) == len(events)
+        assert [e.kind for e in back] == [e.kind for e in events]
+        assert [e.seq for e in back] == [e.seq for e in events]
+        assert back[2].dur == 0.05
+
+    def test_append_mode(self, tmp_path):
+        events = sample_events()
+        path = tmp_path / "t.trace.jsonl"
+        write_trace_jsonl(events[:2], path)
+        write_trace_jsonl(events[2:], path, append=True)
+        assert len(read_trace_jsonl(path)) == len(events)
+
+    def test_metrics_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("abort.reasons").inc("deadlock", 4)
+        reg.gauge("queue").set(7.0)
+        path = write_metrics_json(reg, tmp_path / "m.metrics.json")
+        back = read_metrics_json(path)
+        assert back["counters"]["abort.reasons"]["deadlock"] == 4
+        assert back["gauges"]["queue"]["value"] == 7.0
+
+    def test_sidecar_paths(self):
+        assert str(metrics_sidecar_path("out/fig1.json")).endswith(
+            "out/fig1.metrics.json")
+        assert str(trace_sidecar_path("out/fig1.json")).endswith(
+            "out/fig1.trace.jsonl")
+
+
+class TestCli:
+    def test_report_prints_tables(self, tmp_path, capsys):
+        t = Tracer(now_fn=iter(float(i) for i in range(20)).__next__)
+        t.begin("a")
+        t.wait("a", "hot", dur=0.4)
+        t.abort("a", reason="deadlock")
+        t.begin("b")
+        t.read("b", "hot", ts=1)
+        t.commit("b")
+        path = write_trace_jsonl(t.events, tmp_path / "x.trace.jsonl")
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "abort reasons" in out
+        assert "deadlock" in out
+        assert "hot" in out
+        assert "time in phase" in out
+
+    def test_metrics_pretty_print(self, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.counter("tx.commits").inc(n=2)
+        path = write_metrics_json(reg, tmp_path / "m.metrics.json")
+        assert obs_main(["metrics", str(path)]) == 0
+        assert "tx.commits" in capsys.readouterr().out
+
+    def test_missing_file_is_error(self, capsys):
+        assert obs_main(["report", "/no/such/file.jsonl"]) == 2
+        assert obs_main(["metrics", "/no/such/file.json"]) == 2
+        capsys.readouterr()

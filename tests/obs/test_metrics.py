@@ -1,0 +1,114 @@
+"""Unit tests for repro.obs.metrics: primitives and trace folding."""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               fold_trace, merge_conflict_counts)
+from repro.obs.trace import Tracer
+
+
+class TestCounter:
+    def test_labelled_increments(self):
+        c = Counter()
+        c.inc("a")
+        c.inc("a", 2)
+        c.inc("b")
+        assert c.get("a") == 3
+        assert c.get("b") == 1
+        assert c.total == 4
+
+    def test_top_sorts_descending(self):
+        c = Counter()
+        for label, n in (("x", 1), ("y", 5), ("z", 3)):
+            c.inc(label, n)
+        assert c.top(2) == [("y", 5), ("z", 3)]
+
+    def test_as_dict_stringifies_labels(self):
+        c = Counter()
+        c.inc(("client-1", 7))
+        assert list(c.as_dict()) == ["('client-1', 7)"]
+
+
+class TestGauge:
+    def test_tracks_min_max(self):
+        g = Gauge()
+        for v in (3.0, 1.0, 2.0):
+            g.set(v)
+        assert g.value == 2.0
+        assert g.min == 1.0
+        assert g.max == 3.0
+        assert g.samples == 3
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert 50.0 <= h.percentile(50) <= 51.0
+        assert 99.0 <= h.percentile(99) <= 100.0
+        assert h.count == 100
+        assert h.mean == 50.5
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.percentile(95) == 0.0
+        assert h.as_dict() == {"count": 0}
+
+    def test_as_dict_has_percentile_keys(self):
+        h = Histogram()
+        h.observe(1.0)
+        d = h.as_dict()
+        assert {"count", "sum", "mean", "min", "max",
+                "p50", "p95", "p99"} <= set(d)
+
+
+class TestFoldTrace:
+    def _trace(self):
+        t = Tracer(now_fn=lambda: 0.0)
+        t.begin("a")
+        t.wait("a", "hot", dur=0.2)
+        t.commit("a")
+        t.begin("b")
+        t.wait("b", "hot", dur=0.3)
+        t.abort("b", reason="deadlock")
+        t.begin("c")
+        t.abort("c", reason="interval-empty")
+        return t.events
+
+    def test_counts_commits_aborts_reasons(self):
+        reg = fold_trace(self._trace())
+        assert reg.counter("tx.commits").total == 1
+        assert reg.counter("tx.aborts").total == 2
+        assert reg.counter("abort.reasons").get("deadlock") == 1
+        assert reg.counter("abort.reasons").get("interval-empty") == 1
+
+    def test_wait_time_and_key_attribution(self):
+        reg = fold_trace(self._trace())
+        h = reg.histogram("lock.wait_time")
+        assert h.count == 2
+        assert abs(h.sum - 0.5) < 1e-12
+        assert abs(reg.counter("key.wait_time").get("hot") - 0.5) < 1e-12
+        assert reg.counter("key.conflicts").get("hot") == 2
+
+    def test_shrink_histogram(self):
+        t = Tracer(now_fn=lambda: 0.0)
+        t.emit("lock-acquire", "a", key="k", mode="write", shrink=0.4)
+        t.emit("lock-acquire", "a", key="k", mode="write", shrink=0.0)
+        reg = fold_trace(t.events)
+        assert reg.histogram("interval.shrink").count == 2
+        # Only the lossy acquisition counts as a conflict.
+        assert reg.counter("key.conflicts").get("k") == 1
+
+    def test_merge_conflict_counts(self):
+        reg = MetricsRegistry()
+        merge_conflict_counts(reg, {"k1": 3, "k2": 1})
+        merge_conflict_counts(reg, {"k1": 2})
+        assert reg.counter("key.conflicts").get("k1") == 5
+        assert reg.counter("key.conflicts").get("k2") == 1
+
+    def test_registry_as_dict_shape(self):
+        reg = fold_trace(self._trace())
+        d = reg.as_dict()
+        assert set(d) == {"counters", "gauges", "histograms"}
+        assert "abort.reasons" in d["counters"]

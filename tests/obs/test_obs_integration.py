@@ -1,0 +1,210 @@
+"""Integration of repro.obs with both substrates.
+
+Covers the ISSUE's acceptance properties:
+
+* trace invariants — every traced transaction has at most one terminal
+  event (commit xor abort), terminals follow a begin, DES timestamps are
+  monotone per transaction and globally by emission order;
+* determinism — same seed => identical trace; tracing itself never
+  perturbs the simulation (traced and untraced runs agree bit-for-bit on
+  the counted outcomes);
+* threaded-engine tracing — the MVTLEngine emits the same event
+  vocabulary stamped by wall-clock time;
+* overhead — the disabled (NULL_TRACER) hook path stays cheap.
+"""
+
+import time
+
+import pytest
+
+from repro.core.engine import MVTLEngine
+from repro.core.exceptions import AbortReason, TransactionAborted
+from repro.dist import ClusterConfig, run_cluster
+from repro.obs.profile import ContentionProfile
+from repro.obs.trace import TERMINAL_KINDS, EventKind, Tracer
+from repro.policies import MVTLTimestampOrdering
+from repro.sim.testbed import LOCAL_TESTBED
+from repro.workload import WorkloadConfig
+
+CONTENDED = WorkloadConfig(num_keys=60, tx_size=6, write_fraction=0.5)
+
+
+def traced_config(protocol, **kwargs):
+    defaults = dict(
+        protocol=protocol, profile=LOCAL_TESTBED, workload=CONTENDED,
+        num_clients=10, warmup=0.2, measure=0.6, seed=11, trace=True)
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+def check_invariants(events):
+    """Assert the trace well-formedness invariants on an event stream."""
+    begins: dict = {}
+    terminals: dict = {}
+    last_t_per_tx: dict = {}
+    prev_seq = 0
+    for ev in events:
+        assert ev.kind in EventKind.ALL
+        assert ev.seq > prev_seq, "seq must be strictly increasing"
+        prev_seq = ev.seq
+        if ev.kind == EventKind.BEGIN:
+            begins[ev.tx] = begins.get(ev.tx, 0) + 1
+        elif ev.kind in TERMINAL_KINDS:
+            terminals[ev.tx] = terminals.get(ev.tx, 0) + 1
+        # Per-transaction time monotonicity (DES now never goes back).
+        last = last_t_per_tx.get(ev.tx)
+        if last is not None:
+            assert ev.t >= last, (ev.tx, last, ev.t)
+        last_t_per_tx[ev.tx] = ev.t
+    for tx, n in terminals.items():
+        assert n == 1, f"{tx} has {n} terminal events"
+        assert begins.get(tx, 0) == 1, f"{tx} terminal without begin"
+    return begins, terminals
+
+
+class TestTraceInvariants:
+    @pytest.mark.parametrize("protocol",
+                             ["mvtil-early", "mvtil-late", "mvto", "2pl"])
+    def test_cluster_trace_well_formed(self, protocol):
+        res = run_cluster(traced_config(protocol))
+        assert res.trace, "traced run must record events"
+        begins, terminals = check_invariants(res.trace)
+        assert terminals, "some transactions must finish"
+
+    def test_global_time_monotone_in_des(self):
+        res = run_cluster(traced_config("mvtil-early"))
+        ts = [e.t for e in res.trace]
+        assert all(a <= b for a, b in zip(ts, ts[1:]))
+
+    def test_abort_reasons_are_taxonomy_members(self):
+        res = run_cluster(traced_config("mvtil-early"))
+        reasons = {e.reason for e in res.trace
+                   if e.kind == EventKind.ABORT}
+        for reason in reasons:
+            assert isinstance(AbortReason.of(reason), AbortReason), reason
+
+    def test_interval_acquisitions_carry_requested_vs_granted(self):
+        res = run_cluster(traced_config("mvtil-early"))
+        acquires = [e for e in res.trace
+                    if e.kind == EventKind.LOCK_ACQUIRE]
+        assert acquires
+        for ev in acquires:
+            assert ev.data.get("requested") is not None
+            assert "shrink" in ev.data
+            assert ev.data["shrink"] >= 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_identical_trace(self):
+        a = run_cluster(traced_config("mvtil-early"))
+        b = run_cluster(traced_config("mvtil-early"))
+        assert len(a.trace) == len(b.trace)
+        assert [(e.t, e.seq, e.kind, e.tx, e.key) for e in a.trace] == \
+               [(e.t, e.seq, e.kind, e.tx, e.key) for e in b.trace]
+
+    @pytest.mark.parametrize("protocol", ["mvtil-early", "mvto", "2pl"])
+    def test_tracing_does_not_perturb_the_run(self, protocol):
+        traced = run_cluster(traced_config(protocol))
+        plain = run_cluster(traced_config(protocol, trace=False))
+        assert traced.committed == plain.committed
+        assert traced.aborted == plain.aborted
+        assert traced.messages_sent == plain.messages_sent
+        assert plain.trace is None
+        assert plain.metrics is None
+
+    def test_metrics_agree_with_counters(self):
+        res = run_cluster(traced_config("mvtil-early"))
+        m = res.metrics
+        # Trace counts cover the whole run (incl. warmup), so they bound
+        # the in-window RunStats counts.
+        assert sum(m["counters"]["tx.commits"].values()) >= res.committed
+        assert m["run"]["committed"] == res.committed
+        assert m["run"]["aborted"] == res.aborted
+        assert m["run"]["commit_rate"] == pytest.approx(res.commit_rate)
+        assert set(m["run"]["latency"]) == {"committed", "aborted"}
+        for side in m["run"]["latency"].values():
+            assert {"count", "mean", "p50", "p95", "p99"} <= set(side)
+
+    def test_contention_profile_folds_cluster_trace(self):
+        res = run_cluster(traced_config("mvtil-early"))
+        profile = ContentionProfile.from_events(res.trace)
+        assert profile.commits + profile.aborts > 0
+        report = profile.format_report()
+        assert "contention report" in report
+        assert "abort reasons" in report
+
+
+class TestThreadedEngineTracing:
+    def test_engine_emits_spans(self):
+        tracer = Tracer()
+        engine = MVTLEngine(MVTLTimestampOrdering(), tracer=tracer)
+        t1 = engine.begin(pid=1)
+        engine.write(t1, "k", 1)
+        assert engine.commit(t1)
+        t2 = engine.begin(pid=2)
+        assert engine.read(t2, "k") == 1
+        assert engine.commit(t2)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds.count(EventKind.BEGIN) == 2
+        assert kinds.count(EventKind.COMMIT) == 2
+        assert EventKind.WRITE in kinds
+        assert EventKind.READ in kinds
+        assert EventKind.LOCK_ACQUIRE in kinds
+        check_invariants(tracer.events)
+
+    def test_engine_abort_reason_traced(self):
+        tracer = Tracer()
+        engine = MVTLEngine(MVTLTimestampOrdering(), tracer=tracer)
+        tx = engine.begin(pid=1)
+        engine.abort(tx)
+        aborts = [e for e in tracer.events if e.kind == EventKind.ABORT]
+        assert len(aborts) == 1
+        assert aborts[0].reason == "user-abort"
+        assert tx.abort_reason is AbortReason.USER_ABORT
+
+    def test_wall_clock_timestamps(self):
+        tracer = Tracer()
+        engine = MVTLEngine(MVTLTimestampOrdering(), tracer=tracer)
+        before = time.perf_counter()
+        tx = engine.begin(pid=1)
+        engine.commit(tx)
+        after = time.perf_counter()
+        for ev in tracer.events:
+            assert before <= ev.t <= after
+
+
+class TestAbortReasonCompat:
+    def test_enum_equals_legacy_string(self):
+        assert AbortReason.DEADLOCK == "deadlock"
+        assert AbortReason.of("deadlock") is AbortReason.DEADLOCK
+        assert AbortReason.of("custom-reason") == "custom-reason"
+        assert str(AbortReason.INTERVAL_EMPTY) == "interval-empty"
+        assert f"{AbortReason.LOCK_TIMEOUT}" == "lock-timeout"
+
+    def test_exception_coerces_reason(self):
+        exc = TransactionAborted(("c", 1), "rpc-timeout")
+        assert exc.reason is AbortReason.RPC_TIMEOUT
+
+
+class TestDisabledOverhead:
+    def test_null_tracer_engine_ops_stay_fast(self):
+        """The disabled hook path is one attribute check: a begin/write/
+        commit loop with no tracer attached must stay within an order of
+        magnitude of pure dict work (generous bound: CI noise)."""
+        engine = MVTLEngine(MVTLTimestampOrdering())
+        n = 300
+        start = time.perf_counter()
+        for i in range(n):
+            tx = engine.begin(pid=1)
+            engine.write(tx, i % 7, i)
+            engine.commit(tx)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 5.0, f"{n} txs took {elapsed:.3f}s untraced"
+
+    def test_untraced_cluster_records_nothing(self):
+        res = run_cluster(traced_config("mvtil-early", trace=False))
+        assert res.trace is None
+        assert res.metrics is None
+        # The lightweight always-on aggregates still exist.
+        assert isinstance(res.abort_reasons, dict)
+        assert set(res.latency_summary) == {"committed", "aborted"}

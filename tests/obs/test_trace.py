@@ -1,0 +1,109 @@
+"""Unit tests for repro.obs.trace: tracer mechanics and span_width."""
+
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.timestamp import Timestamp
+from repro.obs.trace import (NULL_TRACER, TERMINAL_KINDS, EventKind,
+                             NullTracer, TraceEvent, Tracer, span_width)
+
+
+def iv(lo, hi):
+    return TsInterval.closed(Timestamp(lo, 0), Timestamp(hi, 0))
+
+
+class TestSpanWidth:
+    def test_none(self):
+        assert span_width(None) is None
+
+    def test_single_interval(self):
+        assert span_width(iv(1.0, 3.5)) == 2.5
+
+    def test_interval_set_sums_pieces(self):
+        s = (IntervalSet.from_interval(iv(0.0, 1.0))
+             .union(IntervalSet.from_interval(iv(5.0, 7.0))))
+        assert span_width(s) == 3.0
+
+    def test_empty_set(self):
+        assert span_width(IntervalSet.empty()) == 0.0
+
+    def test_unknown_object(self):
+        assert span_width(object()) is None
+
+
+class TestNullTracer:
+    def test_disabled_flag_is_class_attribute(self):
+        assert NullTracer.enabled is False
+        assert NULL_TRACER.enabled is False
+
+    def test_all_hooks_are_noops(self):
+        t = NULL_TRACER
+        assert t.begin("tx") is None
+        assert t.read("tx", "k", ts=1) is None
+        assert t.write("tx", "k") is None
+        assert t.lock_acquire("tx", "k", "read") is None
+        assert t.wait("tx", "k", dur=0.5) is None
+        assert t.freeze("tx", "k", "write") is None
+        assert t.commit("tx") is None
+        assert t.abort("tx", reason="deadlock") is None
+
+
+class TestTracer:
+    def test_records_in_order_with_monotone_seq(self):
+        clock = iter([1.0, 2.0, 3.0]).__next__
+        t = Tracer(now_fn=clock)
+        t.begin("a")
+        t.read("a", "k", ts=7)
+        t.commit("a", ts=7)
+        kinds = [e.kind for e in t.events]
+        assert kinds == [EventKind.BEGIN, EventKind.READ, EventKind.COMMIT]
+        assert [e.seq for e in t.events] == [1, 2, 3]
+        assert [e.t for e in t.events] == [1.0, 2.0, 3.0]
+
+    def test_lock_acquire_computes_shrink(self):
+        t = Tracer(now_fn=lambda: 0.0)
+        t.lock_acquire("a", "k", "write", requested=iv(0.0, 1.0),
+                       granted=iv(0.0, 0.25))
+        ev = t.events[0]
+        assert ev.kind == EventKind.LOCK_ACQUIRE
+        assert ev.mode == "write"
+        assert abs(ev.data["shrink"] - 0.75) < 1e-12
+        assert ev.data["requested"] == 1.0
+        assert ev.data["granted"] == 0.25
+
+    def test_lock_acquire_without_intervals_has_no_shrink(self):
+        t = Tracer(now_fn=lambda: 0.0)
+        t.lock_acquire("a", "k", "read")
+        assert "shrink" not in t.events[0].data
+
+    def test_abort_reason_stringified(self):
+        from repro.core.exceptions import AbortReason
+        t = Tracer(now_fn=lambda: 0.0)
+        t.abort("a", reason=AbortReason.DEADLOCK)
+        assert t.events[0].reason == "deadlock"
+
+    def test_sink_receives_events(self):
+        seen = []
+        t = Tracer(now_fn=lambda: 0.0, sink=seen.append, keep=False)
+        t.begin("a")
+        t.commit("a")
+        assert [e.kind for e in seen] == ["begin", "commit"]
+        assert t.events == []  # keep=False drops in-memory retention
+
+    def test_terminal_kinds(self):
+        assert TERMINAL_KINDS == {EventKind.COMMIT, EventKind.ABORT}
+
+    def test_default_clock_is_wall_time(self):
+        t = Tracer()
+        t.begin("a")
+        t.begin("b")
+        assert t.events[1].t >= t.events[0].t
+
+
+class TestTraceEvent:
+    def test_frozen(self):
+        ev = TraceEvent(0.0, 1, "begin", "tx")
+        try:
+            ev.kind = "other"
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
