@@ -6,15 +6,21 @@ Usage::
     python -m repro.bench all             # everything
     REPRO_FULL=1 python -m repro.bench fig2   # the paper's full sweep
     python -m repro.bench fig1 --seeds 1 2 3 --out results/
+    python -m repro.bench smoke           # batched-vs-unbatched CI check
+    python -m repro.bench engine          # threaded striped-engine bench
 
 Prints each figure as an ASCII table and saves the raw points as JSON.
+``smoke`` and ``engine`` print their report and exit non-zero on failure
+instead of writing files.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
 import time
+from dataclasses import replace
 
 from .figures import (figure1_concurrency_local, figure2_concurrency_cloud,
                       figure3_write_fraction, figure4_small_transactions,
@@ -31,13 +37,135 @@ FIGURES = {
 }
 
 
+def run_smoke(seed: int = 7) -> int:
+    """CI check: batching must change the wire cost, not the outcomes.
+
+    Runs each MVTL-family protocol twice with the same seed — commit-path
+    batching on and off — on a low-contention workload where every attempt
+    commits, and asserts (a) both runs produce identical commit/abort
+    outcomes (all commits, zero aborts: the strongest outcome equality that
+    survives batching's different message timing) and (b) batching strictly
+    lowers messages per commit.
+    """
+    from ..dist.cluster import ClusterConfig, run_cluster
+    from ..sim.testbed import LOCAL_TESTBED
+    from ..workload.generator import WorkloadConfig
+
+    base = ClusterConfig(
+        profile=LOCAL_TESTBED,
+        workload=WorkloadConfig(num_keys=200_000, tx_size=6,
+                                write_fraction=0.25),
+        num_clients=12, seed=seed, warmup=0.25, measure=1.0)
+    print("== smoke: batched vs unbatched commit path (same seed) ==")
+    print(f"{'protocol':>12s} {'mode':>10s} {'committed':>10s} "
+          f"{'aborted':>8s} {'msgs/commit':>12s}")
+    failures = []
+    for proto in ("mvtil-early", "mvtil-late", "mvto"):
+        results = {}
+        for batching in (True, False):
+            res = run_cluster(replace(base, protocol=proto,
+                                      batching=batching))
+            results[batching] = res
+            mode = "batched" if batching else "unbatched"
+            print(f"{proto:>12s} {mode:>10s} {res.committed:>10d} "
+                  f"{res.aborted:>8d} {res.messages_per_commit:>12.1f}")
+        for batching, res in results.items():
+            if res.aborted or not res.committed:
+                failures.append(
+                    f"{proto} batching={batching}: expected all-commit "
+                    f"outcomes, got {res.committed} commits / "
+                    f"{res.aborted} aborts")
+        if (results[True].messages_per_commit
+                >= results[False].messages_per_commit):
+            failures.append(
+                f"{proto}: batching did not reduce messages per commit "
+                f"({results[True].messages_per_commit:.1f} >= "
+                f"{results[False].messages_per_commit:.1f})")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("smoke: " + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
+def run_engine_bench(threads: int = 8, duration: float = 1.0,
+                     keys_per_thread: int = 64) -> int:
+    """Threaded MVTLEngine throughput, single-stripe vs striped.
+
+    Two workloads: *disjoint* (each thread owns its keyset — the workload
+    striping is built to parallelize) and *pairwise* (thread pairs contend
+    on a shared key, exercising the blocking path where a single global
+    condition wakes every waiter on every release).  Prints commits per
+    second with ``stripes=1`` (the old single-condition behaviour) and the
+    default stripe count, and the speedup.
+    """
+    from ..core.engine import DEFAULT_STRIPES, MVTLEngine
+    from ..core.exceptions import TransactionAborted
+    from ..policies import MVTIL, MVTLPessimistic
+
+    def measure(stripes: int, policy, keyset_of) -> tuple[float, dict]:
+        engine = MVTLEngine(policy(), default_timeout=2.0, stripes=stripes)
+        commits = [0] * threads
+        barrier = threading.Barrier(threads)
+        deadline = [0.0]
+
+        def worker(i: int) -> None:
+            keyset = keyset_of(i)
+            barrier.wait()
+            n = 0
+            while time.monotonic() < deadline[0]:
+                tx = engine.begin(pid=i)
+                try:
+                    for key in {keyset[n % len(keyset)],
+                                keyset[(n + 1) % len(keyset)]}:
+                        engine.read(tx, key)
+                        engine.write(tx, key, n)
+                    if engine.commit(tx):
+                        commits[i] += 1
+                except TransactionAborted:
+                    pass
+                n += 1
+
+        workers = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads)]
+        # Set the deadline just before releasing the barrier so thread
+        # start-up cost is not measured.
+        deadline[0] = time.monotonic() + duration + 0.05
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        return sum(commits) / duration, engine.stripe_contention()
+
+    workloads = (
+        ("disjoint", MVTIL,
+         lambda i: [f"w{i}-{j}" for j in range(keys_per_thread)]),
+        ("pairwise", MVTLPessimistic,
+         lambda i: [f"pair{i // 2}"]),
+    )
+    print(f"== engine: {threads} threads, {duration:.1f}s per config ==")
+    for label, policy, keyset_of in workloads:
+        throughput = {}
+        for stripes in (1, DEFAULT_STRIPES):
+            thr, contention = measure(stripes, policy, keyset_of)
+            throughput[stripes] = thr
+            print(f"  {label:>9s} stripes={stripes:>2d}: {thr:>10.0f} "
+                  f"commits/s  (waits={sum(contention['waits'])}, "
+                  f"conflicts={sum(contention['conflicts'])})")
+        speedup = throughput[DEFAULT_STRIPES] / max(1e-9, throughput[1])
+        print(f"  {label:>9s} striped speedup: {speedup:.2f}x")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation figures (§8).")
     parser.add_argument("figure",
-                        choices=sorted(FIGURES) + ["fig6", "fig7", "all"],
-                        help="which figure to regenerate")
+                        choices=sorted(FIGURES) + ["fig6", "fig7", "all",
+                                                   "smoke", "engine"],
+                        help="which figure to regenerate (or: 'smoke' = "
+                             "batched-vs-unbatched outcome check, 'engine' "
+                             "= threaded striped-engine throughput)")
     parser.add_argument("--seeds", type=int, nargs="+", default=[1],
                         help="seeds to average over (paper: 5 repetitions)")
     parser.add_argument("--out", default="benchmarks/results",
@@ -48,6 +176,11 @@ def main(argv: list[str] | None = None) -> int:
                              "<figure>.metrics.json sidecars "
                              "(inspect with `python -m repro.obs report`)")
     args = parser.parse_args(argv)
+
+    if args.figure == "smoke":
+        return run_smoke(seed=args.seeds[0])
+    if args.figure == "engine":
+        return run_engine_bench()
 
     wanted = (sorted(FIGURES) + ["fig6"] if args.figure == "all"
               else [args.figure])

@@ -55,7 +55,7 @@ def _mean_result(config: ClusterConfig, seeds: Sequence[int],
     result collected for the figure's observability sidecars.  Tracing does
     not perturb the simulation, so the numbers are identical either way.
     """
-    thr, cr = [], []
+    thr, cr, mpc = [], [], []
     for seed in seeds:
         cfg = replace(config, seed=seed, trace=obs is not None)
         res = run_cluster(cfg)
@@ -63,7 +63,8 @@ def _mean_result(config: ClusterConfig, seeds: Sequence[int],
             obs.add(res)
         thr.append(res.throughput)
         cr.append(res.commit_rate)
-    return float(np.mean(thr)), float(np.mean(cr))
+        mpc.append(res.messages_per_commit)
+    return (float(np.mean(thr)), float(np.mean(cr)), float(np.mean(mpc)))
 
 
 def sweep_protocols(base: ClusterConfig, xs: Iterable[float],
@@ -78,9 +79,10 @@ def sweep_protocols(base: ClusterConfig, xs: Iterable[float],
     for x in xs:
         for proto in protocols:
             config = apply_x(replace(base, protocol=proto), x)
-            thr, cr = _mean_result(config, seeds, obs)
-            points.append(FigurePoint(x=x, protocol=proto, throughput=thr,
-                                      commit_rate=cr))
+            thr, cr, mpc = _mean_result(config, seeds, obs)
+            points.append(FigurePoint(
+                x=x, protocol=proto, throughput=thr, commit_rate=cr,
+                extra={"messages_per_commit": mpc}))
     return points
 
 
@@ -213,11 +215,12 @@ def figure5_num_servers(seeds: Sequence[int] = (1,),
         for n in servers:
             for proto in ALL_PROTOCOLS:
                 cfg = replace(base, protocol=proto, num_servers=n)
-                thr, cr = _mean_result(cfg, seeds, obs)
+                thr, cr, mpc = _mean_result(cfg, seeds, obs)
                 points.append(FigurePoint(
                     x=n, protocol=f"{proto}@w{int(wf * 100)}",
                     throughput=thr, commit_rate=cr,
-                    extra={"write_fraction": wf}))
+                    extra={"write_fraction": wf,
+                           "messages_per_commit": mpc}))
     return FigureResult(
         figure="fig5", title="Effect of number of servers (cloud test bed)",
         x_label="# servers", points=points,

@@ -89,6 +89,14 @@ def format_figure(result: FigureResult,
                 row.append(f"{point.commit_rate:>14.3f}" if point
                            else f"{'-':>14s}")
         lines.append(" ".join(row))
+    mpc_parts = []
+    for proto in protocols:
+        vals = [p.extra["messages_per_commit"] for p in result.series(proto)
+                if "messages_per_commit" in p.extra]
+        if vals:
+            mpc_parts.append(f"{proto}={sum(vals) / len(vals):.1f}")
+    if mpc_parts:
+        lines.append("   msgs/commit (mean): " + "  ".join(mpc_parts))
     return "\n".join(lines)
 
 

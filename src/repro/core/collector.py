@@ -96,7 +96,9 @@ class BackgroundCollector:
         self.stats["collected"] += len(ready)
         if self.purge_horizon is not None:
             bound_value = self.engine.clock.now() - self.purge_horizon
-            purged = self.engine.store.purge_before(
+            # Route through the engine: whole-store purging must hold every
+            # stripe so it cannot race concurrent commit-time installs.
+            purged = self.engine.purge_versions_before(
                 Timestamp(bound_value, -(2**31)))
             self.stats["purged_versions"] += purged
         return len(ready)

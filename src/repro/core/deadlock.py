@@ -6,36 +6,48 @@ deadlock; the paper prescribes "standard techniques for deadlock detection
 module provides the wait-for graph; the engine registers an edge set before
 each wait and runs a DFS — if the new edges close a cycle through the waiter,
 the waiter is the victim and receives :class:`~repro.core.exceptions.DeadlockError`.
+
+The graph carries its own mutex, so the striped engine can consult it from
+any stripe without holding a global lock.  Detection under striping is
+*eventually complete* rather than instantaneous: a cycle that forms between
+two concurrent ``set_waits``/``find_cycle`` pairs is caught on one waiter's
+next poll round (the engine re-runs detection every wait quantum).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterable
 
 __all__ = ["WaitForGraph"]
 
 
 class WaitForGraph:
-    """Who waits for whom.  Not thread-safe; guard externally."""
+    """Who waits for whom.  Thread-safe: every operation holds the graph's
+    own mutex, and that mutex is a leaf in the engine's lock order (no
+    stripe lock is ever taken while holding it)."""
 
-    __slots__ = ("_edges",)
+    __slots__ = ("_edges", "_mutex")
 
     def __init__(self) -> None:
         self._edges: dict[Hashable, frozenset[Hashable]] = {}
+        self._mutex = threading.Lock()
 
     def set_waits(self, waiter: Hashable,
                   holders: Iterable[Hashable]) -> None:
         """Declare that ``waiter`` is blocked on ``holders`` (replaces any
         previous declaration)."""
         holders = frozenset(h for h in holders if h != waiter)
-        if holders:
-            self._edges[waiter] = holders
-        else:
-            self._edges.pop(waiter, None)
+        with self._mutex:
+            if holders:
+                self._edges[waiter] = holders
+            else:
+                self._edges.pop(waiter, None)
 
     def clear(self, waiter: Hashable) -> None:
         """``waiter`` is no longer blocked."""
-        self._edges.pop(waiter, None)
+        with self._mutex:
+            self._edges.pop(waiter, None)
 
     def find_cycle(self, start: Hashable) -> tuple[Hashable, ...] | None:
         """A wait-for cycle through ``start``, or None.
@@ -44,18 +56,49 @@ class WaitForGraph:
         """
         stack: list[tuple[Hashable, tuple[Hashable, ...]]] = [(start, (start,))]
         visited: set[Hashable] = set()
-        while stack:
-            node, path = stack.pop()
-            for nxt in self._edges.get(node, ()):
-                if nxt == start:
-                    return path + (start,)
-                if nxt not in visited:
-                    visited.add(nxt)
-                    stack.append((nxt, path + (nxt,)))
+        with self._mutex:
+            while stack:
+                node, path = stack.pop()
+                for nxt in self._edges.get(node, ()):
+                    if nxt == start:
+                        return path + (start,)
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, path + (nxt,)))
+        return None
+
+    def set_waits_and_check(self, waiter: Hashable,
+                            holders: Iterable[Hashable]
+                            ) -> tuple[Hashable, ...] | None:
+        """Atomically register ``waiter``'s edges and look for a cycle.
+
+        Doing both under one mutex hold closes the window in which two
+        waiters register edges against each other and both miss the cycle.
+        """
+        holders = frozenset(h for h in holders if h != waiter)
+        with self._mutex:
+            if holders:
+                self._edges[waiter] = holders
+            else:
+                self._edges.pop(waiter, None)
+                return None
+            stack: list[tuple[Hashable, tuple[Hashable, ...]]] = [
+                (waiter, (waiter,))]
+            visited: set[Hashable] = set()
+            while stack:
+                node, path = stack.pop()
+                for nxt in self._edges.get(node, ()):
+                    if nxt == waiter:
+                        return path + (waiter,)
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, path + (nxt,)))
         return None
 
     def __contains__(self, waiter: Hashable) -> bool:
-        return waiter in self._edges
+        with self._mutex:
+            return waiter in self._edges
 
     def __len__(self) -> int:
-        return len(self._edges)
+        with self._mutex:
+            return len(self._edges)

@@ -19,6 +19,24 @@ makes Theorem 1 hold for arbitrary policies):
 * committed write locks and the read-lock prefix up to the commit timestamp
   are frozen (never released), sealing the serialization decision.
 
+Synchronization is *striped* (the paper's point that MVTL decentralizes
+synchronization — per-object timestamp locks, no global lock): the key space
+is hashed onto ``stripes`` independent mutex+condition pairs, so acquires on
+keys in different stripes never contend and a release only wakes waiters of
+the released key's stripe.  The locking discipline:
+
+* per-key operations (acquire/release/frozen-range queries) hold exactly the
+  key's stripe;
+* cross-key operations (the commit freeze pass, GC's freeze+release sweep,
+  whole-table metrics) collect the stripes of every key involved and acquire
+  them in ascending stripe-index order — a global canonical order, so two
+  cross-key operations can never deadlock against each other, and a
+  cross-key operation never acquires a further stripe while holding any;
+* the :class:`~repro.core.deadlock.WaitForGraph` and the stats dict carry
+  their own leaf mutexes (taken last, released before any wait);
+* waiters poll (condition-wait with a small quantum) in addition to being
+  notified, so a wakeup missed across stripes costs latency, never liveness.
+
 The distributed version of the engine lives in :mod:`repro.dist`.
 """
 
@@ -26,9 +44,10 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from itertools import count
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterable, Iterator
 
 from ..clocks.clock import Clock, LogicalClock
 from ..obs.trace import NULL_TRACER
@@ -42,7 +61,20 @@ from .timestamp import TS_ZERO, Timestamp
 from .transaction import Transaction, TxStatus
 from .versions import VersionStore
 
-__all__ = ["MVTLEngine", "EngineAcquireResult"]
+__all__ = ["MVTLEngine", "EngineAcquireResult", "DEFAULT_STRIPES"]
+
+#: Default number of lock stripes.  Plenty for the thread counts the paper's
+#: figures sweep (up to ~32 clients) while keeping all-stripe operations
+#: (metrics, version purging) cheap.
+DEFAULT_STRIPES = 16
+
+#: Sentinel distinguishing "timeout not passed" from an explicit
+#: ``timeout=None`` ("wait forever") in :meth:`MVTLEngine.acquire`.
+_UNSET_TIMEOUT: Any = object()
+
+#: Poll quantum for condition waits: an upper bound on how long a waiter can
+#: oversleep a wakeup it missed, and the cadence of deadlock re-checks.
+_WAIT_QUANTUM = 0.05
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +116,10 @@ class MVTLEngine:
     default_timeout:
         Upper bound in seconds for any single blocking lock wait; ``None``
         waits forever (deadlock detection still applies).
+    stripes:
+        Number of lock stripes.  Keys map to stripes by ``hash(key) %
+        stripes``; acquires on keys in different stripes proceed fully in
+        parallel.  ``1`` recovers the old single-condition behaviour.
     history:
         Optional recorder with ``begin/read/commit/abort`` callbacks (see
         :mod:`repro.verify.history`) used by the serializability checker.
@@ -97,6 +133,7 @@ class MVTLEngine:
     def __init__(self, policy: MVTLPolicy, clock: Clock | None = None, *,
                  clock_for_pid: Callable[[int], Clock] | None = None,
                  default_timeout: float | None = 10.0,
+                 stripes: int = DEFAULT_STRIPES,
                  history: Any | None = None,
                  tracer: Any | None = None) -> None:
         self.policy = policy
@@ -107,12 +144,61 @@ class MVTLEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.store = VersionStore()
         self.locks = LockTable()
-        self._cond = threading.Condition(threading.RLock())
+        if stripes < 1:
+            raise ValueError("stripes must be >= 1")
+        self.num_stripes = stripes
+        self._stripes = tuple(threading.Condition(threading.RLock())
+                              for _ in range(stripes))
+        self._all_stripe_indices = tuple(range(stripes))
+        # Per-stripe contention counters, each mutated only under its
+        # stripe's lock; cross-stripe reads may be momentarily stale.
+        self._stripe_waits = [0] * stripes
+        self._stripe_conflicts = [0] * stripes
         self._waits = WaitForGraph()
         self._tx_counter = count(1)
-        # Statistics for benchmarks/tests.
+        # Statistics for benchmarks/tests; guarded by their own leaf mutex.
         self.stats = {"commits": 0, "aborts": 0, "deadlocks": 0,
                       "lock_timeouts": 0}
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Stripe plumbing
+    # ------------------------------------------------------------------
+
+    def stripe_of(self, key: Hashable) -> int:
+        """The stripe index guarding ``key``."""
+        return hash(key) % self.num_stripes
+
+    def _stripe_indices(self, keys: Iterable[Hashable]) -> tuple[int, ...]:
+        """Ascending, deduplicated stripe indices for ``keys``."""
+        return tuple(sorted({self.stripe_of(k) for k in keys}))
+
+    @contextmanager
+    def _locked_stripes(self, indices: tuple[int, ...]) -> Iterator[None]:
+        """Hold the given stripes, acquired in canonical (ascending) order.
+
+        ``indices`` must be sorted ascending and deduplicated
+        (:meth:`_stripe_indices` guarantees this) — the canonical order is
+        what makes concurrent cross-key operations deadlock-free.
+        """
+        taken = 0
+        try:
+            for i in indices:
+                self._stripes[i].acquire()
+                taken += 1
+            yield
+        finally:
+            for i in reversed(indices[:taken]):
+                self._stripes[i].release()
+
+    def _notify_stripes(self, indices: tuple[int, ...]) -> None:
+        """Wake waiters of stripes the caller currently holds."""
+        for i in indices:
+            self._stripes[i].notify_all()
+
+    def _bump(self, stat: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[stat] += n
 
     # ------------------------------------------------------------------
     # Transaction interface (begin / read / write / commit)
@@ -147,7 +233,7 @@ class MVTLEngine:
             version = self.policy.read_locks(self, tx, key)
         except DeadlockError:
             self._abort(tx, AbortReason.DEADLOCK)
-            self.stats["deadlocks"] += 1
+            self._bump("deadlocks")
             raise TransactionAborted(tx.id, AbortReason.DEADLOCK) from None
         if version is None:
             self._abort(tx, AbortReason.READ_FAILED)
@@ -166,7 +252,7 @@ class MVTLEngine:
             self.policy.write_locks(self, tx, key)
         except DeadlockError:
             self._abort(tx, AbortReason.DEADLOCK)
-            self.stats["deadlocks"] += 1
+            self._bump("deadlocks")
             raise TransactionAborted(tx.id, AbortReason.DEADLOCK) from None
         tx.writeset[key] = value
         if self.tracer.enabled:
@@ -176,48 +262,61 @@ class MVTLEngine:
         """Try to commit ``tx`` (Algorithm 1 ``commit``).
 
         Returns True on commit, False on abort (the transaction is finished
-        either way).
+        either way).  Raises :class:`PolicyError` — after aborting the
+        transaction and garbage-collecting its locks, if the policy asks
+        for commit-time GC — when the policy picks a commit timestamp
+        outside the locked candidate set.
         """
         self._check_active(tx)
         try:
             self.policy.commit_locks(self, tx)
         except DeadlockError:
             self._abort(tx, AbortReason.DEADLOCK)
-            self.stats["deadlocks"] += 1
+            self._bump("deadlocks")
             return False
-        with self._cond:
+        keys = set(tx.writeset)
+        keys.update(k for k, _ in tx.readset)
+        indices = self._stripe_indices(keys)
+        committed = False
+        policy_error: PolicyError | None = None
+        with self._locked_stripes(indices):
             candidates = self._candidates(tx)
             commit_ts = (self.policy.commit_ts(self, tx, candidates)
                          if candidates else None)
             if commit_ts is None:
-                self._abort_locked(tx, AbortReason.NO_COMMON_TIMESTAMP)
-                if self.policy.commit_gc(self, tx):
-                    self.gc(tx)
-                return False
-            if not candidates.contains(commit_ts):
-                self._abort_locked(tx, AbortReason.NO_COMMON_TIMESTAMP)
-                raise PolicyError(
+                self._finish_abort(tx, AbortReason.NO_COMMON_TIMESTAMP)
+            elif not candidates.contains(commit_ts):
+                self._finish_abort(tx, AbortReason.NO_COMMON_TIMESTAMP)
+                policy_error = PolicyError(
                     f"policy {self.policy.name} picked commit timestamp "
                     f"{commit_ts!r} outside the locked candidate set")
-            point = TsInterval.point(commit_ts)
-            for key, value in tx.writeset.items():
-                self.locks.freeze(tx.id, key, LockMode.WRITE, point)
-                self.store.install(key, commit_ts, value)
+            else:
+                point = TsInterval.point(commit_ts)
+                for key, value in tx.writeset.items():
+                    self.locks.freeze(tx.id, key, LockMode.WRITE, point)
+                    self.store.install(key, commit_ts, value)
+                    if self.tracer.enabled:
+                        self.tracer.freeze(tx.id, key, LockMode.WRITE.value,
+                                           span=point)
+                tx.commit_ts = commit_ts
+                tx.status = TxStatus.COMMITTED
+                self._bump("commits")
+                if self.history is not None:
+                    self.history.record_commit(tx.id, commit_ts,
+                                               tuple(tx.writeset))
                 if self.tracer.enabled:
-                    self.tracer.freeze(tx.id, key, LockMode.WRITE.value,
-                                       span=point)
-            tx.commit_ts = commit_ts
-            tx.status = TxStatus.COMMITTED
-            self.stats["commits"] += 1
-            if self.history is not None:
-                self.history.record_commit(tx.id, commit_ts,
-                                           tuple(tx.writeset))
-            if self.tracer.enabled:
-                self.tracer.commit(tx.id, ts=commit_ts)
-            self._cond.notify_all()
+                    self.tracer.commit(tx.id, ts=commit_ts)
+                committed = True
+                self._notify_stripes(indices)
+        # GC re-acquires stripes, so it must run with none held; the
+        # PolicyError surfaces only after the aborted transaction's
+        # unfrozen locks are collected — other transactions must not be
+        # left blocking on a dead owner while the caller handles the error.
         if self.policy.commit_gc(self, tx):
             self.gc(tx)
-        return True
+        if policy_error is not None:
+            raise policy_error
+        return committed
 
     def abort(self, tx: Transaction,
               reason: str = AbortReason.USER_ABORT) -> None:
@@ -235,8 +334,13 @@ class MVTLEngine:
         """
         if tx.is_active:
             raise TransactionStateError("gc() on an active transaction")
-        with self._cond:
-            if tx.committed and tx.commit_ts is not None:
+        freeze_reads = tx.committed and tx.commit_ts is not None
+        keys = set(self.locks.keys_of(tx.id))
+        if freeze_reads:
+            keys.update(k for k, _ in tx.readset)
+        indices = self._stripe_indices(keys)
+        with self._locked_stripes(indices):
+            if freeze_reads:
                 for key, tr in tx.readset:
                     if tr < tx.commit_ts:
                         span = TsInterval.open_closed(tr, tx.commit_ts)
@@ -245,8 +349,12 @@ class MVTLEngine:
                             self.tracer.freeze(tx.id, key,
                                                LockMode.READ.value,
                                                span=span)
-            self.locks.release_all_unfrozen(tx.id)
-            self._cond.notify_all()
+            # Seal rather than merely release: folding the frozen remainder
+            # into each key's ownerless aggregate keeps conflict checks
+            # O(active transactions) — dead-owner records otherwise pile up
+            # and every read's frozen_write_ranges() scan grows unboundedly.
+            self.locks.seal_all(tx.id)
+            self._notify_stripes(indices)
 
     # ------------------------------------------------------------------
     # Primitives used by policies
@@ -267,7 +375,7 @@ class MVTLEngine:
     def acquire(self, tx: Transaction, key: Hashable, mode: LockMode,
                 want: TsInterval | IntervalSet, *, wait: bool = True,
                 stop_on_frozen: bool = True,
-                timeout: float | None = None) -> EngineAcquireResult:
+                timeout: float | None = _UNSET_TIMEOUT) -> EngineAcquireResult:
         """Acquire locks on ``want``, optionally waiting for unfrozen holders.
 
         * ``wait=False``: single attempt; grant the conflict-free part and
@@ -281,10 +389,14 @@ class MVTLEngine:
           entire remainder is granted — the pessimistic/prioritizer idiom
           of locking "everything lockable up to +inf".
 
+        ``timeout`` bounds the wait: not passed means ``default_timeout``,
+        an explicit ``None`` waits forever (deadlock detection and the
+        waiter's poll loop still apply).
+
         Raises :class:`DeadlockError` if this wait would close a wait-for
         cycle (the caller is the victim).
         """
-        if timeout is None:
+        if timeout is _UNSET_TIMEOUT:
             timeout = self.default_timeout
         deadline = (time.monotonic() + timeout) if timeout is not None else None
         want_set = (IntervalSet.from_interval(want)
@@ -318,7 +430,9 @@ class MVTLEngine:
                       waited: list[float] | None) -> EngineAcquireResult:
         acquired_total = EMPTY_SET
         skipped_frozen: tuple[Conflict, ...] = ()
-        with self._cond:
+        idx = self.stripe_of(key)
+        cond = self._stripes[idx]
+        with cond:
             while True:
                 result = self.locks.try_acquire(tx.id, key, mode, want_set)
                 acquired_total = acquired_total.union(result.acquired)
@@ -326,6 +440,7 @@ class MVTLEngine:
                 if not result.conflicts:
                     self._waits.clear(tx.id)
                     return EngineAcquireResult(acquired_total, skipped_frozen)
+                self._stripe_conflicts[idx] += 1
                 frozen = tuple(c for c in result.conflicts if c.frozen)
                 if frozen and stop_on_frozen:
                     self._waits.clear(tx.id)
@@ -346,8 +461,7 @@ class MVTLEngine:
                     self._waits.clear(tx.id)
                     return EngineAcquireResult(acquired_total, result.conflicts)
                 holders = {c.holder for c in unfrozen}
-                self._waits.set_waits(tx.id, holders)
-                cycle = self._waits.find_cycle(tx.id)
+                cycle = self._waits.set_waits_and_check(tx.id, holders)
                 if cycle is not None:
                     self._waits.clear(tx.id)
                     raise DeadlockError(tx.id, cycle)
@@ -355,17 +469,18 @@ class MVTLEngine:
                              if deadline is not None else None)
                 if remaining is not None and remaining <= 0:
                     self._waits.clear(tx.id)
-                    self.stats["lock_timeouts"] += 1
+                    self._bump("lock_timeouts")
                     return EngineAcquireResult(acquired_total,
                                                result.conflicts,
                                                timed_out=True)
+                self._stripe_waits[idx] += 1
+                quantum = (min(remaining, _WAIT_QUANTUM)
+                           if remaining is not None else _WAIT_QUANTUM)
                 if waited is None:
-                    self._cond.wait(timeout=min(remaining, 0.05)
-                                    if remaining is not None else 0.05)
+                    cond.wait(timeout=quantum)
                 else:
                     t0 = time.monotonic()
-                    self._cond.wait(timeout=min(remaining, 0.05)
-                                    if remaining is not None else 0.05)
+                    cond.wait(timeout=quantum)
                     waited[0] += time.monotonic() - t0
 
     def release(self, tx: Transaction, key: Hashable, mode: LockMode,
@@ -373,14 +488,30 @@ class MVTLEngine:
         """Release ``tx``'s unfrozen locks on ``span``."""
         if isinstance(span, IntervalSet) and span.is_empty:
             return
-        with self._cond:
+        cond = self._stripes[self.stripe_of(key)]
+        with cond:
             self.locks.release(tx.id, key, mode, span)
-            self._cond.notify_all()
+            cond.notify_all()
+
+    def freeze(self, tx: Transaction, key: Hashable, mode: LockMode,
+               span: TsInterval | IntervalSet) -> None:
+        """Freeze ``tx``'s ``mode`` locks on ``span`` and wake the stripe.
+
+        The commit path freezes inline while holding its stripe set; this
+        entry point serves policies, tools and tests that freeze outside a
+        commit.
+        """
+        cond = self._stripes[self.stripe_of(key)]
+        with cond:
+            self.locks.freeze(tx.id, key, mode, span)
+            cond.notify_all()
 
     def release_all_write_locks(self, tx: Transaction) -> None:
         """Back out of a failed commit-time write-lock pass (Alg. 3/8)."""
-        with self._cond:
-            for key in self.locks.keys_of(tx.id):
+        keys = self.locks.keys_of(tx.id)
+        indices = self._stripe_indices(keys)
+        with self._locked_stripes(indices):
+            for key in keys:
                 state = self.locks.peek(key)
                 if state is None:
                     continue
@@ -389,17 +520,17 @@ class MVTLEngine:
                 releasable = held.subtract(frozen)
                 if not releasable.is_empty:
                     state.release(tx.id, LockMode.WRITE, releasable)
-            self._cond.notify_all()
+            self._notify_stripes(indices)
 
     def frozen_write_ranges(self, key: Hashable) -> IntervalSet:
         """Union of all frozen write locks on ``key``."""
-        with self._cond:
+        with self._stripes[self.stripe_of(key)]:
             state = self.locks.peek(key)
             return state.frozen_write_ranges() if state else EMPTY_SET
 
     def held_union(self, tx: Transaction, key: Hashable) -> IntervalSet:
         """Timestamps ``tx`` holds in either mode on ``key``."""
-        with self._cond:
+        with self._stripes[self.stripe_of(key)]:
             return (self.locks.held(tx.id, key, LockMode.READ)
                     .union(self.locks.held(tx.id, key, LockMode.WRITE)))
 
@@ -421,21 +552,26 @@ class MVTLEngine:
         MVTO+'s persistent read-timestamps — including its ghost aborts —
         while MVTL-Ghostbuster differs only in always collecting.
         """
-        with self._cond:
-            self._abort_locked(tx, reason)
+        self._finish_abort(tx, reason)
         if self.policy.commit_gc(self, tx):
             self.gc(tx)
 
-    def _abort_locked(self, tx: Transaction, reason: str) -> None:
+    def _finish_abort(self, tx: Transaction, reason: str) -> None:
+        """Abort bookkeeping: status, stats, wait edges, history, trace.
+
+        Touches no lock-table state, so it is safe both inside a stripe
+        block (commit's failure paths) and with no stripes held.  Lock
+        release is GC's job; waiters blocked on this transaction poll, so
+        they observe the release when it happens.
+        """
         tx.status = TxStatus.ABORTED
         tx.abort_reason = AbortReason.of(reason)
-        self.stats["aborts"] += 1
+        self._bump("aborts")
         self._waits.clear(tx.id)
         if self.history is not None:
             self.history.record_abort(tx.id, reason)
         if self.tracer.enabled:
             self.tracer.abort(tx.id, reason=reason)
-        self._cond.notify_all()
 
     def _candidates(self, tx: Transaction) -> IntervalSet:
         """Algorithm 1 line 13: the set T of commit-viable timestamps.
@@ -444,7 +580,7 @@ class MVTLEngine:
         just above the version read; write-set keys contribute the held
         write-lock set.  TS_ZERO is excluded: every key's initial version
         lives there, so it can never be a commit point.  Caller must hold
-        the engine lock.
+        the stripes of every readset/writeset key.
         """
         cand = IntervalSet.from_interval(TsInterval.after(TS_ZERO))
         for key, tr in tx.readset:
@@ -472,9 +608,37 @@ class MVTLEngine:
     # -- metrics --------------------------------------------------------------
 
     def lock_record_count(self) -> int:
-        with self._cond:
+        with self._locked_stripes(self._all_stripe_indices):
             return self.locks.total_record_count()
 
     def version_count(self) -> int:
-        with self._cond:
+        with self._locked_stripes(self._all_stripe_indices):
             return self.store.version_count()
+
+    def purge_versions_before(self, bound: Timestamp) -> int:
+        """Purge old versions and their lock state (§6), stripe-safely.
+
+        Lock records covering purged versions "can be discarded when the
+        associated versions are purged" — dropping them is what bounds the
+        sealed aggregates' size over a long run.  Background collectors
+        must use this instead of calling ``store.purge_before`` directly:
+        the whole-table iteration is only safe with every stripe held (no
+        concurrent installs).
+        """
+        bound_iv = TsInterval.closed_open(Timestamp(float("-inf"), 0), bound)
+        with self._locked_stripes(self._all_stripe_indices):
+            purged = self.store.purge_before(bound)
+            for key in self.locks.all_keys():
+                self.locks.purge_below(key, bound_iv)
+            return purged
+
+    def stripe_contention(self) -> dict[str, tuple[int, ...]]:
+        """Per-stripe contention counters since construction.
+
+        ``waits[i]`` counts parked condition-waits on stripe ``i``;
+        ``conflicts[i]`` counts acquire attempts on stripe ``i`` that found
+        at least one conflicting hold.  Disjoint keysets that map to
+        distinct stripes show zero in both.
+        """
+        return {"waits": tuple(self._stripe_waits),
+                "conflicts": tuple(self._stripe_conflicts)}

@@ -140,12 +140,12 @@ class KeyLockState:
     """Interval-compressed freezable lock state for one key.
 
     Not thread-safe; synchronization is the caller's concern (the threaded
-    engine holds a table mutex, DES servers are single-threaded by
+    engine holds the key's stripe lock, DES servers are single-threaded by
     construction).
     """
 
     __slots__ = ("_owners", "version", "_sealed_read", "_sealed_write",
-                 "_sealed_records")
+                 "_sealed_spans")
 
     #: Owner id reported for conflicts with sealed (ownerless) lock state.
     SEALED = "<sealed>"
@@ -162,9 +162,11 @@ class KeyLockState:
         # are reported frozen, and only purging removes it.
         self._sealed_read: IntervalSet = EMPTY_SET
         self._sealed_write: IntervalSet = EMPTY_SET
-        # Metric counter: how many lock records an implementation without
-        # merging would store (Fig. 6's "number of locks").
-        self._sealed_records: int = 0
+        # Metric record list: one span per lock record an implementation
+        # without merging would store (Fig. 6's "number of locks").  Kept
+        # raw — never re-compacted — so purging can subtract exactly the
+        # purged records and leave the survivors counted as-is.
+        self._sealed_spans: list[TsInterval] = []
 
     # -- queries -----------------------------------------------------------
 
@@ -215,7 +217,8 @@ class KeyLockState:
         if ol is None:
             return
         reads = ol.read if keep_all_reads else ol.frozen_read
-        self._sealed_records += len(reads) + len(ol.frozen_write)
+        self._sealed_spans.extend(reads)
+        self._sealed_spans.extend(ol.frozen_write)
         if reads:
             self._sealed_read = self._sealed_read.union(reads)
         if ol.frozen_write:
@@ -236,9 +239,9 @@ class KeyLockState:
 
         Counts live per-owner records plus what an implementation without
         ownerless merging would keep for ended transactions (the sealed
-        counter) — i.e. the state the paper's prototype stores.
+        span list) — i.e. the state the paper's prototype stores.
         """
-        return self._sealed_records + sum(
+        return len(self._sealed_spans) + sum(
             len(ol.read) + len(ol.write) for ol in self._owners.values())
 
     @property
@@ -334,9 +337,13 @@ class KeyLockState:
                 or new_sealed_write != self._sealed_write):
             self._sealed_read = new_sealed_read
             self._sealed_write = new_sealed_write
-            # Purging compacts the surviving representation.
-            self._sealed_records = (len(new_sealed_read)
-                                    + len(new_sealed_write))
+            # Trim each sealed record individually: drop what the purge
+            # removed, keep every surviving piece as its own record.  The
+            # metric tracks an implementation without merging, so purging
+            # must not collapse surviving records into the compacted form.
+            self._sealed_spans = [piece
+                                  for span in self._sealed_spans
+                                  for piece in span.subtract(bound)]
             changed += 1
         for owner in list(self._owners):
             ol = self._owners[owner]
@@ -412,6 +419,16 @@ class LockTable:
 
     Tracks which keys each owner touched so that transaction-wide release
     (abort, GC) does not scan the whole table.
+
+    Concurrency contract under the striped engine: all operations on a
+    given *key*'s state run under that key's stripe lock.  The table-wide
+    dicts tolerate concurrent use from different stripes because (a) same
+    key implies same stripe, so per-entry read-modify-write cycles are
+    serialized, (b) inserts for distinct keys are atomic dict operations
+    under CPython's GIL, and (c) the per-*owner* index (``_owner_keys``)
+    is only mutated by the owner's own (single) thread.  Whole-table
+    iteration (``all_keys``/``total_record_count``/``conflict_counts``)
+    must run with every stripe held — the engine provides that.
     """
 
     __slots__ = ("_keys", "_owner_keys", "_conflicts")
@@ -486,6 +503,21 @@ class LockTable:
             st = self._keys.get(key)
             if st is not None:
                 st.release_unfrozen(owner)
+
+    def seal_all(self, owner: TxId, keep_all_reads: bool = False) -> None:
+        """Seal an *ended* ``owner`` on every key it touched and forget it.
+
+        Equivalent to :meth:`release_all_unfrozen` followed by folding the
+        owner's frozen locks into each key's sealed aggregate — but conflict
+        checks afterwards cost O(active transactions) instead of growing
+        with every transaction that ever committed (the dead-owner records
+        are gone).  ``keep_all_reads`` seals *all* read locks, frozen or
+        not (MVTO+-style persistent read-timestamps, §3).
+        """
+        for key in self._owner_keys.pop(owner, ()):
+            st = self._keys.get(key)
+            if st is not None:
+                st.seal(owner, keep_all_reads=keep_all_reads)
 
     def keys_of(self, owner: TxId) -> frozenset[Hashable]:
         return frozenset(self._owner_keys.get(owner, ()))

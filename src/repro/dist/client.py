@@ -37,9 +37,9 @@ from ..obs.trace import NULL_TRACER
 from ..sim.network import Network
 from ..sim.simulator import RECV_TIMEOUT, Mailbox, Recv, Simulator
 from .commitment import ABORT, CommitmentRegistry
-from .messages import (ClockBroadcast, CommitReq, MVTLReadReq,
-                       MVTLWriteLockReq, ReleaseReq, Reply, TwoPLCommitReq,
-                       TwoPLLockReq, TwoPLReleaseReq)
+from .messages import (ClockBroadcast, CommitReq, MVTLBatchLockReq,
+                       MVTLReadReq, MVTLWriteLockReq, ReleaseReq, Reply,
+                       TwoPLCommitReq, TwoPLLockReq, TwoPLReleaseReq)
 from .partition import Partition
 
 __all__ = ["BaseClient", "MVTILClient", "MVTOClient", "TwoPLClient"]
@@ -72,7 +72,8 @@ class BaseClient:
         net.register(client_id, self._on_message)
         self._req_counter = count(1)
         self._tx_counter = count(1)
-        self.stats = {"commits": 0, "aborts": 0, "rpc_timeouts": 0}
+        self.stats = {"commits": 0, "aborts": 0, "rpc_timeouts": 0,
+                      "msgs_sent": 0}
 
     # -- messaging ------------------------------------------------------------
 
@@ -84,6 +85,7 @@ class BaseClient:
         self.mailbox.deliver(msg)
 
     def _send(self, server: Hashable, msg: Any) -> None:
+        self.stats["msgs_sent"] += 1
         self.net.send(server, msg, src=self.client_id)
 
     def _rpc(self, server: Hashable, msg: Any,
@@ -108,6 +110,35 @@ class BaseClient:
             if isinstance(reply, Reply) and reply.req_id == msg.req_id:
                 return reply
             # Stale reply from an earlier timed-out request: drop it.
+
+    def _rpc_many(self, msgs: dict[Hashable, Any], timeout: float | None = None
+                  ) -> Generator[Any, Any, dict[Hashable, Reply] | None]:
+        """Send one message per server, then await every matching reply.
+
+        All messages go out before any reply is awaited, so the round trips
+        overlap — the whole fan-out costs one RTT plus queueing, not one
+        RTT per server.  Returns ``{server: reply}``; None if any reply
+        misses the (shared) deadline.  Stale replies are discarded by
+        request id, like :meth:`_rpc`.
+        """
+        for server, msg in msgs.items():
+            self._send(server, msg)
+        wanted = {msg.req_id: server for server, msg in msgs.items()}
+        replies: dict[Hashable, Reply] = {}
+        deadline = self.sim.now + (timeout if timeout is not None
+                                   else self.rpc_timeout)
+        while wanted:
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                self.stats["rpc_timeouts"] += 1
+                return None
+            reply = yield Recv(self.mailbox, timeout=remaining)
+            if reply is RECV_TIMEOUT:
+                self.stats["rpc_timeouts"] += 1
+                return None
+            if isinstance(reply, Reply) and reply.req_id in wanted:
+                replies[wanted.pop(reply.req_id)] = reply
+        return replies
 
     def _next_req(self) -> int:
         return next(self._req_counter)
@@ -148,7 +179,7 @@ class MVTILClient(BaseClient):
 
     def __init__(self, *args: Any, delta: float = 0.005, late: bool = False,
                  gc_on_commit: bool = True, read_timeout: float = 0.25,
-                 **kwargs: Any) -> None:
+                 defer_writes: bool = False, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.delta = delta
         self.late = late
@@ -158,6 +189,15 @@ class MVTILClient(BaseClient):
         #: waiting policies); timing out and restarting the transaction is
         #: the standard resolution.
         self.read_timeout = read_timeout
+        #: Batched write locking: buffer writes locally and acquire the
+        #: whole write-lock set at commit with one MVTLBatchLockReq per
+        #: server — O(servers touched) commit-path messages instead of
+        #: O(written keys).  Off by default: the eager per-key path is
+        #: Alg. 12 as written (and what the failure tests exercise —
+        #: a crashed coordinator's eagerly-placed locks must be timed out
+        #: server-side); :func:`repro.dist.cluster.run_cluster` turns it on
+        #: via ``ClusterConfig.batching``.
+        self.defer_writes = defer_writes
         self.name = "mvtil-late" if late else "mvtil-early"
 
     def begin(self) -> SimpleNamespace:
@@ -208,6 +248,13 @@ class MVTILClient(BaseClient):
               value: Any) -> Generator[Any, Any, None]:
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
+        if self.defer_writes:
+            # Buffer locally; the whole write-lock set is acquired at
+            # commit, one batch message per server.
+            tx.writeset[key] = value
+            if self.tracer.enabled:
+                self.tracer.write(tx.id, key)
+            return
         server = self.server_of(key)
         req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
                                key=key, value=value, want=tx.interval,
@@ -233,6 +280,8 @@ class MVTILClient(BaseClient):
     def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
+        if self.defer_writes and tx.writeset:
+            yield from self._batch_write_locks(tx)
         ts = (tx.interval.pick_high() if self.late
               else tx.interval.pick_low())
         decision = yield from self._propose(tx.id, ts)
@@ -252,6 +301,45 @@ class MVTILClient(BaseClient):
         if self.tracer.enabled:
             self.tracer.commit(tx.id, ts=ts)
         return True
+
+    def _batch_write_locks(self, tx: SimpleNamespace
+                           ) -> Generator[Any, Any, None]:
+        """Deferred write-lock pass: one MVTLBatchLockReq per server.
+
+        All batches fly in parallel (:meth:`_rpc_many`), so the whole pass
+        costs one round trip regardless of how many servers the write set
+        spans — and O(servers) messages instead of O(written keys).
+        """
+        by_server: dict[Hashable, list[Hashable]] = {}
+        for key in tx.writeset:
+            by_server.setdefault(self.server_of(key), []).append(key)
+        servers = list(by_server)
+        # The first write server becomes the decision point (§H.1) —
+        # before any lock lands, so a server that times out our orphaned
+        # write lock reaches the same commitment object we propose to.
+        self.registry.set_decision_point(tx.id, servers[0])
+        requested = tx.interval
+        reqs: dict[Hashable, MVTLBatchLockReq] = {}
+        for server in servers:
+            tx.touched.add(server)
+            items = tuple((key, tx.writeset[key], requested)
+                          for key in by_server[server])
+            reqs[server] = MVTLBatchLockReq(tx.id, self.client_id,
+                                            self._next_req(), items=items)
+        replies = yield from self._rpc_many(reqs)
+        if replies is None:
+            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+        for server in servers:
+            acquired = replies[server].acquired
+            for key in by_server[server]:
+                tx.interval = tx.interval.intersect(
+                    acquired.get(key, EMPTY_SET))
+                if self.tracer.enabled:
+                    self.tracer.lock_acquire(tx.id, key, "write",
+                                             requested=requested,
+                                             granted=tx.interval)
+        if tx.interval.is_empty:
+            yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
 
     def _send_commit(self, tx: SimpleNamespace, ts: Timestamp,
                      release: bool = True) -> None:
@@ -304,6 +392,15 @@ class MVTOClient(BaseClient):
 
     name = "mvto+"
 
+    def __init__(self, *args: Any, batch_commit: bool = False,
+                 **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: Batch the commit-time point write locks per server (one
+        #: MVTLBatchLockReq each) instead of one RPC per written key.  Off
+        #: by default for protocol fidelity with the per-key pseudo-code;
+        #: ``ClusterConfig.batching`` turns it on.
+        self.batch_commit = batch_commit
+
     def begin(self) -> SimpleNamespace:
         tx = SimpleNamespace(
             id=(self.client_id, next(self._tx_counter)),
@@ -342,27 +439,32 @@ class MVTOClient(BaseClient):
 
     def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
         point = IntervalSet.point(tx.ts)
-        for key in tx.writeset:
-            server = self.server_of(key)
-            tx.touched.add(server)
-            tx.write_servers.add(server)
-            if len(tx.write_servers) == 1:
-                self.registry.set_decision_point(tx.id, server)
-            req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
-                                   key=key, value=tx.writeset[key],
-                                   want=point, wait=False,
-                                   all_or_nothing=True)
-            reply = yield from self._rpc(server, req)
-            if reply is None:
-                yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
-            if self.tracer.enabled:
-                self.tracer.lock_acquire(tx.id, key, "write", requested=point,
-                                         granted=reply.acquired)
-            if reply.acquired.is_empty:
-                # Read-timestamp conflict: abort, releasing write locks
-                # only.  Read locks persist — MVTO+'s read-timestamps are
-                # never rolled back (§3), hence ghost aborts.
-                yield from self._fail(tx, AbortReason.WRITE_CONFLICT)
+        if self.batch_commit and tx.writeset:
+            yield from self._batch_commit_locks(tx, point)
+        else:
+            for key in tx.writeset:
+                server = self.server_of(key)
+                tx.touched.add(server)
+                tx.write_servers.add(server)
+                if len(tx.write_servers) == 1:
+                    self.registry.set_decision_point(tx.id, server)
+                req = MVTLWriteLockReq(tx.id, self.client_id,
+                                       self._next_req(),
+                                       key=key, value=tx.writeset[key],
+                                       want=point, wait=False,
+                                       all_or_nothing=True)
+                reply = yield from self._rpc(server, req)
+                if reply is None:
+                    yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+                if self.tracer.enabled:
+                    self.tracer.lock_acquire(tx.id, key, "write",
+                                             requested=point,
+                                             granted=reply.acquired)
+                if reply.acquired.is_empty:
+                    # Read-timestamp conflict: abort, releasing write locks
+                    # only.  Read locks persist — MVTO+'s read-timestamps
+                    # are never rolled back (§3), hence ghost aborts.
+                    yield from self._fail(tx, AbortReason.WRITE_CONFLICT)
         decision = yield from self._propose(tx.id, tx.ts)
         if decision == ABORT:
             yield from self._fail(tx, AbortReason.COMMITMENT_ABORT)
@@ -384,6 +486,45 @@ class MVTOClient(BaseClient):
         if self.tracer.enabled:
             self.tracer.commit(tx.id, ts=tx.ts)
         return True
+
+    def _batch_commit_locks(self, tx: SimpleNamespace, point: IntervalSet
+                            ) -> Generator[Any, Any, None]:
+        """Commit-time point write locks, one batch message per server.
+
+        Same all-or-nothing semantics as the per-key loop — any refused
+        key aborts the transaction (write locks released, read-timestamps
+        kept) — but the messages drop from O(written keys) to O(servers)
+        and the round trips overlap.
+        """
+        by_server: dict[Hashable, list[Hashable]] = {}
+        for key in tx.writeset:
+            by_server.setdefault(self.server_of(key), []).append(key)
+        servers = list(by_server)
+        self.registry.set_decision_point(tx.id, servers[0])
+        reqs: dict[Hashable, MVTLBatchLockReq] = {}
+        for server in servers:
+            tx.touched.add(server)
+            tx.write_servers.add(server)
+            items = tuple((key, tx.writeset[key], point)
+                          for key in by_server[server])
+            reqs[server] = MVTLBatchLockReq(tx.id, self.client_id,
+                                            self._next_req(), items=items,
+                                            all_or_nothing=True)
+        replies = yield from self._rpc_many(reqs)
+        if replies is None:
+            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+        refused = False
+        for server in servers:
+            acquired = replies[server].acquired
+            for key in by_server[server]:
+                got = acquired.get(key, EMPTY_SET)
+                if self.tracer.enabled:
+                    self.tracer.lock_acquire(tx.id, key, "write",
+                                             requested=point, granted=got)
+                if got.is_empty:
+                    refused = True
+        if refused:
+            yield from self._fail(tx, AbortReason.WRITE_CONFLICT)
 
     def _fail(self, tx: SimpleNamespace,
               reason: str) -> Generator[Any, Any, None]:
@@ -427,8 +568,11 @@ class TwoPLClient(BaseClient):
             self._rtt_ewma = 0.9 * self._rtt_ewma + 0.1 * rtt
 
     def _current_timeout(self) -> float:
+        # Until the EWMA is calibrated (first granted lock), honour the
+        # configured timeout as-is: a fresh client must still break
+        # deadlocks within ``lock_timeout``, not some larger default.
         if self._rtt_ewma is None:
-            return max(self.lock_timeout, 1.0)  # generous until calibrated
+            return self.lock_timeout
         return min(2.0, max(self.lock_timeout,
                             self.rtt_multiple * self._rtt_ewma))
 

@@ -62,6 +62,12 @@ class ClusterConfig:
     #: decision state (§H.1's common case); "paxos" runs real single-decree
     #: consensus over per-server acceptors (§H.1's servers-may-fail case).
     commitment: str = "local"
+    #: Batch commit-path lock messages per server (MVTIL defers writes and
+    #: sends one MVTLBatchLockReq per server at commit; MVTO+ batches its
+    #: commit-time point locks likewise; 2PL commit installs are always
+    #: per-server).  Drops commit-path messages from O(written keys) to
+    #: O(servers touched).  False reproduces the per-key wire protocol.
+    batching: bool = True
     #: Run the timestamp service (version/lock purging + clock floor).
     gc_enabled: bool = True
     gc_period: float = 15.0
@@ -106,6 +112,10 @@ class ClusterResult:
     server_stats: list[dict]
     mean_latency: float = 0.0
     p95_latency: float = 0.0
+    #: Network messages (all kinds, both directions, whole run) divided by
+    #: committed transactions (whole run) — the wire cost of the protocol.
+    #: Batching lowers it by collapsing per-key commit traffic.
+    messages_per_commit: float = 0.0
     #: In-window abort-reason counts (attempt-level, str -> count).
     abort_reasons: dict = field(default_factory=dict)
     #: p50/p95/p99 + mean + count for committed and aborted attempts.
@@ -162,6 +172,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
     stats.record_completions = config.record_completions
 
     client_ids = []
+    clients = []
     for i in range(config.num_clients):
         cid = f"client-{i}"
         client_ids.append(cid)
@@ -175,14 +186,17 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                  registry, delta=config.delta,
                                  late=config.protocol.endswith("late"),
                                  read_timeout=config.read_timeout,
+                                 defer_writes=config.batching,
                                  **common)
         elif config.protocol == "mvto":
             client = MVTOClient(sim, net, cid, pid, partition, clock,
-                                registry, **common)
+                                registry, batch_commit=config.batching,
+                                **common)
         else:
             client = TwoPLClient(sim, net, cid, pid, partition, clock,
                                  registry, lock_timeout=config.lock_timeout,
                                  **common)
+        clients.append(client)
         workload = WorkloadGenerator(config.workload, rngs.stream())
         sim.spawn(closed_loop_client(
             client, workload, stats, rngs.stream(),
@@ -217,6 +231,12 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
 
     sim.run_until(config.warmup + config.measure)
 
+    # Wire cost: every network message (requests, replies, fire-and-forget
+    # notifications, maintenance) over every commit the whole run produced
+    # (client stats cover warmup too, matching messages_sent's scope).
+    total_commits = sum(c.stats["commits"] for c in clients)
+    messages_per_commit = net.messages_sent / max(1, total_commits)
+
     metrics = None
     if config.trace:
         fold_trace(tracer.events, metrics_reg)
@@ -231,6 +251,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             "aborted": stats.aborted,
             "abort_reasons": dict(stats.abort_reasons),
             "latency": stats.latency_summary(),
+            "messages_sent": net.messages_sent,
+            "messages_per_commit": messages_per_commit,
         }
 
     return ClusterResult(
@@ -244,6 +266,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         completions=stats.completions,
         messages_sent=net.messages_sent,
         server_stats=[s.stats for s in servers],
+        messages_per_commit=messages_per_commit,
         mean_latency=stats.mean_latency,
         p95_latency=stats.latency_percentile(95),
         abort_reasons=dict(stats.abort_reasons),

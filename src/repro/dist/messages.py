@@ -19,6 +19,7 @@ __all__ = [
     "Request", "Reply",
     "MVTLReadReq", "MVTLReadReply",
     "MVTLWriteLockReq", "MVTLWriteLockReply",
+    "MVTLBatchLockReq", "MVTLBatchLockReply",
     "FreezeWriteReq", "FreezeReadReq", "ReleaseReq", "GcReq", "CommitReq",
     "TwoPLLockReq", "TwoPLLockReply", "TwoPLCommitReq", "TwoPLReleaseReq",
     "PurgeReq", "ClockBroadcast",
@@ -97,6 +98,34 @@ class MVTLWriteLockReq(Request):
 @dataclass(frozen=True, slots=True)
 class MVTLWriteLockReply(Reply):
     acquired: IntervalSet = field(default_factory=IntervalSet)
+
+
+@dataclass(frozen=True, slots=True)
+class MVTLBatchLockReq(Request):
+    """Write-lock several keys of one server in a single message.
+
+    ``items`` is a tuple of ``(key, value, want)`` triples — each the
+    payload of one :class:`MVTLWriteLockReq` — applied independently in
+    order, always without waiting (parking a multi-key request would couple
+    unrelated keys' wait lists).  ``all_or_nothing`` applies per item, as in
+    the single-key message.  Batching is what drops a commit-time lock pass
+    from O(written keys) to O(servers touched) round trips: the client
+    groups its write set by the partition and sends one of these per server
+    (the paper's Thrift prototype pays per-server, not per-key, RPCs).
+    Server-side CPU cost still scales with ``len(items)`` — batching saves
+    messages, not lock work.
+    """
+
+    items: tuple = ()  # ((key, value, IntervalSet want), ...)
+    all_or_nothing: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class MVTLBatchLockReply(Reply):
+    """Per-key grant map for a :class:`MVTLBatchLockReq` (key -> granted
+    IntervalSet; empty set = refused)."""
+
+    acquired: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True, slots=True)

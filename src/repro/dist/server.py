@@ -37,7 +37,7 @@ from ..sim.simulator import Simulator
 from ..sim.testbed import TestbedProfile
 from .commitment import ABORT, CommitmentRegistry
 from .messages import (CommitReq, FreezeReadReq, FreezeWriteReq, GcReq,
-                       MVTLReadReply,
+                       MVTLBatchLockReply, MVTLBatchLockReq, MVTLReadReply,
                        MVTLReadReq, MVTLWriteLockReply, MVTLWriteLockReq,
                        PurgeReq, ReleaseReq, TwoPLCommitReq, TwoPLLockReply,
                        TwoPLLockReq, TwoPLReleaseReq)
@@ -173,11 +173,16 @@ class MVTLServer(_ServerBase):
             # Baseline is ~2 records/key (one version + one lock interval).
             self._state_multiplier = 1.0 + self.STATE_COST_FACTOR * max(
                 0.0, per_key - 2.0)
-        weight = (self.CONTROL_MSG_WEIGHT
-                  if isinstance(msg, (CommitReq, GcReq, ReleaseReq,
-                                      FreezeWriteReq, FreezeReadReq,
-                                      PurgeReq))
-                  else 1.0)
+        if isinstance(msg, MVTLBatchLockReq):
+            # A batch saves messages, not lock work: it costs one data
+            # request per item it carries.
+            weight = float(max(1, len(msg.items)))
+        else:
+            weight = (self.CONTROL_MSG_WEIGHT
+                      if isinstance(msg, (CommitReq, GcReq, ReleaseReq,
+                                          FreezeWriteReq, FreezeReadReq,
+                                          PurgeReq))
+                      else 1.0)
         return self.profile.service_time * self._state_multiplier * weight
 
     # -- dispatch -----------------------------------------------------------
@@ -188,6 +193,8 @@ class MVTLServer(_ServerBase):
             self._handle_read(msg)
         elif isinstance(msg, MVTLWriteLockReq):
             self._handle_write_lock(msg)
+        elif isinstance(msg, MVTLBatchLockReq):
+            self._handle_batch_lock(msg)
         elif isinstance(msg, FreezeWriteReq):
             self._handle_freeze_write(msg)
         elif isinstance(msg, FreezeReadReq):
@@ -294,6 +301,35 @@ class MVTLServer(_ServerBase):
                               self._write_lock_timeout, req.tx_id, key)
         self._reply(req, MVTLWriteLockReply(req.req_id,
                                             acquired=acquired_total))
+
+    def _handle_batch_lock(self, req: MVTLBatchLockReq) -> None:
+        """Apply a per-server batch of non-waiting write-lock requests.
+
+        Each ``(key, value, want)`` item runs the single-key write-lock
+        logic (probe, conflict note, acquire, buffer value, arm the
+        write-lock timeout) and contributes its grant to one combined
+        reply.  Items are independent: a refused key does not roll back its
+        batch-mates — the client decides what a partial batch means (MVTIL
+        shrinks its interval; all-or-nothing clients abort and release).
+        """
+        acquired: dict[Hashable, IntervalSet] = {}
+        for key, value, want in req.items:
+            state = self.locks.state(key)
+            probe = state.lockable(req.tx_id, LockMode.WRITE, want)
+            if not probe.fully_acquired:
+                self._note_conflict(key)
+                if req.all_or_nothing:
+                    acquired[key] = EMPTY_SET
+                    continue
+            state.try_acquire(req.tx_id, LockMode.WRITE, want)
+            got = state.held(req.tx_id, LockMode.WRITE).intersect(want)
+            acquired[key] = got
+            if not got.is_empty:
+                self.locks.note_owner(req.tx_id, key)
+                self.pending[(req.tx_id, key)] = value
+                self.sim.schedule(self.write_lock_timeout,
+                                  self._write_lock_timeout, req.tx_id, key)
+        self._reply(req, MVTLBatchLockReply(req.req_id, acquired=acquired))
 
     def _write_lock_timeout(self, tx_id: Hashable, key: Hashable) -> None:
         """Alg. 13 write-lock-timeout: suspect the coordinator."""

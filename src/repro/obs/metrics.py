@@ -9,12 +9,12 @@ server queue depths.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Mapping
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from .trace import EventKind, TraceEvent
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "fold_trace",
-           "merge_conflict_counts"]
+           "merge_conflict_counts", "merge_stripe_counts"]
 
 
 class Counter:
@@ -219,3 +219,23 @@ def merge_conflict_counts(registry: MetricsRegistry,
     key_conflicts = registry.counter("key.conflicts")
     for key, n in counts.items():
         key_conflicts.inc(key, n)
+
+
+def merge_stripe_counts(registry: MetricsRegistry,
+                        contention: Mapping[str, Sequence[int]]) -> None:
+    """Merge an engine's per-stripe contention counters into the registry.
+
+    ``contention`` is :meth:`repro.core.engine.MVTLEngine.stripe_contention`'s
+    payload: ``{"waits": (...), "conflicts": (...)}``, one entry per stripe.
+    Folds into ``stripe.waits`` / ``stripe.conflicts`` counters labelled by
+    stripe index (zero stripes are skipped — an absent label reads back as
+    0, and hot-stripe reports stay uncluttered).
+    """
+    waits = registry.counter("stripe.waits")
+    conflicts = registry.counter("stripe.conflicts")
+    for idx, n in enumerate(contention.get("waits", ())):
+        if n:
+            waits.inc(idx, n)
+    for idx, n in enumerate(contention.get("conflicts", ())):
+        if n:
+            conflicts.inc(idx, n)

@@ -22,6 +22,7 @@ duck-typed (anything exposing ``pieces`` or ``lo/hi`` endpoints with
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable
@@ -166,19 +167,25 @@ class Tracer(NullTracer):
         self.keep = keep
         self.events: list[TraceEvent] = []
         self._seq = 0
+        # Threaded engines emit from many threads at once (one per client
+        # thread, any stripe); the mutex keeps sequence numbers unique and
+        # the sink callback serialized.  DES runs are single-threaded, so
+        # an uncontended lock costs one atomic op per event.
+        self._emit_lock = threading.Lock()
 
     def emit(self, kind: str, tx: Hashable, *, key: Hashable | None = None,
              mode: str | None = None, ts: Any = None,
              reason: str | None = None, dur: float | None = None,
              **data: Any) -> TraceEvent:
-        self._seq += 1
-        event = TraceEvent(self.now(), self._seq, kind, tx, key=key,
-                           mode=mode, ts=ts, reason=reason, dur=dur,
-                           data=data)
-        if self.keep:
-            self.events.append(event)
-        if self.sink is not None:
-            self.sink(event)
+        with self._emit_lock:
+            self._seq += 1
+            event = TraceEvent(self.now(), self._seq, kind, tx, key=key,
+                               mode=mode, ts=ts, reason=reason, dur=dur,
+                               data=data)
+            if self.keep:
+                self.events.append(event)
+            if self.sink is not None:
+                self.sink(event)
         return event
 
     # -- per-kind conveniences (the wiring points call these) ---------------

@@ -28,12 +28,11 @@ class TestCollectNow:
         assert engine.commit(t2)
         collector.note_finished(t2)
         assert collector.collect_now() == 2
-        # t2's read locks are frozen up to its commit ts, rest released.
+        # t2's read locks are frozen up to its commit ts and sealed into
+        # the key's ownerless aggregate; its owner record is gone.
         state = engine.locks.peek("k")
-        held = state.held(t2.id, LockMode.READ)
-        frozen = state.frozen(t2.id, LockMode.READ)
-        assert held == frozen
-        assert frozen.contains(t2.commit_ts)
+        assert t2.id not in state.owners()
+        assert state.sealed_read_ranges().contains(t2.commit_ts)
 
     def test_grace_period_defers(self, engine):
         collector = BackgroundCollector(engine, grace=100.0)

@@ -102,9 +102,10 @@ class TestCommitMechanics:
         engine.write(t2, "b", 2)
         assert engine.commit(t2)
         state = engine.locks.peek("a")
-        frozen = state.frozen(t2.id, LockMode.READ)
-        # The prefix (t1.commit_ts, t2.commit_ts] is frozen.
-        assert frozen.contains(t2.commit_ts)
+        # The prefix (t1.commit_ts, t2.commit_ts] is frozen, and commit-gc
+        # sealed it into the key's ownerless aggregate.
+        assert t2.id not in state.owners()
+        assert state.sealed_read_ranges().contains(t2.commit_ts)
 
     def test_candidates_exclude_ts_zero(self, engine):
         # A blind write must not commit at TS_ZERO (initial version slot).
@@ -124,6 +125,29 @@ class TestCommitMechanics:
         with pytest.raises(PolicyError):
             engine.commit(tx)
         assert tx.aborted
+
+    def test_policy_error_still_releases_locks(self):
+        """Regression: the PolicyError path must GC before re-raising —
+        otherwise the doomed transaction's locks leak and block the key
+        forever.  (Uses a collecting policy: MVTL-TO keeps aborted
+        transactions' locks on purpose, per MVTO+'s ghost aborts.)"""
+        class BadPolicy(MVTLGhostbuster):
+            def commit_ts(self, engine, tx, candidates):
+                return Timestamp(99999.0, 99)  # never locked
+
+        engine = MVTLEngine(BadPolicy())
+        tx = engine.begin(pid=1)
+        engine.write(tx, "k", 1)
+        with pytest.raises(PolicyError):
+            engine.commit(tx)
+        state = engine.locks.peek("k")
+        assert state is None or tx.id not in state.owners()
+        # The key is usable again by a sane transaction.
+        engine2_tx = engine.begin(pid=2)
+        result = engine.acquire(engine2_tx, "k", LockMode.WRITE,
+                                TsInterval.closed(TS_ZERO, Timestamp(1e6, 0)),
+                                wait=False)
+        assert not result.acquired.is_empty
 
 
 class TestHistoryRecording:

@@ -77,10 +77,7 @@ class TestWaitStopOnFrozen:
         th = threading.Thread(target=waiter)
         th.start()
         time.sleep(0.1)
-        with engine._cond:
-            engine.locks.freeze(t1.id, "k", LockMode.WRITE,
-                                TsInterval.point(T(4)))
-            engine._cond.notify_all()
+        engine.freeze(t1, "k", LockMode.WRITE, TsInterval.point(T(4)))
         th.join(timeout=5)
         result = got["result"]
         assert result.frozen_conflicts  # stopped because of the frozen lock
@@ -100,9 +97,7 @@ class TestWaitSkipFrozen:
         holder = engine.begin(pid=1)
         engine.acquire(holder, "k", LockMode.WRITE, TsInterval.point(T(2)),
                        wait=False)
-        with engine._cond:
-            engine.locks.freeze(holder.id, "k", LockMode.WRITE,
-                                TsInterval.point(T(2)))
+        engine.freeze(holder, "k", LockMode.WRITE, TsInterval.point(T(2)))
         blocker = engine.begin(pid=2)
         engine.acquire(blocker, "k", LockMode.READ, iv(5, 6), wait=False)
         asker = engine.begin(pid=3)
@@ -128,6 +123,42 @@ class TestWaitSkipFrozen:
         assert result.frozen_conflicts
 
 
+class TestTimeoutSentinel:
+    """Regression: ``timeout=None`` must mean *wait forever*, not *use the
+    default* — the old code treated None as the not-passed sentinel and
+    silently substituted ``default_timeout``."""
+
+    def test_none_waits_past_default_timeout(self):
+        engine = MVTLEngine(MVTLTimestampOrdering(), default_timeout=0.2)
+        holder = engine.begin(pid=1)
+        engine.acquire(holder, "k", LockMode.WRITE, iv(3, 5), wait=False)
+        got = {}
+
+        def waiter():
+            t2 = engine.begin(pid=2)
+            got["result"] = engine.acquire(t2, "k", LockMode.READ, iv(1, 9),
+                                           wait=True, timeout=None)
+
+        th = threading.Thread(target=waiter)
+        th.start()
+        time.sleep(0.5)  # well past default_timeout
+        assert th.is_alive(), "timeout=None gave up at default_timeout"
+        engine.release(holder, "k", LockMode.WRITE, iv(3, 5))
+        th.join(timeout=5)
+        assert got["result"].ok
+        assert engine.stats["lock_timeouts"] == 0
+
+    def test_not_passed_still_uses_default(self):
+        engine = MVTLEngine(MVTLTimestampOrdering(), default_timeout=0.2)
+        holder = engine.begin(pid=1)
+        engine.acquire(holder, "k", LockMode.WRITE, iv(3, 5), wait=False)
+        t2 = engine.begin(pid=2)
+        start = time.monotonic()
+        result = engine.acquire(t2, "k", LockMode.READ, iv(1, 9), wait=True)
+        assert result.timed_out
+        assert time.monotonic() - start < 2.0
+
+
 class TestReleaseAllWriteLocks:
     def test_backs_out_unfrozen_only(self, engine):
         tx = engine.begin(pid=1)
@@ -136,9 +167,7 @@ class TestReleaseAllWriteLocks:
         engine.acquire(tx, "b", LockMode.WRITE, TsInterval.point(T(1)),
                        wait=False)
         engine.acquire(tx, "b", LockMode.READ, iv(3, 4), wait=False)
-        with engine._cond:
-            engine.locks.freeze(tx.id, "a", LockMode.WRITE,
-                                TsInterval.point(T(1)))
+        engine.freeze(tx, "a", LockMode.WRITE, TsInterval.point(T(1)))
         engine.release_all_write_locks(tx)
         assert engine.locks.held(tx.id, "a", LockMode.WRITE) == \
             IntervalSet.point(T(1))  # frozen stays

@@ -99,3 +99,30 @@ class TestSealedMetrics:
         assert st.record_count() == 2
         assert not st.frozen_write_ranges().contains(T(11.0))
         assert st.frozen_write_ranges().contains(T(41.0))
+
+    def test_purge_subtracts_only_purged_records(self):
+        """Regression: a purge overlapping a sealed span must trim it, not
+        drop it — the metric subtracts only what was actually purged."""
+        st = KeyLockState()
+        st.try_acquire("t1", LockMode.READ, iv(0, 100))
+        st.freeze("t1", LockMode.READ, iv(0, 100))
+        st.seal("t1")
+        assert st.record_count() == 1
+        st.purge_below(TsInterval.closed(T(0), T(40)))
+        # The surviving tail (40, 100] is still one record, still sealed.
+        assert st.record_count() == 1
+        assert not st.sealed_read_ranges().contains(T(20))
+        assert st.sealed_read_ranges().contains(T(80))
+
+    def test_purge_splitting_a_span_keeps_both_pieces(self):
+        st = KeyLockState()
+        st.try_acquire("t1", LockMode.READ, iv(0, 100))
+        st.freeze("t1", LockMode.READ, iv(0, 100))
+        st.seal("t1")
+        st.purge_below(iv(40, 60))  # carve a hole in the middle
+        # Both surviving pieces count: a split can *increase* the record
+        # count, exactly as an unmerged store would behave.
+        assert st.record_count() == 2
+        assert st.sealed_read_ranges().contains(T(10))
+        assert not st.sealed_read_ranges().contains(T(50))
+        assert st.sealed_read_ranges().contains(T(90))

@@ -66,9 +66,7 @@ class TestReadLockInterval:
         # version (simulates a commit in progress elsewhere).
         engine.acquire(blocker, "k", LockMode.WRITE, TsInterval.point(T(6, 5)),
                        wait=False)
-        with engine._cond:
-            engine.locks.freeze(blocker.id, "k", LockMode.WRITE,
-                                TsInterval.point(T(6, 5)))
+        engine.freeze(blocker, "k", LockMode.WRITE, TsInterval.point(T(6, 5)))
         tx = engine.begin(pid=1)
         assert engine.read(tx, "k") is BOTTOM
         locked = tx.state.last_locked
@@ -105,10 +103,8 @@ class TestReadLockInterval:
         # Install a committed version the classic way.
         engine.acquire(writer, "k", LockMode.WRITE, TsInterval.point(T(2, 3)),
                        wait=False)
-        with engine._cond:
-            engine.locks.freeze(writer.id, "k", LockMode.WRITE,
-                                TsInterval.point(T(2, 3)))
-            engine.store.install("k", T(2, 3), "newer")
+        engine.freeze(writer, "k", LockMode.WRITE, TsInterval.point(T(2, 3)))
+        engine.store.install("k", T(2, 3), "newer")
         tx = engine.begin(pid=1)
         assert engine.read(tx, "k") == "newer"
         assert tx.readset[-1] == ("k", T(2, 3))

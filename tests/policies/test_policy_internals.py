@@ -139,10 +139,11 @@ class TestPessimisticState:
         tx = engine.begin(pid=1)
         engine.write(tx, "k", "v")
         assert engine.commit(tx)
-        # Only the frozen commit point survives.
+        # Only the frozen commit point survives, sealed into the key's
+        # ownerless aggregate by commit-gc.
         state = engine.locks.peek("k")
-        held = state.held(tx.id, LockMode.WRITE)
-        assert held == IntervalSet.point(tx.commit_ts)
+        assert tx.id not in state.owners()
+        assert state.sealed_write_ranges() == IntervalSet.point(tx.commit_ts)
 
 
 class TestPrioState:
