@@ -8,10 +8,11 @@ Usage::
     python -m repro.bench fig1 --seeds 1 2 3 --out results/
     python -m repro.bench smoke           # batched-vs-unbatched CI check
     python -m repro.bench engine          # threaded striped-engine bench
+    python -m repro.bench chaos           # seeded fault-injection check
 
 Prints each figure as an ASCII table and saves the raw points as JSON.
-``smoke`` and ``engine`` print their report and exit non-zero on failure
-instead of writing files.
+``smoke``, ``engine`` and ``chaos`` print their report and exit non-zero
+on failure instead of writing files.
 """
 
 from __future__ import annotations
@@ -84,6 +85,96 @@ def run_smoke(seed: int = 7) -> int:
     for failure in failures:
         print(f"FAIL: {failure}")
     print("smoke: " + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
+def run_chaos(seed: int = 11) -> int:
+    """CI check: seeded chaos runs survive faults correctly (§H, Thms 8-10).
+
+    Each scenario runs a cluster under a lossy/duplicating/spiking network
+    with coordinator crashes and (where the backend supports it) server
+    crash/restart pairs, twice with the same seed, and asserts:
+
+    * determinism — both runs produce identical outcomes and identical
+      injected-fault counters (same seed, same chaos);
+    * safety — every surviving committed history is MVSG-serializable
+      (Theorem 8 carries over to the surviving transactions);
+    * liveness — after the settle window no unfrozen write lock is still
+      owned by a crashed coordinator: the write-lock timeout + commitment
+      object reclaimed them all (Theorems 9-10).
+    """
+    from ..dist.cluster import ClusterConfig, run_cluster
+    from ..dist.failure import ChaosConfig
+    from ..sim.network import LinkFaults
+    from ..sim.testbed import LOCAL_TESTBED
+    from ..verify import check_serializable
+    from ..workload.generator import WorkloadConfig
+
+    faults = LinkFaults(loss=0.05, duplicate=0.02, delay_spike=0.01)
+    base = ClusterConfig(
+        profile=LOCAL_TESTBED,
+        workload=WorkloadConfig(num_keys=5_000, tx_size=4,
+                                write_fraction=0.5),
+        num_clients=10, seed=seed, warmup=0.25, measure=1.5,
+        write_lock_timeout=0.4, rpc_timeout=0.15, rpc_retries=3,
+        faults=faults, record_history=True)
+    scenarios = [
+        ("mvtil-early+restarts",
+         replace(base, protocol="mvtil-early",
+                 chaos=ChaosConfig(client_crashes=2, server_restarts=2,
+                                   downtime=0.25))),
+        ("mvto+restarts",
+         replace(base, protocol="mvto",
+                 chaos=ChaosConfig(client_crashes=2, server_restarts=2,
+                                   downtime=0.25))),
+        ("mvtil-early+paxos",
+         replace(base, protocol="mvtil-early", commitment="paxos",
+                 chaos=ChaosConfig(client_crashes=2))),
+    ]
+
+    print("== chaos: seeded fault injection (same seed, two runs) ==")
+    print(f"{'scenario':>22s} {'committed':>10s} {'aborted':>8s} "
+          f"{'lost':>6s} {'dups':>6s} {'retries':>8s} {'orphans':>8s}")
+    failures = []
+    for label, config in scenarios:
+        runs = [run_cluster(config) for _ in range(2)]
+        res = runs[0]
+        rep = res.chaos_report
+        print(f"{label:>22s} {res.committed:>10d} {res.aborted:>8d} "
+              f"{rep['messages_lost']:>6d} "
+              f"{rep['messages_duplicated']:>6d} "
+              f"{rep['rpc_retries']:>8d} "
+              f"{rep['orphaned_write_locks']:>8d}")
+
+        def outcome(r):
+            return (r.committed, r.aborted, r.chaos_report)
+
+        if outcome(runs[0]) != outcome(runs[1]):
+            failures.append(f"{label}: same-seed runs diverged")
+        if not res.committed:
+            failures.append(f"{label}: no transaction survived the chaos")
+        if rep["messages_lost"] == 0:
+            failures.append(f"{label}: fault model injected no loss")
+        if len(rep["crashed_clients"]) < config.chaos.client_crashes:
+            failures.append(f"{label}: expected "
+                            f"{config.chaos.client_crashes} coordinator "
+                            f"crashes, got {len(rep['crashed_clients'])}")
+        if rep["server_restarts"] < config.chaos.server_restarts:
+            failures.append(f"{label}: expected "
+                            f"{config.chaos.server_restarts} server "
+                            f"restarts, got {rep['server_restarts']}")
+        if rep["orphaned_write_locks"]:
+            failures.append(f"{label}: {rep['orphaned_write_locks']} write "
+                            f"locks still owned by crashed coordinators "
+                            f"after the settle window (Thms 9-10)")
+        for i, r in enumerate(runs):
+            report = check_serializable(r.history)
+            if not report.serializable:
+                failures.append(f"{label} run {i}: history not "
+                                f"MVSG-serializable: {report.reason}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("chaos: " + ("FAILED" if failures else "ok"))
     return 1 if failures else 0
 
 
@@ -162,10 +253,13 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's evaluation figures (§8).")
     parser.add_argument("figure",
                         choices=sorted(FIGURES) + ["fig6", "fig7", "all",
-                                                   "smoke", "engine"],
+                                                   "smoke", "engine",
+                                                   "chaos"],
                         help="which figure to regenerate (or: 'smoke' = "
                              "batched-vs-unbatched outcome check, 'engine' "
-                             "= threaded striped-engine throughput)")
+                             "= threaded striped-engine throughput, 'chaos' "
+                             "= seeded fault-injection safety/liveness "
+                             "check)")
     parser.add_argument("--seeds", type=int, nargs="+", default=[1],
                         help="seeds to average over (paper: 5 repetitions)")
     parser.add_argument("--out", default="benchmarks/results",
@@ -181,6 +275,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_smoke(seed=args.seeds[0])
     if args.figure == "engine":
         return run_engine_bench()
+    if args.figure == "chaos":
+        return run_chaos(seed=args.seeds[0])
 
     wanted = (sorted(FIGURES) + ["fig6"] if args.figure == "all"
               else [args.figure])

@@ -49,6 +49,10 @@ class AbortReason(str, enum.Enum):
     COMMITMENT_ABORT = "commitment-abort"
     #: MVTO+'s no-wait commit write lock was refused (write-write conflict).
     WRITE_CONFLICT = "write-conflict"
+    #: A storage server crashed and rejoined mid-transaction: its volatile
+    #: lock state (including ours) is gone, detected via the epoch stamp on
+    #: its replies (§H recovery).
+    SERVER_RESTART = "server-restart"
 
     # str() / format() yield the raw value ("deadlock"), not the member
     # name, so messages and JSON exports stay identical to the legacy

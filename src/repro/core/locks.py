@@ -522,6 +522,10 @@ class LockTable:
     def keys_of(self, owner: TxId) -> frozenset[Hashable]:
         return frozenset(self._owner_keys.get(owner, ()))
 
+    def owners(self) -> list[TxId]:
+        """Owners with at least one indexed key (live lock holders)."""
+        return list(self._owner_keys)
+
     def total_record_count(self) -> int:
         """Total stored lock intervals across keys (Fig. 6 metric)."""
         return sum(st.record_count() for st in self._keys.values())

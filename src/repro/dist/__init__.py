@@ -3,7 +3,7 @@
 from .client import BaseClient, MVTILClient, MVTOClient, TwoPLClient
 from .cluster import PROTOCOLS, ClusterConfig, ClusterResult, run_cluster
 from .commitment import ABORT, CommitmentObject, CommitmentRegistry
-from .failure import CrashInjector
+from .failure import ChaosConfig, ChaosEvent, ChaosSchedule, CrashInjector
 from .gc_service import TimestampService
 from .partition import Partition
 from .server import MVTLServer, TwoPLServer
@@ -13,5 +13,6 @@ __all__ = [
     "MVTLServer", "TwoPLServer", "Partition",
     "CommitmentObject", "CommitmentRegistry", "ABORT",
     "TimestampService", "CrashInjector",
+    "ChaosConfig", "ChaosEvent", "ChaosSchedule",
     "ClusterConfig", "ClusterResult", "run_cluster", "PROTOCOLS",
 ]

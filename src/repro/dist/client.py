@@ -37,7 +37,7 @@ from ..obs.trace import NULL_TRACER
 from ..sim.network import Network
 from ..sim.simulator import RECV_TIMEOUT, Mailbox, Recv, Simulator
 from .commitment import ABORT, CommitmentRegistry
-from .messages import (ClockBroadcast, CommitReq, MVTLBatchLockReq,
+from .messages import (ClockBroadcast, CommitReq, EpochReq, MVTLBatchLockReq,
                        MVTLReadReq, MVTLWriteLockReq, ReleaseReq, Reply,
                        TwoPLCommitReq, TwoPLLockReq, TwoPLReleaseReq)
 from .partition import Partition
@@ -53,6 +53,8 @@ class BaseClient:
                  registry: CommitmentRegistry, *,
                  history: Any | None = None,
                  rpc_timeout: float = 5.0,
+                 rpc_retries: int = 0,
+                 validate_epochs: bool = False,
                  consensus: Any | None = None,
                  tracer: Any | None = None) -> None:
         self.sim = sim
@@ -68,80 +70,173 @@ class BaseClient:
         self.history = history
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.rpc_timeout = rpc_timeout
+        #: Default number of times an unanswered RPC is re-sent (same
+        #: request object, same ``req_id`` — the server's dedup log absorbs
+        #: the duplicates).  Each attempt doubles the previous attempt's
+        #: timeout (exponential backoff).  0 = at-most-once, the original
+        #: behaviour.
+        self.rpc_retries = rpc_retries
+        #: Re-check every touched server's epoch just before proposing
+        #: commit.  Closes the restart window: a server that crashed and
+        #: rejoined with empty volatile lock state after granting us a lock
+        #: is detected and the transaction aborted instead of committing on
+        #: locks that no longer exist.  Enabled by run_cluster for chaos
+        #: scenarios with server restarts.
+        self.validate_epochs = validate_epochs
         self.mailbox = Mailbox(sim)
         net.register(client_id, self._on_message)
         self._req_counter = count(1)
         self._tx_counter = count(1)
         self.stats = {"commits": 0, "aborts": 0, "rpc_timeouts": 0,
-                      "msgs_sent": 0}
+                      "rpc_retries": 0, "msgs_sent": 0}
 
     # -- messaging ------------------------------------------------------------
 
     def _on_message(self, msg: Any) -> None:
+        if not isinstance(msg, Reply) and self._handle_oob(msg):
+            return
+        self.mailbox.deliver(msg)
+
+    def _handle_oob(self, msg: Any) -> bool:
+        """Handle out-of-band (non-RPC-reply) traffic; True if consumed.
+
+        Called both on direct delivery and from the RPC receive loops, so a
+        broadcast that lands in the mailbox while an RPC is pending is still
+        processed instead of being silently dropped.
+        """
         if isinstance(msg, ClockBroadcast):
             # Timestamp-service effect 2 (§8.1): slow clocks advance to T.
             self.clock.advance_floor(msg.t)
-            return
-        self.mailbox.deliver(msg)
+            return True
+        return False
 
     def _send(self, server: Hashable, msg: Any) -> None:
         self.stats["msgs_sent"] += 1
         self.net.send(server, msg, src=self.client_id)
 
     def _rpc(self, server: Hashable, msg: Any,
-             timeout: float | None = None) -> Generator[Any, Any, Reply | None]:
-        """Send and await the matching reply; None on timeout.
+             timeout: float | None = None, retries: int | None = None
+             ) -> Generator[Any, Any, Reply | None]:
+        """Send and await the matching reply; None after all attempts fail.
+
+        The request is re-sent up to ``retries`` times (default: the
+        client's ``rpc_retries``) with per-attempt timeouts doubling each
+        time.  The same message object — and hence the same ``req_id`` —
+        goes out every attempt, so the server's request-dedup log makes the
+        call at-least-once safe: a retried lock install is applied once and
+        the cached reply is resent.  Pass ``retries=0`` for semantic
+        timeouts (lock-wait deadlock prevention) where re-sending would
+        defeat the timeout's purpose.
 
         Stale replies (from earlier timed-out requests) are discarded by
-        request id.
+        request id; non-Reply traffic is routed to :meth:`_handle_oob`.
         """
-        self._send(server, msg)
-        deadline = self.sim.now + (timeout if timeout is not None
-                                   else self.rpc_timeout)
-        while True:
-            remaining = deadline - self.sim.now
-            if remaining <= 0:
-                self.stats["rpc_timeouts"] += 1
-                return None
-            reply = yield Recv(self.mailbox, timeout=remaining)
-            if reply is RECV_TIMEOUT:
-                self.stats["rpc_timeouts"] += 1
-                return None
-            if isinstance(reply, Reply) and reply.req_id == msg.req_id:
-                return reply
-            # Stale reply from an earlier timed-out request: drop it.
+        base = timeout if timeout is not None else self.rpc_timeout
+        attempts = 1 + (retries if retries is not None else self.rpc_retries)
+        for attempt in range(attempts):
+            if attempt:
+                self.stats["rpc_retries"] += 1
+            self._send(server, msg)
+            deadline = self.sim.now + base * (2 ** attempt)
+            while True:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    break
+                reply = yield Recv(self.mailbox, timeout=remaining)
+                if reply is RECV_TIMEOUT:
+                    break
+                if not isinstance(reply, Reply):
+                    self._handle_oob(reply)
+                    continue
+                if reply.req_id == msg.req_id:
+                    return reply
+                # Stale reply from an earlier timed-out request: drop it.
+            self.stats["rpc_timeouts"] += 1
+        return None
 
-    def _rpc_many(self, msgs: dict[Hashable, Any], timeout: float | None = None
-                  ) -> Generator[Any, Any, dict[Hashable, Reply] | None]:
+    def _rpc_many(self, msgs: dict[Hashable, Any], timeout: float | None = None,
+                  retries: int | None = None
+                  ) -> Generator[Any, Any, dict[Hashable, Reply]]:
         """Send one message per server, then await every matching reply.
 
         All messages go out before any reply is awaited, so the round trips
         overlap — the whole fan-out costs one RTT plus queueing, not one
-        RTT per server.  Returns ``{server: reply}``; None if any reply
-        misses the (shared) deadline.  Stale replies are discarded by
-        request id, like :meth:`_rpc`.
+        RTT per server.  Unanswered requests are re-sent like :meth:`_rpc`
+        (only the missing ones; answered servers are not bothered again).
+
+        Returns ``{server: reply}`` with whatever arrived — **possibly
+        partial**.  Callers must compare ``len(replies)`` against
+        ``len(msgs)``: a partial map still tells the abort path exactly
+        which servers granted locks, so it can release them instead of
+        leaving them to the server-side write-lock timeout.
         """
-        for server, msg in msgs.items():
-            self._send(server, msg)
-        wanted = {msg.req_id: server for server, msg in msgs.items()}
+        base = timeout if timeout is not None else self.rpc_timeout
+        attempts = 1 + (retries if retries is not None else self.rpc_retries)
+        pending = dict(msgs)
         replies: dict[Hashable, Reply] = {}
-        deadline = self.sim.now + (timeout if timeout is not None
-                                   else self.rpc_timeout)
-        while wanted:
-            remaining = deadline - self.sim.now
-            if remaining <= 0:
+        for attempt in range(attempts):
+            if not pending:
+                break
+            for server, msg in pending.items():
+                if attempt:
+                    self.stats["rpc_retries"] += 1
+                self._send(server, msg)
+            wanted = {msg.req_id: server for server, msg in pending.items()}
+            deadline = self.sim.now + base * (2 ** attempt)
+            while wanted:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    break
+                reply = yield Recv(self.mailbox, timeout=remaining)
+                if reply is RECV_TIMEOUT:
+                    break
+                if not isinstance(reply, Reply):
+                    self._handle_oob(reply)
+                    continue
+                if reply.req_id in wanted:
+                    server = wanted.pop(reply.req_id)
+                    del pending[server]
+                    replies[server] = reply
+            if wanted:
                 self.stats["rpc_timeouts"] += 1
-                return None
-            reply = yield Recv(self.mailbox, timeout=remaining)
-            if reply is RECV_TIMEOUT:
-                self.stats["rpc_timeouts"] += 1
-                return None
-            if isinstance(reply, Reply) and reply.req_id in wanted:
-                replies[wanted.pop(reply.req_id)] = reply
         return replies
 
     def _next_req(self) -> int:
         return next(self._req_counter)
+
+    # -- epoch fencing -----------------------------------------------------
+
+    def _check_epoch(self, tx: SimpleNamespace, server: Hashable,
+                     epoch: int) -> Generator[Any, Any, None]:
+        """Abort if ``server`` restarted since this tx first talked to it.
+
+        Servers stamp every reply with their epoch (bumped on restart).  A
+        restarted server rejoined with empty volatile lock state, so any
+        lock this transaction installed there before the crash is gone —
+        committing anyway could serialize against readers/writers the lost
+        lock was supposed to exclude.
+        """
+        first = tx.epochs.setdefault(server, epoch)
+        if first != epoch:
+            yield from self._fail(tx, AbortReason.SERVER_RESTART)
+
+    def _validate_epochs(self, tx: SimpleNamespace
+                         ) -> Generator[Any, Any, None]:
+        """Pre-commit epoch round: confirm no touched server restarted.
+
+        One EpochReq per touched server, fanned out in parallel.  Under the
+        local (shared-object) commitment backend the reply handling, the
+        commit proposal and the commit messages all happen in one
+        simulation step, so no restart can slip between validation and
+        decision.
+        """
+        reqs = {server: EpochReq(tx.id, self.client_id, self._next_req())
+                for server in sorted(tx.touched, key=str)}
+        replies = yield from self._rpc_many(reqs)
+        if len(replies) < len(reqs):
+            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+        for server, reply in replies.items():
+            yield from self._check_epoch(tx, server, reply.epoch)
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -207,7 +302,7 @@ class MVTILClient(BaseClient):
         tx = SimpleNamespace(
             id=(self.client_id, next(self._tx_counter)),
             interval=IntervalSet.from_interval(interval),
-            readset=[], writeset={}, touched=set(),
+            readset=[], writeset={}, touched=set(), epochs={},
             aborted=False, abort_reason=None)
         self._begin_record(tx)
         return tx
@@ -225,12 +320,16 @@ class MVTILClient(BaseClient):
                           floor=tx.interval.pick_low())
         tx.touched.add(server)
         requested = tx.interval
+        # retries=0: the read timeout is semantic (waiting reads can form
+        # wait cycles with writers; timing out breaks them) — re-sending
+        # would just park a duplicate behind the same writer.
         reply = yield from self._rpc(server, req,
-                                     timeout=self.read_timeout)
+                                     timeout=self.read_timeout, retries=0)
         if reply is None:
             yield from self._fail(tx, AbortReason.READ_LOCK_TIMEOUT)
         if reply.tr is None:
             yield from self._fail(tx, AbortReason.PURGED_VERSION)
+        yield from self._check_epoch(tx, server, reply.epoch)
         tx.interval = tx.interval.intersect(reply.locked)
         if self.tracer.enabled:
             self.tracer.lock_acquire(tx.id, key, "read",
@@ -267,6 +366,7 @@ class MVTILClient(BaseClient):
         reply = yield from self._rpc(server, req)
         if reply is None:
             yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+        yield from self._check_epoch(tx, server, reply.epoch)
         tx.interval = tx.interval.intersect(reply.acquired)
         if self.tracer.enabled:
             self.tracer.lock_acquire(tx.id, key, "write",
@@ -282,6 +382,8 @@ class MVTILClient(BaseClient):
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         if self.defer_writes and tx.writeset:
             yield from self._batch_write_locks(tx)
+        if self.validate_epochs and tx.touched:
+            yield from self._validate_epochs(tx)
         ts = (tx.interval.pick_high() if self.late
               else tx.interval.pick_low())
         decision = yield from self._propose(tx.id, ts)
@@ -327,9 +429,12 @@ class MVTILClient(BaseClient):
             reqs[server] = MVTLBatchLockReq(tx.id, self.client_id,
                                             self._next_req(), items=items)
         replies = yield from self._rpc_many(reqs)
-        if replies is None:
+        if len(replies) < len(reqs):
+            # Partial grant: _fail releases on every touched server —
+            # including the ones that did reply and installed locks.
             yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
         for server in servers:
+            yield from self._check_epoch(tx, server, replies[server].epoch)
             acquired = replies[server].acquired
             for key in by_server[server]:
                 tx.interval = tx.interval.intersect(
@@ -361,11 +466,15 @@ class MVTILClient(BaseClient):
         for key in tx.writeset:
             writes_by_server.setdefault(self.server_of(key), []).append(key)
         for server in tx.touched:
+            keys = tuple(writes_by_server.get(server, ()))
             self._send(server, CommitReq(
                 tx.id, self.client_id, self._next_req(), ts=ts,
-                write_keys=tuple(writes_by_server.get(server, ())),
+                write_keys=keys,
                 spans=spans_by_server.get(server, {}),
-                release=release))
+                release=release,
+                # Redo payload: lets a server that lost its pending buffer
+                # in a crash still install the right values.
+                values={k: tx.writeset[k] for k in keys}))
 
     def _fail(self, tx: SimpleNamespace,
               reason: str) -> Generator[Any, Any, None]:
@@ -406,7 +515,7 @@ class MVTOClient(BaseClient):
             id=(self.client_id, next(self._tx_counter)),
             ts=Timestamp(self.clock.now(), self.pid),
             readset=[], writeset={}, touched=set(), write_servers=set(),
-            aborted=False, abort_reason=None)
+            epochs={}, aborted=False, abort_reason=None)
         self._begin_record(tx)
         return tx
 
@@ -422,6 +531,7 @@ class MVTOClient(BaseClient):
             yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
         if reply.tr is None:
             yield from self._fail(tx, AbortReason.PURGED_VERSION)
+        yield from self._check_epoch(tx, server, reply.epoch)
         tx.readset.append((key, reply.tr))
         if self.history is not None:
             self.history.record_read(tx.id, key, reply.tr)
@@ -456,6 +566,7 @@ class MVTOClient(BaseClient):
                 reply = yield from self._rpc(server, req)
                 if reply is None:
                     yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+                yield from self._check_epoch(tx, server, reply.epoch)
                 if self.tracer.enabled:
                     self.tracer.lock_acquire(tx.id, key, "write",
                                              requested=point,
@@ -465,6 +576,8 @@ class MVTOClient(BaseClient):
                     # only.  Read locks persist — MVTO+'s read-timestamps
                     # are never rolled back (§3), hence ghost aborts.
                     yield from self._fail(tx, AbortReason.WRITE_CONFLICT)
+        if self.validate_epochs and tx.touched:
+            yield from self._validate_epochs(tx)
         decision = yield from self._propose(tx.id, tx.ts)
         if decision == ABORT:
             yield from self._fail(tx, AbortReason.COMMITMENT_ABORT)
@@ -477,7 +590,8 @@ class MVTOClient(BaseClient):
             # no read spans.
             self._send(server, CommitReq(
                 tx.id, self.client_id, self._next_req(), ts=tx.ts,
-                write_keys=tuple(keys), spans={}, release=False))
+                write_keys=tuple(keys), spans={}, release=False,
+                values={k: tx.writeset[k] for k in keys}))
         if self.history is not None:
             self.history.record_commit(tx.id, tx.ts, tuple(tx.writeset))
         self.stats["commits"] += 1
@@ -511,10 +625,13 @@ class MVTOClient(BaseClient):
                                             self._next_req(), items=items,
                                             all_or_nothing=True)
         replies = yield from self._rpc_many(reqs)
-        if replies is None:
+        if len(replies) < len(reqs):
+            # Partial grant: _fail write-releases on every write server,
+            # including the responders that installed point locks.
             yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
         refused = False
         for server in servers:
+            yield from self._check_epoch(tx, server, replies[server].epoch)
             acquired = replies[server].acquired
             for key in by_server[server]:
                 got = acquired.get(key, EMPTY_SET)
@@ -609,8 +726,11 @@ class TwoPLClient(BaseClient):
                            write=write)
         tx.locked_keys.add(key)
         sent_at = self.sim.now
+        # retries=0: the lock-wait timeout IS the deadlock prevention;
+        # re-sending would re-queue behind the same conflicting holder.
         reply = yield from self._rpc(server, req,
-                                     timeout=self._current_timeout())
+                                     timeout=self._current_timeout(),
+                                     retries=0)
         if reply is None:
             # Lock-wait timeout: the paper's deadlock prevention.  Abort and
             # release everything (the server drops our queued request too).

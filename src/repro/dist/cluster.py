@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..clocks.clock import EpsilonSyncClock
+from ..core.locks import LockMode
 from ..obs.metrics import MetricsRegistry, fold_trace, merge_conflict_counts
 from ..obs.trace import Tracer
-from ..sim.network import Network
+from ..sim.network import LinkFaults, Network
 from ..sim.rng import RngFactory
 from ..sim.simulator import Simulator, Sleep
 from ..sim.testbed import LOCAL_TESTBED, TestbedProfile
@@ -26,6 +27,7 @@ from ..workload.runner import closed_loop_client
 from ..workload.stats import RunStats, StateSampler
 from .client import MVTILClient, MVTOClient, TwoPLClient
 from .commitment import CommitmentRegistry
+from .failure import ChaosConfig, ChaosSchedule, CrashInjector
 from .gc_service import TimestampService
 from .partition import Partition
 from .server import MVTLServer, TwoPLServer
@@ -86,6 +88,18 @@ class ClusterConfig:
     #: Sample server queue depths every N simulated seconds into the
     #: metrics registry (0 = off; only meaningful with ``trace=True``).
     queue_sample_period: float = 0.0
+    #: Per-link fault model applied to every link (loss / duplication /
+    #: delay spikes), sampled from a dedicated RNG stream.  None = the
+    #: perfect network of the paper's TCP transport.
+    faults: LinkFaults | None = None
+    #: Chaos scenario (client crashes, server crash/restart pairs),
+    #: generated deterministically inside the measurement window.
+    chaos: ChaosConfig | None = None
+    #: Client RPC timeout (first attempt; backoff doubles it per retry).
+    rpc_timeout: float = 5.0
+    #: Client RPC retries (same req_id; servers dedup).  Keep 0 on a
+    #: perfect network — with loss, 2-3 attempts ride out most drops.
+    rpc_retries: int = 0
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -94,6 +108,25 @@ class ClusterConfig:
         if self.commitment not in ("local", "paxos"):
             raise ValueError(f"unknown commitment backend "
                              f"{self.commitment!r}")
+        if self.protocol == "2pl" and (
+                self.faults is not None
+                or (self.chaos is not None and self.chaos.any)):
+            # 2PL has no recovery protocol: its commit is fire-and-forget
+            # with no commitment object or write-lock timeout behind it, so
+            # a lost commit message silently diverges the servers.
+            raise ValueError("fault injection requires a recovery protocol; "
+                             "2pl does not have one")
+        if (self.commitment == "paxos" and self.chaos is not None
+                and self.chaos.server_restarts > 0):
+            # Epoch validation is race-free only under the local commitment
+            # backend (reply handling and decision share one simulation
+            # step).  With Paxos a restart can slip between the epoch check
+            # and the multi-round decision; §H.1's servers-may-fail model
+            # assumes replicated (durable) lock state instead of volatile
+            # state that restarts empty.
+            raise ValueError("server restarts are not supported with the "
+                             "paxos commitment backend (volatile lock loss "
+                             "can race the multi-round decision)")
 
 
 @dataclass
@@ -125,6 +158,12 @@ class ClusterResult:
     #: Folded metrics dict (``config.trace`` only; else None) — counters /
     #: gauges / histograms plus a ``run`` section with the headline numbers.
     metrics: dict | None = None
+    #: Fault-injection outcome (``config.faults``/``config.chaos`` only):
+    #: crashed clients, server crash/restart events, loss/duplication/retry
+    #: counters, and ``orphaned_write_locks`` — unfrozen write locks still
+    #: owned by a crashed coordinator after the settle period (Theorems
+    #: 9-10 say this must be zero).
+    chaos_report: dict | None = None
 
     def summary(self) -> str:
         return (f"{self.config.protocol:12s} clients={self.config.num_clients:4d} "
@@ -135,7 +174,16 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
     """Build the simulated deployment described by ``config`` and run it."""
     sim = Simulator()
     rngs = RngFactory(config.seed)
-    net = Network(sim, config.profile.latency, rngs.stream())
+    # Fault/chaos streams are drawn *conditionally* so that a run without
+    # fault injection keeps exactly the seed->stream assignment (and hence
+    # the exact outcome) it had before fault injection existed.
+    fault_rng = rngs.stream() if config.faults is not None else None
+    net = Network(sim, config.profile.latency, rngs.stream(),
+                  fault_rng=fault_rng)
+    if config.faults is not None:
+        net.set_default_faults(config.faults)
+    chaos_on = config.chaos is not None and config.chaos.any
+    chaos_rng = rngs.stream() if chaos_on else None
     registry = CommitmentRegistry(sim)
     history = HistoryRecorder() if config.record_history else None
     tracer = Tracer(now_fn=lambda: sim.now) if config.trace else None
@@ -144,13 +192,14 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                    else config.profile.num_servers)
     server_ids = [f"server-{i}" for i in range(num_servers)]
     consensus = None
+    acceptors_by_sid: dict[str, Any] = {}
     if config.commitment == "paxos" and config.protocol != "2pl":
         # One acceptor per storage server node ("all the servers in the
         # system as participants", §H.1).
         from .paxos import PaxosAcceptor, PaxosConsensus
         acceptor_ids = [f"{sid}-acceptor" for sid in server_ids]
-        for aid in acceptor_ids:
-            PaxosAcceptor(sim, net, aid)
+        for sid, aid in zip(server_ids, acceptor_ids):
+            acceptors_by_sid[sid] = PaxosAcceptor(sim, net, aid)
         consensus = PaxosConsensus(sim, net, acceptor_ids,
                                    rng=rngs.stream())
     servers: list[Any] = []
@@ -162,7 +211,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             servers.append(MVTLServer(
                 sim, net, sid, config.profile, rngs.stream(), registry,
                 write_lock_timeout=config.write_lock_timeout,
-                consensus=consensus))
+                consensus=consensus, history=history))
     if tracer is not None:
         for server in servers:
             server.tracer = tracer
@@ -173,6 +222,11 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
 
     client_ids = []
     clients = []
+    client_procs: dict[str, Any] = {}
+    # A restarted server rejoins with empty volatile lock state; epoch
+    # validation makes committing clients re-confirm every touched server
+    # before deciding, closing the lost-lock window.
+    validate = chaos_on and config.chaos.server_restarts > 0
     for i in range(config.num_clients):
         cid = f"client-{i}"
         client_ids.append(cid)
@@ -180,7 +234,10 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         clock = EpsilonSyncClock(lambda: sim.now,
                                  config.profile.clock_skew,
                                  rng=rngs.stream(), fixed=True)
-        common = dict(history=history, consensus=consensus, tracer=tracer)
+        common = dict(history=history, consensus=consensus, tracer=tracer,
+                      rpc_timeout=config.rpc_timeout,
+                      rpc_retries=config.rpc_retries,
+                      validate_epochs=validate)
         if config.protocol in ("mvtil-early", "mvtil-late"):
             client = MVTILClient(sim, net, cid, pid, partition, clock,
                                  registry, delta=config.delta,
@@ -198,10 +255,20 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                  **common)
         clients.append(client)
         workload = WorkloadGenerator(config.workload, rngs.stream())
-        sim.spawn(closed_loop_client(
+        client_procs[cid] = sim.spawn(closed_loop_client(
             client, workload, stats, rngs.stream(),
             client_overhead=config.profile.client_overhead,
             max_restarts=config.max_restarts), name=cid)
+
+    injector = None
+    if chaos_on:
+        injector = CrashInjector(sim, net)
+        schedule = ChaosSchedule.generate(
+            config.chaos, chaos_rng, client_ids, server_ids,
+            start=config.warmup, end=config.warmup + config.measure)
+        schedule.apply(injector, client_procs,
+                       {s.server_id: s for s in servers},
+                       extras=acceptors_by_sid)
 
     service = TimestampService(sim, net, server_ids, client_ids,
                                horizon=config.profile.gc_horizon,
@@ -231,11 +298,41 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
 
     sim.run_until(config.warmup + config.measure)
 
+    if chaos_on or config.faults is not None:
+        # Settle: run past the measurement window long enough for every
+        # server-side write-lock timeout armed inside it to fire and its
+        # decision to be applied (Theorems 9-10 liveness), so the orphan
+        # scan below observes the steady state.  RunStats only counts
+        # completions inside [warmup, warmup + measure], so the extra time
+        # does not perturb the reported numbers.
+        settle = config.write_lock_timeout + 0.5
+        if config.commitment == "paxos":
+            settle += config.write_lock_timeout  # consensus rounds + backoff
+        sim.run_until(config.warmup + config.measure + settle)
+
     # Wire cost: every network message (requests, replies, fire-and-forget
     # notifications, maintenance) over every commit the whole run produced
     # (client stats cover warmup too, matching messages_sent's scope).
     total_commits = sum(c.stats["commits"] for c in clients)
     messages_per_commit = net.messages_sent / max(1, total_commits)
+
+    chaos_report = None
+    if chaos_on or config.faults is not None:
+        crashed = list(injector.crashed) if injector else []
+        chaos_report = {
+            "crashed_clients": crashed,
+            "server_events": list(injector.server_events) if injector else [],
+            "server_restarts": sum(s.stats.get("restarts", 0)
+                                   for s in servers),
+            "orphaned_write_locks": _orphaned_write_locks(servers,
+                                                          set(crashed)),
+            "messages_lost": net.messages_lost,
+            "messages_duplicated": net.messages_duplicated,
+            "delay_spikes": net.delay_spikes,
+            "rpc_retries": sum(c.stats["rpc_retries"] for c in clients),
+            "dup_requests": sum(s.stats.get("dup_requests", 0)
+                                for s in servers),
+        }
 
     metrics = None
     if config.trace:
@@ -273,4 +370,35 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         latency_summary=stats.latency_summary(),
         trace=tracer.events if tracer is not None else None,
         metrics=metrics,
+        chaos_report=chaos_report,
     )
+
+
+def _orphaned_write_locks(servers: list[Any],
+                          crashed_clients: set[Any]) -> int:
+    """Count unfrozen write locks still owned by crashed coordinators.
+
+    Theorems 9-10: after the write-lock timeout (plus decision latency) an
+    orphaned transaction's write locks must be gone — either released (the
+    timeout abort won) or frozen (a racing commit won).  Any survivor is a
+    liveness bug.
+    """
+    orphaned = 0
+    for server in servers:
+        if not isinstance(server, MVTLServer):
+            continue
+        for tx_id in list(server.locks.owners()):
+            if not (isinstance(tx_id, tuple) and tx_id
+                    and tx_id[0] in crashed_clients):
+                continue
+            for key in server.locks.keys_of(tx_id):
+                state = server.locks.peek(key)
+                if state is None:
+                    continue
+                held = state.held(tx_id, LockMode.WRITE)
+                if held.is_empty:
+                    continue
+                if not held.subtract(
+                        state.frozen(tx_id, LockMode.WRITE)).is_empty:
+                    orphaned += 1
+    return orphaned

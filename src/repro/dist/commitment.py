@@ -72,9 +72,20 @@ class CommitmentObject:
 class CommitmentRegistry:
     """Per-transaction commitment objects plus decision-point bookkeeping."""
 
+    #: How many finished-transaction decisions to remember (tombstones).
+    #: They only need to outlive the servers' write-lock timeout, which at
+    #: simulated throughputs is a few hundred transactions at most.
+    _TOMBSTONE_MAX = 65536
+
     def __init__(self, sim: Simulator) -> None:
         self._sim = sim
         self._objects: dict[Hashable, CommitmentObject] = {}
+        #: Decisions of forgotten transactions.  Without these, a server
+        #: whose write-lock timeout fires *after* the coordinator committed
+        #: and forgot (e.g. the CommitReq to that server was lost) would
+        #: propose abort to a brand-new object, win, and release locks the
+        #: rest of the system believes are frozen — a partial commit.
+        self._decided: dict[Hashable, Any] = {}
         #: tx -> node id of the designated decision-point server (§H.1).
         self.decision_point: dict[Hashable, Hashable] = {}
 
@@ -82,6 +93,9 @@ class CommitmentRegistry:
         obj = self._objects.get(tx_id)
         if obj is None:
             obj = self._objects[tx_id] = CommitmentObject(self._sim, tx_id)
+            decided = self._decided.get(tx_id)
+            if decided is not None:
+                obj.propose(decided)  # resurrect the tombstoned decision
         return obj
 
     def set_decision_point(self, tx_id: Hashable, server: Hashable) -> None:
@@ -90,8 +104,17 @@ class CommitmentRegistry:
         self.decision_point.setdefault(tx_id, server)
 
     def forget(self, tx_id: Hashable) -> None:
-        """Drop state for a finished transaction (bounds registry growth)."""
-        self._objects.pop(tx_id, None)
+        """Drop state for a finished transaction (bounds registry growth).
+
+        A decided outcome is kept as a tombstone so late proposals (a
+        server's write-lock timeout racing a lost commit notification)
+        still see it instead of deciding fresh.
+        """
+        obj = self._objects.pop(tx_id, None)
+        if obj is not None and obj.decided:
+            self._decided[tx_id] = obj.decision
+            if len(self._decided) > self._TOMBSTONE_MAX:
+                self._decided.pop(next(iter(self._decided)))
         self.decision_point.pop(tx_id, None)
 
     def __len__(self) -> int:

@@ -9,26 +9,40 @@ correct coordinators are never delayed forever (Theorems 9-10).
 :class:`CrashInjector` crashes a client mid-transaction: the client's
 process is cancelled (it never takes another step) and its network node is
 unregistered (replies to it vanish) — exactly how a crash looks to the rest
-of an asynchronous system.
+of an asynchronous system.  It also schedules *server* crash/restart: a
+fail-stop server drops everything in flight, and a restarted one rejoins
+with empty volatile lock state (see
+:meth:`repro.dist.server._ServerBase.restart`), forcing clients whose locks
+evaporated onto the recovery path.
+
+:class:`ChaosSchedule` is the scenario script: a deterministic, seeded
+sequence of :class:`ChaosEvent` (client crashes and server crash/restart
+pairs) generated from a :class:`ChaosConfig`, applied to a running cluster
+through a :class:`CrashInjector`.
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from dataclasses import dataclass
+from typing import Any, Hashable, Sequence
+
+import numpy as np
 
 from ..sim.network import Network
 from ..sim.simulator import Process, Simulator
 
-__all__ = ["CrashInjector"]
+__all__ = ["ChaosConfig", "ChaosEvent", "ChaosSchedule", "CrashInjector"]
 
 
 class CrashInjector:
-    """Crash simulated clients at chosen times."""
+    """Crash simulated clients — and crash/restart servers — at chosen times."""
 
     def __init__(self, sim: Simulator, net: Network) -> None:
         self.sim = sim
         self.net = net
         self.crashed: list[Hashable] = []
+        #: (time, "crash"|"restart", server_id) in application order.
+        self.server_events: list[tuple[float, str, Hashable]] = []
 
     def crash_client_at(self, when: float, client_id: Hashable,
                         process: Process) -> None:
@@ -40,3 +54,136 @@ class CrashInjector:
         process.cancel()
         self.net.unregister(client_id)
         self.crashed.append(client_id)
+
+    def crash_server_at(self, when: float, server: Any,
+                        *extras: Any) -> None:
+        """Schedule a fail-stop crash of ``server`` (an object with a
+        ``crash()`` method).  ``extras`` crash at the same instant — e.g.
+        the Paxos acceptor co-located with a storage server."""
+        self.sim.schedule(max(0.0, when - self.sim.now),
+                          self._crash_server, server, extras)
+
+    def _crash_server(self, server: Any, extras: tuple) -> None:
+        server.crash()
+        for extra in extras:
+            extra.crash()
+        self.server_events.append((self.sim.now, "crash", server.server_id))
+
+    def restart_server_at(self, when: float, server: Any,
+                          *extras: Any) -> None:
+        """Schedule a restart of a crashed ``server`` (empty volatile
+        state; see the server's ``restart``)."""
+        self.sim.schedule(max(0.0, when - self.sim.now),
+                          self._restart_server, server, extras)
+
+    def _restart_server(self, server: Any, extras: tuple) -> None:
+        server.restart()
+        for extra in extras:
+            extra.restart()
+        self.server_events.append((self.sim.now, "restart",
+                                   server.server_id))
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What a chaos scenario injects (fault *models* live on the Network)."""
+
+    #: Coordinator crashes: this many distinct clients die at seeded times.
+    client_crashes: int = 0
+    #: Server crash/restart pairs: each picks a server, crashes it, and
+    #: restarts it ``downtime`` seconds later with empty volatile state.
+    server_restarts: int = 0
+    #: How long a crashed server stays down before rejoining.
+    downtime: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.client_crashes < 0 or self.server_restarts < 0:
+            raise ValueError("event counts must be >= 0")
+        if self.downtime <= 0:
+            raise ValueError("downtime must be positive")
+
+    @property
+    def any(self) -> bool:
+        return bool(self.client_crashes or self.server_restarts)
+
+
+@dataclass(frozen=True, order=True)
+class ChaosEvent:
+    """One scheduled injection: ``action`` is ``"crash-client"``,
+    ``"crash-server"`` or ``"restart-server"``."""
+
+    when: float
+    action: str
+    target: Hashable
+
+
+class ChaosSchedule:
+    """A deterministic scenario script: sorted :class:`ChaosEvent` list."""
+
+    def __init__(self, events: Sequence[ChaosEvent]) -> None:
+        self.events = sorted(events)
+
+    @classmethod
+    def generate(cls, config: ChaosConfig, rng: np.random.Generator,
+                 client_ids: Sequence[Hashable],
+                 server_ids: Sequence[Hashable],
+                 start: float, end: float) -> "ChaosSchedule":
+        """Build a schedule from a seeded RNG stream — same stream, same
+        scenario, so a chaos run is exactly reproducible.
+
+        Client crashes hit distinct clients at uniform times in
+        ``[start, end]``.  Server restarts are laid out one per disjoint
+        time slot, so no two crash/restart windows overlap even when the
+        same server is drawn twice.
+        """
+        if end <= start:
+            raise ValueError("need end > start")
+        events: list[ChaosEvent] = []
+        span = end - start
+        if config.client_crashes and len(client_ids):
+            n = min(config.client_crashes, len(client_ids))
+            picks = rng.choice(len(client_ids), size=n, replace=False)
+            times = start + rng.random(n) * span
+            for i, t in zip(picks, times):
+                events.append(ChaosEvent(float(t), "crash-client",
+                                         client_ids[int(i)]))
+        if config.server_restarts and len(server_ids):
+            n = config.server_restarts
+            slot = span / n
+            if config.downtime >= slot:
+                raise ValueError(
+                    f"downtime {config.downtime} does not fit "
+                    f"{n} restarts into a {span:.3f}s window")
+            for k in range(n):
+                sid = server_ids[int(rng.integers(len(server_ids)))]
+                lo = start + k * slot
+                t = lo + float(rng.random()) * (slot - config.downtime)
+                events.append(ChaosEvent(t, "crash-server", sid))
+                events.append(ChaosEvent(t + config.downtime,
+                                         "restart-server", sid))
+        return cls(events)
+
+    def apply(self, injector: CrashInjector,
+              client_procs: dict[Hashable, Process],
+              servers: dict[Hashable, Any],
+              extras: dict[Hashable, Any] | None = None) -> None:
+        """Arm every event on the injector.
+
+        ``client_procs`` maps client id -> driver Process; ``servers`` maps
+        server id -> server object; ``extras`` optionally maps server id to
+        a co-located component that crashes/restarts with it (its Paxos
+        acceptor).
+        """
+        extras = extras or {}
+        for ev in self.events:
+            if ev.action == "crash-client":
+                injector.crash_client_at(ev.when, ev.target,
+                                         client_procs[ev.target])
+            elif ev.action == "crash-server":
+                co = ((extras[ev.target],) if ev.target in extras else ())
+                injector.crash_server_at(ev.when, servers[ev.target], *co)
+            elif ev.action == "restart-server":
+                co = ((extras[ev.target],) if ev.target in extras else ())
+                injector.restart_server_at(ev.when, servers[ev.target], *co)
+            else:
+                raise ValueError(f"unknown chaos action {ev.action!r}")

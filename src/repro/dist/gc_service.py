@@ -45,11 +45,17 @@ class TimestampService:
         t = self.sim.now - self.horizon
         if t > 0:
             bound = Timestamp(t, _PID_MIN)
+            # Skip crashed nodes: broadcasting into the void would inflate
+            # the message counters forever (a crashed client never comes
+            # back; a crashed server purges on its own schedule once it
+            # rejoins and the next tick reaches it).
             for server in self.servers:
-                self.net.send(server, PurgeReq(
-                    tx_id="__ts_service__", client="__ts_service__",
-                    req_id=self.broadcasts, bound=bound))
+                if self.net.is_up(server):
+                    self.net.send(server, PurgeReq(
+                        tx_id="__ts_service__", client="__ts_service__",
+                        req_id=self.broadcasts, bound=bound))
             for client in self.clients:
-                self.net.send(client, ClockBroadcast(t=t))
+                if self.net.is_up(client):
+                    self.net.send(client, ClockBroadcast(t=t))
             self.broadcasts += 1
         self.sim.schedule(self.period, self._tick)

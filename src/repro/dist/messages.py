@@ -5,6 +5,16 @@ Every request carries the issuing transaction, the client's node id (for the
 reply) and a client-chosen request id so the client coroutine can match
 replies to requests and discard stale ones (e.g. a reply arriving after the
 client timed out and moved on).
+
+Delivery contract: the transport is **at-least-once** once clients retry —
+a request may reach the server zero times (lost), once, or several times
+(retry or link-level duplication).  Servers therefore deduplicate by
+``(client, req_id)``: the first arrival is processed, later arrivals of an
+already-answered request just get the cached reply re-sent, and arrivals of
+a request still in progress (parked) are dropped.  Replies carry the
+server's ``epoch`` (bumped on every restart) so clients can detect that a
+server lost its volatile lock state mid-transaction and abort instead of
+committing on locks that no longer exist.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ __all__ = [
     "MVTLWriteLockReq", "MVTLWriteLockReply",
     "MVTLBatchLockReq", "MVTLBatchLockReply",
     "FreezeWriteReq", "FreezeReadReq", "ReleaseReq", "GcReq", "CommitReq",
+    "EpochReq", "EpochReply",
     "TwoPLLockReq", "TwoPLLockReply", "TwoPLCommitReq", "TwoPLReleaseReq",
     "PurgeReq", "ClockBroadcast",
     "ProposeReq", "DecisionReply",
@@ -74,6 +85,7 @@ class MVTLReadReply(Reply):
     tr: Timestamp | None = None
     value: Any = None
     locked: IntervalSet = field(default_factory=IntervalSet)
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +110,7 @@ class MVTLWriteLockReq(Request):
 @dataclass(frozen=True, slots=True)
 class MVTLWriteLockReply(Reply):
     acquired: IntervalSet = field(default_factory=IntervalSet)
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +139,7 @@ class MVTLBatchLockReply(Reply):
     IntervalSet; empty set = refused)."""
 
     acquired: dict = field(default_factory=dict)
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -181,12 +195,36 @@ class CommitReq(Request):
     where a separately-delivered GC could release a commit-point write lock
     before its freeze was processed (the prototype holds the key's latch
     across this sequence, §8.1).
+
+    ``values`` repeats the written values keyed by key.  The server
+    normally installs from its ``pending`` buffer (filled at write-lock
+    time), but a server that crashed and restarted between lock install and
+    commit has lost that buffer — the notification itself must carry
+    everything needed to apply the commit (like a redo record).
     """
 
     ts: Timestamp = None
     write_keys: tuple = ()
     spans: dict = field(default_factory=dict)  # key -> IntervalSet
     release: bool = True
+    values: dict = field(default_factory=dict)  # key -> written value
+
+
+@dataclass(frozen=True, slots=True)
+class EpochReq(Request):
+    """Pre-commit epoch probe: "are you still the server I locked on?".
+
+    Sent to every touched server just before the coordinator proposes
+    commit (when epoch validation is enabled).  The reply's epoch is
+    compared against the epoch of the transaction's first contact with that
+    server; a mismatch means the server restarted — and silently dropped
+    the transaction's volatile locks — so the coordinator must abort.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class EpochReply(Reply):
+    epoch: int = 0
 
 
 # -- 2PL family ---------------------------------------------------------------

@@ -106,8 +106,24 @@ class PaxosAcceptor:
         self.sim = sim
         self.net = net
         self.node_id = node_id
+        self.crashed = False
         self._slots: dict[Hashable, _AcceptorSlot] = {}
         net.register(node_id, self.on_message)
+
+    def crash(self) -> None:
+        """Fail-stop: stop answering (messages to us vanish)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.net.unregister(self.node_id)
+
+    def restart(self) -> None:
+        """Rejoin.  Promises/accepts are durable (Paxos requires acceptors
+        to persist them across crashes), so ``_slots`` survives."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.net.register(self.node_id, self.on_message)
 
     def _slot(self, tx_id: Hashable) -> _AcceptorSlot:
         slot = self._slots.get(tx_id)

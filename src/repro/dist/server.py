@@ -18,10 +18,21 @@ Fault tolerance (§H): a server that has held an *unfrozen* write lock past
 transaction's commitment object and applies the decision — releasing the
 locks on a decided abort, or freezing/installing on a decided commit
 (Alg. 13's write-lock-timeout handler).
+
+Crash/restart: :meth:`~_ServerBase.crash` is fail-stop (network detach, all
+queued and in-service work dropped); :meth:`~_ServerBase.restart` rejoins
+with empty *volatile* state — lock table, pending-value buffer, parked
+requests and the request-dedup log are gone, while the version store
+survives (it models durable storage).  Each restart bumps the server's
+``epoch``, stamped on every reply, so mid-transaction clients can detect
+that their locks evaporated.  Because clients retry lost RPCs with the same
+request id, every request is deduplicated by ``(client, req_id)`` before it
+is executed (at-least-once transport, exactly-once application).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Hashable
 
 import numpy as np
@@ -36,17 +47,44 @@ from ..sim.server_queue import ServiceQueue
 from ..sim.simulator import Simulator
 from ..sim.testbed import TestbedProfile
 from .commitment import ABORT, CommitmentRegistry
-from .messages import (CommitReq, FreezeReadReq, FreezeWriteReq, GcReq,
-                       MVTLBatchLockReply, MVTLBatchLockReq, MVTLReadReply,
-                       MVTLReadReq, MVTLWriteLockReply, MVTLWriteLockReq,
-                       PurgeReq, ReleaseReq, TwoPLCommitReq, TwoPLLockReply,
-                       TwoPLLockReq, TwoPLReleaseReq)
+from .messages import (CommitReq, EpochReply, EpochReq, FreezeReadReq,
+                       FreezeWriteReq, GcReq, MVTLBatchLockReply,
+                       MVTLBatchLockReq, MVTLReadReply, MVTLReadReq,
+                       MVTLWriteLockReply, MVTLWriteLockReq, PurgeReq,
+                       ReleaseReq, Reply, Request, TwoPLCommitReq,
+                       TwoPLLockReply, TwoPLLockReq, TwoPLReleaseReq)
 
 __all__ = ["MVTLServer", "TwoPLServer"]
 
+#: Dedup-log marker: request arrived and is being executed (or parked) but
+#: has not produced a reply yet.
+_IN_PROGRESS = object()
+
+#: Sentinel distinguishing "no pending buffer entry" from a buffered None.
+_MISSING = object()
+
+
+class _Resubmit:
+    """Internal envelope for un-parking: bypasses the request-dedup check.
+
+    A parked request is re-submitted through the service queue when the
+    lock state changes; without the envelope the dedup log would mistake
+    the re-submission for a network duplicate and drop it.
+    """
+
+    __slots__ = ("req",)
+
+    def __init__(self, req: Any) -> None:
+        self.req = req
+
 
 class _ServerBase:
-    """Shared wiring: service queue, network registration, parking."""
+    """Shared wiring: service queue, network registration, parking, dedup."""
+
+    #: Bound on the request-dedup log.  Entries are only needed while a
+    #: client might still retry the request — a few RPC timeouts — so FIFO
+    #: eviction of the oldest entries is safe at any realistic rate.
+    _REQ_LOG_MAX = 8192
 
     def __init__(self, sim: Simulator, net: Network, server_id: Hashable,
                  profile: TestbedProfile, rng: np.random.Generator) -> None:
@@ -56,8 +94,14 @@ class _ServerBase:
         self.profile = profile
         self.queue = ServiceQueue(sim, profile.service_time,
                                   profile.server_concurrency, rng,
-                                  self._handle)
+                                  self._on_request)
         net.register(server_id, self.queue.submit)
+        self.crashed = False
+        #: Bumped on every restart; stamped on MVTL replies (epoch fencing).
+        self.epoch = 0
+        #: (client, req_id) -> _IN_PROGRESS | cached Reply.  Makes request
+        #: handling idempotent under client retry and link duplication.
+        self._req_log: OrderedDict[tuple, Any] = OrderedDict()
         self._parked: dict[Hashable, list[Any]] = {}
         #: Park time per waiting request (messages are frozen dataclasses,
         #: so requests are keyed by identity).  Only the obs layer reads
@@ -69,12 +113,70 @@ class _ServerBase:
         #: Attach point for the obs layer (see :mod:`repro.obs`); the
         #: cluster assigns a recording tracer after construction.
         self.tracer: Any = NULL_TRACER
-        self.stats = {"requests": 0, "parked": 0}
+        self.stats = {"requests": 0, "parked": 0, "dup_requests": 0,
+                      "restarts": 0}
 
     def _handle(self, msg: Any) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
 
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: detach from the network, finish nothing in flight."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.net.unregister(self.server_id)
+        self.queue.drop_pending()
+
+    def restart(self) -> None:
+        """Rejoin with empty volatile state (Theorems 8-10 recovery model).
+
+        Parked requests, the dedup log and (in subclasses) the lock state
+        are volatile and do not survive; the epoch bump lets clients whose
+        locks evaporated detect the restart from our next reply.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.epoch += 1
+        self.stats["restarts"] += 1
+        self._parked.clear()
+        self._parked_at.clear()
+        self._req_log.clear()
+        self.net.register(self.server_id, self.queue.submit)
+
+    # -- request dedup -----------------------------------------------------
+
+    def _on_request(self, msg: Any) -> None:
+        """Queue handler: dedup by (client, req_id), then dispatch."""
+        if self.crashed:
+            return  # a crashed CPU finishes nothing
+        if isinstance(msg, _Resubmit):
+            self._handle(msg.req)
+            return
+        if isinstance(msg, Request):
+            key = (msg.client, msg.req_id)
+            prior = self._req_log.get(key)
+            if prior is not None:
+                # Retry or link duplicate: never execute twice.  If the
+                # first run already replied, re-send that reply (the
+                # original may have been lost); if it is still in progress
+                # (parked, or awaiting consensus), it will reply itself.
+                self.stats["dup_requests"] += 1
+                if isinstance(prior, Reply):
+                    self.net.send(msg.client, prior, src=self.server_id)
+                return
+            self._req_log[key] = _IN_PROGRESS
+            while len(self._req_log) > self._REQ_LOG_MAX:
+                self._req_log.popitem(last=False)
+        self._handle(msg)
+
     def _reply(self, req: Any, reply: Any) -> None:
+        if isinstance(req, Request):
+            key = (req.client, req.req_id)
+            if key in self._req_log:
+                self._req_log[key] = reply
         self.net.send(req.client, reply, src=self.server_id)
 
     def _park(self, key: Hashable, req: Any) -> None:
@@ -99,7 +201,7 @@ class _ServerBase:
         if waiting:
             for req in waiting:
                 self._end_wait(key, req)
-                self.queue.submit(req)
+                self.queue.submit(_Resubmit(req))
 
     def _drop_parked(self, tx_id: Hashable) -> None:
         """Discard parked requests of an aborted transaction.
@@ -138,9 +240,16 @@ class MVTLServer(_ServerBase):
                  profile: TestbedProfile, rng: np.random.Generator,
                  registry: CommitmentRegistry, *,
                  write_lock_timeout: float = 2.0,
-                 consensus: Any | None = None) -> None:
+                 consensus: Any | None = None,
+                 history: Any | None = None) -> None:
         super().__init__(sim, net, server_id, profile, rng)
         self.registry = registry
+        #: Optional shared History: commits applied *server-side* are
+        #: recorded here too, covering coordinators that crash after the
+        #: decision but before recording (their writes are still installed
+        #: by the write-lock-timeout/CommitReq path and must be visible to
+        #: the MVSG checker as committed, not phantom).
+        self.history = history
         #: Optional PaxosConsensus: when set, transaction outcomes are
         #: decided by real message-passing consensus over the acceptor set
         #: (§H.1 "servers may fail" mode) instead of the in-sim object.
@@ -154,6 +263,15 @@ class MVTLServer(_ServerBase):
         self._state_multiplier = 1.0
         self._state_refresh_at = 0
         self.queue.service_time_fn = self._service_time
+
+    def restart(self) -> None:
+        """Rejoin after a crash: locks and buffered values are volatile and
+        are lost; the version store survives (durable storage)."""
+        if not self.crashed:
+            return
+        self.locks = LockTable()
+        self.pending.clear()
+        super().restart()
 
     #: Relative CPU cost of control notifications (commit/gc/release/
     #: purge) vs. data requests: they carry no value payload and do no
@@ -181,7 +299,7 @@ class MVTLServer(_ServerBase):
             weight = (self.CONTROL_MSG_WEIGHT
                       if isinstance(msg, (CommitReq, GcReq, ReleaseReq,
                                           FreezeWriteReq, FreezeReadReq,
-                                          PurgeReq))
+                                          PurgeReq, EpochReq))
                       else 1.0)
         return self.profile.service_time * self._state_multiplier * weight
 
@@ -207,6 +325,8 @@ class MVTLServer(_ServerBase):
             self._handle_release(msg)
         elif isinstance(msg, PurgeReq):
             self._handle_purge(msg)
+        elif isinstance(msg, EpochReq):
+            self._reply(msg, EpochReply(msg.req_id, epoch=self.epoch))
         else:
             raise TypeError(f"MVTLServer got unknown message {msg!r}")
 
@@ -224,12 +344,14 @@ class MVTLServer(_ServerBase):
         state = self.locks.state(key)
         version = self.store.latest_before(key, req.upper)
         if version is None:
-            self._reply(req, MVTLReadReply(req.req_id))  # purged: tr=None
+            self._reply(req, MVTLReadReply(req.req_id,
+                                           epoch=self.epoch))  # purged
             return
         if version.ts >= req.upper:
             self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
                                            value=version.value,
-                                           locked=EMPTY_SET))
+                                           locked=EMPTY_SET,
+                                           epoch=self.epoch))
             return
         want = TsInterval.open_closed(version.ts, req.upper)
         available = (IntervalSet.from_interval(want)
@@ -242,7 +364,8 @@ class MVTLServer(_ServerBase):
             # answered conservatively with an unprotected read.
             self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
                                            value=version.value,
-                                           locked=EMPTY_SET))
+                                           locked=EMPTY_SET,
+                                           epoch=self.epoch))
             return
         first = available.pieces[0]
         probe = state.lockable(req.tx_id, LockMode.READ, first)
@@ -273,7 +396,8 @@ class MVTLServer(_ServerBase):
             self.locks.note_owner(req.tx_id, key)
             locked = IntervalSet.from_interval(prefix)
         self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
-                                       value=version.value, locked=locked))
+                                       value=version.value, locked=locked,
+                                       epoch=self.epoch))
 
     # -- write locks -----------------------------------------------------------
 
@@ -289,7 +413,8 @@ class MVTLServer(_ServerBase):
             self._note_conflict(key)
             if req.all_or_nothing:
                 self._reply(req, MVTLWriteLockReply(req.req_id,
-                                                    acquired=EMPTY_SET))
+                                                    acquired=EMPTY_SET,
+                                                    epoch=self.epoch))
                 return
         result = state.try_acquire(req.tx_id, LockMode.WRITE, req.want)
         acquired_total = state.held(req.tx_id, LockMode.WRITE).intersect(
@@ -300,7 +425,8 @@ class MVTLServer(_ServerBase):
             self.sim.schedule(self.write_lock_timeout,
                               self._write_lock_timeout, req.tx_id, key)
         self._reply(req, MVTLWriteLockReply(req.req_id,
-                                            acquired=acquired_total))
+                                            acquired=acquired_total,
+                                            epoch=self.epoch))
 
     def _handle_batch_lock(self, req: MVTLBatchLockReq) -> None:
         """Apply a per-server batch of non-waiting write-lock requests.
@@ -329,7 +455,8 @@ class MVTLServer(_ServerBase):
                 self.pending[(req.tx_id, key)] = value
                 self.sim.schedule(self.write_lock_timeout,
                                   self._write_lock_timeout, req.tx_id, key)
-        self._reply(req, MVTLBatchLockReply(req.req_id, acquired=acquired))
+        self._reply(req, MVTLBatchLockReply(req.req_id, acquired=acquired,
+                                            epoch=self.epoch))
 
     def _write_lock_timeout(self, tx_id: Hashable, key: Hashable) -> None:
         """Alg. 13 write-lock-timeout: suspect the coordinator."""
@@ -350,6 +477,18 @@ class MVTLServer(_ServerBase):
                 self._unpark(key)
             else:
                 self._apply_commit(tx_id, key, decision)
+                # The coordinator is suspected dead, so no CommitReq will
+                # seal this key: release the write-locked span outside the
+                # frozen commit point ourselves (the decided transaction
+                # can never install at another timestamp).  Unfrozen read
+                # locks stay — conservatively — until GC purges them.
+                st = self.locks.peek(key)
+                if st is not None:
+                    residual = st.held(tx_id, LockMode.WRITE).subtract(
+                        st.frozen(tx_id, LockMode.WRITE))
+                    if not residual.is_empty:
+                        st.release(tx_id, LockMode.WRITE, residual)
+                        self._unpark(key)
 
         self._decide(tx_id, ABORT, apply)
 
@@ -368,12 +507,21 @@ class MVTLServer(_ServerBase):
         self._decide(req.tx_id, req.ts, apply)
 
     def _apply_commit(self, tx_id: Hashable, key: Hashable,
-                      ts: Timestamp) -> None:
-        value = self.pending.pop((tx_id, key), None)
+                      ts: Timestamp, fallback: Any = None) -> None:
+        value = self.pending.pop((tx_id, key), _MISSING)
+        if value is _MISSING:
+            # The pending buffer is volatile: if we crashed and restarted
+            # between lock install and commit, the buffered value is gone
+            # and the commit notification's redo payload supplies it.
+            value = fallback
         state = self.locks.state(key)
         state.freeze(tx_id, LockMode.WRITE, TsInterval.point(ts))
         if self.store.version_at(key, ts) is None:
             self.store.install(key, ts, value)
+        if self.history is not None:
+            # Server-side record: survives coordinators that crash after
+            # the decision but before recording their own commit.
+            self.history.record_commit_key(tx_id, ts, key)
         # Other write-locked timestamps of tx stay until gc/release.
         self._unpark(key)
 
@@ -409,7 +557,8 @@ class MVTLServer(_ServerBase):
                 self._release_tx(req.tx_id, write_only=False)
                 return
             for key in req.write_keys:
-                self._apply_commit(req.tx_id, key, decision)
+                self._apply_commit(req.tx_id, key, decision,
+                                   fallback=req.values.get(key))
             for key, span in req.spans.items():
                 state = self.locks.peek(key)
                 if state is not None:

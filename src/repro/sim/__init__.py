@@ -6,7 +6,7 @@ queues, and a lognormal-latency network.  See DESIGN.md §2 for the
 substitution rationale.
 """
 
-from .network import LatencyModel, Network
+from .network import LatencyModel, LinkFaults, Network
 from .rng import RngFactory
 from .server_queue import ServiceQueue
 from .simulator import (RECV_TIMEOUT, Mailbox, Process, Recv, SimEvent,
@@ -16,6 +16,6 @@ from .testbed import CLOUD_TESTBED, LOCAL_TESTBED, TestbedProfile
 __all__ = [
     "Simulator", "Process", "Mailbox", "SimEvent",
     "Sleep", "Recv", "WaitEvent", "RECV_TIMEOUT",
-    "Network", "LatencyModel", "ServiceQueue", "RngFactory",
+    "Network", "LatencyModel", "LinkFaults", "ServiceQueue", "RngFactory",
     "TestbedProfile", "LOCAL_TESTBED", "CLOUD_TESTBED",
 ]

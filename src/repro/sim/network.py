@@ -4,10 +4,16 @@ Models the wire between clients and storage servers: each ``send`` delivers
 the message to the destination after a sampled one-way latency.  Latencies
 are lognormal — a good first-order fit for both switched LANs (low mean, low
 variance) and virtualized cloud networks (higher mean, heavy tail), the two
-environments of §8.2.  Message loss is not modelled (the paper's evaluation
-uses TCP/Thrift); *crash* failures are modelled by unregistering a node, after
-which messages to it vanish — exactly how a crashed process looks to others
-in an asynchronous system.
+environments of §8.2.
+
+Beyond latency, links can be given a :class:`LinkFaults` model — independent
+per-message probabilities of loss, duplication and delay spikes, all sampled
+from a dedicated seeded RNG stream so a faulty run is exactly reproducible.
+The paper's evaluation uses TCP/Thrift and never loses messages; the fault
+models exist to exercise the §7/§H recovery paths (write-lock timeouts,
+commitment objects, client retry) that TCP merely hides.  *Crash* failures
+are modelled by unregistering a node, after which messages to it vanish —
+exactly how a crashed process looks to others in an asynchronous system.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ import numpy as np
 
 from .simulator import Simulator
 
-__all__ = ["LatencyModel", "Network"]
+__all__ = ["LatencyModel", "LinkFaults", "Network"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +58,38 @@ class LatencyModel:
         return float(np.exp(self.mu + self.sigma**2 / 2.0))
 
 
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-message fault probabilities for a link (or the whole network).
+
+    Each message independently: is dropped with probability ``loss``; is
+    delivered twice with probability ``duplicate`` (the second copy takes an
+    independently sampled latency and ignores FIFO ordering — exactly the
+    retransmit-reordering hazard request-id deduplication must absorb); has
+    its latency multiplied by ``spike_factor`` with probability
+    ``delay_spike`` (a congestion burst; FIFO ordering still applies, so a
+    spike delays everything behind it on the same connection, like TCP
+    head-of-line blocking).
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    delay_spike: float = 0.0
+    spike_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "delay_spike"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1")
+
+    @property
+    def any(self) -> bool:
+        return bool(self.loss or self.duplicate or self.delay_spike)
+
+
 class Network:
     """Routes messages between registered nodes with sampled latency.
 
@@ -59,17 +97,54 @@ class Network:
     paper's Thrift transport rides on: a later send between the same two
     nodes never overtakes an earlier one.  (The distributed commit path
     relies on this the same way the prototype does — e.g. a freeze-write
-    message reaching a server before the follow-up GC message.)
+    message reaching a server before the follow-up GC message.)  Fault
+    models (:meth:`set_default_faults` / :meth:`set_link_faults`) weaken
+    this: lost messages never arrive and duplicated copies may arrive out
+    of order.
     """
 
     def __init__(self, sim: Simulator, latency: LatencyModel,
-                 rng: np.random.Generator) -> None:
+                 rng: np.random.Generator, *,
+                 fault_rng: np.random.Generator | None = None) -> None:
         self.sim = sim
         self.latency = latency
         self._rng = rng
+        #: RNG for fault sampling; separate from the latency stream so
+        #: installing a fault model never perturbs the latency draws of the
+        #: messages that do get through.
+        self._fault_rng = fault_rng
         self._nodes: dict[Hashable, Callable[[Any], None]] = {}
         self._last_arrival: dict[tuple[Hashable, Hashable], float] = {}
+        self._default_faults: LinkFaults | None = None
+        self._link_faults: dict[tuple[Hashable, Hashable], LinkFaults] = {}
         self.messages_sent = 0
+        self.messages_lost = 0
+        self.messages_duplicated = 0
+        self.delay_spikes = 0
+
+    # -- fault model -------------------------------------------------------
+
+    def set_default_faults(self, faults: LinkFaults | None) -> None:
+        """Apply ``faults`` to every link without a per-link override."""
+        self._default_faults = faults
+
+    def set_link_faults(self, src: Hashable, dst: Hashable,
+                        faults: LinkFaults | None) -> None:
+        """Apply ``faults`` to the directed link ``src -> dst`` only."""
+        if faults is None:
+            self._link_faults.pop((src, dst), None)
+        else:
+            self._link_faults[(src, dst)] = faults
+
+    def _faults_for(self, src: Hashable | None,
+                    dst: Hashable) -> LinkFaults | None:
+        if self._link_faults:
+            faults = self._link_faults.get((src, dst))
+            if faults is not None:
+                return faults
+        return self._default_faults
+
+    # -- membership --------------------------------------------------------
 
     def register(self, node_id: Hashable,
                  deliver: Callable[[Any], None]) -> None:
@@ -79,11 +154,23 @@ class Network:
         self._nodes[node_id] = deliver
 
     def unregister(self, node_id: Hashable) -> None:
-        """Detach a node (crash): in-flight and future messages are dropped."""
+        """Detach a node (crash): in-flight and future messages are dropped.
+
+        The node's FIFO arrival floors are cleared on both directions: a
+        restarted node re-registering under the same identity starts fresh
+        connections, so its first messages must not inherit the pre-crash
+        arrival floor (which could be arbitrarily far in the future after a
+        delay spike).
+        """
         self._nodes.pop(node_id, None)
+        for conn in [c for c in self._last_arrival
+                     if c[0] == node_id or c[1] == node_id]:
+            del self._last_arrival[conn]
 
     def is_up(self, node_id: Hashable) -> bool:
         return node_id in self._nodes
+
+    # -- transport ---------------------------------------------------------
 
     def send(self, dst: Hashable, msg: Any,
              src: Hashable | None = None) -> None:
@@ -92,10 +179,25 @@ class Network:
         Pass ``src`` to get FIFO ordering with earlier sends on the same
         (src, dst) connection.  Sends to unknown/crashed destinations are
         silently dropped (the asynchronous-system view of a crashed
-        process).
+        process).  When a fault model covers the link, the message may be
+        lost, duplicated, or hit by a delay spike.
         """
         self.messages_sent += 1
-        delay = self.latency.sample(self._rng)
+        faults = self._faults_for(src, dst)
+        duplicated = False
+        if faults is not None and faults.any:
+            rng = self._fault_rng if self._fault_rng is not None else self._rng
+            if faults.loss and rng.random() < faults.loss:
+                self.messages_lost += 1
+                return
+            if faults.duplicate and rng.random() < faults.duplicate:
+                duplicated = True
+            delay = self.latency.sample(self._rng)
+            if faults.delay_spike and rng.random() < faults.delay_spike:
+                self.delay_spikes += 1
+                delay *= faults.spike_factor
+        else:
+            delay = self.latency.sample(self._rng)
         arrival = self.sim.now + delay
         if src is not None:
             conn = (src, dst)
@@ -104,6 +206,12 @@ class Network:
                 arrival = prev  # FIFO: do not overtake the previous message
             self._last_arrival[conn] = arrival
         self.sim.schedule(arrival - self.sim.now, self._deliver, dst, msg)
+        if duplicated:
+            # The duplicate rides outside the FIFO floor: it models a
+            # retransmitted datagram and may overtake later sends.
+            self.messages_duplicated += 1
+            extra = self.latency.sample(self._rng)
+            self.sim.schedule(extra, self._deliver, dst, msg)
 
     def _deliver(self, dst: Hashable, msg: Any) -> None:
         deliver = self._nodes.get(dst)

@@ -50,6 +50,7 @@ class ServiceQueue:
         self.service_time_fn = service_time_fn
         self._queue: list[Any] = []
         self._busy = 0
+        self._generation = 0
         self.requests_served = 0
         self.busy_time = 0.0
 
@@ -57,6 +58,16 @@ class ServiceQueue:
         """Enqueue a request for processing."""
         self._queue.append(request)
         self._dispatch()
+
+    def drop_pending(self) -> None:
+        """Discard all queued *and in-service* work (server crash).
+
+        Requests already occupying a slot still release it at their
+        scheduled completion time, but their handler never runs: a crashed
+        CPU finishes nothing.
+        """
+        self._queue.clear()
+        self._generation += 1
 
     def _dispatch(self) -> None:
         while self._busy < self.concurrency and self._queue:
@@ -70,12 +81,14 @@ class ServiceQueue:
             duration = float(self._rng.exponential(mean))
             self.requests_served += 1
             self.busy_time += duration
-            self.sim.schedule(duration, self._complete, request)
+            self.sim.schedule(duration, self._complete, request,
+                              self._generation)
 
-    def _complete(self, request: Any) -> None:
+    def _complete(self, request: Any, generation: int = 0) -> None:
         self._busy -= 1
         try:
-            self._handler(request)
+            if generation == self._generation:
+                self._handler(request)
         finally:
             self._dispatch()
 

@@ -65,6 +65,23 @@ class HistoryRecorder:
             rec.commit_ts = commit_ts
             rec.writes = tuple(written_keys)
 
+    def record_commit_key(self, tx_id: Hashable, commit_ts: Timestamp,
+                          key: Hashable) -> None:
+        """Merge one server-applied write into tx's commit record.
+
+        Storage servers call this as they install committed versions, so a
+        commit whose coordinator crashed between the decision and its own
+        :meth:`record_commit` still appears in the history — otherwise the
+        MVSG checker would see readers of a version nobody committed.
+        Idempotent and safe to interleave with the coordinator's record.
+        """
+        with self._lock:
+            rec = self._ensure(tx_id)
+            if rec.commit_ts is None:
+                rec.commit_ts = commit_ts
+            if key not in rec.writes:
+                rec.writes = rec.writes + (key,)
+
     def record_abort(self, tx_id: Hashable, reason: str) -> None:
         with self._lock:
             rec = self._ensure(tx_id)

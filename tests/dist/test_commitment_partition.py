@@ -72,8 +72,27 @@ class TestCommitmentRegistry:
         reg.set_decision_point("t1", "s")
         reg.forget("t1")
         assert len(reg) == 0
-        # A fresh object appears on re-access (late proposals re-decide
-        # consistently because the proposer carries the decided outcome).
+
+    def test_forget_keeps_decision_tombstone(self):
+        # A decided outcome must survive forget: a server write-lock
+        # timeout that fires after the coordinator moved on proposes ABORT
+        # fresh, and without the tombstone it would *decide* it — a partial
+        # commit if the real decision was a commit timestamp.
+        sim = Simulator()
+        reg = CommitmentRegistry(sim)
+        ts = Timestamp(3.0, 1)
+        reg.get("t1").propose(ts)
+        reg.forget("t1")
+        assert len(reg) == 0
+        obj = reg.get("t1")
+        assert obj.decided
+        assert obj.propose(ABORT) == ts
+
+    def test_forget_undecided_leaves_no_tombstone(self):
+        sim = Simulator()
+        reg = CommitmentRegistry(sim)
+        reg.get("t1")  # never decided
+        reg.forget("t1")
         assert not reg.get("t1").decided
 
 

@@ -17,7 +17,7 @@ from repro.dist.failure import CrashInjector
 from repro.dist.partition import Partition
 from repro.dist.server import MVTLServer
 from repro.core.locks import LockMode
-from repro.sim.network import LatencyModel, Network
+from repro.sim.network import LatencyModel, LinkFaults, Network
 from repro.sim.simulator import Simulator, Sleep
 from repro.sim.testbed import LOCAL_TESTBED
 from repro.verify import HistoryRecorder, check_serializable
@@ -36,10 +36,10 @@ class Cluster:
         self.partition = Partition(["s0"])
         self.injector = CrashInjector(self.sim, self.net)
 
-    def client(self, name, pid):
+    def client(self, name, pid, **kw):
         return MVTILClient(self.sim, self.net, name, pid, self.partition,
                            PerfectClock(lambda: self.sim.now), self.registry,
-                           history=self.history, delta=0.5)
+                           history=self.history, delta=0.5, **kw)
 
 
 class TestCoordinatorCrash:
@@ -159,3 +159,80 @@ class TestCoordinatorCrash:
         cluster.sim.run_until(3.0)
         report = check_serializable(cluster.history)
         assert report.serializable, (report.error, report.cycle)
+
+
+class TestCoordinatorCrashUnderFaults:
+    """Satellite of the fault-injection layer: the coordinator crashes
+    between lock install and freeze while the network itself is lossy and
+    duplicating.  Theorems 9-10 must still hold."""
+
+    def _faulty_cluster(self, write_lock_timeout=0.3):
+        cluster = Cluster(write_lock_timeout=write_lock_timeout)
+        cluster.net._fault_rng = np.random.default_rng(17)
+        cluster.net.set_default_faults(
+            LinkFaults(loss=0.05, duplicate=0.05))
+        return cluster
+
+    def test_locks_reclaimed_within_timeout_bound(self):
+        cluster = self._faulty_cluster(write_lock_timeout=0.3)
+        victim = cluster.client("victim", 1, rpc_timeout=0.05,
+                                rpc_retries=3)
+        installed = {}
+
+        def crashing():
+            tx = victim.begin()
+            yield from victim.write(tx, "X", "doomed")
+            installed["at"] = cluster.sim.now  # lock installed, not frozen
+            yield Sleep(999.0)                 # crash point
+
+        proc = cluster.sim.spawn(crashing())
+        cluster.injector.crash_client_at(0.06, "victim", proc)
+        # Run to install-time + write-lock timeout + decision slack only:
+        # eventual release must happen *within this bound*, not eventually.
+        cluster.sim.run_until(0.06 + 0.3 + 0.2)
+        assert "at" in installed
+        assert installed["at"] <= 0.06
+        state = cluster.server.locks.peek("X")
+        assert state is not None
+        for owner in list(state.owners()):
+            assert state.held(owner, LockMode.WRITE).is_empty
+
+    def test_history_serializable_with_crashes_and_faults(self):
+        cluster = self._faulty_cluster(write_lock_timeout=0.2)
+        procs = []
+
+        def worker(client, keys):
+            done = 0
+            while True:
+                tx = client.begin()
+                try:
+                    for k in keys:
+                        yield from client.read(tx, k)
+                        yield from client.write(
+                            tx, k, f"{client.client_id}-{done}")
+                    yield from client.commit(tx)
+                    done += 1
+                except TransactionAborted:
+                    pass
+                yield Sleep(0.01)
+
+        for i in range(4):
+            client = cluster.client(f"c{i}", i + 1, rpc_timeout=0.05,
+                                    rpc_retries=3)
+            proc = cluster.sim.spawn(worker(client, ["A", "B"]))
+            procs.append((f"c{i}", proc))
+        cluster.injector.crash_client_at(0.13, "c1", procs[1][1])
+        cluster.injector.crash_client_at(0.29, "c3", procs[3][1])
+        cluster.sim.run_until(3.0)
+        assert cluster.net.messages_lost > 0
+        assert cluster.net.messages_duplicated > 0
+        report = check_serializable(cluster.history)
+        assert report.serializable, (report.error, report.cycle)
+        # And no write lock of a crashed coordinator survived.
+        for key in cluster.server.locks.all_keys():
+            state = cluster.server.locks.peek(key)
+            for owner in list(state.owners()):
+                if isinstance(owner, tuple) and owner[0] in ("c1", "c3"):
+                    held = state.held(owner, LockMode.WRITE)
+                    frozen = state.frozen(owner, LockMode.WRITE)
+                    assert held.subtract(frozen).is_empty
