@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 from itertools import count
@@ -166,8 +167,13 @@ class MVTLEngine:
     # ------------------------------------------------------------------
 
     def stripe_of(self, key: Hashable) -> int:
-        """The stripe index guarding ``key``."""
-        return hash(key) % self.num_stripes
+        """The stripe index guarding ``key``.
+
+        Uses a stable digest rather than ``hash()``: Python randomizes
+        string hashes per process, and stripe placement must not change
+        between runs (seeded runs are required to be bit-reproducible).
+        """
+        return zlib.crc32(str(key).encode()) % self.num_stripes
 
     def _stripe_indices(self, keys: Iterable[Hashable]) -> tuple[int, ...]:
         """Ascending, deduplicated stripe indices for ``keys``."""
@@ -527,6 +533,17 @@ class MVTLEngine:
         with self._stripes[self.stripe_of(key)]:
             state = self.locks.peek(key)
             return state.frozen_write_ranges() if state else EMPTY_SET
+
+    def latest_before(self, key: Hashable, ts: Timestamp) -> Any:
+        """Latest version of ``key`` strictly below ``ts``, stripe-locked.
+
+        Policies must use this rather than ``store.latest_before``:
+        commit installs into a key's version chain under the key's stripe
+        lock, and an unsynchronized bisect can catch the chain mid-insert
+        (timestamps and values lists momentarily disagree in length).
+        """
+        with self._stripes[self.stripe_of(key)]:
+            return self.store.latest_before(key, ts)
 
     def held_union(self, tx: Transaction, key: Hashable) -> IntervalSet:
         """Timestamps ``tx`` holds in either mode on ``key``."""

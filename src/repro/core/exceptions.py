@@ -53,6 +53,14 @@ class AbortReason(str, enum.Enum):
     #: lock state (including ours) is gone, detected via the epoch stamp on
     #: its replies (§H recovery).
     SERVER_RESTART = "server-restart"
+    #: The transaction's absolute deadline passed before it could decide;
+    #: continuing (or retrying into a saturated server) would only add
+    #: stale work to the very queues that made it late.
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    #: A saturated server shed the request (bounded-queue admission), or
+    #: the client's circuit breaker for that server is open: the system is
+    #: overloaded and the transaction is rejected instead of queued.
+    OVERLOADED = "overloaded"
 
     # str() / format() yield the raw value ("deadlock"), not the member
     # name, so messages and JSON exports stay identical to the legacy

@@ -114,7 +114,7 @@ class MVTLPolicy(ABC):
         """
         below = version_below if version_below is not None else upper
         while True:
-            version = engine.store.latest_before(key, below)
+            version = engine.latest_before(key, below)
             if version is None:
                 return None  # purged (§6): the transaction must abort
             if version.ts >= upper:
@@ -144,7 +144,7 @@ class MVTLPolicy(ABC):
                     # newer than the one we looked up committed in between.
                     # If it is visible within our lookup bound, retry so tr
                     # moves up and the coverage regains its full extent.
-                    refreshed = engine.store.latest_before(key, below)
+                    refreshed = engine.latest_before(key, below)
                     if refreshed is not None and refreshed.ts > version.ts:
                         engine.release(tx, key, LockMode.READ,
                                        result.acquired)

@@ -29,20 +29,82 @@ from itertools import count
 from types import SimpleNamespace
 from typing import Any, Generator, Hashable
 
+import numpy as np
+
 from ..clocks.clock import Clock
 from ..core.exceptions import AbortReason, TransactionAborted
 from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
 from ..core.timestamp import Timestamp
 from ..obs.trace import NULL_TRACER
+from ..policies.prio import CRITICAL_DELTA_FACTOR
 from ..sim.network import Network
 from ..sim.simulator import RECV_TIMEOUT, Mailbox, Recv, Simulator
 from .commitment import ABORT, CommitmentRegistry
 from .messages import (ClockBroadcast, CommitReq, EpochReq, MVTLBatchLockReq,
-                       MVTLReadReq, MVTLWriteLockReq, ReleaseReq, Reply,
-                       TwoPLCommitReq, TwoPLLockReq, TwoPLReleaseReq)
+                       MVTLReadReq, MVTLWriteLockReq, OverloadedReply,
+                       ReleaseReq, Reply, TwoPLCommitReq, TwoPLLockReq,
+                       TwoPLReleaseReq)
 from .partition import Partition
 
-__all__ = ["BaseClient", "MVTILClient", "MVTOClient", "TwoPLClient"]
+__all__ = ["BaseClient", "CircuitBreaker", "MVTILClient", "MVTOClient",
+           "TwoPLClient"]
+
+
+class CircuitBreaker:
+    """Per-server admission gate: closed -> open -> half-open -> closed.
+
+    Counts consecutive overload signals (OVERLOADED replies, RPC timeouts)
+    against one server.  At ``threshold`` the breaker *opens*: the client
+    stops sending new normal-transaction work to that server for
+    ``cooldown`` seconds — backing off instead of feeding a saturated
+    queue.  After the cooldown one *probe* request is admitted (half-open);
+    its success closes the breaker, its failure re-opens it for another
+    cooldown.  Any success closes the breaker and clears the failure count.
+    """
+
+    __slots__ = ("threshold", "cooldown", "failures", "opened_until",
+                 "state", "trips")
+
+    def __init__(self, threshold: int = 8, cooldown: float = 0.5) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.opened_until = 0.0
+        self.state = "closed"
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        """May a new normal request be sent to this server right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now >= self.opened_until:
+                self.state = "half-open"  # admit exactly one probe
+                return True
+            return False
+        return False  # half-open: the probe is in flight, hold the rest
+
+    def record_failure(self, now: float) -> None:
+        if self.state == "half-open":
+            # The recovery probe failed: the server is still saturated.
+            self._open(now)
+            return
+        self.failures += 1
+        if self.state == "closed" and self.failures >= self.threshold:
+            self._open(now)
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.state = "closed"
+
+    def _open(self, now: float) -> None:
+        self.state = "open"
+        self.opened_until = now + self.cooldown
+        self.trips += 1
 
 
 class BaseClient:
@@ -56,7 +118,12 @@ class BaseClient:
                  rpc_retries: int = 0,
                  validate_epochs: bool = False,
                  consensus: Any | None = None,
-                 tracer: Any | None = None) -> None:
+                 tracer: Any | None = None,
+                 tx_budget: float | None = None,
+                 admission_control: bool = False,
+                 breaker_threshold: int = 8,
+                 breaker_cooldown: float = 0.5,
+                 rng: np.random.Generator | None = None) -> None:
         self.sim = sim
         self.net = net
         self.client_id = client_id
@@ -83,12 +150,27 @@ class BaseClient:
         #: locks that no longer exist.  Enabled by run_cluster for chaos
         #: scenarios with server restarts.
         self.validate_epochs = validate_epochs
+        #: Per-transaction time budget: every transaction begun gets the
+        #: absolute deadline ``now + tx_budget``, propagated on its data
+        #: requests (servers drop expired ones) and enforced client-side as
+        #: ``AbortReason.DEADLINE_EXCEEDED``.  None = no deadlines.
+        self.tx_budget = tx_budget
+        #: Per-server circuit breakers (admission control); None = off.
+        self._breakers: dict[Hashable, CircuitBreaker] | None = (
+            {} if admission_control else None)
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        #: Seeded stream for retry-backoff jitter (None = no jitter —
+        #: synchronized clients then retry in lockstep, the storm the
+        #: jitter exists to break).
+        self.rng = rng
         self.mailbox = Mailbox(sim)
         net.register(client_id, self._on_message)
         self._req_counter = count(1)
         self._tx_counter = count(1)
         self.stats = {"commits": 0, "aborts": 0, "rpc_timeouts": 0,
-                      "rpc_retries": 0, "msgs_sent": 0}
+                      "rpc_retries": 0, "msgs_sent": 0, "overloaded": 0,
+                      "admission_rejects": 0}
 
     # -- messaging ------------------------------------------------------------
 
@@ -114,30 +196,72 @@ class BaseClient:
         self.stats["msgs_sent"] += 1
         self.net.send(server, msg, src=self.client_id)
 
+    def _backoff_window(self, base: float, attempt: int) -> float:
+        """Per-attempt listening window: exponential with seeded jitter.
+
+        The window doubles per attempt; retries (attempt > 0) additionally
+        draw a jitter factor in [1.0, 2.0) from the client's seeded stream,
+        so clients that timed out together do not re-arrive at the server
+        in lockstep retry storms.  Attempt 0 is exact — the first timeout
+        is a tuned semantic bound, not a retry.
+        """
+        window = base * (2 ** attempt)
+        if attempt and self.rng is not None:
+            window *= 1.0 + float(self.rng.random())
+        return window
+
+    def _breaker_for(self, server: Hashable) -> CircuitBreaker | None:
+        if self._breakers is None:
+            return None
+        breaker = self._breakers.get(server)
+        if breaker is None:
+            breaker = self._breakers[server] = CircuitBreaker(
+                self.breaker_threshold, self.breaker_cooldown)
+        return breaker
+
     def _rpc(self, server: Hashable, msg: Any,
-             timeout: float | None = None, retries: int | None = None
+             timeout: float | None = None, retries: int | None = None,
+             breaker_timeouts: bool = True
              ) -> Generator[Any, Any, Reply | None]:
         """Send and await the matching reply; None after all attempts fail.
 
         The request is re-sent up to ``retries`` times (default: the
         client's ``rpc_retries``) with per-attempt timeouts doubling each
-        time.  The same message object — and hence the same ``req_id`` —
-        goes out every attempt, so the server's request-dedup log makes the
-        call at-least-once safe: a retried lock install is applied once and
-        the cached reply is resent.  Pass ``retries=0`` for semantic
-        timeouts (lock-wait deadlock prevention) where re-sending would
-        defeat the timeout's purpose.
+        time, jittered by the client's seeded stream (see
+        :meth:`_backoff_window`).  The same message object — and hence the
+        same ``req_id`` — goes out every attempt, so the server's
+        request-dedup log makes the call at-least-once safe: a retried lock
+        install is applied once and the cached reply is resent.  Pass
+        ``retries=0`` for semantic timeouts (lock-wait deadlock prevention)
+        where re-sending would defeat the timeout's purpose;
+        ``breaker_timeouts=False`` additionally keeps those semantic
+        timeouts out of the circuit breaker (a lock wait lost to contention
+        is not evidence the server is saturated).
+
+        Overload control: a request carrying a transaction deadline never
+        waits — or retries — past it (retrying into a saturated server just
+        deepens its queue).  An OVERLOADED reply is returned to the caller
+        (who aborts) and ends the attempt loop immediately.  Outcomes feed
+        the per-server circuit breaker when admission control is on.
 
         Stale replies (from earlier timed-out requests) are discarded by
         request id; non-Reply traffic is routed to :meth:`_handle_oob`.
         """
         base = timeout if timeout is not None else self.rpc_timeout
         attempts = 1 + (retries if retries is not None else self.rpc_retries)
+        msg_deadline = getattr(msg, "deadline", None)
+        breaker = self._breaker_for(server)
+        sent = False
         for attempt in range(attempts):
+            if msg_deadline is not None and self.sim.now >= msg_deadline:
+                break  # budget exhausted: stop feeding the queue
             if attempt:
                 self.stats["rpc_retries"] += 1
             self._send(server, msg)
-            deadline = self.sim.now + base * (2 ** attempt)
+            sent = True
+            deadline = self.sim.now + self._backoff_window(base, attempt)
+            if msg_deadline is not None:
+                deadline = min(deadline, msg_deadline)
             while True:
                 remaining = deadline - self.sim.now
                 if remaining <= 0:
@@ -149,9 +273,17 @@ class BaseClient:
                     self._handle_oob(reply)
                     continue
                 if reply.req_id == msg.req_id:
+                    if isinstance(reply, OverloadedReply):
+                        self.stats["overloaded"] += 1
+                        if breaker is not None:
+                            breaker.record_failure(self.sim.now)
+                    elif breaker is not None:
+                        breaker.record_success()
                     return reply
                 # Stale reply from an earlier timed-out request: drop it.
             self.stats["rpc_timeouts"] += 1
+        if sent and breaker is not None and breaker_timeouts:
+            breaker.record_failure(self.sim.now)
         return None
 
     def _rpc_many(self, msgs: dict[Hashable, Any], timeout: float | None = None,
@@ -168,21 +300,35 @@ class BaseClient:
         partial**.  Callers must compare ``len(replies)`` against
         ``len(msgs)``: a partial map still tells the abort path exactly
         which servers granted locks, so it can release them instead of
-        leaving them to the server-side write-lock timeout.
+        leaving them to the server-side write-lock timeout.  A reply may
+        also be an :class:`OverloadedReply` (the server shed the request);
+        callers must check before touching protocol fields.
         """
         base = timeout if timeout is not None else self.rpc_timeout
         attempts = 1 + (retries if retries is not None else self.rpc_retries)
         pending = dict(msgs)
         replies: dict[Hashable, Reply] = {}
+        contacted: set[Hashable] = set()
+        msg_deadline: float | None = None
+        for msg in msgs.values():
+            d = getattr(msg, "deadline", None)
+            if d is not None:
+                msg_deadline = d if msg_deadline is None else min(
+                    msg_deadline, d)
         for attempt in range(attempts):
             if not pending:
                 break
+            if msg_deadline is not None and self.sim.now >= msg_deadline:
+                break  # budget exhausted: stop feeding the queues
             for server, msg in pending.items():
                 if attempt:
                     self.stats["rpc_retries"] += 1
                 self._send(server, msg)
+                contacted.add(server)
             wanted = {msg.req_id: server for server, msg in pending.items()}
-            deadline = self.sim.now + base * (2 ** attempt)
+            deadline = self.sim.now + self._backoff_window(base, attempt)
+            if msg_deadline is not None:
+                deadline = min(deadline, msg_deadline)
             while wanted:
                 remaining = deadline - self.sim.now
                 if remaining <= 0:
@@ -197,12 +343,91 @@ class BaseClient:
                     server = wanted.pop(reply.req_id)
                     del pending[server]
                     replies[server] = reply
+                    breaker = self._breaker_for(server)
+                    if isinstance(reply, OverloadedReply):
+                        self.stats["overloaded"] += 1
+                        if breaker is not None:
+                            breaker.record_failure(self.sim.now)
+                    elif breaker is not None:
+                        breaker.record_success()
             if wanted:
                 self.stats["rpc_timeouts"] += 1
+        if self._breakers is not None:
+            for server in pending:
+                if server in contacted:
+                    self._breaker_for(server).record_failure(self.sim.now)
         return replies
 
     def _next_req(self) -> int:
         return next(self._req_counter)
+
+    # -- overload control --------------------------------------------------
+
+    def _tx_deadline(self) -> float | None:
+        """Absolute deadline for a transaction begun now (None = no budget)."""
+        if self.tx_budget is None:
+            return None
+        return self.sim.now + self.tx_budget
+
+    def _check_deadline(self, tx: SimpleNamespace
+                        ) -> Generator[Any, Any, None]:
+        """Abort (releasing locks) once the transaction's deadline passed.
+
+        Called at the top of data-path ops: a late transaction stops
+        issuing work instead of adding stale requests to the very queues
+        that made it late.
+        """
+        if tx.deadline is not None and self.sim.now >= tx.deadline:
+            yield from self._fail(tx, AbortReason.DEADLINE_EXCEEDED)
+
+    def _timeout_reason(self, tx: SimpleNamespace,
+                        default: AbortReason) -> AbortReason:
+        """Abort reason for an unanswered RPC: deadline-aware.
+
+        If the transaction's deadline expired while the RPC waited (or
+        kept the RPC from being (re)sent at all), the timeout is really
+        deadline exhaustion — report it as such so retry policy and stats
+        distinguish overload from packet loss.
+        """
+        if tx.deadline is not None and self.sim.now >= tx.deadline:
+            return AbortReason.DEADLINE_EXCEEDED
+        return default
+
+    def _expect(self, tx: SimpleNamespace, reply: Reply | None,
+                timeout_reason: AbortReason) -> Generator[Any, Any, Reply]:
+        """Abort on the two overload outcomes of an RPC; pass the rest.
+
+        ``None`` (all attempts timed out / deadline expired) aborts with
+        ``timeout_reason`` mapped through :meth:`_timeout_reason`; an
+        :class:`OverloadedReply` (the server shed us) aborts with
+        ``AbortReason.OVERLOADED``.  Anything else is a protocol reply and
+        is returned for the caller to interpret.
+        """
+        if reply is None:
+            yield from self._fail(tx, self._timeout_reason(
+                tx, timeout_reason))
+        if isinstance(reply, OverloadedReply):
+            yield from self._fail(tx, AbortReason.OVERLOADED)
+        return reply
+
+    def _admit(self, tx: SimpleNamespace,
+               server: Hashable) -> Generator[Any, Any, None]:
+        """Admission control: refuse new work against a tripped server.
+
+        Critical transactions bypass the gate entirely — Theorem 3's
+        guarantee (criticals are never starved by normals) carried into
+        the distributed layer; the bounded server queue never sheds them
+        either.  In the open state everything normal is rejected up front
+        (cheap client-side abort instead of a doomed round trip); after
+        the cooldown :meth:`CircuitBreaker.allow` admits a single probe
+        whose outcome decides whether the breaker closes.
+        """
+        if self._breakers is None or tx.priority:
+            return
+        breaker = self._breakers.get(server)
+        if breaker is not None and not breaker.allow(self.sim.now):
+            self.stats["admission_rejects"] += 1
+            yield from self._fail(tx, AbortReason.OVERLOADED)
 
     # -- epoch fencing -----------------------------------------------------
 
@@ -230,11 +455,15 @@ class BaseClient:
         simulation step, so no restart can slip between validation and
         decision.
         """
-        reqs = {server: EpochReq(tx.id, self.client_id, self._next_req())
+        reqs = {server: EpochReq(tx.id, self.client_id, self._next_req(),
+                                 deadline=tx.deadline, critical=tx.priority)
                 for server in sorted(tx.touched, key=str)}
         replies = yield from self._rpc_many(reqs)
+        if any(isinstance(r, OverloadedReply) for r in replies.values()):
+            yield from self._fail(tx, AbortReason.OVERLOADED)
         if len(replies) < len(reqs):
-            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+            yield from self._fail(tx, self._timeout_reason(
+                tx, AbortReason.RPC_TIMEOUT))
         for server, reply in replies.items():
             yield from self._check_epoch(tx, server, reply.epoch)
 
@@ -295,14 +524,19 @@ class MVTILClient(BaseClient):
         self.defer_writes = defer_writes
         self.name = "mvtil-late" if late else "mvtil-early"
 
-    def begin(self) -> SimpleNamespace:
+    def begin(self, priority: bool = False) -> SimpleNamespace:
         now = self.clock.now()
+        # Critical transactions get a wider interval — more timestamps to
+        # survive shrinking, the finite-delta analogue of MVTL-Prio's
+        # lock-everything (see CRITICAL_DELTA_FACTOR).
+        delta = self.delta * (CRITICAL_DELTA_FACTOR if priority else 1.0)
         interval = TsInterval.closed(Timestamp(now, self.pid),
-                                     Timestamp(now + self.delta, self.pid))
+                                     Timestamp(now + delta, self.pid))
         tx = SimpleNamespace(
             id=(self.client_id, next(self._tx_counter)),
             interval=IntervalSet.from_interval(interval),
             readset=[], writeset={}, touched=set(), epochs={},
+            deadline=self._tx_deadline(), priority=priority,
             aborted=False, abort_reason=None)
         self._begin_record(tx)
         return tx
@@ -314,19 +548,25 @@ class MVTILClient(BaseClient):
             return tx.writeset[key]
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
+        yield from self._check_deadline(tx)
         server = self.server_of(key)
+        yield from self._admit(tx, server)
         req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
                           upper=tx.interval.pick_high(), wait=True,
-                          floor=tx.interval.pick_low())
+                          floor=tx.interval.pick_low(),
+                          deadline=tx.deadline, critical=tx.priority)
         tx.touched.add(server)
         requested = tx.interval
         # retries=0: the read timeout is semantic (waiting reads can form
         # wait cycles with writers; timing out breaks them) — re-sending
         # would just park a duplicate behind the same writer.
+        # breaker_timeouts=False for the same reason: a read wait lost to
+        # a writer is contention, not server saturation.
         reply = yield from self._rpc(server, req,
-                                     timeout=self.read_timeout, retries=0)
-        if reply is None:
-            yield from self._fail(tx, AbortReason.READ_LOCK_TIMEOUT)
+                                     timeout=self.read_timeout, retries=0,
+                                     breaker_timeouts=False)
+        reply = yield from self._expect(tx, reply,
+                                        AbortReason.READ_LOCK_TIMEOUT)
         if reply.tr is None:
             yield from self._fail(tx, AbortReason.PURGED_VERSION)
         yield from self._check_epoch(tx, server, reply.epoch)
@@ -354,18 +594,20 @@ class MVTILClient(BaseClient):
             if self.tracer.enabled:
                 self.tracer.write(tx.id, key)
             return
+        yield from self._check_deadline(tx)
         server = self.server_of(key)
+        yield from self._admit(tx, server)
         req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
                                key=key, value=value, want=tx.interval,
-                               wait=False)
+                               wait=False,
+                               deadline=tx.deadline, critical=tx.priority)
         tx.touched.add(server)
         if not tx.writeset:
             # First written key's server is the decision point (§H.1).
             self.registry.set_decision_point(tx.id, server)
         requested = tx.interval
         reply = yield from self._rpc(server, req)
-        if reply is None:
-            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+        reply = yield from self._expect(tx, reply, AbortReason.RPC_TIMEOUT)
         yield from self._check_epoch(tx, server, reply.epoch)
         tx.interval = tx.interval.intersect(reply.acquired)
         if self.tracer.enabled:
@@ -427,12 +669,19 @@ class MVTILClient(BaseClient):
             items = tuple((key, tx.writeset[key], requested)
                           for key in by_server[server])
             reqs[server] = MVTLBatchLockReq(tx.id, self.client_id,
-                                            self._next_req(), items=items)
+                                            self._next_req(), items=items,
+                                            deadline=tx.deadline,
+                                            critical=tx.priority)
         replies = yield from self._rpc_many(reqs)
+        if any(isinstance(r, OverloadedReply) for r in replies.values()):
+            # A saturated server shed the batch; _fail releases whatever
+            # the other servers did install.
+            yield from self._fail(tx, AbortReason.OVERLOADED)
         if len(replies) < len(reqs):
             # Partial grant: _fail releases on every touched server —
             # including the ones that did reply and installed locks.
-            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+            yield from self._fail(tx, self._timeout_reason(
+                tx, AbortReason.RPC_TIMEOUT))
         for server in servers:
             yield from self._check_epoch(tx, server, replies[server].epoch)
             acquired = replies[server].acquired
@@ -465,7 +714,10 @@ class MVTILClient(BaseClient):
         writes_by_server: dict[Hashable, list[Hashable]] = {}
         for key in tx.writeset:
             writes_by_server.setdefault(self.server_of(key), []).append(key)
-        for server in tx.touched:
+        # Sorted fan-out: tx.touched is a set, and set order over string
+        # ids varies per process (hash randomization) — send order must
+        # not, or the network RNG draws diverge between identical runs.
+        for server in sorted(tx.touched, key=str):
             keys = tuple(writes_by_server.get(server, ()))
             self._send(server, CommitReq(
                 tx.id, self.client_id, self._next_req(), ts=ts,
@@ -487,7 +739,7 @@ class MVTILClient(BaseClient):
         """
         if self.consensus is None:
             self.registry.get(tx.id).propose(ABORT)
-        for server in tx.touched:
+        for server in sorted(tx.touched, key=str):
             self._send(server, ReleaseReq(tx.id, self.client_id,
                                           self._next_req()))
         self.registry.forget(tx.id)
@@ -510,25 +762,31 @@ class MVTOClient(BaseClient):
         #: ``ClusterConfig.batching`` turns it on.
         self.batch_commit = batch_commit
 
-    def begin(self) -> SimpleNamespace:
+    def begin(self, priority: bool = False) -> SimpleNamespace:
+        # MVTO+ has no protocol-level shield for criticals (that is the
+        # paper's point, Theorem 3) — but they still ride the overload
+        # machinery: priority service class, never shed, admission bypass.
         tx = SimpleNamespace(
             id=(self.client_id, next(self._tx_counter)),
             ts=Timestamp(self.clock.now(), self.pid),
             readset=[], writeset={}, touched=set(), write_servers=set(),
-            epochs={}, aborted=False, abort_reason=None)
+            epochs={}, deadline=self._tx_deadline(), priority=priority,
+            aborted=False, abort_reason=None)
         self._begin_record(tx)
         return tx
 
     def read(self, tx: SimpleNamespace, key: Hashable) -> Generator[Any, Any, Any]:
         if key in tx.writeset:
             return tx.writeset[key]
+        yield from self._check_deadline(tx)
         server = self.server_of(key)
+        yield from self._admit(tx, server)
         req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
-                          upper=tx.ts, wait=True)
+                          upper=tx.ts, wait=True,
+                          deadline=tx.deadline, critical=tx.priority)
         tx.touched.add(server)
         reply = yield from self._rpc(server, req)
-        if reply is None:
-            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+        reply = yield from self._expect(tx, reply, AbortReason.RPC_TIMEOUT)
         if reply.tr is None:
             yield from self._fail(tx, AbortReason.PURGED_VERSION)
         yield from self._check_epoch(tx, server, reply.epoch)
@@ -562,10 +820,12 @@ class MVTOClient(BaseClient):
                                        self._next_req(),
                                        key=key, value=tx.writeset[key],
                                        want=point, wait=False,
-                                       all_or_nothing=True)
+                                       all_or_nothing=True,
+                                       deadline=tx.deadline,
+                                       critical=tx.priority)
                 reply = yield from self._rpc(server, req)
-                if reply is None:
-                    yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+                reply = yield from self._expect(tx, reply,
+                                                AbortReason.RPC_TIMEOUT)
                 yield from self._check_epoch(tx, server, reply.epoch)
                 if self.tracer.enabled:
                     self.tracer.lock_acquire(tx.id, key, "write",
@@ -623,12 +883,17 @@ class MVTOClient(BaseClient):
                           for key in by_server[server])
             reqs[server] = MVTLBatchLockReq(tx.id, self.client_id,
                                             self._next_req(), items=items,
-                                            all_or_nothing=True)
+                                            all_or_nothing=True,
+                                            deadline=tx.deadline,
+                                            critical=tx.priority)
         replies = yield from self._rpc_many(reqs)
+        if any(isinstance(r, OverloadedReply) for r in replies.values()):
+            yield from self._fail(tx, AbortReason.OVERLOADED)
         if len(replies) < len(reqs):
             # Partial grant: _fail write-releases on every write server,
             # including the responders that installed point locks.
-            yield from self._fail(tx, AbortReason.RPC_TIMEOUT)
+            yield from self._fail(tx, self._timeout_reason(
+                tx, AbortReason.RPC_TIMEOUT))
         refused = False
         for server in servers:
             yield from self._check_epoch(tx, server, replies[server].epoch)
@@ -647,7 +912,7 @@ class MVTOClient(BaseClient):
               reason: str) -> Generator[Any, Any, None]:
         if self.consensus is None:
             self.registry.get(tx.id).propose(ABORT)
-        for server in tx.write_servers:
+        for server in sorted(tx.write_servers, key=str):
             self._send(server, ReleaseReq(tx.id, self.client_id,
                                           self._next_req(), write_only=True))
         self.registry.forget(tx.id)
@@ -693,10 +958,11 @@ class TwoPLClient(BaseClient):
         return min(2.0, max(self.lock_timeout,
                             self.rtt_multiple * self._rtt_ewma))
 
-    def begin(self) -> SimpleNamespace:
+    def begin(self, priority: bool = False) -> SimpleNamespace:
         tx = SimpleNamespace(
             id=(self.client_id, next(self._tx_counter)),
             readset=[], writeset={}, locked_keys=set(),
+            deadline=self._tx_deadline(), priority=priority,
             aborted=False, abort_reason=None)
         self._begin_record(tx)
         return tx
@@ -721,20 +987,29 @@ class TwoPLClient(BaseClient):
 
     def _lock(self, tx: SimpleNamespace, key: Hashable,
               write: bool) -> Generator[Any, Any, Any]:
+        yield from self._check_deadline(tx)
         server = self.server_of(key)
+        yield from self._admit(tx, server)
         req = TwoPLLockReq(tx.id, self.client_id, self._next_req(), key=key,
-                           write=write)
+                           write=write,
+                           deadline=tx.deadline, critical=tx.priority)
         tx.locked_keys.add(key)
         sent_at = self.sim.now
         # retries=0: the lock-wait timeout IS the deadlock prevention;
         # re-sending would re-queue behind the same conflicting holder.
+        # breaker_timeouts=False: a wait lost to a lock holder is
+        # contention, not saturation — only OVERLOADED sheds trip the
+        # breaker here.
         reply = yield from self._rpc(server, req,
                                      timeout=self._current_timeout(),
-                                     retries=0)
+                                     retries=0, breaker_timeouts=False)
         if reply is None:
             # Lock-wait timeout: the paper's deadlock prevention.  Abort and
             # release everything (the server drops our queued request too).
-            yield from self._fail(tx, AbortReason.LOCK_TIMEOUT)
+            yield from self._fail(tx, self._timeout_reason(
+                tx, AbortReason.LOCK_TIMEOUT))
+        if isinstance(reply, OverloadedReply):
+            yield from self._fail(tx, AbortReason.OVERLOADED)
         self._observe_rtt(self.sim.now - sent_at)
         if self.tracer.enabled:
             self.tracer.lock_acquire(tx.id, key, "write" if write else "read",
@@ -744,7 +1019,8 @@ class TwoPLClient(BaseClient):
     def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
         commit_ts = Timestamp(self.sim.now, self.pid)
         by_server: dict[Hashable, tuple[dict, list]] = {}
-        for key in tx.locked_keys:
+        # Sorted: locked_keys is a set; see the MVTIL commit fan-out.
+        for key in sorted(tx.locked_keys, key=str):
             server = self.server_of(key)
             writes, releases = by_server.setdefault(server, ({}, []))
             if key in tx.writeset:
@@ -767,7 +1043,7 @@ class TwoPLClient(BaseClient):
     def _fail(self, tx: SimpleNamespace,
               reason: str) -> Generator[Any, Any, None]:
         by_server: dict[Hashable, list] = {}
-        for key in tx.locked_keys:
+        for key in sorted(tx.locked_keys, key=str):
             by_server.setdefault(self.server_of(key), []).append(key)
         for server, keys in by_server.items():
             self._send(server, TwoPLReleaseReq(

@@ -15,7 +15,8 @@ from typing import Any
 
 from ..clocks.clock import EpsilonSyncClock
 from ..core.locks import LockMode
-from ..obs.metrics import MetricsRegistry, fold_trace, merge_conflict_counts
+from ..obs.metrics import (MetricsRegistry, fold_trace,
+                           merge_conflict_counts, merge_overload_counters)
 from ..obs.trace import Tracer
 from ..sim.network import LinkFaults, Network
 from ..sim.rng import RngFactory
@@ -100,11 +101,34 @@ class ClusterConfig:
     #: Client RPC retries (same req_id; servers dedup).  Keep 0 on a
     #: perfect network — with loss, 2-3 attempts ride out most drops.
     rpc_retries: int = 0
+    #: Bound on each server's request queue (None = unbounded, the
+    #: pre-overload-control behaviour).  When full, the newest normal-class
+    #: request is shed with an explicit OVERLOADED reply; critical-class
+    #: requests and control notifications are never shed.
+    queue_capacity: int | None = None
+    #: Per-transaction time budget (seconds).  Every transaction gets the
+    #: absolute deadline ``begin + tx_budget``, carried on its data
+    #: requests: servers drop expired requests instead of serving stale
+    #: work, clients stop retrying into saturation.  None = no deadlines.
+    tx_budget: float | None = None
+    #: Per-server circuit breakers on the clients: consecutive overload
+    #: signals (sheds, unanswered data RPCs) trip the breaker and new
+    #: normal transactions against that server abort client-side until a
+    #: half-open probe succeeds.  Critical transactions bypass the gate.
+    admission_control: bool = False
+    #: Consecutive failures that trip a client's per-server breaker.
+    breaker_threshold: int = 8
+    #: Seconds a tripped breaker stays open before its half-open probe.
+    breaker_cooldown: float = 0.5
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; "
                              f"expected one of {PROTOCOLS}")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1 (or None)")
+        if self.tx_budget is not None and self.tx_budget <= 0:
+            raise ValueError("tx_budget must be positive (or None)")
         if self.commitment not in ("local", "paxos"):
             raise ValueError(f"unknown commitment backend "
                              f"{self.commitment!r}")
@@ -164,6 +188,10 @@ class ClusterResult:
     #: owned by a crashed coordinator after the settle period (Theorems
     #: 9-10 say this must be zero).
     chaos_report: dict | None = None
+    #: Overload-control outcome (always populated): server shed/expired
+    #: counts, client-side admission rejects and breaker trips, and the
+    #: per-class (critical vs normal) goodput/latency summary.
+    overload_report: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         return (f"{self.config.protocol:12s} clients={self.config.num_clients:4d} "
@@ -206,12 +234,14 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
     for sid in server_ids:
         if config.protocol == "2pl":
             servers.append(TwoPLServer(sim, net, sid, config.profile,
-                                       rngs.stream()))
+                                       rngs.stream(),
+                                       queue_capacity=config.queue_capacity))
         else:
             servers.append(MVTLServer(
                 sim, net, sid, config.profile, rngs.stream(), registry,
                 write_lock_timeout=config.write_lock_timeout,
-                consensus=consensus, history=history))
+                consensus=consensus, history=history,
+                queue_capacity=config.queue_capacity))
     if tracer is not None:
         for server in servers:
             server.tracer = tracer
@@ -237,7 +267,11 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         common = dict(history=history, consensus=consensus, tracer=tracer,
                       rpc_timeout=config.rpc_timeout,
                       rpc_retries=config.rpc_retries,
-                      validate_epochs=validate)
+                      validate_epochs=validate,
+                      tx_budget=config.tx_budget,
+                      admission_control=config.admission_control,
+                      breaker_threshold=config.breaker_threshold,
+                      breaker_cooldown=config.breaker_cooldown)
         if config.protocol in ("mvtil-early", "mvtil-late"):
             client = MVTILClient(sim, net, cid, pid, partition, clock,
                                  registry, delta=config.delta,
@@ -259,6 +293,11 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             client, workload, stats, rngs.stream(),
             client_overhead=config.profile.client_overhead,
             max_restarts=config.max_restarts), name=cid)
+    # Retry-jitter streams are drawn *after* the loop above so the
+    # clock/workload/runner stream assignments — and hence every outcome of
+    # a pre-overload-control seed — stay exactly as they were.
+    for client in clients:
+        client.rng = rngs.stream()
 
     injector = None
     if chaos_on:
@@ -334,11 +373,24 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                 for s in servers),
         }
 
+    overload_report = {
+        "shed": sum(s.stats.get("shed", 0) for s in servers),
+        "expired": sum(s.stats.get("expired", 0) for s in servers),
+        "overloaded_replies": sum(c.stats["overloaded"] for c in clients),
+        "admission_rejects": sum(c.stats["admission_rejects"]
+                                 for c in clients),
+        "breaker_trips": sum(b.trips for c in clients
+                             for b in (c._breakers or {}).values()),
+        "class_summary": stats.class_summary(),
+        "class_attempt_aborts": dict(stats.class_attempt_aborts),
+    }
+
     metrics = None
     if config.trace:
         fold_trace(tracer.events, metrics_reg)
         for server in servers:
             merge_conflict_counts(metrics_reg, server.conflicts)
+        merge_overload_counters(metrics_reg, servers)
         metrics = metrics_reg.as_dict()
         metrics["run"] = {
             "protocol": config.protocol,
@@ -350,6 +402,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             "latency": stats.latency_summary(),
             "messages_sent": net.messages_sent,
             "messages_per_commit": messages_per_commit,
+            "overload": overload_report,
         }
 
     return ClusterResult(
@@ -371,6 +424,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         trace=tracer.events if tracer is not None else None,
         metrics=metrics,
         chaos_report=chaos_report,
+        overload_report=overload_report,
     )
 
 

@@ -147,13 +147,25 @@ class ChaosSchedule:
             for i, t in zip(picks, times):
                 events.append(ChaosEvent(float(t), "crash-client",
                                          client_ids[int(i)]))
-        if config.server_restarts and len(server_ids):
+        if config.server_restarts:
+            if not len(server_ids):
+                # Silently generating no events would make the scenario a
+                # no-op the caller thinks it ran.
+                raise ValueError(
+                    f"server_restarts={config.server_restarts} requested "
+                    f"but no server_ids were given")
             n = config.server_restarts
             slot = span / n
             if config.downtime >= slot:
+                # Each crash/restart pair needs its own disjoint slot of
+                # more than ``downtime`` seconds, i.e. a measurement window
+                # strictly longer than n * downtime.
                 raise ValueError(
                     f"downtime {config.downtime} does not fit "
-                    f"{n} restarts into a {span:.3f}s window")
+                    f"{n} restarts into a {span:.3f}s window: each restart "
+                    f"needs a disjoint slot > {config.downtime}s, so the "
+                    f"window must be longer than "
+                    f"{n * config.downtime:.3f}s (n * downtime)")
             for k in range(n):
                 sid = server_ids[int(rng.integers(len(server_ids)))]
                 lo = start + k * slot

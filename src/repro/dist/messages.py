@@ -26,7 +26,7 @@ from ..core.intervals import IntervalSet
 from ..core.timestamp import Timestamp
 
 __all__ = [
-    "Request", "Reply",
+    "Request", "Reply", "OverloadedReply", "SHEDDABLE_REQUESTS",
     "MVTLReadReq", "MVTLReadReply",
     "MVTLWriteLockReq", "MVTLWriteLockReply",
     "MVTLBatchLockReq", "MVTLBatchLockReply",
@@ -40,11 +40,24 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class Request:
-    """Base: fields common to every client->server request."""
+    """Base: fields common to every client->server request.
+
+    ``deadline`` is the transaction's *absolute* deadline (simulated
+    seconds): a saturated server drops data requests whose deadline has
+    already passed instead of serving stale work (the client has moved on).
+    Clients only stamp it on requests that are safe to drop — reads and
+    lock acquisitions, whose loss the client maps to an abort — never on
+    commit/release/GC notifications, which free resources and must always
+    be applied.  ``critical`` marks requests of critical (MVTL-Prio-class)
+    transactions: served ahead of normals and never shed (Theorem 3's
+    guarantee, carried into the distributed layer).
+    """
 
     tx_id: Hashable
     client: Hashable
     req_id: int
+    deadline: float | None = field(default=None, kw_only=True)
+    critical: bool = field(default=False, kw_only=True)
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,6 +65,17 @@ class Reply:
     """Base: every server->client reply echoes the request id."""
 
     req_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class OverloadedReply(Reply):
+    """Explicit load-shed rejection: the server's bounded queue was full.
+
+    Sent instead of silently parking work a saturated server will never
+    get to.  The client maps it to ``AbortReason.OVERLOADED`` (and feeds
+    its per-server circuit breaker) rather than retrying into the same
+    saturated server.
+    """
 
 
 # -- MVTL family (MVTIL and MVTO+ run the same server ops, §8.1) -------------
@@ -297,3 +321,13 @@ class ProposeReq(Request):
 @dataclass(frozen=True, slots=True)
 class DecisionReply(Reply):
     outcome: Any = None  # "abort" or the decided commit Timestamp
+
+
+#: Request types a saturated server may shed (bounded queue) or expire
+#: (deadline passed): data-path acquisitions whose rejection the client
+#: handles as a clean abort.  Control notifications (commit, freeze,
+#: release, GC, purge) are never shed — they *free* resources, are cheap
+#: (see the servers' control-message weight), and dropping them would leak
+#: locks until the write-lock timeout (or, for 2PL, forever).
+SHEDDABLE_REQUESTS = (MVTLReadReq, MVTLWriteLockReq, MVTLBatchLockReq,
+                      EpochReq, TwoPLLockReq)

@@ -32,6 +32,7 @@ is executed (at-least-once transport, exactly-once application).
 
 from __future__ import annotations
 
+import zlib
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -47,12 +48,13 @@ from ..sim.server_queue import ServiceQueue
 from ..sim.simulator import Simulator
 from ..sim.testbed import TestbedProfile
 from .commitment import ABORT, CommitmentRegistry
-from .messages import (CommitReq, EpochReply, EpochReq, FreezeReadReq,
-                       FreezeWriteReq, GcReq, MVTLBatchLockReply,
-                       MVTLBatchLockReq, MVTLReadReply, MVTLReadReq,
-                       MVTLWriteLockReply, MVTLWriteLockReq, PurgeReq,
-                       ReleaseReq, Reply, Request, TwoPLCommitReq,
-                       TwoPLLockReply, TwoPLLockReq, TwoPLReleaseReq)
+from .messages import (SHEDDABLE_REQUESTS, CommitReq, EpochReply, EpochReq,
+                       FreezeReadReq, FreezeWriteReq, GcReq,
+                       MVTLBatchLockReply, MVTLBatchLockReq, MVTLReadReply,
+                       MVTLReadReq, MVTLWriteLockReply, MVTLWriteLockReq,
+                       OverloadedReply, PurgeReq, ReleaseReq, Reply, Request,
+                       TwoPLCommitReq, TwoPLLockReply, TwoPLLockReq,
+                       TwoPLReleaseReq)
 
 __all__ = ["MVTLServer", "TwoPLServer"]
 
@@ -87,14 +89,19 @@ class _ServerBase:
     _REQ_LOG_MAX = 8192
 
     def __init__(self, sim: Simulator, net: Network, server_id: Hashable,
-                 profile: TestbedProfile, rng: np.random.Generator) -> None:
+                 profile: TestbedProfile, rng: np.random.Generator, *,
+                 queue_capacity: int | None = None) -> None:
         self.sim = sim
         self.net = net
         self.server_id = server_id
         self.profile = profile
         self.queue = ServiceQueue(sim, profile.service_time,
                                   profile.server_concurrency, rng,
-                                  self._on_request)
+                                  self._on_request,
+                                  capacity=queue_capacity,
+                                  class_fn=self._request_class,
+                                  shed_fn=self._on_shed,
+                                  expired_fn=self._request_expired)
         net.register(server_id, self.queue.submit)
         self.crashed = False
         #: Bumped on every restart; stamped on MVTL replies (epoch fencing).
@@ -114,10 +121,51 @@ class _ServerBase:
         #: cluster assigns a recording tracer after construction.
         self.tracer: Any = NULL_TRACER
         self.stats = {"requests": 0, "parked": 0, "dup_requests": 0,
-                      "restarts": 0}
+                      "restarts": 0, "shed": 0, "expired": 0}
 
     def _handle(self, msg: Any) -> None:  # pragma: no cover - overridden
         raise NotImplementedError
+
+    # -- overload control --------------------------------------------------
+
+    @staticmethod
+    def _unwrap(msg: Any) -> Any:
+        return msg.req if isinstance(msg, _Resubmit) else msg
+
+    def _request_class(self, msg: Any) -> int:
+        """Queue class: 0 = critical/control (never shed), 1 = sheddable.
+
+        Parked-request re-submissions keep the class of the request they
+        carry (the envelope is transparent).  Control notifications ride in
+        class 0: they free locks and slots — shedding them would turn
+        overload into leaked state.
+        """
+        req = self._unwrap(msg)
+        if isinstance(req, SHEDDABLE_REQUESTS) and not req.critical:
+            return 1
+        return 0
+
+    def _request_expired(self, msg: Any) -> bool:
+        """Deadline check at the head of the queue (stale-work drop)."""
+        req = self._unwrap(msg)
+        deadline = getattr(req, "deadline", None)
+        if deadline is None or self.sim.now <= deadline:
+            return False
+        self.stats["expired"] += 1
+        return True
+
+    def _on_shed(self, msg: Any) -> None:
+        """Bounded-queue rejection: reply OVERLOADED instead of parking.
+
+        The explicit reply is the point of the shed policy — the client
+        learns *immediately* that the server is saturated (and feeds its
+        circuit breaker) instead of burning an RPC timeout against a queue
+        that would never have reached its request.
+        """
+        req = self._unwrap(msg)
+        self.stats["shed"] += 1
+        if isinstance(req, Request):
+            self._reply(req, OverloadedReply(req.req_id))
 
     # -- crash / restart ---------------------------------------------------
 
@@ -241,8 +289,10 @@ class MVTLServer(_ServerBase):
                  registry: CommitmentRegistry, *,
                  write_lock_timeout: float = 2.0,
                  consensus: Any | None = None,
-                 history: Any | None = None) -> None:
-        super().__init__(sim, net, server_id, profile, rng)
+                 history: Any | None = None,
+                 queue_capacity: int | None = None) -> None:
+        super().__init__(sim, net, server_id, profile, rng,
+                         queue_capacity=queue_capacity)
         self.registry = registry
         #: Optional shared History: commits applied *server-side* are
         #: recorded here too, covering coordinators that crash after the
@@ -254,7 +304,10 @@ class MVTLServer(_ServerBase):
         #: decided by real message-passing consensus over the acceptor set
         #: (§H.1 "servers may fail" mode) instead of the in-sim object.
         self.consensus = consensus
-        self._proposer_id = abs(hash(server_id)) % (2**20) + 2**20
+        # Stable digest, not hash(): string hashing is per-process
+        # randomized and proposer ids must be reproducible across runs.
+        self._proposer_id = (zlib.crc32(str(server_id).encode())
+                             % (2**20) + 2**20)
         self.write_lock_timeout = write_lock_timeout
         self.locks = LockTable()
         self.store = VersionStore()
@@ -601,7 +654,9 @@ class MVTLServer(_ServerBase):
 
     def _seal_tx(self, tx_id: Hashable, keep_all_reads: bool) -> None:
         self._drop_parked(tx_id)
-        for key in self.locks.keys_of(tx_id):
+        # keys_of returns a frozenset: iterate in sorted order so waiter
+        # wake-ups happen in the same order every run (reproducibility).
+        for key in sorted(self.locks.keys_of(tx_id), key=str):
             state = self.locks.peek(key)
             if state is not None:
                 state.seal(tx_id, keep_all_reads=keep_all_reads)
@@ -659,8 +714,10 @@ class TwoPLServer(_ServerBase):
     CONTROL_MSG_WEIGHT = 0.3
 
     def __init__(self, sim: Simulator, net: Network, server_id: Hashable,
-                 profile: TestbedProfile, rng: np.random.Generator) -> None:
-        super().__init__(sim, net, server_id, profile, rng)
+                 profile: TestbedProfile, rng: np.random.Generator, *,
+                 queue_capacity: int | None = None) -> None:
+        super().__init__(sim, net, server_id, profile, rng,
+                         queue_capacity=queue_capacity)
         self._keys: dict[Hashable, _TwoPLKey] = {}
         self._aborted: set[Hashable] = set()
         self.queue.service_time_fn = self._service_time

@@ -14,7 +14,8 @@ from typing import Any, Hashable, Iterable, Mapping, Sequence
 from .trace import EventKind, TraceEvent
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "fold_trace",
-           "merge_conflict_counts", "merge_stripe_counts"]
+           "merge_conflict_counts", "merge_overload_counters",
+           "merge_stripe_counts"]
 
 
 class Counter:
@@ -219,6 +220,27 @@ def merge_conflict_counts(registry: MetricsRegistry,
     key_conflicts = registry.counter("key.conflicts")
     for key, n in counts.items():
         key_conflicts.inc(key, n)
+
+
+def merge_overload_counters(registry: MetricsRegistry,
+                            servers: Iterable[Any]) -> None:
+    """Merge the servers' overload counters into the registry.
+
+    Folds each server's shed (bounded-queue rejections) and expired
+    (deadline-passed drops) counts into ``server.shed`` / ``server.expired``
+    counters labelled by server id — per-server attribution shows whether
+    overload is cluster-wide or a hot partition.  Zero counts are skipped
+    (absent labels read back as 0).
+    """
+    shed = registry.counter("server.shed")
+    expired = registry.counter("server.expired")
+    for server in servers:
+        n = server.stats.get("shed", 0)
+        if n:
+            shed.inc(server.server_id, n)
+        n = server.stats.get("expired", 0)
+        if n:
+            expired.inc(server.server_id, n)
 
 
 def merge_stripe_counts(registry: MetricsRegistry,

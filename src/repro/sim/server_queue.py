@@ -1,4 +1,4 @@
-"""Server CPU model: a k-slot service queue.
+"""Server CPU model: a k-slot service queue with overload control.
 
 The paper's two testbeds differ most in *processing headroom*: the local
 testbed has multi-socket Xeons ("servers are multi-threaded, with hundreds of
@@ -8,16 +8,30 @@ advantage (fewer aborts than MVTO+, less waiting than 2PL) translates into
 ~2x throughput there (§8.4.1).
 
 We model each server's CPU as ``concurrency`` service slots with a per-request
-service time.  Incoming requests queue FIFO for a slot, occupy it for the
+service time.  Incoming requests queue for a slot, occupy it for the
 sampled service time, then the protocol handler runs (instantaneous: its cost
 IS the service time) and replies are sent.  A request that must wait for a
 lock is *parked* by the handler — it releases its slot without consuming more
 CPU (the prototype's blocked threads), and is re-enqueued when the lock state
 changes.
+
+Overload control (opt-in via ``capacity``): the queue holds two priority
+classes — critical (class 0, served first) and normal (class 1) — FIFO
+within each class.  When the queue is full, the *newest normal* is shed: a
+normal arrival is rejected outright, a critical arrival instead evicts the
+most recently queued normal.  Criticals are never shed — the distributed
+analogue of MVTL-Prio's Theorem 3 (critical transactions are never aborted
+by normal ones); an all-critical queue may therefore exceed ``capacity``.
+Shed requests are handed to ``shed_fn`` so the server can send an explicit
+OVERLOADED reply instead of silently parking work it will never finish.
+Requests whose deadline has already passed when they reach the head of the
+queue are dropped before consuming a slot (``expired_fn``): stale work is
+the cheapest work to shed — its client has already given up.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable
 
 import numpy as np
@@ -28,14 +42,20 @@ __all__ = ["ServiceQueue"]
 
 
 class ServiceQueue:
-    """FIFO queue in front of ``concurrency`` service slots."""
+    """Two-class priority queue in front of ``concurrency`` service slots."""
 
     def __init__(self, sim: Simulator, service_time: float,
                  concurrency: int, rng: np.random.Generator,
                  handler: Callable[[Any], None],
-                 service_time_fn: Callable[[], float] | None = None) -> None:
+                 service_time_fn: Callable[[], float] | None = None, *,
+                 capacity: int | None = None,
+                 class_fn: Callable[[Any], int] | None = None,
+                 shed_fn: Callable[[Any], None] | None = None,
+                 expired_fn: Callable[[Any], bool] | None = None) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.sim = sim
         self.service_time = service_time
         self.concurrency = concurrency
@@ -48,16 +68,56 @@ class ServiceQueue:
         #: throughput when GC is off — Fig. 7).  Falls back to the fixed
         #: ``service_time``.
         self.service_time_fn = service_time_fn
-        self._queue: list[Any] = []
+        #: Bound on queued (not in-service) requests; None = unbounded FIFO,
+        #: the pre-overload-control behaviour.  Only normal-class work is
+        #: bounded: criticals and protocol control messages are never shed.
+        self.capacity = capacity
+        #: Maps a request to its class: 0 = critical (never shed, served
+        #: first), 1 = normal (sheddable).  None = everything is normal.
+        self._class_fn = class_fn
+        #: Receives each shed request (so the owner can reply OVERLOADED).
+        self._shed_fn = shed_fn
+        #: True if the request's deadline has passed; checked when the
+        #: request reaches the head of the queue, before it takes a slot.
+        self._expired_fn = expired_fn
+        #: (critical, normal) — deque for O(1) popleft at the deep-queue
+        #: moments a bounded queue is built for (list.pop(0) is O(n)).
+        self._queues: tuple[deque, deque] = (deque(), deque())
         self._busy = 0
         self._generation = 0
         self.requests_served = 0
+        self.requests_shed = 0
+        self.requests_expired = 0
         self.busy_time = 0.0
 
+    def _class_of(self, request: Any) -> int:
+        if self._class_fn is None:
+            return 1
+        return 0 if self._class_fn(request) == 0 else 1
+
     def submit(self, request: Any) -> None:
-        """Enqueue a request for processing."""
-        self._queue.append(request)
+        """Enqueue a request for processing, shedding on overflow."""
+        cls = self._class_of(request)
+        if (self.capacity is not None
+                and self.queue_length >= self.capacity):
+            critical_q, normal_q = self._queues
+            if cls == 1:
+                # Reject the newest normal: the arrival itself.
+                self._shed(request)
+                return
+            if normal_q:
+                # A critical arrival displaces the most recently queued
+                # normal — criticals are admitted even at capacity.
+                self._shed(normal_q.pop())
+            # else: the queue is all-critical; overflow by this one
+            # critical rather than shed it (Theorem 3 invariant).
+        self._queues[cls].append(request)
         self._dispatch()
+
+    def _shed(self, request: Any) -> None:
+        self.requests_shed += 1
+        if self._shed_fn is not None:
+            self._shed_fn(request)
 
     def drop_pending(self) -> None:
         """Discard all queued *and in-service* work (server crash).
@@ -66,12 +126,24 @@ class ServiceQueue:
         scheduled completion time, but their handler never runs: a crashed
         CPU finishes nothing.
         """
-        self._queue.clear()
+        for q in self._queues:
+            q.clear()
         self._generation += 1
 
     def _dispatch(self) -> None:
-        while self._busy < self.concurrency and self._queue:
-            request = self._queue.pop(0)
+        while self._busy < self.concurrency:
+            critical_q, normal_q = self._queues
+            if critical_q:
+                request = critical_q.popleft()
+            elif normal_q:
+                request = normal_q.popleft()
+            else:
+                break
+            if self._expired_fn is not None and self._expired_fn(request):
+                # Deadline already passed: the client has moved on, so the
+                # cheapest thing to do with this work is nothing at all.
+                self.requests_expired += 1
+                continue
             self._busy += 1
             # Exponential service time with the configured mean: the classic
             # M/M/k shape; the protocol handler runs when service completes.
@@ -94,7 +166,11 @@ class ServiceQueue:
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self._queues[0]) + len(self._queues[1])
+
+    @property
+    def critical_queue_length(self) -> int:
+        return len(self._queues[0])
 
     @property
     def busy_slots(self) -> int:

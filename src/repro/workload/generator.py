@@ -27,9 +27,15 @@ class Op:
 
 @dataclass(frozen=True, slots=True)
 class TxSpec:
-    """A transaction to execute: its operations in order."""
+    """A transaction to execute: its operations in order.
+
+    ``critical`` marks MVTL-Prio-class transactions (§5.2): run with
+    ``begin(priority=True)``, served ahead of normals by the distributed
+    substrate's overload machinery and never shed.
+    """
 
     ops: tuple[Op, ...]
+    critical: bool = False
 
 
 @dataclass(frozen=True)
@@ -41,10 +47,16 @@ class WorkloadConfig:
     write_fraction: float = 0.25
     #: Zipf exponent for key popularity; 0 = uniform (the paper's setting).
     zipf_s: float = 0.0
+    #: Fraction of transactions marked critical (MVTL-Prio class, §5.2).
+    #: 0 (the default) draws nothing from the random stream, so existing
+    #: seeded runs are bit-for-bit unchanged.
+    critical_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.write_fraction <= 1.0:
             raise ValueError("write_fraction must be in [0, 1]")
+        if not 0.0 <= self.critical_fraction <= 1.0:
+            raise ValueError("critical_fraction must be in [0, 1]")
         if self.tx_size < 1 or self.num_keys < 1:
             raise ValueError("tx_size and num_keys must be positive")
 
@@ -77,6 +89,10 @@ class WorkloadGenerator:
 
     def next_tx(self) -> TxSpec:
         cfg = self.config
+        # Short-circuit keeps the stream draw count identical to older
+        # seeds when the feature is off (determinism across versions).
+        critical = (cfg.critical_fraction > 0.0
+                    and float(self._rng.random()) < cfg.critical_fraction)
         ops = []
         for _ in range(cfg.tx_size):
             key = self._pick_key()
@@ -84,7 +100,7 @@ class WorkloadGenerator:
                 ops.append(Op(True, key, self._pick_value()))
             else:
                 ops.append(Op(False, key))
-        return TxSpec(tuple(ops))
+        return TxSpec(tuple(ops), critical=critical)
 
     def __iter__(self) -> Iterator[TxSpec]:
         while True:

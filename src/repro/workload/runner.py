@@ -16,12 +16,20 @@ from typing import Any, Generator
 
 import numpy as np
 
-from ..core.exceptions import TransactionAborted
+from ..core.exceptions import AbortReason, TransactionAborted
 from ..sim.simulator import Sleep
 from .generator import TxSpec, WorkloadGenerator
 from .stats import RunStats
 
 __all__ = ["closed_loop_client", "run_tx"]
+
+#: Extra backoff multiplier for overload-signalled aborts (shed, deadline,
+#: admission reject): the server told us it is saturated, so restarting on
+#: the contention schedule would feed the overload.  4x per occurrence, on
+#: top of the per-attempt doubling.
+_OVERLOAD_BACKOFF_FACTOR = 4.0
+
+_OVERLOAD_REASONS = (AbortReason.OVERLOADED, AbortReason.DEADLINE_EXCEEDED)
 
 
 def run_tx(client: Any, spec: TxSpec,
@@ -30,7 +38,7 @@ def run_tx(client: Any, spec: TxSpec,
 
     Raises :class:`TransactionAborted` when the protocol aborts it.
     """
-    tx = client.begin()
+    tx = client.begin(priority=spec.critical)
     for op in spec.ops:
         if client_overhead > 0:
             yield Sleep(client_overhead)
@@ -54,12 +62,20 @@ def closed_loop_client(client: Any, workload: WorkloadGenerator,
     budget is exhausted.  This matches the paper's commit rate ("the
     fraction of transactions that commit"): a restart is the same
     transaction trying again, not a new submission.
+
+    Restart backoff is jittered exponential: restart ``n`` sleeps a
+    uniform draw from ``[0.5, 1.5) x backoff x 2^(n-1)``, scaled a further
+    4x per overload-signalled abort (OVERLOADED / DEADLINE_EXCEEDED) — those
+    aborts mean the server is saturated, and synchronized or eager
+    restarts are exactly the retry storm that turns transient overload
+    metastable.
     """
     while True:
         spec = workload.next_tx()
         attempts = 0
         committed = False
         started = stats.sim.now
+        overload_aborts = 0
         while True:
             attempt_started = stats.sim.now
             try:
@@ -69,13 +85,19 @@ def closed_loop_client(client: Any, workload: WorkloadGenerator,
             except TransactionAborted as exc:
                 stats.attempt_aborted(
                     reason=exc.reason,
-                    latency=stats.sim.now - attempt_started)
+                    latency=stats.sim.now - attempt_started,
+                    critical=spec.critical)
                 if attempts >= max_restarts:
                     break  # give up on this transaction
                 attempts += 1
-                # Randomized backoff before restarting with a fresh
+                if exc.reason in _OVERLOAD_REASONS:
+                    overload_aborts += 1
+                # Full-jitter backoff before restarting with a fresh
                 # timestamp/interval "adjusted based on the state it has
                 # already seen" (§8.1) — later clock reading = higher ts.
-                yield Sleep(float(rng.uniform(0.5, 1.5)) * backoff)
+                scale = (2.0 ** (attempts - 1)
+                         * _OVERLOAD_BACKOFF_FACTOR ** overload_aborts)
+                yield Sleep(float(rng.uniform(0.5, 1.5)) * backoff * scale)
         stats.tx_done(committed=committed,
-                      latency=stats.sim.now - started)
+                      latency=stats.sim.now - started,
+                      critical=spec.critical)

@@ -46,11 +46,26 @@ class RunStats:
         #: Abort-reason counts of in-window aborted attempts.
         self.abort_reasons: dict[str, int] = {}
         self.aborted_attempts_total = 0
+        #: Per-class (critical vs normal) in-window accounting, for the
+        #: overload experiments: does the critical class keep its goodput
+        #: and latency when the normal class saturates the servers?
+        self.class_counts: dict[str, dict[str, int]] = {
+            "critical": {"committed": 0, "aborted": 0},
+            "normal": {"committed": 0, "aborted": 0},
+        }
+        self.class_latencies: dict[str, list[float]] = {
+            "critical": [], "normal": []}
+        #: Attempt-level abort counts per class (whole run, not windowed):
+        #: the "criticals are not collateral damage" invariant check.
+        self.class_attempt_aborts: dict[str, int] = {
+            "critical": 0, "normal": 0}
 
     def attempt_aborted(self, reason: object = None,
-                        latency: float | None = None) -> None:
+                        latency: float | None = None,
+                        critical: bool = False) -> None:
         """Record one aborted attempt (called per abort, incl. restarts)."""
         self.aborted_attempts_total += 1
+        self.class_attempt_aborts["critical" if critical else "normal"] += 1
         now = self.sim.now
         if self.warmup <= now <= self.warmup + self.measure:
             if latency is not None:
@@ -60,7 +75,8 @@ class RunStats:
                 self.abort_reasons[reason] = (
                     self.abort_reasons.get(reason, 0) + 1)
 
-    def tx_done(self, committed: bool, latency: float | None = None) -> None:
+    def tx_done(self, committed: bool, latency: float | None = None,
+                critical: bool = False) -> None:
         now = self.sim.now
         if committed:
             self.committed_total += 1
@@ -69,12 +85,17 @@ class RunStats:
         if self.record_completions:
             self.completions.append((now, committed))
         if self.warmup <= now <= self.warmup + self.measure:
+            cls = self.class_counts["critical" if critical else "normal"]
             if committed:
                 self.committed += 1
+                cls["committed"] += 1
                 if latency is not None:
                     self.latencies.append(latency)
+                    self.class_latencies[
+                        "critical" if critical else "normal"].append(latency)
             else:
                 self.aborted += 1
+                cls["aborted"] += 1
 
     @property
     def throughput(self) -> float:
@@ -115,6 +136,28 @@ class RunStats:
                 "p50": self._percentile(samples, 50),
                 "p95": self._percentile(samples, 95),
                 "p99": self._percentile(samples, 99),
+            }
+        return out
+
+    def class_summary(self) -> dict[str, dict[str, float]]:
+        """Per-class goodput, commit counts and latency percentiles.
+
+        Goodput is committed transactions of the class per second of
+        measurement window — the number the overload experiments compare:
+        at saturation the critical class should keep (most of) its goodput
+        while the normal class degrades.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for cls in ("critical", "normal"):
+            counts = self.class_counts[cls]
+            lats = self.class_latencies[cls]
+            out[cls] = {
+                "committed": counts["committed"],
+                "aborted": counts["aborted"],
+                "goodput": (counts["committed"] / self.measure
+                            if self.measure > 0 else 0.0),
+                "p50": self._percentile(lats, 50),
+                "p99": self._percentile(lats, 99),
             }
         return out
 

@@ -214,6 +214,22 @@ class TestChaosSchedule:
             ChaosSchedule.generate(cfg, np.random.default_rng(0),
                                    [], ["s0"], start=0.0, end=2.0)
 
+    def test_downtime_error_states_minimum_window(self):
+        # The error must tell the user how long the window needs to be
+        # (n * downtime), not just that the config is invalid.
+        cfg = ChaosConfig(server_restarts=4, downtime=0.9)
+        with pytest.raises(ValueError, match=r"longer than 3\.600s"):
+            ChaosSchedule.generate(cfg, np.random.default_rng(0),
+                                   [], ["s0"], start=0.0, end=2.0)
+
+    def test_restarts_without_servers_is_an_error(self):
+        # Silently generating zero events would let a "chaos" run pass
+        # while injecting nothing.
+        cfg = ChaosConfig(server_restarts=2)
+        with pytest.raises(ValueError, match="no server_ids"):
+            ChaosSchedule.generate(cfg, np.random.default_rng(0),
+                                   ["c0"], [], start=0.0, end=2.0)
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             ChaosConfig(client_crashes=-1)
