@@ -4,8 +4,10 @@ Usage::
 
     python -m repro.bench fig1            # one figure
     python -m repro.bench all             # everything
+    python -m repro.bench figures --workers 8   # everything, in parallel
     REPRO_FULL=1 python -m repro.bench fig2   # the paper's full sweep
     python -m repro.bench fig1 --seeds 1 2 3 --out results/
+    python -m repro.bench fig4 --workers 4    # one figure, 4 worker procs
     python -m repro.bench smoke           # batched-vs-unbatched CI check
     python -m repro.bench engine          # threaded striped-engine bench
     python -m repro.bench chaos           # seeded fault-injection check
@@ -14,6 +16,11 @@ Usage::
 Prints each figure as an ASCII table and saves the raw points as JSON.
 ``smoke``, ``engine`` and ``chaos`` print their report and exit non-zero
 on failure instead of writing files.
+
+``--workers N`` fans each figure's (config x seed) grid over N crash-
+isolated worker processes via :mod:`repro.exp`; the merged results are
+byte-identical to a serial run (see DESIGN.md §5d), so it is purely a
+wall-clock lever.
 """
 
 from __future__ import annotations
@@ -372,10 +379,12 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's evaluation figures (§8).")
     parser.add_argument("figure",
                         choices=sorted(FIGURES) + ["fig6", "fig7", "all",
-                                                   "smoke", "engine",
-                                                   "chaos", "overload"],
-                        help="which figure to regenerate (or: 'smoke' = "
-                             "batched-vs-unbatched outcome check, 'engine' "
+                                                   "figures", "smoke",
+                                                   "engine", "chaos",
+                                                   "overload"],
+                        help="which figure to regenerate ('figures' = all "
+                             "figures, intended with --workers; or: 'smoke' "
+                             "= batched-vs-unbatched outcome check, 'engine' "
                              "= threaded striped-engine throughput, 'chaos' "
                              "= seeded fault-injection safety/liveness "
                              "check, 'overload' = graceful-degradation "
@@ -384,6 +393,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="seeds to average over (paper: 5 repetitions)")
     parser.add_argument("--out", default="benchmarks/results",
                         help="directory for raw JSON output")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="fan each figure's runs over N worker "
+                             "processes through repro.exp (0 = in-process "
+                             "serial, the default; results are identical "
+                             "either way)")
     parser.add_argument("--trace", action="store_true",
                         help="attach a repro.obs tracer to every run and "
                              "write <figure>.trace.jsonl + "
@@ -400,16 +414,27 @@ def main(argv: list[str] | None = None) -> int:
     if args.figure == "overload":
         return run_overload(seed=args.seeds[0])
 
-    wanted = (sorted(FIGURES) + ["fig6"] if args.figure == "all"
-              else [args.figure])
-    for name in wanted:
-        start = time.time()
-        obs = RunObservations() if args.trace else None
+    wanted = (sorted(FIGURES) + ["fig6"]
+              if args.figure in ("all", "figures") else [args.figure])
+
+    def run_fn(fn, obs):
+        """One figure sweep: in-process, or fanned over the worker pool."""
+        if args.workers > 0:
+            from ..exp.harness import print_progress, run_figures
+            result, _outcomes = run_figures(
+                fn, tuple(args.seeds), args.workers, obs=obs,
+                progress=print_progress)
+            return result
         kwargs = {"seeds": tuple(args.seeds)}
         if obs is not None:
             kwargs["obs"] = obs
+        return fn(**kwargs)
+
+    for name in wanted:
+        start = time.time()
+        obs = RunObservations() if args.trace else None
         if name in ("fig6", "fig7"):
-            fig6, fig7 = figure6_7_state_and_gc(**kwargs)
+            fig6, fig7 = run_fn(figure6_7_state_and_gc, obs)
             sidecar_anchor = None
             for result in (fig6, fig7):
                 print(format_figure(result))
@@ -418,7 +443,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  -> {path}  [{time.time() - start:.0f}s]\n")
             path = sidecar_anchor
         else:
-            result = FIGURES[name](**kwargs)
+            result = run_fn(FIGURES[name], obs)
             print(format_figure(result))
             path = save_figure(result, args.out)
             print(f"  -> {path}  [{time.time() - start:.0f}s]\n")

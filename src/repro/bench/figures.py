@@ -20,22 +20,44 @@ budget.  See EXPERIMENTS.md.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import replace
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..dist.cluster import ClusterConfig, run_cluster
+from ..dist.cluster import ClusterConfig, ClusterResult, run_cluster
 from ..sim.testbed import CLOUD_TESTBED, LOCAL_TESTBED, TestbedProfile
 from ..workload.generator import WorkloadConfig
 from .reporting import FigurePoint, FigureResult, RunObservations
 
 __all__ = [
-    "full_mode", "sweep_protocols",
+    "full_mode", "sweep_protocols", "use_runner",
     "figure1_concurrency_local", "figure2_concurrency_cloud",
     "figure3_write_fraction", "figure4_small_transactions",
     "figure5_num_servers", "figure6_7_state_and_gc",
 ]
+
+# Pluggable single-run executor.  Figure functions submit every cluster run
+# through the top of this stack; ``repro.exp`` pushes recording / replaying
+# runners to fan the same (config x seed) grid over a worker pool without
+# duplicating any sweep logic here.  The default executes in-process.
+_RUNNER_STACK: list[Callable[[ClusterConfig], ClusterResult]] = [run_cluster]
+
+
+@contextmanager
+def use_runner(runner: Callable[[ClusterConfig], ClusterResult]
+               ) -> Iterator[None]:
+    """Route all cluster runs issued inside the block through ``runner``."""
+    _RUNNER_STACK.append(runner)
+    try:
+        yield
+    finally:
+        _RUNNER_STACK.pop()
+
+
+def _execute(config: ClusterConfig) -> ClusterResult:
+    return _RUNNER_STACK[-1](config)
 
 #: Protocol sets as plotted in the paper.
 ALL_PROTOCOLS = ("mvto", "2pl", "mvtil-early", "mvtil-late")
@@ -58,7 +80,7 @@ def _mean_result(config: ClusterConfig, seeds: Sequence[int],
     thr, cr, mpc = [], [], []
     for seed in seeds:
         cfg = replace(config, seed=seed, trace=obs is not None)
-        res = run_cluster(cfg)
+        res = _execute(cfg)
         if obs is not None:
             obs.add(res)
         thr.append(res.throughput)
@@ -266,7 +288,7 @@ def figure6_7_state_and_gc(seeds: Sequence[int] = (1,),
             state_sample_period=sample_period,
             record_completions=True,
             seed=seeds[0], trace=obs is not None)
-        res = run_cluster(cfg)
+        res = _execute(cfg)
         if obs is not None:
             obs.add(res)
         for sample in res.state_samples:

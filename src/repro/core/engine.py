@@ -148,6 +148,12 @@ class MVTLEngine:
         if stripes < 1:
             raise ValueError("stripes must be >= 1")
         self.num_stripes = stripes
+        # key -> stripe index memo.  crc32-of-str per acquire is measurable
+        # on the hot path; the digest is deterministic so caching cannot
+        # change placement.  Bounded by the workload's key space.  Plain
+        # dict ops are atomic under the GIL; a racing recompute stores the
+        # same value.
+        self._stripe_cache: dict[Hashable, int] = {}
         self._stripes = tuple(threading.Condition(threading.RLock())
                               for _ in range(stripes))
         self._all_stripe_indices = tuple(range(stripes))
@@ -173,7 +179,11 @@ class MVTLEngine:
         string hashes per process, and stripe placement must not change
         between runs (seeded runs are required to be bit-reproducible).
         """
-        return zlib.crc32(str(key).encode()) % self.num_stripes
+        idx = self._stripe_cache.get(key)
+        if idx is None:
+            idx = zlib.crc32(str(key).encode()) % self.num_stripes
+            self._stripe_cache[key] = idx
+        return idx
 
     def _stripe_indices(self, keys: Iterable[Hashable]) -> tuple[int, ...]:
         """Ascending, deduplicated stripe indices for ``keys``."""

@@ -118,9 +118,15 @@ class TsInterval:
         return max(self.lo, other.lo) <= min(self.hi, other.hi)
 
     def touches(self, other: "TsInterval") -> bool:
-        """Whether the intervals overlap or are immediately adjacent."""
-        return (max(self.lo, other.lo)
-                <= ts_succ(min(self.hi, other.hi)))
+        """Whether the intervals overlap or are immediately adjacent.
+
+        Equivalent to ``max(lo) <= ts_succ(min(hi))`` with the successor
+        comparison unrolled so no Timestamp is allocated.
+        """
+        lo = self.lo if self.lo >= other.lo else other.lo
+        hi = self.hi if self.hi <= other.hi else other.hi
+        return lo.value < hi.value or (lo.value == hi.value
+                                       and lo.pid <= hi.pid + 1)
 
     @property
     def is_point(self) -> bool:
@@ -260,11 +266,31 @@ class IntervalSet:
 
     def intersect(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
         if isinstance(other, TsInterval):
-            other = IntervalSet.from_interval(other)
+            bs: tuple[TsInterval, ...] = (other,)
+        else:
+            bs = other._pieces
+        a = self._pieces
+        if not a or not bs:
+            return EMPTY_SET
+        if len(a) == 1 and len(bs) == 1:
+            # Fast path: lock state is almost always one contiguous range.
+            x, y = a[0], bs[0]
+            lo = x.lo if x.lo >= y.lo else y.lo
+            hi = x.hi if x.hi <= y.hi else y.hi
+            if lo > hi:
+                return EMPTY_SET
+            # Containment: the result IS one of the operands — reuse it.
+            if lo is x.lo and hi is x.hi:
+                return self
+            if lo is y.lo and hi is y.hi and type(other) is IntervalSet:
+                return other
+            s = IntervalSet.__new__(IntervalSet)
+            s._pieces = (TsInterval(lo, hi),)
+            return s
         out: list[TsInterval] = []
-        for a in self._pieces:
-            for b in other._pieces:
-                got = a.intersect(b)
+        for x in a:
+            for y in bs:
+                got = x.intersect(y)
                 if got is not None:
                     out.append(got)
         s = IntervalSet.__new__(IntervalSet)
@@ -273,13 +299,34 @@ class IntervalSet:
 
     def union(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
         if isinstance(other, TsInterval):
-            other = IntervalSet.from_interval(other)
-        if not self._pieces:
-            return other
-        if not other._pieces:
-            return self
+            if not self._pieces:
+                return IntervalSet.from_interval(other)
+            b: tuple[TsInterval, ...] = (other,)
+        else:
+            b = other._pieces
+            if not self._pieces:
+                return other
+            if not b:
+                return self
+        a = self._pieces
+        if len(a) == 1 and len(b) == 1:
+            # Fast path: merge or keep two ordered pieces, no list churn.
+            x, y = a[0], b[0]
+            if x.touches(y):
+                lo = x.lo if x.lo <= y.lo else y.lo
+                hi = x.hi if x.hi >= y.hi else y.hi
+                # Containment: the union IS one of the operands — reuse it.
+                if lo is x.lo and hi is x.hi:
+                    return self
+                if lo is y.lo and hi is y.hi and type(other) is IntervalSet:
+                    return other
+                s = IntervalSet.__new__(IntervalSet)
+                s._pieces = (TsInterval(lo, hi),)
+                return s
+            s = IntervalSet.__new__(IntervalSet)
+            s._pieces = (x, y) if x.lo <= y.lo else (y, x)
+            return s
         # Linear merge of two already-sorted piece lists (no re-sort).
-        a, b = self._pieces, other._pieces
         i = j = 0
         merged: list[TsInterval] = []
         while i < len(a) or j < len(b):
@@ -299,12 +346,32 @@ class IntervalSet:
 
     def subtract(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
         if isinstance(other, TsInterval):
-            other = IntervalSet.from_interval(other)
-        pieces = list(self._pieces)
-        for b in other._pieces:
+            bs: tuple[TsInterval, ...] = (other,)
+        else:
+            bs = other._pieces
+        a = self._pieces
+        if not a or not bs:
+            return self
+        if len(a) == 1 and len(bs) == 1:
+            # Fast path: one piece minus one piece is zero, one or two pieces.
+            x, y = a[0], bs[0]
+            if y.lo > x.hi or x.lo > y.hi:  # disjoint
+                return self
+            out: list[TsInterval] = []
+            if x.lo < y.lo:
+                out.append(TsInterval(x.lo, ts_pred(y.lo)))
+            if y.hi < x.hi:
+                out.append(TsInterval(ts_succ(y.hi), x.hi))
+            if not out:
+                return EMPTY_SET
+            s = IntervalSet.__new__(IntervalSet)
+            s._pieces = tuple(out)
+            return s
+        pieces = list(a)
+        for b in bs:
             nxt: list[TsInterval] = []
-            for a in pieces:
-                nxt.extend(a.subtract(b))
+            for x in pieces:
+                nxt.extend(x.subtract(b))
             pieces = nxt
         s = IntervalSet.__new__(IntervalSet)
         s._pieces = tuple(pieces)

@@ -145,7 +145,7 @@ class KeyLockState:
     """
 
     __slots__ = ("_owners", "version", "_sealed_read", "_sealed_write",
-                 "_sealed_spans")
+                 "_sealed_spans", "_rc_version", "_rc_count")
 
     #: Owner id reported for conflicts with sealed (ownerless) lock state.
     SEALED = "<sealed>"
@@ -167,6 +167,12 @@ class KeyLockState:
         # raw — never re-compacted — so purging can subtract exactly the
         # purged records and leave the survivors counted as-is.
         self._sealed_spans: list[TsInterval] = []
+        # record_count memo, keyed on ``version``: every mutation that can
+        # change the count bumps ``version``, so a matching tag means the
+        # cached count is current.  State sampling (Fig. 6/7) sums counts
+        # across every key far more often than most keys change.
+        self._rc_version: int = -1
+        self._rc_count: int = 0
 
     # -- queries -----------------------------------------------------------
 
@@ -241,8 +247,13 @@ class KeyLockState:
         ownerless merging would keep for ended transactions (the sealed
         span list) — i.e. the state the paper's prototype stores.
         """
-        return len(self._sealed_spans) + sum(
+        if self._rc_version == self.version:
+            return self._rc_count
+        count = len(self._sealed_spans) + sum(
             len(ol.read) + len(ol.write) for ol in self._owners.values())
+        self._rc_version = self.version
+        self._rc_count = count
+        return count
 
     @property
     def is_empty(self) -> bool:
@@ -265,6 +276,25 @@ class KeyLockState:
             ol.set_held(mode, ol.held(mode).union(result.acquired))
             self.version += 1
         return result
+
+    def grant(self, owner: TxId, mode: LockMode,
+              granted: TsInterval | IntervalSet) -> None:
+        """Record a grant already proven conflict-free by :meth:`lockable`.
+
+        Equivalent to ``try_acquire`` on the probed range minus the second
+        conflict split.  Valid only when nothing mutated this state between
+        the probe and the grant — true for DES servers, which handle each
+        request atomically.  Not for the threaded engine, whose probe and
+        acquire run under separate stripe-lock acquisitions.
+        """
+        if not isinstance(granted, TsInterval) and granted.is_empty:
+            return
+        ol = self._owners.setdefault(owner, _OwnerLocks())
+        held = ol.held(mode)
+        new_held = held.union(granted)
+        if new_held != held:
+            ol.set_held(mode, new_held)
+            self.version += 1
 
     def freeze(self, owner: TxId, mode: LockMode,
                span: TsInterval | IntervalSet) -> None:
@@ -374,43 +404,49 @@ class KeyLockState:
         free = want
         conflicts: list[Conflict] = []
         # Sealed (ended-transaction) state first: permanent, hence frozen.
-        sealed_blockers = (self._sealed_write if mode is LockMode.READ
-                           else self._sealed_write.union(self._sealed_read))
+        # Avoid the union allocation when one (or both) aggregates is empty
+        # — the dominant case on lightly written keys.
+        if mode is LockMode.READ or self._sealed_read.is_empty:
+            sealed_blockers = self._sealed_write
+        elif self._sealed_write.is_empty:
+            sealed_blockers = self._sealed_read
+        else:
+            sealed_blockers = self._sealed_write.union(self._sealed_read)
         if sealed_blockers:
             overlap = want.intersect(sealed_blockers)
             if not overlap.is_empty:
                 for piece in overlap:
                     blocking_mode = (LockMode.WRITE
-                                     if self._sealed_write.intersect(
-                                         IntervalSet.from_interval(piece))
+                                     if self._sealed_write.intersect(piece)
                                      else LockMode.READ)
                     conflicts.append(Conflict(piece, self.SEALED,
                                               blocking_mode, True))
                 free = free.subtract(overlap)
-        for other, ol in self._owners.items():
-            if other == owner:
-                continue
+        if self._owners:
             # WRITE requests conflict with the other's read and write locks;
             # READ requests only with the other's write locks.
             blocking_modes = ((LockMode.READ, LockMode.WRITE)
                               if mode is LockMode.WRITE
                               else (LockMode.WRITE,))
-            for bmode in blocking_modes:
-                held = ol.held(bmode)
-                if held.is_empty:
+            for other, ol in self._owners.items():
+                if other == owner:
                     continue
-                overlap = want.intersect(held)
-                if overlap.is_empty:
-                    continue
-                frozen = ol.frozen(bmode)
-                for piece in overlap:
-                    piece_set = IntervalSet.from_interval(piece)
-                    frozen_part = piece_set.intersect(frozen)
-                    for fp in frozen_part:
-                        conflicts.append(Conflict(fp, other, bmode, True))
-                    for up in piece_set.subtract(frozen_part):
-                        conflicts.append(Conflict(up, other, bmode, False))
-                free = free.subtract(overlap)
+                for bmode in blocking_modes:
+                    held = ol.held(bmode)
+                    if held.is_empty:
+                        continue
+                    overlap = want.intersect(held)
+                    if overlap.is_empty:
+                        continue
+                    frozen = ol.frozen(bmode)
+                    for piece in overlap:
+                        piece_set = IntervalSet.from_interval(piece)
+                        frozen_part = piece_set.intersect(frozen)
+                        for fp in frozen_part:
+                            conflicts.append(Conflict(fp, other, bmode, True))
+                        for up in piece_set.subtract(frozen_part):
+                            conflicts.append(Conflict(up, other, bmode, False))
+                    free = free.subtract(overlap)
         return AcquireResult(acquired=free, conflicts=tuple(conflicts))
 
 

@@ -76,15 +76,18 @@ class _KeyVersions:
             return Version(ts, self.values[idx])
         return None
 
-    def install(self, ts: Timestamp, value: Any) -> None:
+    def install(self, ts: Timestamp, value: Any) -> bool:
+        """Install; returns True iff a new entry was inserted (not a
+        PENDING finalization)."""
         idx = bisect_left(self.timestamps, ts)
         if idx < len(self.timestamps) and self.timestamps[idx] == ts:
             if self.values[idx] is PENDING:
                 self.values[idx] = value  # finalize a pending install
-                return
+                return False
             raise ValueError(f"version at {ts!r} already exists")
         self.timestamps.insert(idx, ts)
         self.values.insert(idx, value)
+        return True
 
     def latest(self) -> Version:
         return Version(self.timestamps[-1], self.values[-1])
@@ -116,18 +119,22 @@ class VersionStore:
     first access, matching "initially Values[k, 0] = BOTTOM for every k".
     """
 
-    __slots__ = ("_keys", "_purge_floor")
+    __slots__ = ("_keys", "_purge_floor", "_total")
 
     def __init__(self) -> None:
         self._keys: dict[Hashable, _KeyVersions] = {}
         # Per-key purge floor: reads strictly below it must abort because
         # the versions they would need may have been discarded.
         self._purge_floor: dict[Hashable, Timestamp] = {}
+        # Incremental store-wide version count; state sampling reads it far
+        # more often than O(keys) recounting could afford.
+        self._total: int = 0
 
     def _chain(self, key: Hashable) -> _KeyVersions:
         chain = self._keys.get(key)
         if chain is None:
             chain = self._keys[key] = _KeyVersions()
+            self._total += 1  # the implicit (TS_ZERO, BOTTOM) version
         return chain
 
     # -- reads --------------------------------------------------------------
@@ -156,11 +163,13 @@ class VersionStore:
 
         Also finalizes a PENDING version at the same timestamp.
         """
-        self._chain(key).install(ts, value)
+        if self._chain(key).install(ts, value):
+            self._total += 1
 
     def install_pending(self, key: Hashable, ts: Timestamp) -> None:
         """Reserve (key, ts) with the PENDING marker (§6 atomic-block removal)."""
-        self._chain(key).install(ts, PENDING)
+        if self._chain(key).install(ts, PENDING):
+            self._total += 1
 
     def drop(self, key: Hashable, ts: Timestamp) -> None:
         """Remove the version at (key, ts); used to back out PENDING installs."""
@@ -169,6 +178,7 @@ class VersionStore:
         if idx < len(chain.timestamps) and chain.timestamps[idx] == ts:
             del chain.timestamps[idx]
             del chain.values[idx]
+            self._total -= 1
 
     # -- purging (§6) ---------------------------------------------------------
 
@@ -185,6 +195,7 @@ class VersionStore:
             if n:
                 dropped += n
                 self._raise_floor(key, kept)
+        self._total -= dropped
         return dropped
 
     def purge_key_before(self, key: Hashable, bound: Timestamp) -> int:
@@ -193,6 +204,7 @@ class VersionStore:
             return 0
         n, kept = chain.purge_before(bound)
         if n:
+            self._total -= n
             self._raise_floor(key, kept)
         return n
 
@@ -210,7 +222,7 @@ class VersionStore:
         if key is not None:
             chain = self._keys.get(key)
             return len(chain) if chain is not None else 0
-        return sum(len(c) for c in self._keys.values())
+        return self._total
 
     def key_count(self) -> int:
         """Number of keys ever touched."""

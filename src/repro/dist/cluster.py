@@ -10,6 +10,7 @@ the full history for serializability checking.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -192,6 +193,14 @@ class ClusterResult:
     #: counts, client-side admission rejects and breaker trips, and the
     #: per-class (critical vs normal) goodput/latency summary.
     overload_report: dict = field(default_factory=dict)
+    #: Simulator events processed during the run.  Deterministic for a
+    #: given (config, seed); together with ``wall_s`` it yields the
+    #: sim-events/s hot-path metric the perf harness records.
+    sim_events: int = 0
+    #: Host wall-clock seconds spent inside :func:`run_cluster`.  The one
+    #: nondeterministic field — benchmark plumbing only; equivalence checks
+    #: must compare everything *except* this.
+    wall_s: float = 0.0
 
     def summary(self) -> str:
         return (f"{self.config.protocol:12s} clients={self.config.num_clients:4d} "
@@ -200,6 +209,7 @@ class ClusterResult:
 
 def run_cluster(config: ClusterConfig) -> ClusterResult:
     """Build the simulated deployment described by ``config`` and run it."""
+    wall_start = time.perf_counter()
     sim = Simulator()
     rngs = RngFactory(config.seed)
     # Fault/chaos streams are drawn *conditionally* so that a run without
@@ -425,6 +435,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         metrics=metrics,
         chaos_report=chaos_report,
         overload_report=overload_report,
+        sim_events=sim.events_processed,
+        wall_s=time.perf_counter() - wall_start,
     )
 
 

@@ -112,8 +112,9 @@ class _ServerBase:
         self._parked: dict[Hashable, list[Any]] = {}
         #: Park time per waiting request (messages are frozen dataclasses,
         #: so requests are keyed by identity).  Only the obs layer reads
-        #: these durations; the dict is maintained unconditionally because
-        #: park is already the slow path.
+        #: these durations, so the dict is maintained *only* when a
+        #: recording tracer is attached — with tracing off, parking does
+        #: no obs bookkeeping at all.
         self._parked_at: dict[int, float] = {}
         #: Per-key contended-access counts (parks, partial/refused grants).
         self.conflicts: dict[Hashable, int] = {}
@@ -229,7 +230,8 @@ class _ServerBase:
 
     def _park(self, key: Hashable, req: Any) -> None:
         self._parked.setdefault(key, []).append(req)
-        self._parked_at[id(req)] = self.sim.now
+        if self.tracer.enabled:
+            self._parked_at[id(req)] = self.sim.now
         self._note_conflict(key)
         self.stats["parked"] += 1
 
@@ -238,8 +240,10 @@ class _ServerBase:
 
     def _end_wait(self, key: Hashable, req: Any) -> None:
         """Close out a parked request's wait span (granted or dropped)."""
+        if not self.tracer.enabled:
+            return
         parked_at = self._parked_at.pop(id(req), None)
-        if parked_at is not None and self.tracer.enabled:
+        if parked_at is not None:
             self.tracer.wait(req.tx_id, key, dur=self.sim.now - parked_at,
                              server=self.server_id)
 
@@ -445,7 +449,9 @@ class MVTLServer(_ServerBase):
             self._note_conflict(key)
         locked = EMPTY_SET
         if prefix is not None:
-            state.try_acquire(req.tx_id, LockMode.READ, prefix)
+            # prefix came out of probe.acquired just above and the handler
+            # is atomic, so the conflict check needn't be repeated.
+            state.grant(req.tx_id, LockMode.READ, prefix)
             self.locks.note_owner(req.tx_id, key)
             locked = IntervalSet.from_interval(prefix)
         self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
@@ -469,7 +475,7 @@ class MVTLServer(_ServerBase):
                                                     acquired=EMPTY_SET,
                                                     epoch=self.epoch))
                 return
-        result = state.try_acquire(req.tx_id, LockMode.WRITE, req.want)
+        state.grant(req.tx_id, LockMode.WRITE, probe.acquired)
         acquired_total = state.held(req.tx_id, LockMode.WRITE).intersect(
             req.want)
         if not acquired_total.is_empty:
@@ -500,7 +506,7 @@ class MVTLServer(_ServerBase):
                 if req.all_or_nothing:
                     acquired[key] = EMPTY_SET
                     continue
-            state.try_acquire(req.tx_id, LockMode.WRITE, want)
+            state.grant(req.tx_id, LockMode.WRITE, probe.acquired)
             got = state.held(req.tx_id, LockMode.WRITE).intersect(want)
             acquired[key] = got
             if not got.is_empty:
@@ -756,7 +762,8 @@ class TwoPLServer(_ServerBase):
             self._grant(entry, req)
         else:
             entry.waitq.append(req)
-            self._parked_at[id(req)] = self.sim.now
+            if self.tracer.enabled:
+                self._parked_at[id(req)] = self.sim.now
             self._note_conflict(req.key)
             self.stats["parked"] += 1
 

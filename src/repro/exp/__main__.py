@@ -1,0 +1,122 @@
+"""CLI: run the reference benchmark grid and emit a BENCH JSON record.
+
+Usage::
+
+    python -m repro.exp --workers 2 --out BENCH_5.json
+    python -m repro.exp --workers 8 --compare-serial   # record speedup too
+
+Quick mode (the default) runs the reference Figure-1-style grid (protocol x
+concurrency x seed) plus one fixed single-process hot-path cell; ``--full``
+widens the grid.  The emitted document validates against
+:func:`repro.exp.bench.validate_bench` and is committed to the repo as one
+point of the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import make_bench_doc, write_bench
+from .grid import derive_seeds, figure_grid, reference_cell
+from .harness import print_progress, run_cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exp",
+        description="Run the reference benchmark grid and emit BENCH JSON.")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes (0 = inline, default 2)")
+    parser.add_argument("--out", default="BENCH_5.json",
+                        help="output path (default BENCH_5.json)")
+    parser.add_argument("--bench-name", default="BENCH_5",
+                        help="bench record name (default BENCH_5)")
+    parser.add_argument("--full", action="store_true",
+                        help="widen the grid (more clients, more seeds)")
+    parser.add_argument("--root-seed", type=int, default=2026,
+                        help="root seed the per-cell seeds derive from")
+    parser.add_argument("--compare-serial", action="store_true",
+                        help="also run the grid serially and record the "
+                             "parallel speedup")
+    parser.add_argument("--skip-hot-path", action="store_true",
+                        help="skip the single-process hot-path reference "
+                             "cell")
+    parser.add_argument("--baseline-hotpath-wall-s", type=float, default=None,
+                        help="pre-optimization wall seconds of the hot-path "
+                             "reference cell (for recording the speedup)")
+    args = parser.parse_args(argv)
+
+    if args.full:
+        clients = (30, 90, 150, 300)
+        n_seeds, measure = 3, 3.0
+    else:
+        clients = (30, 150)
+        n_seeds, measure = 2, 1.5
+    seeds = derive_seeds(args.root_seed, n_seeds)
+    cells = figure_grid(clients=clients, seeds=seeds, measure=measure)
+
+    print(f"[repro.exp] grid: {len(cells)} cells, workers={args.workers}",
+          file=sys.stderr, flush=True)
+    t0 = time.perf_counter()
+    outcomes = run_cells(cells, workers=args.workers,
+                         progress=print_progress)
+    grid_wall = time.perf_counter() - t0
+
+    parallel = None
+    if args.compare_serial:
+        print("[repro.exp] serial reference pass "
+              "(same grid, workers=1)", file=sys.stderr, flush=True)
+        t0 = time.perf_counter()
+        serial_outcomes = run_cells(cells, workers=1,
+                                    progress=print_progress)
+        serial_wall = time.perf_counter() - t0
+        from .harness import merged_payload
+        identical = merged_payload(outcomes) == merged_payload(
+            serial_outcomes)
+        parallel = {
+            "workers": args.workers,
+            "grid_wall_s": round(grid_wall, 3),
+            "serial_wall_s": round(serial_wall, 3),
+            "speedup": (round(serial_wall / grid_wall, 3)
+                        if grid_wall > 0 else 0.0),
+            "results_identical": identical,
+        }
+        if not identical:
+            print("[repro.exp] ERROR: parallel results differ from serial",
+                  file=sys.stderr)
+            return 1
+
+    hot_path = None
+    if not args.skip_hot_path:
+        cell = reference_cell()
+        print(f"[repro.exp] hot-path reference cell {cell.label} "
+              "(single process)", file=sys.stderr, flush=True)
+        [hp] = run_cells([cell], workers=0)
+        hot_path = {
+            "key": list(hp.key),
+            "ok": hp.ok,
+            "wall_s": round(hp.wall_s, 3),
+            "sim_events": hp.sim_events,
+            "events_per_s": round(hp.events_per_s, 1),
+            "commits_per_s": round(hp.commits_per_s, 1),
+        }
+        if args.baseline_hotpath_wall_s is not None and hp.wall_s > 0:
+            hot_path["baseline_wall_s"] = args.baseline_hotpath_wall_s
+            hot_path["speedup_vs_baseline"] = round(
+                args.baseline_hotpath_wall_s / hp.wall_s, 3)
+
+    doc = make_bench_doc(args.bench_name, outcomes, args.workers,
+                         hot_path=hot_path, parallel=parallel)
+    path = write_bench(doc, args.out)
+    failed = doc["totals"]["failed"]
+    print(f"[repro.exp] wrote {path} "
+          f"({doc['totals']['cells']} cells, {failed} failed, "
+          f"{doc['totals']['events_per_s']:.0f} events/s aggregate)",
+          file=sys.stderr, flush=True)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -108,6 +108,11 @@ class Network:
                  fault_rng: np.random.Generator | None = None) -> None:
         self.sim = sim
         self.latency = latency
+        # Cached log-space parameters: the per-message fast path samples the
+        # lognormal directly instead of going through LatencyModel.sample
+        # (same generator call, same arguments — identical draws).
+        self._lat_mu = latency.mu
+        self._lat_sigma = latency.sigma
         self._rng = rng
         #: RNG for fault sampling; separate from the latency stream so
         #: installing a fault model never perturbs the latency draws of the
@@ -117,6 +122,9 @@ class Network:
         self._last_arrival: dict[tuple[Hashable, Hashable], float] = {}
         self._default_faults: LinkFaults | None = None
         self._link_faults: dict[tuple[Hashable, Hashable], LinkFaults] = {}
+        #: True once any fault model is installed; the fault-free send path
+        #: checks this single flag instead of doing a per-message lookup.
+        self._have_faults = False
         self.messages_sent = 0
         self.messages_lost = 0
         self.messages_duplicated = 0
@@ -127,6 +135,8 @@ class Network:
     def set_default_faults(self, faults: LinkFaults | None) -> None:
         """Apply ``faults`` to every link without a per-link override."""
         self._default_faults = faults
+        self._have_faults = (self._default_faults is not None
+                             or bool(self._link_faults))
 
     def set_link_faults(self, src: Hashable, dst: Hashable,
                         faults: LinkFaults | None) -> None:
@@ -135,6 +145,8 @@ class Network:
             self._link_faults.pop((src, dst), None)
         else:
             self._link_faults[(src, dst)] = faults
+        self._have_faults = (self._default_faults is not None
+                             or bool(self._link_faults))
 
     def _faults_for(self, src: Hashable | None,
                     dst: Hashable) -> LinkFaults | None:
@@ -183,6 +195,20 @@ class Network:
         lost, duplicated, or hit by a delay spike.
         """
         self.messages_sent += 1
+        sim = self.sim
+        if not self._have_faults:
+            # Fault-free fast path: no link lookup, latency sampled inline
+            # (identical generator call to LatencyModel.sample).
+            arrival = sim.now + float(self._rng.lognormal(self._lat_mu,
+                                                          self._lat_sigma))
+            if src is not None:
+                conn = (src, dst)
+                prev = self._last_arrival.get(conn, 0.0)
+                if arrival < prev:
+                    arrival = prev  # FIFO: do not overtake earlier messages
+                self._last_arrival[conn] = arrival
+            sim.schedule(arrival - sim.now, self._deliver, dst, msg)
+            return
         faults = self._faults_for(src, dst)
         duplicated = False
         if faults is not None and faults.any:

@@ -70,9 +70,13 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        # Heap entries are (time, seq, fn, args).  seq is unique, so tuple
+        # comparison is settled before ever reaching fn/args — callables and
+        # arbitrary payloads need not be comparable.
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = count()
         self._processes: list[Process] = []
+        self.events_processed: int = 0
 
     # -- scheduling --------------------------------------------------------
 
@@ -81,12 +85,8 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        if args:
-            heapq.heappush(self._heap,
-                           (self.now + delay, next(self._seq),
-                            lambda: fn(*args)))
-        else:
-            heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn))
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._seq), fn, args))
 
     def spawn(self, gen: Generator[Any, Any, Any],
               name: str = "proc") -> "Process":
@@ -100,23 +100,33 @@ class Simulator:
 
     def run_until(self, t_end: float) -> None:
         """Process events up to and including time ``t_end``."""
-        while self._heap and self._heap[0][0] <= t_end:
-            when, _seq, fn = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        fired = 0
+        while heap and heap[0][0] <= t_end:
+            when, _seq, fn, args = pop(heap)
             self.now = when
-            fn()
+            fn(*args)
+            fired += 1
+        self.events_processed += fired
         if self.now < t_end:
             self.now = t_end
 
     def run(self, max_events: int | None = None) -> None:
         """Run until the event heap drains (or ``max_events`` fired)."""
         fired = 0
-        while self._heap:
-            when, _seq, fn = heapq.heappop(self._heap)
-            self.now = when
-            fn()
-            fired += 1
-            if max_events is not None and fired >= max_events:
-                return
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap:
+                when, _seq, fn, args = pop(heap)
+                self.now = when
+                fn(*args)
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    return
+        finally:
+            self.events_processed += fired
 
     @property
     def pending_events(self) -> int:

@@ -1,0 +1,97 @@
+"""BENCH document tests: construction, validation, persistence."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.dist.cluster import ClusterConfig, ClusterResult
+from repro.exp.bench import (SCHEMA_VERSION, make_bench_doc, validate_bench,
+                             write_bench)
+from repro.exp.harness import CellOutcome
+
+
+def _result(committed: int = 10) -> ClusterResult:
+    return ClusterResult(
+        config=ClusterConfig(), throughput=100.0, commit_rate=0.9,
+        committed=committed, aborted=1, history=None, state_samples=[],
+        completions=[], messages_sent=50, server_stats=[],
+        sim_events=1234, wall_s=0.5)
+
+
+def _outcomes() -> list[CellOutcome]:
+    return [
+        CellOutcome(key=("2pl", 1), ok=True, result=_result(), error=None,
+                    wall_s=0.5),
+        CellOutcome(key=("mvto", 2), ok=False, result=None,
+                    error="worker died without a result (exitcode 3)",
+                    wall_s=0.1),
+    ]
+
+
+class TestMakeBenchDoc:
+    def test_doc_is_valid_and_complete(self):
+        doc = make_bench_doc("BENCH_T", _outcomes(), workers=2,
+                             hot_path={"wall_s": 1.0},
+                             parallel={"speedup": 2.0})
+        validate_bench(doc)  # must not raise
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["bench"] == "BENCH_T"
+        assert doc["workers"] == 2
+        assert doc["totals"]["cells"] == 2
+        assert doc["totals"]["failed"] == 1
+        assert doc["totals"]["sim_events"] == 1234
+        assert doc["hot_path"] == {"wall_s": 1.0}
+        assert doc["parallel"] == {"speedup": 2.0}
+        assert doc["host"]["cpu_count"] is not None
+
+    def test_cell_entries(self):
+        doc = make_bench_doc("BENCH_T", _outcomes(), workers=1)
+        ok_cell, bad_cell = doc["cells"]
+        assert ok_cell["key"] == ["2pl", 1]
+        assert ok_cell["ok"] is True
+        assert ok_cell["committed"] == 10
+        assert ok_cell["sim_events"] == 1234
+        assert bad_cell["ok"] is False
+        assert "worker died" in bad_cell["error"]
+        assert "committed" not in bad_cell
+
+    def test_json_round_trip(self, tmp_path):
+        doc = make_bench_doc("BENCH_T", _outcomes(), workers=1)
+        path = write_bench(doc, tmp_path / "BENCH_T.json")
+        loaded = json.loads(path.read_text())
+        validate_bench(loaded)
+        assert loaded == json.loads(json.dumps(doc))
+
+
+class TestValidateBench:
+    @pytest.fixture()
+    def doc(self):
+        return make_bench_doc("BENCH_T", _outcomes(), workers=1)
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda d: d.pop("schema_version"), "schema_version"),
+        (lambda d: d.update(schema_version=99), "schema_version"),
+        (lambda d: d.update(bench=""), "bench"),
+        (lambda d: d.pop("host"), "host"),
+        (lambda d: d["host"].pop("python"), "host.python"),
+        (lambda d: d.update(workers=-1), "workers"),
+        (lambda d: d.update(cells=[]), "cells"),
+        (lambda d: d["cells"][0].pop("key"), "key"),
+        (lambda d: d["cells"][0].update(error="but ok"), "ok but error"),
+        (lambda d: d["cells"][1].update(error=None), "carries no error"),
+        (lambda d: d["totals"].update(cells=7), "totals.cells"),
+        (lambda d: d["totals"].update(failed=0), "totals.failed"),
+        (lambda d: d.update(hot_path="oops"), "hot_path"),
+    ])
+    def test_corrupted_docs_rejected(self, doc, mutate, match):
+        bad = copy.deepcopy(doc)
+        mutate(bad)
+        with pytest.raises(ValueError, match=match):
+            validate_bench(bad)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="top level"):
+            validate_bench([1, 2, 3])

@@ -1,0 +1,91 @@
+"""The disabled observability path must be a true no-op.
+
+Two angles:
+
+* **Zero-call invariant** — with tracing off, not a single tracer hook is
+  invoked anywhere in a full cluster run.  Every call site must sit behind
+  an ``if tracer.enabled:`` guard; a counting tracer substituted for
+  ``NULL_TRACER`` catches any unguarded site.
+* **Overhead bound** — the only residual cost with tracing off is the
+  guard itself (one attribute load + branch per would-be event).  We
+  measure that guard's unit cost and show that even a generous estimate of
+  guard executions costs under 2% of an untraced run's wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dist.cluster import ClusterConfig, run_cluster
+from repro.obs.trace import NULL_TRACER, NullTracer
+from repro.sim.testbed import LOCAL_TESTBED
+from repro.workload.generator import WorkloadConfig
+
+
+def _config(trace: bool = False) -> ClusterConfig:
+    return ClusterConfig(
+        protocol="mvtil-early", num_servers=2, num_clients=6, seed=7,
+        warmup=0.2, measure=0.8, trace=trace, profile=LOCAL_TESTBED,
+        workload=WorkloadConfig(num_keys=500, tx_size=6,
+                                write_fraction=0.25))
+
+
+class CountingDisabledTracer(NullTracer):
+    """Reports ``enabled = False`` but records any hook call — each one is
+    an unguarded call site leaking work into the disabled path."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.calls: list[str] = []
+        for name in dir(NullTracer):
+            if name.startswith("_") or name == "enabled":
+                continue
+            if callable(getattr(NullTracer, name)):
+                setattr(self, name, self._make_hook(name))
+
+    def _make_hook(self, name):
+        def hook(*args, **kwargs):
+            self.calls.append(name)
+        return hook
+
+
+def test_untraced_run_makes_zero_tracer_calls(monkeypatch):
+    counting = CountingDisabledTracer()
+    # Every component picks up NULL_TRACER from its own module global at
+    # construction time; substitute the counting impostor at each site.
+    monkeypatch.setattr("repro.core.engine.NULL_TRACER", counting)
+    monkeypatch.setattr("repro.dist.server.NULL_TRACER", counting)
+    monkeypatch.setattr("repro.dist.client.NULL_TRACER", counting)
+
+    result = run_cluster(_config(trace=False))
+    assert result.committed > 0  # the run actually did work
+    assert counting.calls == [], (
+        f"disabled-path tracer hooks were invoked: {counting.calls[:10]}")
+
+
+def test_disabled_guard_overhead_under_2_percent():
+    untraced = run_cluster(_config(trace=False))
+    assert untraced.wall_s > 0
+
+    # How many guards could a traced run possibly execute?  Bound it by the
+    # recorded trace events times a generous guards-per-event factor, plus
+    # one guard per simulator event.
+    traced = run_cluster(_config(trace=True))
+    n_guards = 5 * len(traced.trace) + traced.sim_events
+
+    # Unit cost of the guard: attribute load + falsy branch on NullTracer.
+    tracer = NULL_TRACER
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if tracer.enabled:
+            raise AssertionError("NULL_TRACER must be disabled")
+    guard_cost = (time.perf_counter() - t0) / n
+
+    est_overhead = guard_cost * n_guards
+    budget = 0.02 * untraced.wall_s
+    assert est_overhead < budget, (
+        f"estimated disabled-path overhead {est_overhead * 1e3:.2f} ms "
+        f"exceeds 2% of untraced wall time ({budget * 1e3:.2f} ms; "
+        f"{n_guards} guards @ {guard_cost * 1e9:.1f} ns)")

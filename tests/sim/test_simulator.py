@@ -254,3 +254,30 @@ class TestSimEvent:
         sim.schedule(1.0, ev.set, "x")
         sim.run()
         assert sorted(got) == [("a", "x"), ("b", "x")]
+
+
+class TestEventCounterAndHeapSafety:
+    def test_events_processed_counts_fired_events(self):
+        sim = Simulator()
+        assert sim.events_processed == 0
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run_until(3.0)
+        assert sim.events_processed == 3
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_simultaneous_events_with_non_comparable_args(self):
+        # Heap entries are (time, seq, fn, args); seq uniqueness means fn
+        # and args are never compared, so scheduling non-orderable payloads
+        # at the same instant must not raise.
+        sim = Simulator()
+        fired = []
+
+        class Opaque:  # no __lt__
+            pass
+
+        for i in range(3):
+            sim.schedule(1.0, lambda obj, i=i: fired.append(i), Opaque())
+        sim.run()
+        assert fired == [0, 1, 2]
