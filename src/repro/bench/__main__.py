@@ -12,6 +12,7 @@ Usage::
     python -m repro.bench engine          # threaded striped-engine bench
     python -m repro.bench chaos           # seeded fault-injection check
     python -m repro.bench overload        # graceful-degradation ramp
+    python -m repro.bench failover        # replicated leader-crash check
 
 Prints each figure as an ASCII table and saves the raw points as JSON.
 ``smoke``, ``engine`` and ``chaos`` print their report and exit non-zero
@@ -183,6 +184,112 @@ def run_chaos(seed: int = 11) -> int:
     for failure in failures:
         print(f"FAIL: {failure}")
     print("chaos: " + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
+def run_failover(seed: int = 17) -> int:
+    """CI check: replicated key ranges survive a leader crash (repro.repl).
+
+    One cluster, replication factor 3 with WAL durability and follower
+    reads, runs a write-heavy closed loop while chaos crashes the current
+    leader of a random key group mid-measurement.  Runs twice with the
+    same seed and asserts:
+
+    * determinism — identical outcomes, promotions and counters;
+    * zero lost committed writes — every committed write inside the
+      measurement window is present on its group's *current* leader
+      (modulo legitimate GC purging below the stable floor);
+    * bounded failover — the controller promoted an up-to-date follower
+      within ``heartbeat_interval * (miss_limit + 2)`` plus one ping of
+      slack after the crash;
+    * version-clean follower reads — snapshot transactions were actually
+      served by followers, and both surviving histories (interval-locked
+      writers *and* locked-timestamp snapshot readers together) are
+      MVSG-serializable;
+    * liveness — no unfrozen write lock (leader or mirrored follower
+      hold) survives the settle window owned by a crashed coordinator.
+    """
+    from ..dist.cluster import ClusterConfig, run_cluster
+    from ..dist.failure import ChaosConfig
+    from ..sim.testbed import LOCAL_TESTBED
+    from ..verify import check_serializable
+    from ..workload.generator import WorkloadConfig
+
+    config = ClusterConfig(
+        protocol="mvtil-early",
+        # Short GC horizon: the purge floor is the snapshot timestamp
+        # follower reads lock, so it must advance well inside the run.
+        profile=replace(LOCAL_TESTBED, gc_horizon=1.0),
+        workload=WorkloadConfig(num_keys=2_000, tx_size=4,
+                                write_fraction=0.3),
+        num_servers=3, num_clients=10, seed=seed,
+        warmup=1.5, measure=2.5, gc_period=0.2,
+        write_lock_timeout=0.25, rpc_timeout=0.15,
+        replication=3, durability="wal", checkpoint_every=64,
+        follower_reads=True, record_history=True,
+        chaos=ChaosConfig(leader_crashes=1, leader_downtime=0.6))
+    latency_bound = (config.heartbeat_interval
+                     * (config.heartbeat_miss_limit + 2)
+                     + config.heartbeat_interval)
+
+    print("== failover: replicated leader crash (same seed, two runs) ==")
+    runs = [run_cluster(config) for _ in range(2)]
+    res = runs[0]
+    rep = res.replication_report
+    stale = rep["read_staleness"]
+    print(f"committed={res.committed} aborted={res.aborted} "
+          f"commit_rate={res.commit_rate:.3f}")
+    print(f"promotions={len(rep['promotions'])} "
+          f"failover_latency={[round(v, 4) for v in rep['failover_latencies']]} "
+          f"bound={latency_bound:.3f}")
+    print(f"commits_checked={rep['commits_checked']} "
+          f"lost_commits={rep['lost_commits']} "
+          f"replica_missing={rep['replica_missing']}")
+    print(f"follower_reads={rep['follower_reads']} "
+          f"snapshot_commits={rep['snapshot_commits']} "
+          f"snapshot_fallbacks={rep['snapshot_fallbacks']} "
+          f"staleness_mean={stale['mean']:.4f} "
+          f"staleness_max={stale['max']:.4f}")
+    print(f"holds_mirrored={rep['holds_mirrored']} "
+          f"wal_records={rep['wal_records']} "
+          f"checkpoints={rep['checkpoints']} "
+          f"heartbeats={rep['heartbeats_sent']} "
+          f"orphans={res.chaos_report['orphaned_write_locks']}")
+
+    failures = []
+
+    def outcome(r):
+        return (r.committed, r.aborted, r.messages_sent,
+                r.chaos_report, r.replication_report)
+
+    if outcome(runs[0]) != outcome(runs[1]):
+        failures.append("same-seed runs diverged")
+    if not res.committed:
+        failures.append("no transaction survived the leader crash")
+    if rep["lost_commits"]:
+        failures.append(f"{rep['lost_commits']} committed writes missing "
+                        f"from their group's current leader")
+    if not rep["promotions"]:
+        failures.append("leader crashed but no follower was promoted")
+    for lat in rep["failover_latencies"]:
+        if lat > latency_bound:
+            failures.append(f"failover took {lat:.3f}s "
+                            f"(bound {latency_bound:.3f}s)")
+    if not rep["follower_reads"]:
+        failures.append("no read was served by a follower replica")
+    if not rep["snapshot_commits"]:
+        failures.append("no read-only snapshot transaction committed")
+    if res.chaos_report["orphaned_write_locks"]:
+        failures.append(f"{res.chaos_report['orphaned_write_locks']} "
+                        f"orphaned write locks after settle (Thms 9-10)")
+    for i, r in enumerate(runs):
+        report = check_serializable(r.history)
+        if not report.serializable:
+            failures.append(f"run {i}: history not MVSG-serializable: "
+                            f"{report.reason}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("failover: " + ("FAILED" if failures else "ok"))
     return 1 if failures else 0
 
 
@@ -381,14 +488,15 @@ def main(argv: list[str] | None = None) -> int:
                         choices=sorted(FIGURES) + ["fig6", "fig7", "all",
                                                    "figures", "smoke",
                                                    "engine", "chaos",
-                                                   "overload"],
+                                                   "overload", "failover"],
                         help="which figure to regenerate ('figures' = all "
                              "figures, intended with --workers; or: 'smoke' "
                              "= batched-vs-unbatched outcome check, 'engine' "
                              "= threaded striped-engine throughput, 'chaos' "
                              "= seeded fault-injection safety/liveness "
                              "check, 'overload' = graceful-degradation "
-                             "ramp past saturation)")
+                             "ramp past saturation, 'failover' = "
+                             "replicated leader-crash recovery check)")
     parser.add_argument("--seeds", type=int, nargs="+", default=[1],
                         help="seeds to average over (paper: 5 repetitions)")
     parser.add_argument("--out", default="benchmarks/results",
@@ -413,6 +521,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_chaos(seed=args.seeds[0])
     if args.figure == "overload":
         return run_overload(seed=args.seeds[0])
+    if args.figure == "failover":
+        return run_failover(seed=args.seeds[0])
 
     wanted = (sorted(FIGURES) + ["fig6"]
               if args.figure in ("all", "figures") else [args.figure])

@@ -61,6 +61,11 @@ class AbortReason(str, enum.Enum):
     #: the client's circuit breaker for that server is open: the system is
     #: overloaded and the transaction is rejected instead of queued.
     OVERLOADED = "overloaded"
+    #: Replicated mode: a write lock could not be mirrored on a write
+    #: quorum of its key group (followers down or unreachable), or a key
+    #: group's fencing epoch moved mid-transaction (its leader failed
+    #: over).  Committing anyway could lose the write in a later failover.
+    REPLICATION_QUORUM = "replication-quorum"
 
     # str() / format() yield the raw value ("deadlock"), not the member
     # name, so messages and JSON exports stay identical to the legacy

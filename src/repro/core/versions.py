@@ -215,6 +215,48 @@ class VersionStore:
         if prev is None or prev < kept:
             self._purge_floor[key] = kept
 
+    # -- snapshot / restore (durability support) ------------------------------
+
+    def snapshot(self) -> list[tuple[Hashable, tuple[tuple[Timestamp, Any],
+                                                     ...],
+                                     "Timestamp | None"]]:
+        """Full dump of every chain: ``(key, ((ts, value), ...), floor)``.
+
+        The dump is a deep copy of the chain structure (values themselves are
+        shared — they are immutable strings in practice) in key-insertion
+        order, so re-loading it with :meth:`load_chain` rebuilds an
+        equivalent store deterministically.  PENDING markers are never
+        dumped: a checkpoint captures committed state only.
+        """
+        out = []
+        for key, chain in self._keys.items():
+            versions = tuple(
+                (ts, value)
+                for ts, value in zip(chain.timestamps, chain.values)
+                if value is not PENDING)
+            out.append((key, versions, self._purge_floor.get(key)))
+        return out
+
+    def load_chain(self, key: Hashable,
+                   versions: "tuple[tuple[Timestamp, Any], ...]",
+                   floor: "Timestamp | None" = None) -> None:
+        """Replace ``key``'s chain wholesale (checkpoint restore).
+
+        ``versions`` must be sorted by timestamp; a chain that was never
+        purged still starts with the implicit ``(TS_ZERO, BOTTOM)`` head, so
+        a snapshot/load round trip is exact.
+        """
+        chain = self._keys.get(key)
+        if chain is None:
+            chain = self._keys[key] = _KeyVersions()
+        else:
+            self._total -= len(chain)
+        chain.timestamps = [ts for ts, _ in versions]
+        chain.values = [value for _, value in versions]
+        self._total += len(chain)
+        if floor is not None:
+            self._raise_floor(key, floor)
+
     # -- metrics --------------------------------------------------------------
 
     def version_count(self, key: Hashable | None = None) -> int:

@@ -39,12 +39,17 @@ from ..obs.trace import NULL_TRACER
 from ..policies.prio import CRITICAL_DELTA_FACTOR
 from ..sim.network import Network
 from ..sim.simulator import RECV_TIMEOUT, Mailbox, Recv, Simulator
+from ..repl.replica import write_quorum
 from .commitment import ABORT, CommitmentRegistry
 from .messages import (ClockBroadcast, CommitReq, EpochReq, MVTLBatchLockReq,
                        MVTLReadReq, MVTLWriteLockReq, OverloadedReply,
-                       ReleaseReq, Reply, TwoPLCommitReq, TwoPLLockReq,
-                       TwoPLReleaseReq)
+                       ReleaseReq, ReplicaHoldReq, Reply, SnapshotReadReq,
+                       TwoPLCommitReq, TwoPLLockReq, TwoPLReleaseReq)
 from .partition import Partition
+
+#: pid component of GC purge bounds / snapshot timestamps (sorts below
+#: every real client pid at the same clock value) — see gc_service.
+_PID_MIN = -(2**31)
 
 __all__ = ["BaseClient", "CircuitBreaker", "MVTILClient", "MVTOClient",
            "TwoPLClient"]
@@ -164,13 +169,23 @@ class BaseClient:
         #: synchronized clients then retry in lockstep, the storm the
         #: jitter exists to break).
         self.rng = rng
+        #: Replication factor of the key placement (1 = the classic static
+        #: partition; > 1 = a ReplicatedPlacement with leader/follower
+        #: groups, quorum write mirroring and group-epoch fencing).
+        self.replication = getattr(partition, "replication", 1)
+        #: Latest GC frontier T received via ClockBroadcast — the locked
+        #: timestamp snapshot (follower) reads run at.
+        self._snap_floor = 0.0
+        #: Staleness samples of served snapshot reads: now - snapshot ts.
+        self.read_staleness: list[float] = []
         self.mailbox = Mailbox(sim)
         net.register(client_id, self._on_message)
         self._req_counter = count(1)
         self._tx_counter = count(1)
         self.stats = {"commits": 0, "aborts": 0, "rpc_timeouts": 0,
                       "rpc_retries": 0, "msgs_sent": 0, "overloaded": 0,
-                      "admission_rejects": 0}
+                      "admission_rejects": 0, "follower_reads": 0,
+                      "snapshot_fallbacks": 0, "snapshot_commits": 0}
 
     # -- messaging ------------------------------------------------------------
 
@@ -188,6 +203,11 @@ class BaseClient:
         """
         if isinstance(msg, ClockBroadcast):
             # Timestamp-service effect 2 (§8.1): slow clocks advance to T.
+            # T is also the stability frontier snapshot reads lock onto:
+            # no transaction can begin below it once every clock is
+            # floored, so a read at T needs no lock of its own.
+            if msg.t > self._snap_floor:
+                self._snap_floor = msg.t
             self.clock.advance_floor(msg.t)
             return True
         return False
@@ -467,6 +487,35 @@ class BaseClient:
         for server, reply in replies.items():
             yield from self._check_epoch(tx, server, reply.epoch)
 
+    # -- group-epoch fencing (replication) ---------------------------------
+
+    def _check_group(self, tx: SimpleNamespace,
+                     key: Hashable) -> Generator[Any, Any, None]:
+        """Abort if ``key``'s group failed over since this tx first used it.
+
+        The group analogue of :meth:`_check_epoch`: a promotion bumps the
+        group's fencing epoch in the shared placement (which models a
+        consensus-backed configuration service), so a transaction that
+        acquired locks under the old leadership is fenced instead of
+        committing on state the new leader may not have.
+        """
+        if self.replication <= 1:
+            return
+        gid = self.partition.group_of(key)
+        epoch = self.partition.group_epoch(gid)
+        first = tx.group_epochs.setdefault(gid, epoch)
+        if first != epoch:
+            yield from self._fail(tx, AbortReason.REPLICATION_QUORUM)
+
+    def _validate_groups(self, tx: SimpleNamespace
+                         ) -> Generator[Any, Any, None]:
+        """Pre-commit fence: no touched group failed over mid-transaction."""
+        if self.replication <= 1:
+            return
+        for gid in sorted(tx.group_epochs):
+            if self.partition.group_epoch(gid) != tx.group_epochs[gid]:
+                yield from self._fail(tx, AbortReason.REPLICATION_QUORUM)
+
     # -- bookkeeping -------------------------------------------------------------
 
     def _begin_record(self, tx: SimpleNamespace) -> None:
@@ -503,11 +552,15 @@ class MVTILClient(BaseClient):
 
     def __init__(self, *args: Any, delta: float = 0.005, late: bool = False,
                  gc_on_commit: bool = True, read_timeout: float = 0.25,
-                 defer_writes: bool = False, **kwargs: Any) -> None:
+                 defer_writes: bool = False, follower_reads: bool = False,
+                 **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.delta = delta
         self.late = late
         self.gc_on_commit = gc_on_commit
+        #: Serve read-only transactions as lock-free snapshot reads at the
+        #: GC frontier, preferring follower replicas (needs replication>1).
+        self.follower_reads = follower_reads
         #: Bound on a read's server-side lock wait.  Waiting reads can form
         #: wait cycles with writers (the deadlock risk §4.3 notes for
         #: waiting policies); timing out and restarting the transaction is
@@ -524,7 +577,8 @@ class MVTILClient(BaseClient):
         self.defer_writes = defer_writes
         self.name = "mvtil-late" if late else "mvtil-early"
 
-    def begin(self, priority: bool = False) -> SimpleNamespace:
+    def begin(self, priority: bool = False,
+              read_only: bool = False) -> SimpleNamespace:
         now = self.clock.now()
         # Critical transactions get a wider interval — more timestamps to
         # survive shrinking, the finite-delta analogue of MVTL-Prio's
@@ -532,10 +586,21 @@ class MVTILClient(BaseClient):
         delta = self.delta * (CRITICAL_DELTA_FACTOR if priority else 1.0)
         interval = TsInterval.closed(Timestamp(now, self.pid),
                                      Timestamp(now + delta, self.pid))
+        # A read-only transaction under follower_reads runs in snapshot
+        # mode: every read happens at the locked GC-frontier timestamp T
+        # (no locks taken — the broadcast floor already guarantees no new
+        # transaction can run below T), served by a follower replica when
+        # possible.  Before the first broadcast there is no frontier yet
+        # and the transaction runs the normal interval protocol.
+        snapshot_ts = None
+        if (read_only and self.follower_reads and self.replication > 1
+                and self._snap_floor > 0.0):
+            snapshot_ts = Timestamp(self._snap_floor, _PID_MIN)
         tx = SimpleNamespace(
             id=(self.client_id, next(self._tx_counter)),
             interval=IntervalSet.from_interval(interval),
             readset=[], writeset={}, touched=set(), epochs={},
+            group_epochs={}, snapshot_ts=snapshot_ts,
             deadline=self._tx_deadline(), priority=priority,
             aborted=False, abort_reason=None)
         self._begin_record(tx)
@@ -546,10 +611,14 @@ class MVTILClient(BaseClient):
     def read(self, tx: SimpleNamespace, key: Hashable) -> Generator[Any, Any, Any]:
         if key in tx.writeset:
             return tx.writeset[key]
+        if tx.snapshot_ts is not None:
+            value = yield from self._snapshot_read(tx, key)
+            return value
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         yield from self._check_deadline(tx)
         server = self.server_of(key)
+        yield from self._check_group(tx, key)
         yield from self._admit(tx, server)
         req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
                           upper=tx.interval.pick_high(), wait=True,
@@ -583,8 +652,51 @@ class MVTILClient(BaseClient):
             self.history.record_read(tx.id, key, reply.tr)
         return reply.value
 
+    def _snapshot_read(self, tx: SimpleNamespace,
+                       key: Hashable) -> Generator[Any, Any, Any]:
+        """Lock-free read at the locked frontier timestamp (§5e).
+
+        Tries a follower of the key's group first (spreading read load off
+        leaders, pid-rotated for balance), then the leader.  A replica
+        refuses when it cannot prove the frontier stable locally (it
+        restarted, or has not applied the frontier's purge yet); both
+        refusing means the version is genuinely unavailable and the
+        read-only transaction aborts — the closed-loop workload retries it
+        at a fresher frontier.
+        """
+        yield from self._check_deadline(tx)
+        yield from self._check_group(tx, key)
+        ts = tx.snapshot_ts
+        gid = self.partition.group_of(key)
+        followers = self.partition.followers_of(key)
+        targets: list[Hashable] = []
+        if followers:
+            targets.append(followers[self.pid % len(followers)])
+        targets.append(self.partition.leader(gid))
+        for i, server in enumerate(targets):
+            req = SnapshotReadReq(tx.id, self.client_id, self._next_req(),
+                                  key=key, ts=ts, deadline=tx.deadline,
+                                  critical=tx.priority)
+            reply = yield from self._rpc(server, req)
+            if (reply is None or isinstance(reply, OverloadedReply)
+                    or not reply.ok):
+                self.stats["snapshot_fallbacks"] += 1
+                continue
+            if i == 0 and followers:
+                self.stats["follower_reads"] += 1
+            self.read_staleness.append(self.sim.now - ts.value)
+            tx.readset.append((key, reply.tr))
+            if self.history is not None:
+                self.history.record_read(tx.id, key, reply.tr)
+            if self.tracer.enabled:
+                self.tracer.read(tx.id, key, ts=reply.tr)
+            return reply.value
+        yield from self._fail(tx, AbortReason.READ_FAILED)
+
     def write(self, tx: SimpleNamespace, key: Hashable,
               value: Any) -> Generator[Any, Any, None]:
+        if tx.snapshot_ts is not None:
+            raise TypeError("snapshot (read-only) transactions cannot write")
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         if self.defer_writes:
@@ -596,6 +708,7 @@ class MVTILClient(BaseClient):
             return
         yield from self._check_deadline(tx)
         server = self.server_of(key)
+        yield from self._check_group(tx, key)
         yield from self._admit(tx, server)
         req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
                                key=key, value=value, want=tx.interval,
@@ -620,12 +733,29 @@ class MVTILClient(BaseClient):
         tx.writeset[key] = value
 
     def commit(self, tx: SimpleNamespace) -> Generator[Any, Any, bool]:
+        if tx.snapshot_ts is not None:
+            # Read-only snapshot transaction: it took no locks and wrote
+            # nothing, so there is nothing to decide or send — it commits
+            # locally at its locked frontier timestamp.  Serializable by
+            # construction: every version it read is the latest below T
+            # and no transaction can ever commit between those versions
+            # and T (the broadcast floor forbids new intervals below T).
+            if self.history is not None:
+                self.history.record_commit(tx.id, tx.snapshot_ts, ())
+            self.stats["commits"] += 1
+            self.stats["snapshot_commits"] += 1
+            self.registry.forget(tx.id)
+            tx.committed = True
+            if self.tracer.enabled:
+                self.tracer.commit(tx.id, ts=tx.snapshot_ts)
+            return True
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
         if self.defer_writes and tx.writeset:
             yield from self._batch_write_locks(tx)
         if self.validate_epochs and tx.touched:
             yield from self._validate_epochs(tx)
+        yield from self._validate_groups(tx)
         ts = (tx.interval.pick_high() if self.late
               else tx.interval.pick_low())
         decision = yield from self._propose(tx.id, ts)
@@ -656,6 +786,7 @@ class MVTILClient(BaseClient):
         """
         by_server: dict[Hashable, list[Hashable]] = {}
         for key in tx.writeset:
+            yield from self._check_group(tx, key)
             by_server.setdefault(self.server_of(key), []).append(key)
         servers = list(by_server)
         # The first write server becomes the decision point (§H.1) —
@@ -694,10 +825,81 @@ class MVTILClient(BaseClient):
                                              granted=tx.interval)
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
+        if self.replication > 1:
+            grants = []
+            for server in servers:
+                acquired = replies[server].acquired
+                for key in by_server[server]:
+                    got = acquired.get(key, EMPTY_SET)
+                    if not got.is_empty:
+                        grants.append((key, tx.writeset[key], got))
+            yield from self._mirror_write_locks(tx, grants)
+
+    def _mirror_write_locks(self, tx: SimpleNamespace,
+                            grants: list) -> Generator[Any, Any, None]:
+        """Quorum write mirroring: ship leader-granted locks to followers.
+
+        Each follower of a written group receives the exact interval its
+        leader granted plus the pending value (so any quorum member can
+        finish the commit alone) and arms the ordinary write-lock timeout
+        on it.  A group counts as quorum-held when the leader (1) plus
+        acknowledged mirrors reach ``write_quorum(replication)``; anything
+        less aborts — committing on a sub-quorum hold could lose the write
+        in a later failover.
+        """
+        items_by_follower: dict[Hashable, list] = {}
+        group_followers: dict[int, set[Hashable]] = {}
+        for key, value, granted in grants:
+            gid = self.partition.group_of(key)
+            flw = self.partition.followers_of(key)
+            group_followers.setdefault(gid, set()).update(flw)
+            for server in flw:
+                items_by_follower.setdefault(server, []).append(
+                    (key, value, granted))
+        if not items_by_follower:
+            return
+        reqs: dict[Hashable, ReplicaHoldReq] = {}
+        for server in sorted(items_by_follower, key=str):
+            tx.touched.add(server)
+            reqs[server] = ReplicaHoldReq(
+                tx.id, self.client_id, self._next_req(),
+                items=tuple(items_by_follower[server]),
+                deadline=tx.deadline, critical=tx.priority)
+        replies = yield from self._rpc_many(reqs)
+        for server in sorted(replies, key=str):
+            reply = replies[server]
+            if not isinstance(reply, OverloadedReply):
+                yield from self._check_epoch(tx, server, reply.epoch)
+        need = write_quorum(self.replication)
+        for gid in sorted(group_followers):
+            acks = 1  # the leader's own grant
+            for server in group_followers[gid]:
+                reply = replies.get(server)
+                if (reply is not None
+                        and not isinstance(reply, OverloadedReply)
+                        and getattr(reply, "mirrored", False)):
+                    acks += 1
+            if acks < need:
+                yield from self._fail(tx, AbortReason.REPLICATION_QUORUM)
+
+    def _key_destinations(self, key: Hashable) -> tuple[Hashable, ...]:
+        """Servers a key's commit-time state must reach.
+
+        Unreplicated: its partition server.  Replicated: every member of
+        its group — the CommitReq fan-out to followers IS the commit-record
+        replication (each member applies the decision it reads from the
+        shared commitment registry), and read spans must freeze on
+        followers too so a promoted follower still excludes writers from
+        committed readers' pasts.
+        """
+        if self.replication > 1:
+            return self.partition.members(self.partition.group_of(key))
+        return (self.server_of(key),)
 
     def _send_commit(self, tx: SimpleNamespace, ts: Timestamp,
                      release: bool = True) -> None:
-        """Alg. 11 commit tail + gc, batched per server."""
+        """Alg. 11 commit tail + gc, batched per server (per member when
+        replicated)."""
         spans_by_server: dict[Hashable, dict[Hashable, IntervalSet]] = {}
         for key, tr in tx.readset:
             if tr < ts:
@@ -705,7 +907,8 @@ class MVTILClient(BaseClient):
                     TsInterval.open_closed(tr, ts))
             else:
                 span = EMPTY_SET
-            spans_by_server.setdefault(self.server_of(key), {})[key] = span
+            for server in self._key_destinations(key):
+                spans_by_server.setdefault(server, {})[key] = span
             if self.tracer.enabled:
                 self.tracer.freeze(tx.id, key, "read", span=span)
         if self.tracer.enabled:
@@ -713,11 +916,15 @@ class MVTILClient(BaseClient):
                 self.tracer.freeze(tx.id, key, "write", span=None, ts=ts)
         writes_by_server: dict[Hashable, list[Hashable]] = {}
         for key in tx.writeset:
-            writes_by_server.setdefault(self.server_of(key), []).append(key)
+            for server in self._key_destinations(key):
+                writes_by_server.setdefault(server, []).append(key)
+        targets = set(tx.touched)
+        targets.update(spans_by_server)
+        targets.update(writes_by_server)
         # Sorted fan-out: tx.touched is a set, and set order over string
         # ids varies per process (hash randomization) — send order must
         # not, or the network RNG draws diverge between identical runs.
-        for server in sorted(tx.touched, key=str):
+        for server in sorted(targets, key=str):
             keys = tuple(writes_by_server.get(server, ()))
             self._send(server, CommitReq(
                 tx.id, self.client_id, self._next_req(), ts=ts,
@@ -762,7 +969,10 @@ class MVTOClient(BaseClient):
         #: ``ClusterConfig.batching`` turns it on.
         self.batch_commit = batch_commit
 
-    def begin(self, priority: bool = False) -> SimpleNamespace:
+    def begin(self, priority: bool = False,
+              read_only: bool = False) -> SimpleNamespace:
+        # read_only is accepted for interface uniformity; MVTO+ has no
+        # snapshot-read path (reads already never wait on read locks).
         # MVTO+ has no protocol-level shield for criticals (that is the
         # paper's point, Theorem 3) — but they still ride the overload
         # machinery: priority service class, never shed, admission bypass.
@@ -958,7 +1168,9 @@ class TwoPLClient(BaseClient):
         return min(2.0, max(self.lock_timeout,
                             self.rtt_multiple * self._rtt_ewma))
 
-    def begin(self, priority: bool = False) -> SimpleNamespace:
+    def begin(self, priority: bool = False,
+              read_only: bool = False) -> SimpleNamespace:
+        # read_only: interface uniformity only (2PL has no snapshot path).
         tx = SimpleNamespace(
             id=(self.client_id, next(self._tx_counter)),
             readset=[], writeset={}, locked_keys=set(),

@@ -15,10 +15,13 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..clocks.clock import EpsilonSyncClock
-from ..core.locks import LockMode
 from ..obs.metrics import (MetricsRegistry, fold_trace,
-                           merge_conflict_counts, merge_overload_counters)
+                           merge_conflict_counts, merge_overload_counters,
+                           merge_replication_counters)
 from ..obs.trace import Tracer
+from ..repl.checkpoint import DurableStore
+from ..repl.placement import ReplicatedPlacement
+from ..repl.replica import FailoverController, scan_lost_commits
 from ..sim.network import LinkFaults, Network
 from ..sim.rng import RngFactory
 from ..sim.simulator import Simulator, Sleep
@@ -29,7 +32,8 @@ from ..workload.runner import closed_loop_client
 from ..workload.stats import RunStats, StateSampler
 from .client import MVTILClient, MVTOClient, TwoPLClient
 from .commitment import CommitmentRegistry
-from .failure import ChaosConfig, ChaosSchedule, CrashInjector
+from .failure import (ChaosConfig, ChaosSchedule, CrashInjector,
+                      orphaned_write_locks)
 from .gc_service import TimestampService
 from .partition import Partition
 from .server import MVTLServer, TwoPLServer
@@ -121,6 +125,30 @@ class ClusterConfig:
     breaker_threshold: int = 8
     #: Seconds a tripped breaker stays open before its half-open probe.
     breaker_cooldown: float = 0.5
+    #: Key-group replication factor (repro.repl).  1 = the paper's
+    #: unreplicated deployment (plain partitioning, bit-identical seeds).
+    #: r > 1 places every key group on r servers in ring order: the leader
+    #: is the lock/conflict authority, write locks are mirrored onto a
+    #: write quorum of followers, and commit records fan out to every
+    #: member so a promoted follower already holds the committed data.
+    replication: int = 1
+    #: Per-server durability: "memory" = volatile stores that restart
+    #: empty (the seed behaviour); "wal" = every commit apply is logged to
+    #: a write-ahead log and ``restart()`` recovers versions + dedup
+    #: decisions by checkpoint load + log replay (repro.repl.wal).
+    durability: str = "memory"
+    #: WAL records between checkpoints (0 = never checkpoint; replay the
+    #: whole log on restart).  Only meaningful with ``durability="wal"``.
+    checkpoint_every: int = 128
+    #: Serve read-only transactions from follower replicas at a locked
+    #: (GC-floor) snapshot timestamp instead of running the interval
+    #: protocol.  Requires ``replication > 1``.
+    follower_reads: bool = False
+    #: Failover controller ping period; a leader missing
+    #: ``heartbeat_miss_limit`` consecutive replies is declared dead and a
+    #: follower is promoted.  Only runs when ``replication > 1``.
+    heartbeat_interval: float = 0.05
+    heartbeat_miss_limit: int = 3
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -152,6 +180,40 @@ class ClusterConfig:
             raise ValueError("server restarts are not supported with the "
                              "paxos commitment backend (volatile lock loss "
                              "can race the multi-round decision)")
+        if self.durability not in ("memory", "wal"):
+            raise ValueError(f"unknown durability mode {self.durability!r}; "
+                             f"expected 'memory' or 'wal'")
+        if self.durability == "wal" and self.protocol == "2pl":
+            raise ValueError("wal durability requires the MVTL commit "
+                             "machinery; 2pl has no commit decisions to "
+                             "log or replay")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.heartbeat_interval <= 0 or self.heartbeat_miss_limit < 1:
+            raise ValueError("heartbeat_interval must be positive and "
+                             "heartbeat_miss_limit >= 1")
+        if self.replication > 1:
+            if self.protocol not in ("mvtil-early", "mvtil-late"):
+                raise ValueError("replication > 1 requires an MVTIL "
+                                 "protocol (mirrored holds carry the "
+                                 "leader-granted interval locks)")
+            if not self.batching:
+                raise ValueError("replication > 1 requires batching "
+                                 "(write locks are mirrored from the "
+                                 "per-server batch grants)")
+            if self.commitment != "local":
+                raise ValueError("replication > 1 requires the local "
+                                 "commitment backend (the registry is the "
+                                 "replicated decision store)")
+        if self.follower_reads and self.replication <= 1:
+            raise ValueError("follower_reads requires replication > 1")
+        if (self.chaos is not None and self.chaos.leader_crashes > 0
+                and self.replication <= 1):
+            raise ValueError("chaos.leader_crashes requires replication > 1 "
+                             "(a failover controller must exist to promote "
+                             "a follower)")
 
 
 @dataclass
@@ -193,6 +255,12 @@ class ClusterResult:
     #: counts, client-side admission rejects and breaker trips, and the
     #: per-class (critical vs normal) goodput/latency summary.
     overload_report: dict = field(default_factory=dict)
+    #: Replication/durability outcome (``replication > 1`` or
+    #: ``durability="wal"`` only): failover promotions and latencies,
+    #: quorum/snapshot-read counters, WAL record/checkpoint counts,
+    #: follower-read staleness summary, and — with ``record_history`` — the
+    #: ``scan_lost_commits`` audit (``lost_commits`` must be zero).
+    replication_report: dict | None = None
     #: Simulator events processed during the run.  Deterministic for a
     #: given (config, seed); together with ``wall_s`` it yields the
     #: sim-events/s hot-path metric the perf harness records.
@@ -228,6 +296,9 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
 
     num_servers = (config.num_servers if config.num_servers is not None
                    else config.profile.num_servers)
+    if config.replication > num_servers:
+        raise ValueError(f"replication={config.replication} needs at least "
+                         f"that many servers (have {num_servers})")
     server_ids = [f"server-{i}" for i in range(num_servers)]
     consensus = None
     acceptors_by_sid: dict[str, Any] = {}
@@ -247,15 +318,23 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                        rngs.stream(),
                                        queue_capacity=config.queue_capacity))
         else:
+            durable = (DurableStore(checkpoint_every=config.checkpoint_every)
+                       if config.durability == "wal" else None)
             servers.append(MVTLServer(
                 sim, net, sid, config.profile, rngs.stream(), registry,
                 write_lock_timeout=config.write_lock_timeout,
                 consensus=consensus, history=history,
-                queue_capacity=config.queue_capacity))
+                queue_capacity=config.queue_capacity,
+                durable=durable, replicated=config.replication > 1))
     if tracer is not None:
         for server in servers:
             server.tracer = tracer
-    partition = Partition(server_ids)
+    # ReplicatedPlacement routes exactly like Partition at any replication
+    # factor (same group hash, leader = the group's ring head); keeping
+    # Partition for the unreplicated path preserves the seed object graph.
+    partition = (ReplicatedPlacement(server_ids,
+                                     replication=config.replication)
+                 if config.replication > 1 else Partition(server_ids))
 
     stats = RunStats(sim, config.warmup, config.measure)
     stats.record_completions = config.record_completions
@@ -266,7 +345,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
     # A restarted server rejoins with empty volatile lock state; epoch
     # validation makes committing clients re-confirm every touched server
     # before deciding, closing the lost-lock window.
-    validate = chaos_on and config.chaos.server_restarts > 0
+    validate = chaos_on and (config.chaos.server_restarts > 0
+                             or config.chaos.leader_crashes > 0)
     for i in range(config.num_clients):
         cid = f"client-{i}"
         client_ids.append(cid)
@@ -288,6 +368,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                  late=config.protocol.endswith("late"),
                                  read_timeout=config.read_timeout,
                                  defer_writes=config.batching,
+                                 follower_reads=config.follower_reads,
                                  **common)
         elif config.protocol == "mvto":
             client = MVTOClient(sim, net, cid, pid, partition, clock,
@@ -314,10 +395,23 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         injector = CrashInjector(sim, net)
         schedule = ChaosSchedule.generate(
             config.chaos, chaos_rng, client_ids, server_ids,
-            start=config.warmup, end=config.warmup + config.measure)
+            start=config.warmup, end=config.warmup + config.measure,
+            num_groups=(partition.num_groups
+                        if config.replication > 1 else None))
         schedule.apply(injector, client_procs,
                        {s.server_id: s for s in servers},
-                       extras=acceptors_by_sid)
+                       extras=acceptors_by_sid, placement=partition)
+
+    controller = None
+    if config.replication > 1:
+        # The failover controller draws from no RNG stream and (until a
+        # promotion) only exchanges heartbeats, so enabling replication
+        # perturbs nothing else about the run.
+        controller = FailoverController(
+            sim, net, partition,
+            interval=config.heartbeat_interval,
+            miss_limit=config.heartbeat_miss_limit)
+        controller.start()
 
     service = TimestampService(sim, net, server_ids, client_ids,
                                horizon=config.profile.gc_horizon,
@@ -347,13 +441,15 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
 
     sim.run_until(config.warmup + config.measure)
 
-    if chaos_on or config.faults is not None:
+    if chaos_on or config.faults is not None or config.replication > 1:
         # Settle: run past the measurement window long enough for every
         # server-side write-lock timeout armed inside it to fire and its
         # decision to be applied (Theorems 9-10 liveness), so the orphan
-        # scan below observes the steady state.  RunStats only counts
-        # completions inside [warmup, warmup + measure], so the extra time
-        # does not perturb the reported numbers.
+        # scan below observes the steady state.  Replicated runs settle
+        # too: the lost-commits scan needs every in-window commit's
+        # fan-out to have drained onto all group members.  RunStats only
+        # counts completions inside [warmup, warmup + measure], so the
+        # extra time does not perturb the reported numbers.
         settle = config.write_lock_timeout + 0.5
         if config.commitment == "paxos":
             settle += config.write_lock_timeout  # consensus rounds + backoff
@@ -373,8 +469,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             "server_events": list(injector.server_events) if injector else [],
             "server_restarts": sum(s.stats.get("restarts", 0)
                                    for s in servers),
-            "orphaned_write_locks": _orphaned_write_locks(servers,
-                                                          set(crashed)),
+            "orphaned_write_locks": orphaned_write_locks(servers,
+                                                         set(crashed)),
             "messages_lost": net.messages_lost,
             "messages_duplicated": net.messages_duplicated,
             "delay_spikes": net.delay_spikes,
@@ -382,6 +478,62 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             "dup_requests": sum(s.stats.get("dup_requests", 0)
                                 for s in servers),
         }
+
+    replication_report = None
+    if config.replication > 1 or config.durability == "wal":
+        promotions = list(controller.promotions) if controller else []
+        failover_latencies = []
+        if controller is not None and injector is not None:
+            # Latency = promotion time minus the old leader's most recent
+            # crash before it (epoch-change promotions follow a restart, so
+            # a prior crash event always exists).
+            for when, gid, old, new, epoch in promotions:
+                crashes = [t for (t, kind, sid) in injector.server_events
+                           if kind == "crash" and sid == old and t <= when]
+                if crashes:
+                    failover_latencies.append(when - crashes[-1])
+        staleness = sorted(s for c in clients for s in c.read_staleness)
+        replication_report = {
+            "replication": config.replication,
+            "durability": config.durability,
+            "promotions": [(t, gid, str(old), str(new), ep)
+                           for (t, gid, old, new, ep) in promotions],
+            "failover_latencies": failover_latencies,
+            "heartbeats_sent": (controller.heartbeats_sent
+                                if controller else 0),
+            "holds_mirrored": sum(s.stats.get("holds_mirrored", 0)
+                                  for s in servers),
+            "follower_reads": sum(c.stats.get("follower_reads", 0)
+                                  for c in clients),
+            "snapshot_fallbacks": sum(c.stats.get("snapshot_fallbacks", 0)
+                                      for c in clients),
+            "snapshot_commits": sum(c.stats.get("snapshot_commits", 0)
+                                    for c in clients),
+            "snapshot_reads": sum(s.stats.get("snapshot_reads", 0)
+                                  for s in servers),
+            "snapshot_refused": sum(s.stats.get("snapshot_refused", 0)
+                                    for s in servers),
+            "wal_records": sum(s.durable.wal.records_appended
+                               for s in servers
+                               if getattr(s, "durable", None) is not None),
+            "checkpoints": sum(s.durable.checkpoints for s in servers
+                               if getattr(s, "durable", None) is not None),
+            "read_staleness": {
+                "count": len(staleness),
+                "mean": (sum(staleness) / len(staleness)
+                         if staleness else 0.0),
+                "p95": (staleness[int(0.95 * (len(staleness) - 1))]
+                        if staleness else 0.0),
+                "max": staleness[-1] if staleness else 0.0,
+            },
+        }
+        if history is not None and config.replication > 1:
+            # Audit the measurement window only: the settle period drains
+            # its commit fan-outs, but commits decided *during* settle can
+            # be mid-flight when the simulation halts.
+            replication_report.update(scan_lost_commits(
+                history, partition, {s.server_id: s for s in servers},
+                before=config.warmup + config.measure))
 
     overload_report = {
         "shed": sum(s.stats.get("shed", 0) for s in servers),
@@ -401,6 +553,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         for server in servers:
             merge_conflict_counts(metrics_reg, server.conflicts)
         merge_overload_counters(metrics_reg, servers)
+        if replication_report is not None:
+            merge_replication_counters(metrics_reg, servers, clients)
         metrics = metrics_reg.as_dict()
         metrics["run"] = {
             "protocol": config.protocol,
@@ -435,36 +589,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         metrics=metrics,
         chaos_report=chaos_report,
         overload_report=overload_report,
+        replication_report=replication_report,
         sim_events=sim.events_processed,
         wall_s=time.perf_counter() - wall_start,
     )
-
-
-def _orphaned_write_locks(servers: list[Any],
-                          crashed_clients: set[Any]) -> int:
-    """Count unfrozen write locks still owned by crashed coordinators.
-
-    Theorems 9-10: after the write-lock timeout (plus decision latency) an
-    orphaned transaction's write locks must be gone — either released (the
-    timeout abort won) or frozen (a racing commit won).  Any survivor is a
-    liveness bug.
-    """
-    orphaned = 0
-    for server in servers:
-        if not isinstance(server, MVTLServer):
-            continue
-        for tx_id in list(server.locks.owners()):
-            if not (isinstance(tx_id, tuple) and tx_id
-                    and tx_id[0] in crashed_clients):
-                continue
-            for key in server.locks.keys_of(tx_id):
-                state = server.locks.peek(key)
-                if state is None:
-                    continue
-                held = state.held(tx_id, LockMode.WRITE)
-                if held.is_empty:
-                    continue
-                if not held.subtract(
-                        state.frozen(tx_id, LockMode.WRITE)).is_empty:
-                    orphaned += 1
-    return orphaned

@@ -98,6 +98,18 @@ class CommitmentRegistry:
                 obj.propose(decided)  # resurrect the tombstoned decision
         return obj
 
+    def decision_of(self, tx_id: Hashable) -> Any:
+        """The decided outcome of ``tx_id`` if known, else None.
+
+        Consults live objects first, then the tombstones of forgotten
+        transactions.  Recovery (WAL replay) uses this to skip logged
+        commits of transactions that are known to have decided ABORT.
+        """
+        obj = self._objects.get(tx_id)
+        if obj is not None and obj.decided:
+            return obj.decision
+        return self._decided.get(tx_id)
+
     def set_decision_point(self, tx_id: Hashable, server: Hashable) -> None:
         """Designate ``server`` as tx's decision point (first write server);
         later designations are ignored."""

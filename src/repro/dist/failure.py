@@ -28,10 +28,12 @@ from typing import Any, Hashable, Sequence
 
 import numpy as np
 
+from ..core.locks import LockMode
 from ..sim.network import Network
 from ..sim.simulator import Process, Simulator
 
-__all__ = ["ChaosConfig", "ChaosEvent", "ChaosSchedule", "CrashInjector"]
+__all__ = ["ChaosConfig", "ChaosEvent", "ChaosSchedule", "CrashInjector",
+           "orphaned_write_locks"]
 
 
 class CrashInjector:
@@ -83,6 +85,29 @@ class CrashInjector:
         self.server_events.append((self.sim.now, "restart",
                                    server.server_id))
 
+    def crash_leader_at(self, when: float, gid: int, placement: Any,
+                        servers: dict, downtime: float,
+                        extras: dict | None = None) -> None:
+        """Schedule a crash of whoever *leads* group ``gid`` at fire time.
+
+        The leader is resolved when the event fires, not when it is
+        scheduled — an earlier failover may already have moved the
+        leadership.  The crashed server restarts ``downtime`` seconds
+        later as a cold standby (its restart marks it dirty, so the
+        failover controller will not promote it back until it is the only
+        candidate left).
+        """
+        extras = extras or {}
+        def fire() -> None:
+            sid = placement.leader(gid)
+            server = servers[sid]
+            if server.crashed:
+                return  # already down (overlapping scenario); skip
+            co = (extras[sid],) if sid in extras else ()
+            self._crash_server(server, co)
+            self.sim.schedule(downtime, self._restart_server, server, co)
+        self.sim.schedule(max(0.0, when - self.sim.now), fire)
+
 
 @dataclass(frozen=True)
 class ChaosConfig:
@@ -95,16 +120,25 @@ class ChaosConfig:
     server_restarts: int = 0
     #: How long a crashed server stays down before rejoining.
     downtime: float = 0.3
+    #: Replication-mode failover scenario: this many times, crash whatever
+    #: server currently *leads* a randomly drawn key group (resolved at
+    #: fire time) and restart it ``leader_downtime`` seconds later as a
+    #: cold standby.  Requires ``ClusterConfig.replication > 1`` — the
+    #: failover controller must exist to promote a follower.
+    leader_crashes: int = 0
+    leader_downtime: float = 0.5
 
     def __post_init__(self) -> None:
-        if self.client_crashes < 0 or self.server_restarts < 0:
+        if (self.client_crashes < 0 or self.server_restarts < 0
+                or self.leader_crashes < 0):
             raise ValueError("event counts must be >= 0")
-        if self.downtime <= 0:
+        if self.downtime <= 0 or self.leader_downtime <= 0:
             raise ValueError("downtime must be positive")
 
     @property
     def any(self) -> bool:
-        return bool(self.client_crashes or self.server_restarts)
+        return bool(self.client_crashes or self.server_restarts
+                    or self.leader_crashes)
 
 
 @dataclass(frozen=True, order=True)
@@ -120,14 +154,17 @@ class ChaosEvent:
 class ChaosSchedule:
     """A deterministic scenario script: sorted :class:`ChaosEvent` list."""
 
-    def __init__(self, events: Sequence[ChaosEvent]) -> None:
+    def __init__(self, events: Sequence[ChaosEvent],
+                 leader_downtime: float = 0.5) -> None:
         self.events = sorted(events)
+        self.leader_downtime = leader_downtime
 
     @classmethod
     def generate(cls, config: ChaosConfig, rng: np.random.Generator,
                  client_ids: Sequence[Hashable],
                  server_ids: Sequence[Hashable],
-                 start: float, end: float) -> "ChaosSchedule":
+                 start: float, end: float,
+                 num_groups: int | None = None) -> "ChaosSchedule":
         """Build a schedule from a seeded RNG stream — same stream, same
         scenario, so a chaos run is exactly reproducible.
 
@@ -173,18 +210,38 @@ class ChaosSchedule:
                 events.append(ChaosEvent(t, "crash-server", sid))
                 events.append(ChaosEvent(t + config.downtime,
                                          "restart-server", sid))
-        return cls(events)
+        if config.leader_crashes:
+            # Drawn strictly after every pre-existing stream use, so seeds
+            # of non-replicated scenarios keep their exact outcomes.
+            if not num_groups:
+                raise ValueError(
+                    f"leader_crashes={config.leader_crashes} requires a "
+                    f"replicated placement (num_groups)")
+            n = config.leader_crashes
+            slot = span / n
+            if config.leader_downtime >= slot:
+                raise ValueError(
+                    f"leader_downtime {config.leader_downtime} does not "
+                    f"fit {n} leader crashes into a {span:.3f}s window")
+            for k in range(n):
+                gid = int(rng.integers(num_groups))
+                lo = start + k * slot
+                t = lo + float(rng.random()) * (slot - config.leader_downtime)
+                events.append(ChaosEvent(t, "crash-leader", gid))
+        return cls(events, leader_downtime=config.leader_downtime)
 
     def apply(self, injector: CrashInjector,
               client_procs: dict[Hashable, Process],
               servers: dict[Hashable, Any],
-              extras: dict[Hashable, Any] | None = None) -> None:
+              extras: dict[Hashable, Any] | None = None,
+              placement: Any | None = None) -> None:
         """Arm every event on the injector.
 
         ``client_procs`` maps client id -> driver Process; ``servers`` maps
         server id -> server object; ``extras`` optionally maps server id to
         a co-located component that crashes/restarts with it (its Paxos
-        acceptor).
+        acceptor); ``placement`` (a ReplicatedPlacement) is required for
+        ``crash-leader`` events, whose victim is resolved at fire time.
         """
         extras = extras or {}
         for ev in self.events:
@@ -197,5 +254,52 @@ class ChaosSchedule:
             elif ev.action == "restart-server":
                 co = ((extras[ev.target],) if ev.target in extras else ())
                 injector.restart_server_at(ev.when, servers[ev.target], *co)
+            elif ev.action == "crash-leader":
+                if placement is None:
+                    raise ValueError("crash-leader events need a placement")
+                injector.crash_leader_at(ev.when, ev.target, placement,
+                                         servers, self.leader_downtime,
+                                         extras)
             else:
                 raise ValueError(f"unknown chaos action {ev.action!r}")
+
+
+def orphaned_write_locks(servers: Sequence[Any],
+                         crashed_clients: set) -> int:
+    """Count unfrozen write locks (or leaked pending values) still owned by
+    crashed coordinators, across leaders *and* follower replicas.
+
+    Theorems 9-10: after the write-lock timeout (plus decision latency) an
+    orphaned transaction's write locks must be gone — either released (the
+    timeout abort won) or frozen (a racing commit won).  The same applies
+    to mirrored holds on followers, which arm the same timeout.  A pending
+    buffer entry without any unfrozen lock is counted too: it means the
+    hold was resolved but its value leaked.  Any survivor is a liveness
+    bug.
+    """
+
+    def coordinator_crashed(tx_id: Any) -> bool:
+        return (isinstance(tx_id, tuple) and bool(tx_id)
+                and tx_id[0] in crashed_clients)
+
+    orphaned: set[tuple] = set()
+    for server in servers:
+        if not hasattr(server, "locks"):
+            continue  # 2PL server: no MVTL lock table
+        for tx_id in list(server.locks.owners()):
+            if not coordinator_crashed(tx_id):
+                continue
+            for key in server.locks.keys_of(tx_id):
+                state = server.locks.peek(key)
+                if state is None:
+                    continue
+                held = state.held(tx_id, LockMode.WRITE)
+                if held.is_empty:
+                    continue
+                if not held.subtract(
+                        state.frozen(tx_id, LockMode.WRITE)).is_empty:
+                    orphaned.add((str(server.server_id), tx_id, key))
+        for tx_id, key in getattr(server, "pending", {}):
+            if coordinator_crashed(tx_id):
+                orphaned.add((str(server.server_id), tx_id, key))
+    return len(orphaned)

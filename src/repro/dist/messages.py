@@ -35,6 +35,9 @@ __all__ = [
     "TwoPLLockReq", "TwoPLLockReply", "TwoPLCommitReq", "TwoPLReleaseReq",
     "PurgeReq", "ClockBroadcast",
     "ProposeReq", "DecisionReply",
+    "ReplicaHoldReq", "ReplicaHoldReply",
+    "SnapshotReadReq", "SnapshotReadReply",
+    "HeartbeatReq", "HeartbeatReply",
 ]
 
 
@@ -288,6 +291,83 @@ class TwoPLReleaseReq(Request):
     """Release tx's locks on ``keys`` without writing (abort path)."""
 
     keys: tuple = ()
+
+
+# -- replication (repro.repl layer, DESIGN.md §5e) ---------------------------
+
+@dataclass(frozen=True, slots=True)
+class ReplicaHoldReq(Request):
+    """Mirror granted write locks + pending values onto a follower.
+
+    Sent by the *client* after the group leader granted its write locks:
+    ``items`` is a tuple of ``(key, value, granted IntervalSet)`` triples,
+    exactly the leader's grant.  The follower installs the same spans in
+    its lock table (best effort — the leader already serialized them, so
+    they are conflict-free unless the follower was just promoted), buffers
+    the value, and arms the ordinary write-lock timeout.  A write lock is
+    *held at a write quorum* once the leader grant plus a majority of
+    mirrors acknowledge — from then on any quorum member can finish the
+    commit alone (the mirror carries the redo value).
+    """
+
+    items: tuple = ()  # ((key, value, IntervalSet granted), ...)
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaHoldReply(Reply):
+    """``mirrored`` is False when some span could not be installed (the
+    follower was promoted meanwhile and granted conflicting locks); the
+    client does not count such an ack toward the write quorum."""
+
+    mirrored: bool = True
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotReadReq(Request):
+    """Read ``key`` at the locked (GC-frontier) timestamp ``ts``.
+
+    Unlike :class:`MVTLReadReq` this takes **no lock**: the timestamp
+    service's broadcast floor already write-locks the whole key space below
+    the frontier (no new transaction can begin — let alone install — below
+    it), so a floor read at ``ts`` on any replica that has applied the
+    frontier's purge is version-clean.  Served by followers; read-only
+    transactions use it to bypass the leader entirely.
+    """
+
+    key: Hashable = None
+    ts: Timestamp = None
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotReadReply(Reply):
+    """``ok=False``: the replica cannot vouch for the snapshot (restarted
+    since, frontier not yet applied, or an in-flight write straddles the
+    timestamp) — the client falls back to the leader."""
+
+    ok: bool = False
+    tr: Timestamp | None = None
+    value: Any = None
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatReq(Request):
+    """Failover-controller ping; cheap control traffic, never shed."""
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatReply(Reply):
+    """Liveness + freshness report used to pick promotion candidates."""
+
+    server: Hashable = None
+    epoch: int = 0
+    #: Total commit applications since boot (freshness proxy).
+    applied: int = 0
+    #: True once the server has restarted: it may have missed commit
+    #: records while down and must not be preferred for promotion (nor
+    #: serve snapshot reads).
+    dirty: bool = False
 
 
 # -- maintenance ---------------------------------------------------------------

@@ -1,5 +1,12 @@
 """Key -> server partitioning (§7: "clients know how to find the server
-responsible for a key, e.g. by hashing the key")."""
+responsible for a key, e.g. by hashing the key").
+
+Kept for the unreplicated (``replication=1``) path and for API
+compatibility.  Replicated clusters route through
+``repro.repl.placement.ReplicatedPlacement``, which hashes keys into the
+same groups (bit-identical ``server_of`` at replication 1) but adds
+follower membership, leadership and epoch fencing — see DESIGN.md §5e.
+"""
 
 from __future__ import annotations
 

@@ -22,12 +22,24 @@ locks on a decided abort, or freezing/installing on a decided commit
 Crash/restart: :meth:`~_ServerBase.crash` is fail-stop (network detach, all
 queued and in-service work dropped); :meth:`~_ServerBase.restart` rejoins
 with empty *volatile* state — lock table, pending-value buffer, parked
-requests and the request-dedup log are gone, while the version store
-survives (it models durable storage).  Each restart bumps the server's
-``epoch``, stamped on every reply, so mid-transaction clients can detect
-that their locks evaporated.  Because clients retry lost RPCs with the same
-request id, every request is deduplicated by ``(client, req_id)`` before it
-is executed (at-least-once transport, exactly-once application).
+requests and the request-dedup log are gone.  What the version store does
+across a restart depends on the durability mode: without a
+:class:`~repro.repl.checkpoint.DurableStore` attached the store object is
+simply kept (the original "durable storage is magic" model); with one
+attached the store is rebuilt by checkpoint load + WAL tail replay, and the
+dedup log is re-primed from the logged ``(client, req_id)`` pairs so a
+retried already-committed request cannot double-apply.  Each restart bumps
+the server's ``epoch``, stamped on every reply, so mid-transaction clients
+can detect that their locks evaporated.  Because clients retry lost RPCs
+with the same request id, every request is deduplicated by
+``(client, req_id)`` before it is executed (at-least-once transport,
+exactly-once application).
+
+Replication (§5e): a server can additionally act as a *follower* for key
+groups led elsewhere — it accepts mirrored write holds
+(:class:`~repro.dist.messages.ReplicaHoldReq`), applies commit decisions
+fanned to every group member, answers locked-timestamp snapshot reads from
+its stable GC frontier, and reports heartbeats to the failover controller.
 """
 
 from __future__ import annotations
@@ -47,12 +59,15 @@ from ..sim.network import Network
 from ..sim.server_queue import ServiceQueue
 from ..sim.simulator import Simulator
 from ..sim.testbed import TestbedProfile
+from ..repl.checkpoint import DurableStore
 from .commitment import ABORT, CommitmentRegistry
 from .messages import (SHEDDABLE_REQUESTS, CommitReq, EpochReply, EpochReq,
-                       FreezeReadReq, FreezeWriteReq, GcReq,
-                       MVTLBatchLockReply, MVTLBatchLockReq, MVTLReadReply,
-                       MVTLReadReq, MVTLWriteLockReply, MVTLWriteLockReq,
-                       OverloadedReply, PurgeReq, ReleaseReq, Reply, Request,
+                       FreezeReadReq, FreezeWriteReq, GcReq, HeartbeatReply,
+                       HeartbeatReq, MVTLBatchLockReply, MVTLBatchLockReq,
+                       MVTLReadReply, MVTLReadReq, MVTLWriteLockReply,
+                       MVTLWriteLockReq, OverloadedReply, PurgeReq,
+                       ReleaseReq, ReplicaHoldReply, ReplicaHoldReq, Reply,
+                       Request, SnapshotReadReply, SnapshotReadReq,
                        TwoPLCommitReq, TwoPLLockReply, TwoPLLockReq,
                        TwoPLReleaseReq)
 
@@ -61,6 +76,12 @@ __all__ = ["MVTLServer", "TwoPLServer"]
 #: Dedup-log marker: request arrived and is being executed (or parked) but
 #: has not produced a reply yet.
 _IN_PROGRESS = object()
+
+#: Dedup-log marker primed at restart from the WAL: the request was fully
+#: applied before the crash but its cached reply is gone.  A retry is
+#: counted and dropped (never re-executed); the client's own RPC timeout
+#: already covers the lost-reply case.
+_APPLIED = object()
 
 #: Sentinel distinguishing "no pending buffer entry" from a buffered None.
 _MISSING = object()
@@ -294,10 +315,31 @@ class MVTLServer(_ServerBase):
                  write_lock_timeout: float = 2.0,
                  consensus: Any | None = None,
                  history: Any | None = None,
-                 queue_capacity: int | None = None) -> None:
+                 queue_capacity: int | None = None,
+                 durable: DurableStore | None = None,
+                 replicated: bool = False) -> None:
         super().__init__(sim, net, server_id, profile, rng,
                          queue_capacity=queue_capacity)
         self.registry = registry
+        #: Simulated disk (checkpoint + WAL).  None = the original model
+        #: where the in-memory version store survives restarts unexamined.
+        self.durable = durable
+        #: True when this server is part of a replication group (r > 1):
+        #: enables the commit-time read-span mirror grants that keep a
+        #: promoted follower's frozen-read state equal to its leader's.
+        self.replicated = replicated
+        #: Highest GC purge bound applied here — the snapshot-read
+        #: stability frontier (every commit below it is present locally).
+        self.stable_floor: Timestamp | None = None
+        #: Set on every restart and never cleared: commits may have been
+        #: applied elsewhere while this server was down, so its store is
+        #: not a complete prefix and snapshot reads must be refused.
+        self.snapshot_dirty = False
+        #: Commit applications performed (freshness rank for failover).
+        self.applied_commits = 0
+        #: Durably-logged (client, req_id) pairs, oldest first: the dedup
+        #: entries a checkpoint captures and a restart re-primes.
+        self._durable_dedup: OrderedDict[tuple, None] = OrderedDict()
         #: Optional shared History: commits applied *server-side* are
         #: recorded here too, covering coordinators that crash after the
         #: decision but before recording (their writes are still installed
@@ -323,12 +365,36 @@ class MVTLServer(_ServerBase):
 
     def restart(self) -> None:
         """Rejoin after a crash: locks and buffered values are volatile and
-        are lost; the version store survives (durable storage)."""
+        are lost.  Without a DurableStore the version store object simply
+        survives (the original "durable storage" model); with one, the
+        store is rebuilt from the last checkpoint plus WAL tail replay and
+        the request-dedup log is re-primed from the logged commit
+        ``(client, req_id)`` pairs, so a client retry of an
+        already-applied commit is dropped instead of re-executed."""
         if not self.crashed:
             return
         self.locks = LockTable()
         self.pending.clear()
+        if self.durable is not None:
+            rec = self.durable.recover(
+                aborted=lambda tx: self.registry.decision_of(tx) == ABORT)
+            self.store = rec.store
+            self.stable_floor = rec.stable_floor
+            self._durable_dedup = OrderedDict(
+                (tuple(p), None) for p in rec.dedup)
+            while len(self._durable_dedup) > self._REQ_LOG_MAX:
+                self._durable_dedup.popitem(last=False)
+            # The store was rebuilt wholesale: recompute the state-size
+            # service multiplier at the next served request.
+            self._state_refresh_at = 0
+        self.snapshot_dirty = True
         super().restart()
+        if self.durable is not None:
+            # Re-derive dedup decisions for committed transactions: their
+            # requests were applied pre-crash even though the reply cache
+            # is gone (satellite (a) — the volatile-dedup-cache bug).
+            for pair in self._durable_dedup:
+                self._req_log[pair] = _APPLIED
 
     #: Relative CPU cost of control notifications (commit/gc/release/
     #: purge) vs. data requests: they carry no value payload and do no
@@ -348,7 +414,7 @@ class MVTLServer(_ServerBase):
             # Baseline is ~2 records/key (one version + one lock interval).
             self._state_multiplier = 1.0 + self.STATE_COST_FACTOR * max(
                 0.0, per_key - 2.0)
-        if isinstance(msg, MVTLBatchLockReq):
+        if isinstance(msg, (MVTLBatchLockReq, ReplicaHoldReq)):
             # A batch saves messages, not lock work: it costs one data
             # request per item it carries.
             weight = float(max(1, len(msg.items)))
@@ -356,7 +422,7 @@ class MVTLServer(_ServerBase):
             weight = (self.CONTROL_MSG_WEIGHT
                       if isinstance(msg, (CommitReq, GcReq, ReleaseReq,
                                           FreezeWriteReq, FreezeReadReq,
-                                          PurgeReq, EpochReq))
+                                          PurgeReq, EpochReq, HeartbeatReq))
                       else 1.0)
         return self.profile.service_time * self._state_multiplier * weight
 
@@ -382,6 +448,16 @@ class MVTLServer(_ServerBase):
             self._handle_release(msg)
         elif isinstance(msg, PurgeReq):
             self._handle_purge(msg)
+        elif isinstance(msg, ReplicaHoldReq):
+            self._handle_replica_hold(msg)
+        elif isinstance(msg, SnapshotReadReq):
+            self._handle_snapshot_read(msg)
+        elif isinstance(msg, HeartbeatReq):
+            self._reply(msg, HeartbeatReply(msg.req_id,
+                                            server=self.server_id,
+                                            epoch=self.epoch,
+                                            applied=self.applied_commits,
+                                            dirty=self.snapshot_dirty))
         elif isinstance(msg, EpochReq):
             self._reply(msg, EpochReply(msg.req_id, epoch=self.epoch))
         else:
@@ -535,7 +611,8 @@ class MVTLServer(_ServerBase):
                 self._drop_tx_on_key(tx_id, key)
                 self._unpark(key)
             else:
-                self._apply_commit(tx_id, key, decision)
+                value = self._apply_commit(tx_id, key, decision)
+                self._log_commit(tx_id, decision, ((key, value),))
                 # The coordinator is suspected dead, so no CommitReq will
                 # seal this key: release the write-locked span outside the
                 # frozen commit point ourselves (the decided transaction
@@ -561,12 +638,13 @@ class MVTLServer(_ServerBase):
                 self._drop_tx_on_key(req.tx_id, req.key)
                 self._unpark(req.key)
                 return
-            self._apply_commit(req.tx_id, req.key, decision)
+            value = self._apply_commit(req.tx_id, req.key, decision)
+            self._log_commit(req.tx_id, decision, ((req.key, value),))
 
         self._decide(req.tx_id, req.ts, apply)
 
     def _apply_commit(self, tx_id: Hashable, key: Hashable,
-                      ts: Timestamp, fallback: Any = None) -> None:
+                      ts: Timestamp, fallback: Any = None) -> Any:
         value = self.pending.pop((tx_id, key), _MISSING)
         if value is _MISSING:
             # The pending buffer is volatile: if we crashed and restarted
@@ -581,8 +659,33 @@ class MVTLServer(_ServerBase):
             # Server-side record: survives coordinators that crash after
             # the decision but before recording their own commit.
             self.history.record_commit_key(tx_id, ts, key)
+        self.applied_commits += 1
         # Other write-locked timestamps of tx stay until gc/release.
         self._unpark(key)
+        return value
+
+    def _log_commit(self, tx_id: Hashable, ts: Timestamp,
+                    entries: tuple, client: Any = None,
+                    req_id: Any = None) -> None:
+        """WAL a commit application (one record = all keys this server
+        installed for the transaction, so a torn tail is all-or-nothing).
+
+        Always logged when durability is on — even when every install was
+        skipped because the write-lock-timeout path got there first — so
+        the ``(client, req_id)`` pair seeds the restart dedup cache.
+        Replay is install-guarded, which makes the duplicate records of
+        the timeout-then-CommitReq race idempotent.
+        """
+        if self.durable is None:
+            return
+        self.durable.log_commit(tx_id, ts, entries, client, req_id)
+        if client is not None:
+            self._durable_dedup[(client, req_id)] = None
+            while len(self._durable_dedup) > self._REQ_LOG_MAX:
+                self._durable_dedup.popitem(last=False)
+        self.durable.maybe_checkpoint(self.store,
+                                      tuple(self._durable_dedup),
+                                      self.stable_floor)
 
     def _decide(self, tx_id: Hashable, outcome: Any,
                 callback: Any) -> None:
@@ -615,10 +718,28 @@ class MVTLServer(_ServerBase):
             if decision == ABORT:
                 self._release_tx(req.tx_id, write_only=False)
                 return
-            for key in req.write_keys:
-                self._apply_commit(req.tx_id, key, decision,
-                                   fallback=req.values.get(key))
+            entries = tuple(
+                (key, self._apply_commit(req.tx_id, key, decision,
+                                         fallback=req.values.get(key)))
+                for key in req.write_keys)
+            self._log_commit(req.tx_id, decision, entries,
+                             client=req.client, req_id=req.req_id)
             for key, span in req.spans.items():
+                if self.replicated:
+                    # Follower read-span mirror: this member never saw the
+                    # transaction's reads, so it holds no read lock to
+                    # freeze.  Grant-then-freeze the span here — without
+                    # it, a post-promotion writer could install inside a
+                    # committed reader's span (an MVSG violation the
+                    # leader's frozen read lock was preventing).  The
+                    # mirrored write grants equal the leader's, so the
+                    # span is conflict-free by construction.
+                    state = self.locks.state(key)
+                    if state.held(req.tx_id, LockMode.READ).is_empty:
+                        state.try_acquire(req.tx_id, LockMode.READ, span)
+                        self.locks.note_owner(req.tx_id, key)
+                    state.freeze(req.tx_id, LockMode.READ, span)
+                    continue
                 state = self.locks.peek(key)
                 if state is not None:
                     state.freeze(req.tx_id, LockMode.READ, span)
@@ -687,6 +808,99 @@ class MVTLServer(_ServerBase):
             self.locks.purge_below(key, bound_iv)
         self.stats["purged_versions"] = (
             self.stats.get("purged_versions", 0) + purged)
+        if self.stable_floor is None or req.bound > self.stable_floor:
+            self.stable_floor = req.bound
+        if self.durable is not None:
+            self.durable.log_purge(req.bound)
+            self.durable.maybe_checkpoint(self.store,
+                                          tuple(self._durable_dedup),
+                                          self.stable_floor)
+
+    # -- replication (§5e) -------------------------------------------------
+
+    def _handle_replica_hold(self, req: ReplicaHoldReq) -> None:
+        """Mirror leader-granted write locks (+ pending values) on a
+        follower.
+
+        Each item carries the exact interval the group leader granted and
+        the transaction's buffered value, so any quorum member can finish
+        the commit alone.  The ordinary write-lock timeout is armed on
+        every mirrored hold: if the coordinator dies, a promoted follower
+        resolves the hold through the commitment registry exactly like a
+        leader would — decided commits install, the rest abort.
+        """
+        mirrored = True
+        for key, value, want in req.items:
+            state = self.locks.state(key)
+            probe = state.lockable(req.tx_id, LockMode.WRITE, want)
+            if not probe.fully_acquired:
+                # Leftover sealed/foreign state blocks the mirror (can
+                # happen after this follower was itself promoted and back-
+                # demoted).  The client counts this against the quorum.
+                self._note_conflict(key)
+                mirrored = False
+            state.grant(req.tx_id, LockMode.WRITE, probe.acquired)
+            got = state.held(req.tx_id, LockMode.WRITE).intersect(want)
+            if not got.is_empty:
+                self.locks.note_owner(req.tx_id, key)
+                self.pending[(req.tx_id, key)] = value
+                self.sim.schedule(self.write_lock_timeout,
+                                  self._write_lock_timeout, req.tx_id, key)
+        if mirrored:
+            self.stats["holds_mirrored"] = (
+                self.stats.get("holds_mirrored", 0) + 1)
+        self._reply(req, ReplicaHoldReply(req.req_id, mirrored=mirrored,
+                                          epoch=self.epoch))
+
+    def _unfrozen_write_at_or_below(self, key: Hashable,
+                                    ts: Timestamp) -> bool:
+        """Is any *undecided* write lock at or below ``ts`` on ``key``?
+
+        A snapshot read at the stable frontier must refuse if one exists:
+        the owner could still commit inside the read's past.  (It cannot
+        in practice — live transactions run a GC horizon above the
+        frontier — but the server-side check is what makes the read safe
+        by construction rather than by timing.)
+        """
+        state = self.locks.peek(key)
+        if state is None:
+            return False
+        for owner in state.owners():
+            held = state.held(owner, LockMode.WRITE)
+            if held.is_empty:
+                continue
+            unfrozen = held.subtract(state.frozen(owner, LockMode.WRITE))
+            if not unfrozen.is_empty and unfrozen.min_member() <= ts:
+                return True
+        return False
+
+    def _handle_snapshot_read(self, req: SnapshotReadReq) -> None:
+        """Lock-free follower read at a locked (GC-frontier) timestamp.
+
+        Refused unless this replica can prove the timestamp is stable
+        here: it has applied the purge that defined the frontier
+        (``stable_floor``), it never crashed with commits possibly missed
+        (``snapshot_dirty``), and no undecided write lock sits at or below
+        the timestamp.  The refusal is cheap — the client falls back to
+        the leader, then to an interval read.
+        """
+        self.stats["snapshot_reads"] = (
+            self.stats.get("snapshot_reads", 0) + 1)
+        version = None
+        if (not self.snapshot_dirty and self.stable_floor is not None
+                and req.ts <= self.stable_floor
+                and not self._unfrozen_write_at_or_below(req.key, req.ts)):
+            version = self.store.latest_before(req.key, req.ts)
+        if version is None:
+            self.stats["snapshot_refused"] = (
+                self.stats.get("snapshot_refused", 0) + 1)
+            self._reply(req, SnapshotReadReply(req.req_id, ok=False,
+                                               epoch=self.epoch))
+            return
+        self._reply(req, SnapshotReadReply(req.req_id, ok=True,
+                                           tr=version.ts,
+                                           value=version.value,
+                                           epoch=self.epoch))
 
     # -- metrics ---------------------------------------------------------------
 

@@ -19,7 +19,7 @@ import sys
 import time
 
 from .bench import make_bench_doc, write_bench
-from .grid import derive_seeds, figure_grid, reference_cell
+from .grid import derive_seeds, failover_grid, figure_grid, reference_cell
 from .harness import print_progress, run_cells
 
 
@@ -35,6 +35,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="bench record name (default BENCH_5)")
     parser.add_argument("--full", action="store_true",
                         help="widen the grid (more clients, more seeds)")
+    parser.add_argument("--failover", action="store_true",
+                        help="run the replication/failover grid instead of "
+                             "the figure grid and record failover latency, "
+                             "goodput dip and the lost-commits audit "
+                             "(default output BENCH_6.json)")
     parser.add_argument("--root-seed", type=int, default=2026,
                         help="root seed the per-cell seeds derive from")
     parser.add_argument("--compare-serial", action="store_true",
@@ -48,15 +53,27 @@ def main(argv: list[str] | None = None) -> int:
                              "reference cell (for recording the speedup)")
     args = parser.parse_args(argv)
 
-    if args.full:
+    if args.failover:
+        if args.out == "BENCH_5.json":
+            args.out = "BENCH_6.json"
+        if args.bench_name == "BENCH_5":
+            args.bench_name = "BENCH_6"
+        [seed] = derive_seeds(args.root_seed, 1)
+        cells = failover_grid(seed=seed,
+                              measure=3.0 if args.full else 2.5)
+    elif args.full:
         clients = (30, 90, 150, 300)
-        n_seeds, measure = 3, 3.0
+        seeds = derive_seeds(args.root_seed, 3)
+        cells = figure_grid(clients=clients, seeds=seeds, measure=3.0)
     else:
-        clients = (30, 150)
-        n_seeds, measure = 2, 1.5
-    seeds = derive_seeds(args.root_seed, n_seeds)
-    cells = figure_grid(clients=clients, seeds=seeds, measure=measure)
+        seeds = derive_seeds(args.root_seed, 2)
+        cells = figure_grid(clients=(30, 150), seeds=seeds, measure=1.5)
 
+    if args.failover:
+        # The failover cells record full histories (for the lost-commits
+        # audit), which do not survive the worker-pipe pickle — run the
+        # three cells in-process instead.
+        args.workers = 0
     print(f"[repro.exp] grid: {len(cells)} cells, workers={args.workers}",
           file=sys.stderr, flush=True)
     t0 = time.perf_counter()
@@ -89,7 +106,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
 
     hot_path = None
-    if not args.skip_hot_path:
+    if not args.skip_hot_path and not args.failover:
         cell = reference_cell()
         print(f"[repro.exp] hot-path reference cell {cell.label} "
               "(single process)", file=sys.stderr, flush=True)
@@ -109,6 +126,30 @@ def main(argv: list[str] | None = None) -> int:
 
     doc = make_bench_doc(args.bench_name, outcomes, args.workers,
                          hot_path=hot_path, parallel=parallel)
+    if args.failover and all(out.ok for out in outcomes):
+        # Cross-cell derived numbers (deterministic commit counts, not
+        # wall-clock): how much goodput replication costs at steady state,
+        # how much more the leader crash costs, and the recovery headline.
+        by = {out.key[0]: out.result for out in outcomes}
+        rep = by["repl-failover"].replication_report
+        doc["failover"] = {
+            "promotions": len(rep["promotions"]),
+            "failover_latencies": [round(v, 4)
+                                   for v in rep["failover_latencies"]],
+            "lost_commits": rep["lost_commits"],
+            "replica_missing": rep["replica_missing"],
+            "commits_checked": rep["commits_checked"],
+            "follower_reads": rep["follower_reads"],
+            "staleness_mean": round(rep["read_staleness"]["mean"], 4),
+            "wal_records": rep["wal_records"],
+            "checkpoints": rep["checkpoints"],
+            "replication_overhead": round(
+                1.0 - by["repl-steady"].committed
+                / max(1, by["baseline"].committed), 4),
+            "goodput_dip": round(
+                1.0 - by["repl-failover"].committed
+                / max(1, by["repl-steady"].committed), 4),
+        }
     path = write_bench(doc, args.out)
     failed = doc["totals"]["failed"]
     print(f"[repro.exp] wrote {path} "

@@ -17,7 +17,8 @@ from ..dist.cluster import ClusterConfig
 from ..sim.testbed import LOCAL_TESTBED
 from ..workload.generator import WorkloadConfig
 
-__all__ = ["Cell", "derive_seeds", "figure_grid", "reference_cell"]
+__all__ = ["Cell", "derive_seeds", "failover_grid", "figure_grid",
+           "reference_cell"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,40 @@ def figure_grid(protocols: Sequence[str] = ("mvto", "2pl", "mvtil-early",
         for proto in protocols
         for nc in clients
         for seed in seeds
+    ]
+    _check_unique(cells)
+    return cells
+
+
+def failover_grid(seed: int = 1, measure: float = 2.5) -> list[Cell]:
+    """The replication/failover grid behind the BENCH_6 record (repro.repl).
+
+    Three cells over one seed and an identical workload: an unreplicated
+    baseline (the replication overhead reference), a steady replicated
+    cluster (r=3, WAL durability, follower reads), and the same replicated
+    cluster with a leader crash injected mid-measurement.  Comparing the
+    cells yields the replication overhead and the failover goodput dip;
+    the failover cell's replication report carries the promotion latency
+    and the zero-lost-commits audit.
+    """
+    from ..dist.failure import ChaosConfig
+    base = ClusterConfig(
+        protocol="mvtil-early",
+        profile=replace(LOCAL_TESTBED, gc_horizon=1.0),
+        workload=WorkloadConfig(num_keys=2_000, tx_size=4,
+                                write_fraction=0.3),
+        num_servers=3, num_clients=10, seed=int(seed),
+        warmup=1.5, measure=measure, gc_period=0.2,
+        write_lock_timeout=0.25, rpc_timeout=0.15)
+    repl = replace(base, replication=3, durability="wal",
+                   checkpoint_every=64, follower_reads=True,
+                   record_history=True)
+    cells = [
+        Cell(key=("baseline", 1, int(seed)), config=base),
+        Cell(key=("repl-steady", 3, int(seed)), config=repl),
+        Cell(key=("repl-failover", 3, int(seed)),
+             config=replace(repl, chaos=ChaosConfig(leader_crashes=1,
+                                                    leader_downtime=0.6))),
     ]
     _check_unique(cells)
     return cells

@@ -15,7 +15,7 @@ from .trace import EventKind, TraceEvent
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "fold_trace",
            "merge_conflict_counts", "merge_overload_counters",
-           "merge_stripe_counts"]
+           "merge_replication_counters", "merge_stripe_counts"]
 
 
 class Counter:
@@ -261,3 +261,50 @@ def merge_stripe_counts(registry: MetricsRegistry,
     for idx, n in enumerate(contention.get("conflicts", ())):
         if n:
             conflicts.inc(idx, n)
+
+
+def merge_replication_counters(registry: MetricsRegistry,
+                               servers: Iterable[Any],
+                               clients: Iterable[Any]) -> None:
+    """Merge replication/durability counters into the registry.
+
+    Server side: mirrored write-lock holds and snapshot reads served /
+    refused (labelled by server id), plus WAL records and checkpoints for
+    durable servers.  Client side: follower reads, snapshot fallbacks
+    (refusals that fell through to another replica) and snapshot commits
+    (labelled by client id), and every follower-read staleness sample into
+    the ``replication.read_staleness`` histogram.  Zero counts are skipped
+    (absent labels read back as 0).
+    """
+    per_server = (("holds_mirrored", registry.counter("server.holds_mirrored")),
+                  ("snapshot_reads", registry.counter("server.snapshot_reads")),
+                  ("snapshot_refused",
+                   registry.counter("server.snapshot_refused")))
+    wal_records = registry.counter("server.wal_records")
+    checkpoints = registry.counter("server.checkpoints")
+    for server in servers:
+        for stat, counter in per_server:
+            n = server.stats.get(stat, 0)
+            if n:
+                counter.inc(server.server_id, n)
+        durable = getattr(server, "durable", None)
+        if durable is not None:
+            if durable.wal.records_appended:
+                wal_records.inc(server.server_id,
+                                durable.wal.records_appended)
+            if durable.checkpoints:
+                checkpoints.inc(server.server_id, durable.checkpoints)
+    per_client = (("follower_reads",
+                   registry.counter("client.follower_reads")),
+                  ("snapshot_fallbacks",
+                   registry.counter("client.snapshot_fallbacks")),
+                  ("snapshot_commits",
+                   registry.counter("client.snapshot_commits")))
+    staleness = registry.histogram("replication.read_staleness")
+    for client in clients:
+        for stat, counter in per_client:
+            n = client.stats.get(stat, 0)
+            if n:
+                counter.inc(client.client_id, n)
+        for sample in getattr(client, "read_staleness", ()):
+            staleness.observe(sample)

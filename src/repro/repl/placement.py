@@ -1,0 +1,106 @@
+"""Replicated placement of key groups: leaders, followers, fencing epochs.
+
+Replaces the static :class:`repro.dist.partition.Partition` map.  The key
+space is hashed into ``len(servers)`` groups exactly as before (group *g*'s
+initial leader is ``servers[g]``, so with ``replication=1`` routing is
+bit-identical to the old partition map); each group is additionally
+assigned ``replication - 1`` followers in ring order.
+
+The placement object is shared by clients, the failover controller and the
+post-run scans.  It stands in for a consensus-backed configuration service
+(the role etcd/ZooKeeper plays in real systems): promotions update it
+atomically within one simulator event, and each promotion bumps the
+group's *fencing epoch*.  Clients remember the epoch of every group they
+touch and abort when it moves mid-transaction — the group-level analogue
+of the per-server restart-epoch stamping of §H.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable, Sequence
+
+__all__ = ["ReplicatedPlacement"]
+
+
+class ReplicatedPlacement:
+    """Leader/follower assignment of hashed key groups with epochs."""
+
+    def __init__(self, servers: Sequence[Hashable],
+                 replication: int = 1) -> None:
+        if not servers:
+            raise ValueError("need at least one server")
+        if not 1 <= replication <= len(servers):
+            raise ValueError(f"replication must be in [1, {len(servers)}], "
+                             f"got {replication}")
+        self._servers = list(servers)
+        self.replication = replication
+        n = len(self._servers)
+        self.num_groups = n
+        self._members: list[tuple[Hashable, ...]] = [
+            tuple(self._servers[(gid + i) % n] for i in range(replication))
+            for gid in range(n)]
+        self._leaders: list[Hashable] = [m[0] for m in self._members]
+        self._epochs: list[int] = [0] * n
+
+    # -- key routing --------------------------------------------------------
+
+    def group_of(self, key: Hashable) -> int:
+        """Hash a key to its group (same map as the old Partition)."""
+        if isinstance(key, int):
+            return key % self.num_groups
+        return zlib.crc32(str(key).encode()) % self.num_groups
+
+    def leader_of(self, key: Hashable) -> Hashable:
+        return self._leaders[self.group_of(key)]
+
+    #: Old Partition API — single-copy callers route to the leader.
+    server_of = leader_of
+
+    def followers_of(self, key: Hashable) -> tuple[Hashable, ...]:
+        gid = self.group_of(key)
+        leader = self._leaders[gid]
+        return tuple(s for s in self._members[gid] if s != leader)
+
+    # -- group introspection ------------------------------------------------
+
+    def leader(self, gid: int) -> Hashable:
+        return self._leaders[gid]
+
+    def members(self, gid: int) -> tuple[Hashable, ...]:
+        return self._members[gid]
+
+    def group_epoch(self, gid: int) -> int:
+        return self._epochs[gid]
+
+    def groups(self) -> range:
+        return range(self.num_groups)
+
+    # -- failover -----------------------------------------------------------
+
+    def promote(self, gid: int, new_leader: Hashable) -> int:
+        """Make ``new_leader`` the group's leader; returns the new epoch.
+
+        Only an existing member may be promoted (a non-member has none of
+        the group's mirrored state).  Bumping the epoch fences every
+        transaction that touched the group under the old leadership.
+        """
+        if new_leader not in self._members[gid]:
+            raise ValueError(f"{new_leader!r} is not a member of group "
+                             f"{gid}")
+        self._leaders[gid] = new_leader
+        self._epochs[gid] += 1
+        return self._epochs[gid]
+
+    # -- Partition compatibility -------------------------------------------
+
+    @property
+    def servers(self) -> list[Hashable]:
+        return list(self._servers)
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReplicatedPlacement({len(self._servers)} servers, "
+                f"r={self.replication})")

@@ -1,0 +1,189 @@
+"""Quorum rules, the failover controller and post-run replication scans.
+
+Replication scheme (primary-copy; DESIGN.md §5e):
+
+* the group **leader** is the sole lock/conflict authority — Theorem 8's
+  serializability argument is untouched;
+* a client holds a write lock at a **write quorum**: the leader grant plus
+  acknowledged mirrors (``ReplicaHoldReq``) on a majority of the group.
+  Mirrors carry the granted interval *and* the pending value, so any
+  quorum member can finish the commit alone;
+* commit records fan out to **every** member and each member applies the
+  decision it reads from the shared :class:`CommitmentRegistry` — the
+  commitment object is the replication consensus, not a new protocol;
+* on leader death the :class:`FailoverController` promotes the most
+  up-to-date live follower and bumps the group's fencing epoch.  The
+  promoted follower's mirrored (still unfrozen) locks resolve through the
+  ordinary write-lock-timeout machinery: decided commits install, the rest
+  abort — zero committed writes are lost.
+
+The controller is deliberately message-driven (heartbeats over the
+simulated network, no peeking at server objects), so detection latency is
+a real, measurable quantity: ``promotion time - crash time``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+from .placement import ReplicatedPlacement
+
+__all__ = ["write_quorum", "FailoverController", "scan_lost_commits"]
+
+
+def write_quorum(replication: int) -> int:
+    """Members that must hold a write lock (leader included): a majority."""
+    return replication // 2 + 1
+
+
+class FailoverController:
+    """Heartbeat-driven leader failure detection and follower promotion.
+
+    Every ``interval`` seconds the controller pings all group members; a
+    leader that misses ``miss_limit`` consecutive beats — or answers with a
+    *changed* restart epoch, proving it crashed and lost its volatile lock
+    state — is demoted.  The replacement is the live follower with the
+    freshest applied-commit count (ties break on server id), preferring
+    members that never restarted (a restarted member may have missed
+    commit records while down; it stays a cold standby).
+    """
+
+    node_id = "__failover__"
+
+    def __init__(self, sim: Any, net: Any, placement: ReplicatedPlacement,
+                 *, interval: float = 0.05, miss_limit: int = 3) -> None:
+        # Deferred import: repro.dist imports this package at module load.
+        from ..dist.messages import HeartbeatReply, HeartbeatReq
+        self._req_cls = HeartbeatReq
+        self._reply_cls = HeartbeatReply
+        self.sim = sim
+        self.net = net
+        self.placement = placement
+        self.interval = interval
+        self.miss_limit = miss_limit
+        members: set[Hashable] = set()
+        for gid in placement.groups():
+            members.update(placement.members(gid))
+        self._members = sorted(members, key=str)
+        self._misses: dict[Hashable, int] = {m: 0 for m in self._members}
+        self._outstanding: dict[Hashable, Any] = {}
+        self._epoch_seen: dict[Hashable, int] = {}
+        self._suspect: set[Hashable] = set()
+        #: Last reported (applied_commits, dirty) per member.
+        self._state: dict[Hashable, tuple[int, bool]] = {}
+        #: ``(time, gid, old_leader, new_leader, new_epoch)`` per promotion.
+        self.promotions: list[tuple[float, int, Hashable, Hashable, int]] = []
+        self.heartbeats_sent = 0
+        self._seq = 0
+        net.register(self.node_id, self._on_message)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        # 1. Account a miss for every member whose last ping went unanswered.
+        for sid in self._members:
+            if self._outstanding.get(sid) is not None:
+                self._misses[sid] += 1
+        # 2. Demote dead or restarted leaders.
+        for gid in self.placement.groups():
+            leader = self.placement.leader(gid)
+            if (self._misses.get(leader, 0) >= self.miss_limit
+                    or leader in self._suspect):
+                self._promote(gid, leader)
+        self._suspect = {s for s in self._suspect
+                         if any(self.placement.leader(g) == s
+                                for g in self.placement.groups())}
+        # 3. Ping everyone again.
+        for sid in self._members:
+            self._seq += 1
+            req = self._req_cls(tx_id="__hb__", client=self.node_id,
+                                req_id=self._seq)
+            self._outstanding[sid] = self._seq
+            self.heartbeats_sent += 1
+            self.net.send(sid, req, src=self.node_id)
+        self.sim.schedule(self.interval, self._tick)
+
+    def _promote(self, gid: int, old_leader: Hashable) -> None:
+        candidates = [sid for sid in self.placement.members(gid)
+                      if sid != old_leader
+                      and self._misses.get(sid, 0) == 0
+                      and sid in self._state]
+        if not candidates:
+            return  # nobody alive and known: retry next tick
+        # Prefer clean (never-restarted) members, then the freshest.
+        def rank(sid: Hashable) -> tuple:
+            applied, dirty = self._state[sid]
+            return (dirty, -applied, str(sid))
+        new_leader = min(candidates, key=rank)
+        epoch = self.placement.promote(gid, new_leader)
+        self.promotions.append((self.sim.now, gid, old_leader, new_leader,
+                                epoch))
+        self._suspect.discard(old_leader)
+
+    # -- message handling ---------------------------------------------------
+
+    def _on_message(self, msg: Any) -> None:
+        if not isinstance(msg, self._reply_cls):
+            return
+        sid = msg.server
+        if self._outstanding.get(sid) != msg.req_id:
+            return  # stale or duplicated beat
+        self._outstanding[sid] = None
+        self._misses[sid] = 0
+        self._state[sid] = (msg.applied, msg.dirty)
+        prev = self._epoch_seen.get(sid)
+        if prev is not None and msg.epoch != prev:
+            # The member crashed and came back: its volatile locks are gone.
+            # If it leads a group it must be fenced even though it answers.
+            self._suspect.add(sid)
+        self._epoch_seen[sid] = msg.epoch
+
+
+def scan_lost_commits(history: Any, placement: ReplicatedPlacement,
+                      servers: Mapping[Hashable, Any],
+                      before: float | None = None) -> dict[str, int]:
+    """Audit: is every committed write present where readers will look?
+
+    ``lost_commits`` counts committed (key, ts) writes missing from the
+    key's *current leader* — the zero-lost-writes assertion of the failover
+    bench.  ``replica_missing`` additionally counts gaps on followers
+    (weakened redundancy, not yet data loss).
+
+    Versions at or below a server's stable purge floor are exempt on that
+    server: the timestamp service legitimately discards overwritten
+    versions below the floor (§6), keeping only each key's newest — absence
+    there is garbage collection, not data loss.  ``before`` bounds the
+    audit to commits whose timestamp precedes it: commits decided in the
+    last instants before the simulation stops can have their (reliable)
+    apply fan-out still in flight, which is an artifact of halting the
+    world, not of the protocol.
+    """
+    checked = lost = replica_missing = 0
+
+    def missing(srv: Any, key: Hashable, ts: Any) -> bool:
+        if srv is None:
+            return True
+        floor = getattr(srv, "stable_floor", None)
+        if floor is not None and ts <= floor:
+            return False  # purge-eligible; absence proves nothing
+        return srv.store.version_at(key, ts) is None
+
+    for rec in history.committed():
+        if rec.commit_ts is None or not rec.writes:
+            continue
+        if before is not None and rec.commit_ts.value >= before:
+            continue
+        for key in rec.writes:
+            checked += 1
+            gid = placement.group_of(key)
+            if missing(servers.get(placement.leader(gid)), key,
+                       rec.commit_ts):
+                lost += 1
+            for sid in placement.members(gid):
+                if missing(servers.get(sid), key, rec.commit_ts):
+                    replica_missing += 1
+    return {"commits_checked": checked, "lost_commits": lost,
+            "replica_missing": replica_missing}

@@ -1,0 +1,95 @@
+"""ReplicatedPlacement: routing parity with Partition, quorums, failover."""
+
+import pytest
+
+from repro.dist.partition import Partition
+from repro.repl.placement import ReplicatedPlacement
+from repro.repl.replica import write_quorum
+
+SERVERS = [f"server-{i}" for i in range(5)]
+
+
+class TestRoutingParity:
+    def test_replication_one_matches_partition_for_str_keys(self):
+        old = Partition(SERVERS)
+        new = ReplicatedPlacement(SERVERS, replication=1)
+        for key in (f"k{i:04d}" for i in range(500)):
+            assert new.server_of(key) == old.server_of(key)
+
+    def test_replication_one_matches_partition_for_int_keys(self):
+        old = Partition(SERVERS)
+        new = ReplicatedPlacement(SERVERS, replication=1)
+        for key in range(500):
+            assert new.server_of(key) == old.server_of(key)
+
+    def test_leader_unmoved_by_higher_replication(self):
+        r1 = ReplicatedPlacement(SERVERS, replication=1)
+        r3 = ReplicatedPlacement(SERVERS, replication=3)
+        for key in range(100):
+            assert r3.leader_of(key) == r1.leader_of(key)
+
+
+class TestMembership:
+    def test_members_are_distinct_ring_successors(self):
+        placement = ReplicatedPlacement(SERVERS, replication=3)
+        for gid in placement.groups():
+            members = placement.members(gid)
+            assert len(members) == 3
+            assert len(set(members)) == 3
+            assert members[0] == placement.leader(gid)
+            assert members == tuple(SERVERS[(gid + i) % 5]
+                                    for i in range(3))
+
+    def test_followers_exclude_the_leader(self):
+        placement = ReplicatedPlacement(SERVERS, replication=3)
+        for key in range(20):
+            followers = placement.followers_of(key)
+            assert placement.leader_of(key) not in followers
+            assert len(followers) == 2
+
+    def test_replication_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ReplicatedPlacement(SERVERS, replication=0)
+        with pytest.raises(ValueError):
+            ReplicatedPlacement(SERVERS, replication=6)
+        with pytest.raises(ValueError):
+            ReplicatedPlacement([], replication=1)
+
+
+class TestFailover:
+    def test_promote_moves_leadership_and_bumps_epoch(self):
+        placement = ReplicatedPlacement(SERVERS, replication=3)
+        gid = 0
+        follower = placement.members(gid)[1]
+        assert placement.group_epoch(gid) == 0
+        epoch = placement.promote(gid, follower)
+        assert epoch == 1
+        assert placement.leader(gid) == follower
+        assert placement.group_epoch(gid) == 1
+        # Other groups are untouched.
+        assert all(placement.group_epoch(g) == 0
+                   for g in placement.groups() if g != gid)
+        # followers_of now excludes the new leader, includes the old.
+        key = next(k for k in range(100) if placement.group_of(k) == gid)
+        assert follower not in placement.followers_of(key)
+        assert SERVERS[0] in placement.followers_of(key)
+
+    def test_promote_rejects_non_members(self):
+        placement = ReplicatedPlacement(SERVERS, replication=2)
+        outsider = placement.members(0)[-1]
+        for gid in placement.groups():
+            if outsider not in placement.members(gid):
+                with pytest.raises(ValueError):
+                    placement.promote(gid, outsider)
+                break
+        else:  # pragma: no cover - ring of 5, r=2 always has a gap
+            pytest.fail("no group without the outsider")
+
+
+class TestWriteQuorum:
+    def test_majorities(self):
+        assert write_quorum(1) == 1
+        assert write_quorum(2) == 2
+        assert write_quorum(3) == 2
+        assert write_quorum(4) == 3
+        assert write_quorum(5) == 3
