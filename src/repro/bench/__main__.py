@@ -13,10 +13,12 @@ Usage::
     python -m repro.bench chaos           # seeded fault-injection check
     python -m repro.bench overload        # graceful-degradation ramp
     python -m repro.bench failover        # replicated leader-crash check
+    python -m repro.bench scenario bank-transfer   # one zoo scenario
+    python -m repro.bench scenario        # the whole workload zoo
 
 Prints each figure as an ASCII table and saves the raw points as JSON.
-``smoke``, ``engine`` and ``chaos`` print their report and exit non-zero
-on failure instead of writing files.
+``smoke``, ``engine``, ``chaos`` and ``scenario`` print their report and
+exit non-zero on failure instead of writing files.
 
 ``--workers N`` fans each figure's (config x seed) grid over N crash-
 isolated worker processes via :mod:`repro.exp`; the merged results are
@@ -411,6 +413,99 @@ def run_overload(seed: int = 13) -> int:
     return 1 if failures else 0
 
 
+def run_scenarios(names: list[str] | None = None, seed: int = 1) -> int:
+    """CI check: the workload zoo's invariants and theorem duels.
+
+    Each named scenario (default: all five) runs its reference cluster
+    config twice with the same seed and asserts:
+
+    * determinism — identical outcomes, final states and scenario/overload/
+      replication reports across the two runs;
+    * scenario invariants — the per-scenario semantic checks (balance
+      conservation for ``bank-transfer``, dense counters and order-row
+      atomicity for ``orders``, follower-read engagement and no lost
+      increments for ``scan-vs-oltp``, index == derive(row) for
+      ``secondary-index``, controller engagement plus hot-key integrity
+      and critical-class protection for ``flash-crowd``);
+    * serializability — both runs' recorded histories pass the MVSG
+      checker (Theorem 1 / Theorem 8);
+    * the paper's per-policy theorems, as *duels* on the centralized
+      engine driven by the scenario's own transaction stream:
+      MVTL-epsilon-clock finishes a serial skewed-clock schedule with
+      **zero** serial aborts where MVTL-TO (= MVTO+, Theorem 5) aborts
+      (Theorem 4), and MVTL-Ghostbuster suffers **zero** ghost aborts
+      where MVTL-TO's persistent dead read locks kill live writers
+      (Theorem 7).
+    """
+    from ..dist.cluster import run_cluster
+    from ..verify import check_serializable
+    from ..workload.scenarios import (SCENARIOS, check_scenario,
+                                      ghost_abort_duel, scenario_config,
+                                      serial_skew_duel)
+
+    wanted = list(SCENARIOS) if not names else list(names)
+    print(f"== scenario: workload zoo (seed {seed}, two runs each) ==")
+    print(f"{'scenario':>16s} {'committed':>10s} {'aborted':>8s} "
+          f"{'commit%':>8s} {'quiesced':>9s} {'eps-ser':>8s} {'to-ser':>7s} "
+          f"{'gb-ghost':>9s} {'to-ghost':>9s}")
+    failures = []
+    for name in wanted:
+        config = scenario_config(name, seed=seed)
+        runs = [run_cluster(config) for _ in range(2)]
+        res = runs[0]
+
+        def fingerprint(r):
+            return (r.committed, r.aborted, r.messages_sent,
+                    r.scenario_report, r.final_state,
+                    r.overload_report, r.replication_report)
+
+        if fingerprint(runs[0]) != fingerprint(runs[1]):
+            failures.append(f"{name}: same-seed runs diverged")
+        for msg in check_scenario(name, res):
+            failures.append(f"{name}: {msg}")
+        for i, r in enumerate(runs):
+            report = check_serializable(r.history)
+            if not report.serializable:
+                failures.append(f"{name} run {i}: history not "
+                                f"MVSG-serializable: {report.reason}")
+
+        # Theorem duels, driven by this scenario's transaction stream on
+        # the centralized engine (duel seeds are fixed per duel: they pin
+        # a schedule known to make the susceptible policy misbehave).
+        skew = serial_skew_duel(name)
+        ghost = ghost_abort_duel(name)
+        eps_ser = skew["mvtl-epsilon-clock"]["serial_aborts"]
+        to_ser = skew["mvtl-to"]["serial_aborts"]
+        gb_ghost = ghost["mvtl-ghostbuster"]["ghost_aborts"]
+        to_ghost = ghost["mvtl-to"]["ghost_aborts"]
+        if eps_ser:
+            failures.append(
+                f"{name}: Theorem 4 violated — mvtl-epsilon-clock aborted "
+                f"{eps_ser} transactions in a *serial* epsilon-synchronized "
+                f"schedule")
+        if not to_ser:
+            failures.append(
+                f"{name}: the skew duel induced no mvtl-to (MVTO+) serial "
+                f"abort, so the Theorem 4 comparison is vacuous")
+        if gb_ghost:
+            failures.append(
+                f"{name}: Theorem 7 violated — mvtl-ghostbuster suffered "
+                f"{gb_ghost} ghost aborts (conflicts with dead "
+                f"transactions)")
+        if not to_ghost:
+            failures.append(
+                f"{name}: the ghost duel induced no mvtl-to ghost abort, "
+                f"so the Theorem 7 comparison is vacuous")
+        print(f"{name:>16s} {res.committed:>10d} {res.aborted:>8d} "
+              f"{res.commit_rate * 100:>7.1f}% "
+              f"{str(res.scenario_report['quiesced']):>9s} {eps_ser:>8d} "
+              f"{to_ser:>7d} {gb_ghost:>9d} {to_ghost:>9d}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("scenario: " + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
 def run_engine_bench(threads: int = 8, duration: float = 1.0,
                      keys_per_thread: int = 64) -> int:
     """Threaded MVTLEngine throughput, single-stripe vs striped.
@@ -488,7 +583,8 @@ def main(argv: list[str] | None = None) -> int:
                         choices=sorted(FIGURES) + ["fig6", "fig7", "all",
                                                    "figures", "smoke",
                                                    "engine", "chaos",
-                                                   "overload", "failover"],
+                                                   "overload", "failover",
+                                                   "scenario"],
                         help="which figure to regenerate ('figures' = all "
                              "figures, intended with --workers; or: 'smoke' "
                              "= batched-vs-unbatched outcome check, 'engine' "
@@ -496,7 +592,12 @@ def main(argv: list[str] | None = None) -> int:
                              "= seeded fault-injection safety/liveness "
                              "check, 'overload' = graceful-degradation "
                              "ramp past saturation, 'failover' = "
-                             "replicated leader-crash recovery check)")
+                             "replicated leader-crash recovery check, "
+                             "'scenario' = workload-zoo invariant + "
+                             "theorem-duel check)")
+    parser.add_argument("name", nargs="?", default=None,
+                        help="scenario name for 'scenario' (omit or 'all' "
+                             "= every registered scenario)")
     parser.add_argument("--seeds", type=int, nargs="+", default=[1],
                         help="seeds to average over (paper: 5 repetitions)")
     parser.add_argument("--out", default="benchmarks/results",
@@ -523,6 +624,18 @@ def main(argv: list[str] | None = None) -> int:
         return run_overload(seed=args.seeds[0])
     if args.figure == "failover":
         return run_failover(seed=args.seeds[0])
+    if args.figure == "scenario":
+        from ..workload.scenarios import SCENARIOS
+        if args.name in (None, "all"):
+            names = None
+        elif args.name in SCENARIOS:
+            names = [args.name]
+        else:
+            parser.error(f"unknown scenario {args.name!r}; expected one of "
+                         f"{sorted(SCENARIOS)} or 'all'")
+        return run_scenarios(names=names, seed=args.seeds[0])
+    if args.name is not None:
+        parser.error("a scenario name is only valid with 'scenario'")
 
     wanted = (sorted(FIGURES) + ["fig6"]
               if args.figure in ("all", "figures") else [args.figure])

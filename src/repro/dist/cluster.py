@@ -15,9 +15,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..clocks.clock import EpsilonSyncClock
+from ..core.timestamp import BOTTOM
 from ..obs.metrics import (MetricsRegistry, fold_trace,
                            merge_conflict_counts, merge_overload_counters,
-                           merge_replication_counters)
+                           merge_replication_counters,
+                           merge_scenario_counters)
 from ..obs.trace import Tracer
 from ..repl.checkpoint import DurableStore
 from ..repl.placement import ReplicatedPlacement
@@ -29,6 +31,7 @@ from ..sim.testbed import LOCAL_TESTBED, TestbedProfile
 from ..verify.history import HistoryRecorder
 from ..workload.generator import WorkloadConfig, WorkloadGenerator
 from ..workload.runner import closed_loop_client
+from ..workload.scenarios import SCENARIOS, make_scenario_generator
 from ..workload.stats import RunStats, StateSampler
 from .client import MVTILClient, MVTOClient, TwoPLClient
 from .commitment import CommitmentRegistry
@@ -149,6 +152,14 @@ class ClusterConfig:
     #: follower is promoted.  Only runs when ``replication > 1``.
     heartbeat_interval: float = 0.05
     heartbeat_miss_limit: int = 3
+    #: Named scenario from the workload zoo (repro.workload.scenarios).
+    #: When set, each client runs that scenario's generator instead of the
+    #: knob-driven WorkloadGenerator (``workload`` still supplies the
+    #: knobs), clients stop issuing new transactions at
+    #: ``warmup + measure`` so the run can *drain to quiescence*, and the
+    #: result carries ``final_state`` (authoritative latest committed value
+    #: per key) plus a ``scenario_report`` for invariant checking.
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -214,6 +225,9 @@ class ClusterConfig:
             raise ValueError("chaos.leader_crashes requires replication > 1 "
                              "(a failover controller must exist to promote "
                              "a follower)")
+        if self.scenario is not None and self.scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {self.scenario!r}; "
+                             f"expected one of {sorted(SCENARIOS)}")
 
 
 @dataclass
@@ -255,6 +269,15 @@ class ClusterResult:
     #: counts, client-side admission rejects and breaker trips, and the
     #: per-class (critical vs normal) goodput/latency summary.
     overload_report: dict = field(default_factory=dict)
+    #: Scenario runs only: the authoritative latest committed value for
+    #: every key (leaders' version stores after draining to quiescence) —
+    #: what the per-scenario invariants (balance conservation, dense
+    #: counters, index consistency) are checked against.
+    final_state: dict | None = None
+    #: Scenario runs only: {"scenario", "quiesced", "counters"} — whether
+    #: every client drained before the deadline, plus the merged
+    #: per-generator event counters.
+    scenario_report: dict | None = None
     #: Replication/durability outcome (``replication > 1`` or
     #: ``durability="wal"`` only): failover promotions and latencies,
     #: quorum/snapshot-read counters, WAL record/checkpoint counts,
@@ -342,6 +365,12 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
     client_ids = []
     clients = []
     client_procs: dict[str, Any] = {}
+    scenario_gens: list[Any] = []
+    # Scenario clients stop issuing new transactions at the end of the
+    # measurement window so the run drains to quiescence for final-state
+    # invariant checks; plain runs keep the run-forever closed loop.
+    stop_after = (config.warmup + config.measure
+                  if config.scenario is not None else None)
     # A restarted server rejoins with empty volatile lock state; epoch
     # validation makes committing clients re-confirm every touched server
     # before deciding, closing the lost-lock window.
@@ -379,11 +408,21 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                  registry, lock_timeout=config.lock_timeout,
                                  **common)
         clients.append(client)
-        workload = WorkloadGenerator(config.workload, rngs.stream())
+        # Scenario generators replace the WorkloadGenerator *in place* —
+        # the same single stream draw at the same position — so seeds for
+        # scenario-less configs are bit-for-bit unchanged.
+        if config.scenario is not None:
+            workload: Any = make_scenario_generator(
+                config.scenario, config.workload, rngs.stream(),
+                client_index=i, num_clients=config.num_clients)
+            scenario_gens.append(workload)
+        else:
+            workload = WorkloadGenerator(config.workload, rngs.stream())
         client_procs[cid] = sim.spawn(closed_loop_client(
             client, workload, stats, rngs.stream(),
             client_overhead=config.profile.client_overhead,
-            max_restarts=config.max_restarts), name=cid)
+            max_restarts=config.max_restarts,
+            stop_after=stop_after), name=cid)
     # Retry-jitter streams are drawn *after* the loop above so the
     # clock/workload/runner stream assignments — and hence every outcome of
     # a pre-overload-control seed — stay exactly as they were.
@@ -454,6 +493,44 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         if config.commitment == "paxos":
             settle += config.write_lock_timeout  # consensus rounds + backoff
         sim.run_until(config.warmup + config.measure + settle)
+
+    final_state = None
+    scenario_report = None
+    if config.scenario is not None:
+        # Drain to quiescence: clients stop issuing at warmup + measure
+        # (stop_after); run on until every client process has finished its
+        # in-flight transaction (restarts and overload backoffs included),
+        # bounded by a generous deadline so a wedged run still returns.
+        drain_deadline = config.warmup + config.measure + 12.0
+        while (sim.now < drain_deadline
+               and not all(p.done for p in client_procs.values())):
+            sim.run_until(min(sim.now + 0.25, drain_deadline))
+        # Client completion means the commit *decision* was observed, not
+        # that every server applied the install fan-out — give the last
+        # notifications time to land before reading the stores.
+        sim.run_until(sim.now + 1.0)
+        final_state = {}
+        authority = (partition.leader_of if hasattr(partition, "leader_of")
+                     else partition.server_of)
+        for server in servers:
+            store = getattr(server, "store", None)
+            if store is None:
+                continue
+            for key, versions, _floor in store.snapshot():
+                if authority(key) != server.server_id or not versions:
+                    continue
+                _ts, value = versions[-1]
+                if value is not BOTTOM:
+                    final_state[key] = value
+        counters: dict[str, int] = {}
+        for gen in scenario_gens:
+            for cname, n in gen.counters.items():
+                counters[cname] = counters.get(cname, 0) + n
+        scenario_report = {
+            "scenario": config.scenario,
+            "quiesced": all(p.done for p in client_procs.values()),
+            "counters": counters,
+        }
 
     # Wire cost: every network message (requests, replies, fire-and-forget
     # notifications, maintenance) over every commit the whole run produced
@@ -555,6 +632,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         merge_overload_counters(metrics_reg, servers)
         if replication_report is not None:
             merge_replication_counters(metrics_reg, servers, clients)
+        if scenario_report is not None:
+            merge_scenario_counters(metrics_reg, scenario_report)
         metrics = metrics_reg.as_dict()
         metrics["run"] = {
             "protocol": config.protocol,
@@ -589,6 +668,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         metrics=metrics,
         chaos_report=chaos_report,
         overload_report=overload_report,
+        final_state=final_state,
+        scenario_report=scenario_report,
         replication_report=replication_report,
         sim_events=sim.events_processed,
         wall_s=time.perf_counter() - wall_start,

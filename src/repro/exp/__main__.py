@@ -19,7 +19,8 @@ import sys
 import time
 
 from .bench import make_bench_doc, write_bench
-from .grid import derive_seeds, failover_grid, figure_grid, reference_cell
+from .grid import (derive_seeds, failover_grid, figure_grid, reference_cell,
+                   scenario_grid)
 from .harness import print_progress, run_cells
 
 
@@ -40,6 +41,11 @@ def main(argv: list[str] | None = None) -> int:
                              "the figure grid and record failover latency, "
                              "goodput dip and the lost-commits audit "
                              "(default output BENCH_6.json)")
+    parser.add_argument("--scenarios", action="store_true",
+                        help="run the workload-zoo scenario grid instead of "
+                             "the figure grid and record per-scenario "
+                             "outcomes, generated mixes and invariant "
+                             "status (default output BENCH_7.json)")
     parser.add_argument("--root-seed", type=int, default=2026,
                         help="root seed the per-cell seeds derive from")
     parser.add_argument("--compare-serial", action="store_true",
@@ -53,6 +59,8 @@ def main(argv: list[str] | None = None) -> int:
                              "reference cell (for recording the speedup)")
     args = parser.parse_args(argv)
 
+    if args.failover and args.scenarios:
+        parser.error("--failover and --scenarios are mutually exclusive")
     if args.failover:
         if args.out == "BENCH_5.json":
             args.out = "BENCH_6.json"
@@ -61,6 +69,13 @@ def main(argv: list[str] | None = None) -> int:
         [seed] = derive_seeds(args.root_seed, 1)
         cells = failover_grid(seed=seed,
                               measure=3.0 if args.full else 2.5)
+    elif args.scenarios:
+        if args.out == "BENCH_5.json":
+            args.out = "BENCH_7.json"
+        if args.bench_name == "BENCH_5":
+            args.bench_name = "BENCH_7"
+        [seed] = derive_seeds(args.root_seed, 1)
+        cells = scenario_grid(seed=seed)
     elif args.full:
         clients = (30, 90, 150, 300)
         seeds = derive_seeds(args.root_seed, 3)
@@ -69,10 +84,10 @@ def main(argv: list[str] | None = None) -> int:
         seeds = derive_seeds(args.root_seed, 2)
         cells = figure_grid(clients=(30, 150), seeds=seeds, measure=1.5)
 
-    if args.failover:
-        # The failover cells record full histories (for the lost-commits
-        # audit), which do not survive the worker-pipe pickle — run the
-        # three cells in-process instead.
+    if args.failover or args.scenarios:
+        # These cells record full histories (lost-commits audit / scenario
+        # invariant checks), which do not survive the worker-pipe pickle —
+        # run them in-process instead.
         args.workers = 0
     print(f"[repro.exp] grid: {len(cells)} cells, workers={args.workers}",
           file=sys.stderr, flush=True)
@@ -106,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
 
     hot_path = None
-    if not args.skip_hot_path and not args.failover:
+    if not args.skip_hot_path and not args.failover and not args.scenarios:
         cell = reference_cell()
         print(f"[repro.exp] hot-path reference cell {cell.label} "
               "(single process)", file=sys.stderr, flush=True)
@@ -150,6 +165,37 @@ def main(argv: list[str] | None = None) -> int:
                 1.0 - by["repl-failover"].committed
                 / max(1, by["repl-steady"].committed), 4),
         }
+    if args.scenarios and all(out.ok for out in outcomes):
+        # Per-scenario derived record: generated mix, quiescence, duels
+        # and invariant status (counts only — deterministic and compact).
+        from ..workload.scenarios import (check_scenario, ghost_abort_duel,
+                                          serial_skew_duel)
+        section = {}
+        for out in outcomes:
+            name = out.key[1]
+            res = out.result
+            invariant_failures = check_scenario(name, res)
+            skew = serial_skew_duel(name)
+            ghost = ghost_abort_duel(name)
+            section[name] = {
+                "committed": res.committed,
+                "aborted": res.aborted,
+                "commit_rate": round(res.commit_rate, 4),
+                "quiesced": res.scenario_report["quiesced"],
+                "counters": dict(res.scenario_report["counters"]),
+                "final_state_keys": len(res.final_state or {}),
+                "invariant_failures": invariant_failures,
+                "serial_aborts": {
+                    policy: r["serial_aborts"] for policy, r in skew.items()},
+                "ghost_aborts": {
+                    policy: r["ghost_aborts"] for policy, r in ghost.items()},
+            }
+            if invariant_failures:
+                print(f"[repro.exp] ERROR: {name} invariants failed: "
+                      f"{invariant_failures}", file=sys.stderr)
+                return 1
+        doc["scenarios"] = section
+
     path = write_bench(doc, args.out)
     failed = doc["totals"]["failed"]
     print(f"[repro.exp] wrote {path} "

@@ -18,7 +18,7 @@ from ..sim.testbed import LOCAL_TESTBED
 from ..workload.generator import WorkloadConfig
 
 __all__ = ["Cell", "derive_seeds", "failover_grid", "figure_grid",
-           "reference_cell"]
+           "reference_cell", "scenario_grid"]
 
 
 @dataclass(frozen=True)
@@ -115,6 +115,22 @@ def failover_grid(seed: int = 1, measure: float = 2.5) -> list[Cell]:
              config=replace(repl, chaos=ChaosConfig(leader_crashes=1,
                                                     leader_downtime=0.6))),
     ]
+    _check_unique(cells)
+    return cells
+
+
+def scenario_grid(seed: int = 1) -> list[Cell]:
+    """The workload-zoo grid behind the BENCH_7 record.
+
+    One cell per registered scenario, all at the same seed, each running
+    its reference cluster config (``scenario_config``): the bench record
+    pins every scenario's committed/aborted counts, generated mix and
+    invariant status as one reproducible point.
+    """
+    from ..workload.scenarios import SCENARIOS, scenario_config
+    cells = [Cell(key=("scenario", name, int(seed)),
+                  config=scenario_config(name, seed=int(seed)))
+             for name in SCENARIOS]
     _check_unique(cells)
     return cells
 

@@ -15,7 +15,8 @@ from .trace import EventKind, TraceEvent
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "fold_trace",
            "merge_conflict_counts", "merge_overload_counters",
-           "merge_replication_counters", "merge_stripe_counts"]
+           "merge_replication_counters", "merge_scenario_counters",
+           "merge_stripe_counts"]
 
 
 class Counter:
@@ -308,3 +309,19 @@ def merge_replication_counters(registry: MetricsRegistry,
                 counter.inc(client.client_id, n)
         for sample in getattr(client, "read_staleness", ()):
             staleness.observe(sample)
+
+
+def merge_scenario_counters(registry: MetricsRegistry,
+                            scenario_report: Mapping[str, Any]) -> None:
+    """Merge a scenario run's generator counters into the registry.
+
+    One counter per scenario, named ``scenario.<name>`` and labelled by
+    event kind (transfers / audits / scans / burst_txs / ...), so a
+    metrics dump pins the generated mix alongside the protocol metrics.
+    Zero counts are skipped (absent labels read back as 0).
+    """
+    name = scenario_report.get("scenario", "unknown")
+    counter = registry.counter(f"scenario.{name}")
+    for kind, n in scenario_report.get("counters", {}).items():
+        if n:
+            counter.inc(kind, n)

@@ -41,6 +41,8 @@ class MVTLGhostbuster(MVTLTimestampOrdering):
             result = engine.acquire(tx, key, LockMode.WRITE, point,
                                     wait=True, stop_on_frozen=True)
             if not result.ok:
+                tx.state.conflict_holders = tuple(
+                    c.holder for c in result.conflicts)
                 engine.release_all_write_locks(tx)
                 tx.state.commit_failed = True
                 return

@@ -38,6 +38,7 @@ class MVTLTimestampOrdering(MVTLPolicy):
     def on_begin(self, engine: "MVTLEngine", tx: Transaction) -> None:
         tx.state.ts = engine.make_ts(tx)
         tx.state.commit_failed = False
+        tx.state.conflict_holders = ()
 
     def write_locks(self, engine: "MVTLEngine", tx: Transaction,
                     key: Hashable) -> None:
@@ -58,6 +59,11 @@ class MVTLTimestampOrdering(MVTLPolicy):
             result = engine.acquire(tx, key, LockMode.WRITE, point,
                                     wait=False)
             if not result.ok:
+                # Record who killed the commit: the ghost-abort taxonomy
+                # (Thm. 7 duel) classifies the abort by whether every
+                # holder was already dead.
+                tx.state.conflict_holders = tuple(
+                    c.holder for c in result.conflicts)
                 engine.release_all_write_locks(tx)
                 tx.state.commit_failed = True
                 return

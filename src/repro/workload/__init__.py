@@ -1,9 +1,24 @@
-"""Workload generation, closed-loop driving, and measurement (§8.3)."""
+"""Workload generation, closed-loop driving, and measurement (§8.3).
 
-from .generator import Op, TxSpec, WorkloadConfig, WorkloadGenerator
+Besides the knob-driven :class:`WorkloadGenerator`, the package ships a
+registry of named *scenarios* (``repro.workload.scenarios``): seeded
+generators with per-scenario invariants and theorem duels, runnable via
+``python -m repro.bench scenario <name>``.
+"""
+
+from .generator import (Op, TxSpec, WorkloadConfig, WorkloadGenerator,
+                        zipf_probabilities)
 from .runner import closed_loop_client, run_tx
+from .scenarios import (SCENARIOS, Scenario, ScenarioGenerator,
+                        check_scenario, ghost_abort_duel,
+                        make_scenario_generator, scenario_config,
+                        scenario_names, serial_skew_duel)
 from .stats import RunStats, StateSample, StateSampler
 
 __all__ = ["Op", "TxSpec", "WorkloadConfig", "WorkloadGenerator",
+           "zipf_probabilities",
            "closed_loop_client", "run_tx",
+           "SCENARIOS", "Scenario", "ScenarioGenerator",
+           "make_scenario_generator", "scenario_config", "check_scenario",
+           "scenario_names", "serial_skew_duel", "ghost_abort_duel",
            "RunStats", "StateSample", "StateSampler"]

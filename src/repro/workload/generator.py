@@ -9,20 +9,29 @@ random stream, so runs are reproducible and clients are uncorrelated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
-__all__ = ["Op", "TxSpec", "WorkloadConfig", "WorkloadGenerator"]
+__all__ = ["Op", "TxSpec", "WorkloadConfig", "WorkloadGenerator",
+           "zipf_probabilities"]
 
 
 @dataclass(frozen=True, slots=True)
 class Op:
-    """One operation of a transaction."""
+    """One operation of a transaction.
+
+    ``compute`` turns a write into a read-modify-write: instead of the
+    static ``value``, the runner calls ``compute(reads)`` — ``reads`` maps
+    each key read so far in this attempt to the value observed — at
+    execution time.  A restarted attempt re-reads and re-computes, so RMW
+    scenarios (bank transfers, order counters) stay correct across aborts.
+    """
 
     is_write: bool
     key: str
     value: str | None = None
+    compute: Callable[[dict[str, Any]], str] | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,10 +41,23 @@ class TxSpec:
     ``critical`` marks MVTL-Prio-class transactions (§5.2): run with
     ``begin(priority=True)``, served ahead of normals by the distributed
     substrate's overload machinery and never shed.
+
+    ``read_only`` overrides the runner's write-free detection: ``None``
+    (default) derives the hint from the ops, an explicit bool forces it.
+    Scenario generators flag analytic scans ``read_only=True`` so
+    replicated MVTIL routes them to snapshot/follower reads.
     """
 
     ops: tuple[Op, ...]
     critical: bool = False
+    read_only: bool | None = None
+
+    @property
+    def is_read_only(self) -> bool:
+        """Whether the runner should request a read-only (snapshot) tx."""
+        if self.read_only is not None:
+            return self.read_only
+        return not any(op.is_write for op in self.ops)
 
 
 @dataclass(frozen=True)
@@ -59,6 +81,30 @@ class WorkloadConfig:
             raise ValueError("critical_fraction must be in [0, 1]")
         if self.tx_size < 1 or self.num_keys < 1:
             raise ValueError("tx_size and num_keys must be positive")
+        if self.zipf_s < 0:
+            # A negative exponent used to silently fall through the
+            # ``zipf_s > 0.0`` gate in WorkloadGenerator and run uniform.
+            raise ValueError("zipf_s must be >= 0 (0 = uniform)")
+
+
+#: Memoized Zipf probability tables, keyed by (num_keys, zipf_s).  The
+#: table is a pure function of those two knobs, so per-client recomputation
+#: was O(clients x keys) of pure waste on large key spaces.  Cached arrays
+#: are marked read-only; ``rng.choice`` only reads them.
+_ZIPF_CACHE: dict[tuple[int, float], np.ndarray] = {}
+
+
+def zipf_probabilities(num_keys: int, zipf_s: float) -> np.ndarray:
+    """The (memoized, read-only) Zipf probability table ``ranks ** -s``."""
+    cache_key = (num_keys, zipf_s)
+    probs = _ZIPF_CACHE.get(cache_key)
+    if probs is None:
+        ranks = np.arange(1, num_keys + 1, dtype=float)
+        weights = ranks ** (-zipf_s)
+        probs = weights / weights.sum()
+        probs.setflags(write=False)
+        _ZIPF_CACHE[cache_key] = probs
+    return probs
 
 
 class WorkloadGenerator:
@@ -70,9 +116,7 @@ class WorkloadGenerator:
         self._rng = rng
         self._value_counter = 0
         if config.zipf_s > 0.0:
-            ranks = np.arange(1, config.num_keys + 1, dtype=float)
-            weights = ranks ** (-config.zipf_s)
-            self._probs = weights / weights.sum()
+            self._probs = zipf_probabilities(config.num_keys, config.zipf_s)
         else:
             self._probs = None
 

@@ -40,16 +40,19 @@ def run_tx(client: Any, spec: TxSpec,
     """
     # The read-only hint lets snapshot-capable clients (replicated MVTIL
     # with follower_reads) serve the whole transaction lock-free at the GC
-    # frontier instead of running the interval protocol.
+    # frontier instead of running the interval protocol.  spec.is_read_only
+    # covers both derived write-free specs and scenarios' explicit flag.
     tx = client.begin(priority=spec.critical,
-                      read_only=not any(op.is_write for op in spec.ops))
+                      read_only=spec.is_read_only)
+    reads: dict[str, Any] = {}
     for op in spec.ops:
         if client_overhead > 0:
             yield Sleep(client_overhead)
         if op.is_write:
-            yield from client.write(tx, op.key, op.value)
+            value = op.value if op.compute is None else op.compute(reads)
+            yield from client.write(tx, op.key, value)
         else:
-            yield from client.read(tx, op.key)
+            reads[op.key] = yield from client.read(tx, op.key)
     yield from client.commit(tx)
     return True
 
@@ -58,7 +61,9 @@ def closed_loop_client(client: Any, workload: WorkloadGenerator,
                        stats: RunStats, rng: np.random.Generator, *,
                        client_overhead: float = 0.0,
                        max_restarts: int = 2,
-                       backoff: float = 0.002) -> Generator[Any, Any, None]:
+                       backoff: float = 0.002,
+                       stop_after: float | None = None
+                       ) -> Generator[Any, Any, None]:
     """The per-client driver process: submit transactions forever.
 
     A transaction is counted once, when its fate is decided: committed if
@@ -73,8 +78,13 @@ def closed_loop_client(client: Any, workload: WorkloadGenerator,
     aborts mean the server is saturated, and synchronized or eager
     restarts are exactly the retry storm that turns transient overload
     metastable.
+
+    ``stop_after`` (simulated seconds) makes the loop finite: no new
+    transaction is started at or past that time, so scenario runs can drain
+    in-flight work and capture a quiescent final state.  ``None`` (the
+    default) preserves the run-forever behaviour of every existing config.
     """
-    while True:
+    while stop_after is None or stats.sim.now < stop_after:
         spec = workload.next_tx()
         attempts = 0
         committed = False

@@ -1,0 +1,63 @@
+"""Theorem duels driven by the workload zoo (Thms. 4 and 7).
+
+The duels run a scenario's seeded transaction stream on the centralized
+engine under the susceptible policy (MVTL-TO, which behaves as MVTO+ by
+Theorem 5) and the fixed one, and count the pathology each theorem rules
+out: serial aborts under epsilon-synchronized skewed clocks for
+MVTL-epsilon-clock (Theorem 4), aborts caused solely by dead
+transactions' persistent locks for MVTL-Ghostbuster (Theorem 7).
+"""
+
+import pytest
+
+from repro.core.engine import MVTLEngine
+from repro.policies.to import MVTLTimestampOrdering
+from repro.workload.scenarios import ghost_abort_duel, serial_skew_duel
+
+
+class TestSerialSkewDuel:
+    def test_epsilon_clock_never_serial_aborts_where_mvto_does(self):
+        result = serial_skew_duel("bank-transfer", num_txs=80)
+        assert result["mvtl-epsilon-clock"]["serial_aborts"] == 0  # Thm. 4
+        assert result["mvtl-to"]["serial_aborts"] > 0  # MVTO+ pathology
+        assert result["mvtl-epsilon-clock"]["commits"] == 80
+
+    def test_every_scenario_stream_upholds_theorem_4(self):
+        for name in ("orders", "scan-vs-oltp", "flash-crowd"):
+            result = serial_skew_duel(name, num_txs=60)
+            assert result["mvtl-epsilon-clock"]["serial_aborts"] == 0, name
+
+
+class TestGhostAbortDuel:
+    def test_ghostbuster_never_ghost_aborts_where_mvto_does(self):
+        result = ghost_abort_duel("orders", rounds=15)
+        assert result["mvtl-ghostbuster"]["ghost_aborts"] == 0  # Thm. 7
+        assert result["mvtl-to"]["ghost_aborts"] > 0  # MVTO+ pathology
+        # Ghostbuster may still abort against *live* conflicts — Theorem 7
+        # only forbids aborts whose every cause is already dead.
+        assert result["mvtl-ghostbuster"]["commits"] > 0
+
+    def test_every_scenario_stream_upholds_theorem_7(self):
+        for name in ("bank-transfer", "secondary-index", "flash-crowd"):
+            result = ghost_abort_duel(name, rounds=12)
+            assert result["mvtl-ghostbuster"]["ghost_aborts"] == 0, name
+
+
+class TestConflictHolderRecording:
+    def test_to_commit_failure_records_holders(self):
+        # The ghost classification depends on the policy recording *who*
+        # killed the commit: a failed MVTL-TO point write-lock must leave
+        # the conflicting holders on tx.state.
+        engine = MVTLEngine(MVTLTimestampOrdering(), default_timeout=0.2)
+        writer = engine.begin(pid=1)   # lower timestamp
+        reader = engine.begin(pid=2)   # higher timestamp
+        engine.read(reader, "k")  # locks (tr, ts_reader] — covers ts_writer
+        engine.write(writer, "k", "v")
+        assert engine.commit(writer) is False  # point lock hits the read
+        assert writer.state.conflict_holders
+        assert reader.id in writer.state.conflict_holders
+
+    def test_holders_reset_at_begin(self):
+        engine = MVTLEngine(MVTLTimestampOrdering(), default_timeout=0.2)
+        tx = engine.begin(pid=1)
+        assert tx.state.conflict_holders == ()
