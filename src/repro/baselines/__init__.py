@@ -1,6 +1,7 @@
 """Baseline concurrency-control engines the paper compares against (§8)."""
 
+from .bohm import BohmEngine
 from .mvto import MVTOEngine
 from .twopl import TwoPLEngine
 
-__all__ = ["MVTOEngine", "TwoPLEngine"]
+__all__ = ["BohmEngine", "MVTOEngine", "TwoPLEngine"]

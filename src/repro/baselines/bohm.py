@@ -1,0 +1,210 @@
+"""Bohm-style deterministic batched-MVCC baseline.
+
+Faleiro & Abadi's Bohm ("Rethinking serializable multiversion concurrency
+control", VLDB 2015) separates concurrency control from execution: a single
+sequencing point assigns every transaction a total-order timestamp, a CC
+phase inserts *placeholder* versions for each transaction's pre-declared
+write set, and an execution phase evaluates transactions with reads resolved
+against the version chains — blocking (here: recursing) on a placeholder
+until its writer has executed.  Because the timestamp order is fixed before
+any data is touched, the committed history is serializable *by
+construction* and identical on every run: determinism replaces locking.
+
+This implementation keeps the repo's shapes: versions live in a real
+:class:`~repro.core.versions.VersionStore`, transactions are
+:class:`~repro.workload.generator.TxSpec`-like objects (ordered ops with
+``compute`` RMW closures — exactly what the workload zoo generates), and
+histories feed the MVSG checker.  The trade against MVTL is the one the
+paper's genre comparison cares about: Bohm never aborts on conflicts (only
+explicit dooms), but requires the full write set up front and cannot serve
+interactive transactions.
+
+Usage::
+
+    engine = BohmEngine(history=h)
+    engine.submit(spec, pid=1)          # enqueue, returns tx id
+    engine.run_batch()                  # execute everything pending
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Hashable
+
+from ..core.exceptions import AbortReason, TransactionStateError
+from ..core.timestamp import Timestamp
+from ..core.versions import VersionStore
+
+__all__ = ["BohmEngine", "BohmTx"]
+
+
+class BohmTx:
+    """One submitted transaction: spec plus sequencing/outcome state."""
+
+    __slots__ = ("id", "pid", "ts", "spec", "executed", "committed",
+                 "aborted", "abort_reason", "reads", "writes", "doomed")
+
+    def __init__(self, tx_id: int, pid: int, ts: Timestamp, spec: Any,
+                 doomed: bool) -> None:
+        self.id = tx_id
+        self.pid = pid
+        self.ts = ts
+        self.spec = spec
+        self.doomed = doomed
+        self.executed = False
+        self.committed = False
+        self.aborted = False
+        self.abort_reason: str | None = None
+        self.reads: list[tuple[Hashable, Timestamp]] = []
+        self.writes: dict[Hashable, Any] = {}
+
+
+class BohmEngine:
+    """Deterministic batched-MVCC engine over a :class:`VersionStore`.
+
+    Parameters
+    ----------
+    history:
+        Optional :class:`~repro.verify.history.HistoryRecorder`.
+    batch_size:
+        Submissions per batch when driven through :meth:`maybe_run_batch`
+        (explicit :meth:`run_batch` ignores it).
+    """
+
+    name = "bohm"
+
+    def __init__(self, *, history: Any | None = None,
+                 batch_size: int = 16) -> None:
+        self.history = history
+        self.batch_size = batch_size
+        self.store = VersionStore()
+        self._tx_counter = count(1)
+        self._seq = count(1)  # total order; also the timestamp value
+        self._pending: list[BohmTx] = []
+        #: key -> [(ts, BohmTx)] placeholders of the batch being executed.
+        self._overlay: dict[Hashable, list[tuple[Timestamp, BohmTx]]] = {}
+        self.stats = {"commits": 0, "aborts": 0, "deadlocks": 0,
+                      "lock_timeouts": 0, "batches": 0}
+
+    # -- submission (the sequencing layer) ----------------------------------
+
+    def submit(self, spec: Any, pid: int = 0, *, doomed: bool = False) -> BohmTx:
+        """Sequence ``spec``: assign the next total-order timestamp.
+
+        ``doomed`` marks a transaction that must abort at execution time
+        (the chaos/duel harnesses' stand-in for an application abort);
+        its writes are skipped by every reader, exactly like Bohm's
+        abort-handling rule (readers of an aborted placeholder fall
+        through to the next older version).
+        """
+        ts = Timestamp(float(next(self._seq)), pid)
+        tx = BohmTx(next(self._tx_counter), pid, ts, spec, doomed)
+        self._pending.append(tx)
+        if self.history is not None:
+            self.history.record_begin(tx.id)
+        return tx
+
+    def maybe_run_batch(self) -> list[BohmTx] | None:
+        """Run a batch if ``batch_size`` submissions have accumulated."""
+        if len(self._pending) >= self.batch_size:
+            return self.run_batch()
+        return None
+
+    # -- execution (CC phase + execution phase) -----------------------------
+
+    def run_batch(self) -> list[BohmTx]:
+        """Execute every pending transaction; returns them in order."""
+        batch, self._pending = self._pending, []
+        if not batch:
+            return batch
+        self.stats["batches"] += 1
+        # CC phase: insert placeholders for every pre-declared write, in
+        # timestamp order.  The write set of a TxSpec is statically known —
+        # the Bohm precondition.
+        overlay = self._overlay
+        overlay.clear()
+        for tx in batch:
+            for op in tx.spec.ops:
+                if op.is_write:
+                    overlay.setdefault(op.key, []).append((tx.ts, tx))
+        # Execution phase: evaluate in timestamp order.  Reads of an
+        # unexecuted same-batch placeholder force its writer first
+        # (dependency-driven execution); recursion depth is bounded by the
+        # batch because forced writers always have *smaller* timestamps.
+        for tx in batch:
+            self._force(tx)
+        # Install committed versions into the durable store, in order.
+        for tx in batch:
+            if tx.committed:
+                for key, value in tx.writes.items():
+                    self.store.install(key, tx.ts, value)
+                if self.history is not None:
+                    self.history.record_commit(tx.id, tx.ts,
+                                               tuple(tx.writes))
+            elif self.history is not None:
+                self.history.record_abort(tx.id, tx.abort_reason)
+        overlay.clear()
+        return batch
+
+    def _force(self, tx: BohmTx) -> None:
+        """Execute ``tx`` now (idempotent)."""
+        if tx.executed:
+            return
+        tx.executed = True  # set first: self-reads must not recurse
+        if tx.doomed:
+            tx.aborted = True
+            tx.abort_reason = AbortReason.USER_ABORT
+            self.stats["aborts"] += 1
+            return
+        reads: dict[Hashable, Any] = {}
+        for op in tx.spec.ops:
+            if op.is_write:
+                value = (op.value if op.compute is None
+                         else op.compute(reads))
+                tx.writes[op.key] = value
+            else:
+                if op.key in tx.writes:  # read-your-writes
+                    reads[op.key] = tx.writes[op.key]
+                    continue
+                version = self._resolve_read(tx, op.key)
+                reads[op.key] = version[1]
+                tx.reads.append((op.key, version[0]))
+                if self.history is not None:
+                    self.history.record_read(tx.id, op.key, version[0])
+        tx.committed = True
+        self.stats["commits"] += 1
+
+    def _resolve_read(self, tx: BohmTx,
+                      key: Hashable) -> tuple[Timestamp, Any]:
+        """Latest visible version of ``key`` strictly below ``tx.ts``.
+
+        Same-batch placeholders win over the store when newer; a
+        placeholder's writer is forced before its value is read, and
+        aborted writers are skipped to the next older version.
+        """
+        for writer_ts, writer in reversed(self._overlay.get(key, ())):
+            if writer_ts >= tx.ts:
+                continue
+            self._force(writer)
+            if writer.committed and key in writer.writes:
+                return writer_ts, writer.writes[key]
+            # aborted (or write never materialized): fall through older
+        version = self.store.latest_before(key, tx.ts)
+        if version is None:
+            # Bohm chains always bottom out at the initial version; a None
+            # would mean a purge raced the batch, which this engine never
+            # does.
+            raise TransactionStateError(
+                f"Bohm read of {key!r} found no version below {tx.ts!r}")
+        return version.ts, version.value
+
+    # -- maintenance ---------------------------------------------------------
+
+    def version_count(self) -> int:
+        return self.store.version_count()
+
+    def lock_record_count(self) -> int:
+        return 0  # the whole point
+
+    def purge_before(self, bound: Timestamp) -> int:
+        return self.store.purge_before(bound)

@@ -15,6 +15,7 @@ Usage::
     python -m repro.bench failover        # replicated leader-crash check
     python -m repro.bench scenario bank-transfer   # one zoo scenario
     python -m repro.bench scenario        # the whole workload zoo
+    python -m repro.bench policies        # registry-wide theorem duels
 
 Prints each figure as an ASCII table and saves the raw points as JSON.
 ``smoke``, ``engine``, ``chaos`` and ``scenario`` print their report and
@@ -182,7 +183,7 @@ def run_chaos(seed: int = 11) -> int:
             report = check_serializable(r.history)
             if not report.serializable:
                 failures.append(f"{label} run {i}: history not "
-                                f"MVSG-serializable: {report.reason}")
+                                f"MVSG-serializable: {report.error}")
     for failure in failures:
         print(f"FAIL: {failure}")
     print("chaos: " + ("FAILED" if failures else "ok"))
@@ -288,7 +289,7 @@ def run_failover(seed: int = 17) -> int:
         report = check_serializable(r.history)
         if not report.serializable:
             failures.append(f"run {i}: history not MVSG-serializable: "
-                            f"{report.reason}")
+                            f"{report.error}")
     for failure in failures:
         print(f"FAIL: {failure}")
     print("failover: " + ("FAILED" if failures else "ok"))
@@ -467,7 +468,7 @@ def run_scenarios(names: list[str] | None = None, seed: int = 1) -> int:
             report = check_serializable(r.history)
             if not report.serializable:
                 failures.append(f"{name} run {i}: history not "
-                                f"MVSG-serializable: {report.reason}")
+                                f"MVSG-serializable: {report.error}")
 
         # Theorem duels, driven by this scenario's transaction stream on
         # the centralized engine (duel seeds are fixed per duel: they pin
@@ -503,6 +504,72 @@ def run_scenarios(names: list[str] | None = None, seed: int = 1) -> int:
     for failure in failures:
         print(f"FAIL: {failure}")
     print("scenario: " + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
+def run_policies(seed: int = 1) -> int:
+    """CI check: the theorem duels across the *whole* policy registry.
+
+    Runs the Theorem 4 (serial skewed-clock) and Theorem 7 (ghost abort)
+    duels with ``policies = registered_policies() + ("bohm",)`` — every
+    name the registry exposes plus the batched deterministic baseline —
+    and prints one deterministic matrix row per policy.  Asserts the
+    theorem guarantees on the policies that make them:
+
+    * ``mvtl-epsilon-clock`` and ``bohm`` finish the serial duel with
+      zero aborts (Theorem 4; Bohm is conflict-abort-free by design);
+    * ``mvtl-to`` aborts in both duels — otherwise the comparisons are
+      vacuous;
+    * ``mvtl-ghostbuster`` and ``bohm`` score zero ghost aborts
+      (Theorem 7), and ``mvtl-adaptive`` is sanity-bounded by its worst
+      constituent in both duels.
+
+    The output is byte-deterministic for a given seed: the CI job runs
+    this twice and diffs the transcripts.
+    """
+    from ..policies.registry import registered_policies
+    from ..workload.scenarios import ghost_abort_duel, serial_skew_duel
+
+    policies = tuple(registered_policies()) + ("bohm",)
+    print(f"== policies: registry-wide theorem duels (seed {seed}) ==")
+    skew = serial_skew_duel(seed=100 + seed, policies=policies)
+    ghost = ghost_abort_duel(seed=200 + seed, policies=policies)
+    print(f"{'policy':>20s} {'serial-commits':>14s} {'serial-aborts':>13s} "
+          f"{'ghost-commits':>13s} {'aborts':>7s} {'ghosts':>7s}")
+    for name in policies:
+        print(f"{name:>20s} {skew[name]['commits']:>14d} "
+              f"{skew[name]['serial_aborts']:>13d} "
+              f"{ghost[name]['commits']:>13d} "
+              f"{ghost[name].get('aborts', 0):>7d} "
+              f"{ghost[name]['ghost_aborts']:>7d}")
+
+    failures = []
+    for name in ("mvtl-epsilon-clock", "bohm"):
+        if skew[name]["serial_aborts"]:
+            failures.append(f"{name}: {skew[name]['serial_aborts']} serial "
+                            f"aborts in an epsilon-synchronized serial "
+                            f"schedule (Theorem 4)")
+    if not skew["mvtl-to"]["serial_aborts"]:
+        failures.append("mvtl-to induced no serial abort: the Theorem 4 "
+                        "comparison is vacuous")
+    for name in ("mvtl-ghostbuster", "bohm"):
+        if ghost[name]["ghost_aborts"]:
+            failures.append(f"{name}: {ghost[name]['ghost_aborts']} ghost "
+                            f"aborts (Theorem 7)")
+    if not ghost["mvtl-to"]["ghost_aborts"]:
+        failures.append("mvtl-to induced no ghost abort: the Theorem 7 "
+                        "comparison is vacuous")
+    worst_serial = max(skew[p]["serial_aborts"]
+                       for p in ("mvtl-to", "mvtl-pref", "mvtl-prio",
+                                 "mvtl-epsilon-clock"))
+    if skew["mvtl-adaptive"]["serial_aborts"] > worst_serial:
+        failures.append(
+            f"mvtl-adaptive scored {skew['mvtl-adaptive']['serial_aborts']} "
+            f"serial aborts, worse than its worst constituent "
+            f"({worst_serial})")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("policies: " + ("FAILED" if failures else "ok"))
     return 1 if failures else 0
 
 
@@ -584,7 +651,7 @@ def main(argv: list[str] | None = None) -> int:
                                                    "figures", "smoke",
                                                    "engine", "chaos",
                                                    "overload", "failover",
-                                                   "scenario"],
+                                                   "scenario", "policies"],
                         help="which figure to regenerate ('figures' = all "
                              "figures, intended with --workers; or: 'smoke' "
                              "= batched-vs-unbatched outcome check, 'engine' "
@@ -594,7 +661,9 @@ def main(argv: list[str] | None = None) -> int:
                              "ramp past saturation, 'failover' = "
                              "replicated leader-crash recovery check, "
                              "'scenario' = workload-zoo invariant + "
-                             "theorem-duel check)")
+                             "theorem-duel check, 'policies' = registry-"
+                             "wide theorem-duel matrix incl. the adaptive "
+                             "selector and the Bohm baseline)")
     parser.add_argument("name", nargs="?", default=None,
                         help="scenario name for 'scenario' (omit or 'all' "
                              "= every registered scenario)")
@@ -624,6 +693,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_overload(seed=args.seeds[0])
     if args.figure == "failover":
         return run_failover(seed=args.seeds[0])
+    if args.figure == "policies":
+        return run_policies(seed=args.seeds[0])
     if args.figure == "scenario":
         from ..workload.scenarios import SCENARIOS
         if args.name in (None, "all"):

@@ -330,6 +330,7 @@ class MVTLEngine:
         # left blocking on a dead owner while the caller handles the error.
         if self.policy.commit_gc(self, tx):
             self.gc(tx)
+        self.policy.on_finish(self, tx)
         if policy_error is not None:
             raise policy_error
         return committed
@@ -582,6 +583,7 @@ class MVTLEngine:
         self._finish_abort(tx, reason)
         if self.policy.commit_gc(self, tx):
             self.gc(tx)
+        self.policy.on_finish(self, tx)
 
     def _finish_abort(self, tx: Transaction, reason: str) -> None:
         """Abort bookkeeping: status, stats, wait edges, history, trace.

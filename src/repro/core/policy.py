@@ -86,6 +86,30 @@ class MVTLPolicy(ABC):
     def commit_gc(self, engine: "MVTLEngine", tx: Transaction) -> bool:
         """Whether to garbage-collect the transaction's locks at commit."""
 
+    def on_finish(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        """Notification after ``tx`` reached a terminal state.
+
+        Called once per transaction, after the commit or abort completed
+        (locks frozen/released, stats recorded) and outside the stripe
+        locks.  Policies that adapt to observed outcomes (abort-reason mix,
+        contention) override this; the default does nothing.  Must not
+        issue further lock operations for ``tx``.
+        """
+
+    # -- narrow decision surface (introspection) -------------------------------
+
+    def conflict_holders(self, tx: Transaction) -> tuple[Hashable, ...]:
+        """Owners of the locks that defeated ``tx``'s last commit attempt.
+
+        The policy-agnostic way for harnesses (e.g. the ghost-abort duel)
+        to ask "who blocked this transaction?" without reaching into
+        policy-private ``tx.state``.  Policies that record commit-time
+        conflicts override the *storage*; callers only ever use this
+        accessor.  Returns an empty tuple when the policy does not track
+        conflicts.
+        """
+        return tuple(getattr(tx.state, "conflict_holders", ()))
+
     # -- shared helper ---------------------------------------------------------
 
     def read_lock_interval(self, engine: "MVTLEngine", tx: Transaction,
@@ -111,6 +135,15 @@ class MVTLPolicy(ABC):
         if the needed version was purged or the lock wait timed out.  When
         ``tr >= upper`` the read succeeds with an empty locked set (the
         interval ``(tr, upper]`` is empty; nothing needs locking).
+
+        A read may also succeed with an empty locked set when frozen-write
+        truncation leaves no lockable piece adjacent to ``tr`` (the two
+        early returns below).  This is safe for commit-timestamp selection:
+        the engine derives candidates exclusively from the lock table
+        (``LockTable.held``), so a key read without locks simply contributes
+        an empty cover and can never smuggle an unlocked timestamp into the
+        candidate set (regression-tested in
+        ``tests/core/test_read_lock_paths.py``).
         """
         below = version_below if version_below is not None else upper
         while True:

@@ -36,12 +36,13 @@ from ..core.exceptions import AbortReason, TransactionAborted
 from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
 from ..core.timestamp import Timestamp
 from ..obs.trace import NULL_TRACER
-from ..policies.prio import CRITICAL_DELTA_FACTOR
+from ..policies.registry import policy_spec
 from ..sim.network import Network
 from ..sim.simulator import RECV_TIMEOUT, Mailbox, Recv, Simulator
 from ..repl.replica import write_quorum
 from .commitment import ABORT, CommitmentRegistry
-from .messages import (ClockBroadcast, CommitReq, EpochReq, MVTLBatchLockReq,
+from .messages import (BohmSubmitReq, ClockBroadcast, CommitReq, EpochReq,
+                       MVTLBatchLockReq,
                        MVTLReadReq, MVTLWriteLockReq, OverloadedReply,
                        ReleaseReq, ReplicaHoldReq, Reply, SnapshotReadReq,
                        TwoPLCommitReq, TwoPLLockReq, TwoPLReleaseReq)
@@ -51,8 +52,8 @@ from .partition import Partition
 #: every real client pid at the same clock value) — see gc_service.
 _PID_MIN = -(2**31)
 
-__all__ = ["BaseClient", "CircuitBreaker", "MVTILClient", "MVTOClient",
-           "TwoPLClient"]
+__all__ = ["BaseClient", "BohmClient", "CircuitBreaker", "MVTILClient",
+           "MVTOClient", "TwoPLClient"]
 
 
 class CircuitBreaker:
@@ -576,14 +577,21 @@ class MVTILClient(BaseClient):
         #: via ``ClusterConfig.batching``.
         self.defer_writes = defer_writes
         self.name = "mvtil-late" if late else "mvtil-early"
+        #: How much wider a critical transaction's interval is, declared by
+        #: the policy registry (the MVTL-Prio capability this protocol maps
+        #: onto finite intervals) rather than reached out of a policy
+        #: module's private constant.
+        self.critical_delta_factor = policy_spec(
+            self.name).critical_delta_factor
 
     def begin(self, priority: bool = False,
               read_only: bool = False) -> SimpleNamespace:
         now = self.clock.now()
         # Critical transactions get a wider interval — more timestamps to
         # survive shrinking, the finite-delta analogue of MVTL-Prio's
-        # lock-everything (see CRITICAL_DELTA_FACTOR).
-        delta = self.delta * (CRITICAL_DELTA_FACTOR if priority else 1.0)
+        # lock-everything (the registry's critical_delta_factor capability).
+        delta = self.delta * (self.critical_delta_factor
+                              if priority else 1.0)
         interval = TsInterval.closed(Timestamp(now, self.pid),
                                      Timestamp(now + delta, self.pid))
         # A read-only transaction under follower_reads runs in snapshot
@@ -1263,3 +1271,56 @@ class TwoPLClient(BaseClient):
         self._abort(tx, reason)
         raise TransactionAborted(tx.id, reason)
         yield  # pragma: no cover
+
+
+class BohmClient(BaseClient):
+    """Coordinator for the Bohm baseline: one submit RPC per transaction.
+
+    Bohm is non-interactive by design — the whole pre-declared
+    :class:`~repro.workload.generator.TxSpec` ships to the sequencer in a
+    single :class:`~repro.dist.messages.BohmSubmitReq`, and the reply (sent
+    when the transaction's batch executes) carries the outcome.  The runner
+    drives this through :meth:`run_spec` instead of the op-by-op
+    begin/read/write/commit protocol; there are no locks to release and no
+    commitment object, so the failure paths reduce to aborting locally on
+    an unanswered or overloaded RPC.  History recording happens inside the
+    sequencer's engine (the one place that knows versions and timestamps).
+    """
+
+    name = "bohm"
+
+    def run_spec(self, spec: Any) -> Generator[Any, Any, bool]:
+        """Execute one pre-declared transaction; True on commit.
+
+        Raises :class:`TransactionAborted` otherwise, like
+        :func:`repro.workload.runner.run_tx`.
+        """
+        tx = SimpleNamespace(
+            id=(self.client_id, next(self._tx_counter)),
+            deadline=self._tx_deadline(), priority=spec.critical,
+            touched=set(), aborted=False, abort_reason=None)
+        # Single sequencer: every key routes to the same server, so any
+        # key (or none) picks it.
+        server = self.partition.servers[0]
+        yield from self._admit(tx, server)
+        req = BohmSubmitReq(tx.id, self.client_id, self._next_req(),
+                            deadline=tx.deadline, critical=spec.critical,
+                            spec=spec)
+        reply = yield from self._rpc(server, req)
+        reply = yield from self._expect(tx, reply, AbortReason.RPC_TIMEOUT)
+        if reply.committed:
+            self.stats["commits"] += 1
+            if self.tracer.enabled:
+                self.tracer.commit(tx.id, ts=reply.commit_ts)
+            return True
+        yield from self._fail(tx, reply.abort_reason
+                              or AbortReason.USER_ABORT)
+        return False  # pragma: no cover - _fail always raises
+
+    def _fail(self, tx: SimpleNamespace,
+              reason: str) -> Generator[Any, Any, None]:
+        # No locks anywhere and no commitment object: the sequencer is the
+        # single authority, so failing is purely client-local bookkeeping.
+        self._abort(tx, reason)
+        raise TransactionAborted(tx.id, reason)
+        yield  # pragma: no cover - makes this a generator

@@ -33,18 +33,18 @@ from ..workload.generator import WorkloadConfig, WorkloadGenerator
 from ..workload.runner import closed_loop_client
 from ..workload.scenarios import SCENARIOS, make_scenario_generator
 from ..workload.stats import RunStats, StateSampler
-from .client import MVTILClient, MVTOClient, TwoPLClient
+from .client import BohmClient, MVTILClient, MVTOClient, TwoPLClient
 from .commitment import CommitmentRegistry
 from .failure import (ChaosConfig, ChaosSchedule, CrashInjector,
                       orphaned_write_locks)
 from .gc_service import TimestampService
 from .partition import Partition
-from .server import MVTLServer, TwoPLServer
+from .server import BohmSequencerServer, MVTLServer, TwoPLServer
 
 __all__ = ["ClusterConfig", "ClusterResult", "run_cluster", "PROTOCOLS"]
 
 #: Protocols accepted by :class:`ClusterConfig`.
-PROTOCOLS = ("mvtil-early", "mvtil-late", "mvto", "2pl")
+PROTOCOLS = ("mvtil-early", "mvtil-late", "mvto", "2pl", "bohm")
 
 
 @dataclass(frozen=True)
@@ -180,6 +180,22 @@ class ClusterConfig:
             # a lost commit message silently diverges the servers.
             raise ValueError("fault injection requires a recovery protocol; "
                              "2pl does not have one")
+        if self.protocol == "bohm":
+            # The single sequencer is the one authority and its state is
+            # volatile — link faults are fine (dedup + retries absorb
+            # duplicates and losses), but there is no crash recovery.
+            if self.chaos is not None and self.chaos.any:
+                raise ValueError("crash chaos requires a recovery protocol; "
+                                 "the bohm sequencer does not have one")
+            if self.replication > 1 or self.follower_reads:
+                raise ValueError("bohm runs unreplicated (single sequencer)")
+            if self.durability == "wal":
+                raise ValueError("wal durability requires the MVTL commit "
+                                 "machinery; bohm has no per-key commit "
+                                 "decisions to log")
+            if self.commitment != "local":
+                raise ValueError("bohm has no commitment objects; only the "
+                                 "local backend is meaningful")
         if (self.commitment == "paxos" and self.chaos is not None
                 and self.chaos.server_restarts > 0):
             # Epoch validation is race-free only under the local commitment
@@ -319,6 +335,10 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
 
     num_servers = (config.num_servers if config.num_servers is not None
                    else config.profile.num_servers)
+    if config.protocol == "bohm":
+        # One sequencer node: Bohm's total order *is* its concurrency
+        # control, and a single arrival point defines it.
+        num_servers = 1
     if config.replication > num_servers:
         raise ValueError(f"replication={config.replication} needs at least "
                          f"that many servers (have {num_servers})")
@@ -340,6 +360,10 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             servers.append(TwoPLServer(sim, net, sid, config.profile,
                                        rngs.stream(),
                                        queue_capacity=config.queue_capacity))
+        elif config.protocol == "bohm":
+            servers.append(BohmSequencerServer(
+                sim, net, sid, config.profile, rngs.stream(),
+                history=history, queue_capacity=config.queue_capacity))
         else:
             durable = (DurableStore(checkpoint_every=config.checkpoint_every)
                        if config.durability == "wal" else None)
@@ -403,6 +427,12 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             client = MVTOClient(sim, net, cid, pid, partition, clock,
                                 registry, batch_commit=config.batching,
                                 **common)
+        elif config.protocol == "bohm":
+            # History is recorded inside the sequencer's engine — the one
+            # place that knows versions and commit timestamps.
+            client = BohmClient(sim, net, cid, pid, partition, clock,
+                                registry,
+                                **{**common, "history": None})
         else:
             client = TwoPLClient(sim, net, cid, pid, partition, clock,
                                  registry, lock_timeout=config.lock_timeout,

@@ -33,6 +33,7 @@ __all__ = [
     "FreezeWriteReq", "FreezeReadReq", "ReleaseReq", "GcReq", "CommitReq",
     "EpochReq", "EpochReply",
     "TwoPLLockReq", "TwoPLLockReply", "TwoPLCommitReq", "TwoPLReleaseReq",
+    "BohmSubmitReq", "BohmSubmitReply",
     "PurgeReq", "ClockBroadcast",
     "ProposeReq", "DecisionReply",
     "ReplicaHoldReq", "ReplicaHoldReply",
@@ -368,6 +369,33 @@ class HeartbeatReply(Reply):
     #: records while down and must not be preferred for promotion (nor
     #: serve snapshot reads).
     dirty: bool = False
+
+
+# -- Bohm baseline (deterministic batched MVCC) --------------------------------
+
+@dataclass(frozen=True, slots=True)
+class BohmSubmitReq(Request):
+    """Ship a whole pre-declared transaction to the Bohm sequencer.
+
+    Bohm's precondition is a statically known write set, so the client
+    sends the entire :class:`~repro.workload.generator.TxSpec` (ops in
+    order, ``compute`` closures included — the simulated network passes
+    objects by reference) in one message instead of running an interactive
+    op-by-op protocol.  The sequencer assigns the total-order timestamp on
+    arrival; arrival order *is* the serialization order.
+    """
+
+    spec: Any = None
+
+
+@dataclass(frozen=True, slots=True)
+class BohmSubmitReply(Reply):
+    """Outcome of a sequenced transaction, sent when its batch executes."""
+
+    committed: bool = False
+    commit_ts: Timestamp | None = None
+    abort_reason: str | None = None
+    epoch: int = 0
 
 
 # -- maintenance ---------------------------------------------------------------

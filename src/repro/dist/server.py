@@ -60,8 +60,10 @@ from ..sim.server_queue import ServiceQueue
 from ..sim.simulator import Simulator
 from ..sim.testbed import TestbedProfile
 from ..repl.checkpoint import DurableStore
+from ..baselines.bohm import BohmEngine
 from .commitment import ABORT, CommitmentRegistry
-from .messages import (SHEDDABLE_REQUESTS, CommitReq, EpochReply, EpochReq,
+from .messages import (SHEDDABLE_REQUESTS, BohmSubmitReply, BohmSubmitReq,
+                       CommitReq, EpochReply, EpochReq,
                        FreezeReadReq, FreezeWriteReq, GcReq, HeartbeatReply,
                        HeartbeatReq, MVTLBatchLockReply, MVTLBatchLockReq,
                        MVTLReadReply, MVTLReadReq, MVTLWriteLockReply,
@@ -71,7 +73,7 @@ from .messages import (SHEDDABLE_REQUESTS, CommitReq, EpochReply, EpochReq,
                        TwoPLCommitReq, TwoPLLockReply, TwoPLLockReq,
                        TwoPLReleaseReq)
 
-__all__ = ["MVTLServer", "TwoPLServer"]
+__all__ = ["MVTLServer", "TwoPLServer", "BohmSequencerServer"]
 
 #: Dedup-log marker: request arrived and is being executed (or parked) but
 #: has not produced a reply yet.
@@ -1051,3 +1053,89 @@ class TwoPLServer(_ServerBase):
     def version_count(self) -> int:
         return sum(1 for e in self._keys.values()
                    if e.version_ts is not None)
+
+
+class BohmSequencerServer(_ServerBase):
+    """The Bohm baseline's single sequencing + execution node.
+
+    Whole pre-declared transactions arrive as
+    :class:`~repro.dist.messages.BohmSubmitReq`; arrival order at this
+    server's service queue *is* the serialization order (the
+    :class:`~repro.baselines.bohm.BohmEngine` stamps each submission with
+    the next total-order timestamp).  Execution is batched: a batch runs
+    when ``batch_size`` submissions have accumulated or when the periodic
+    flush timer finds pending work, and every transaction's reply is sent
+    at its batch's execution — the batching latency Bohm trades for its
+    zero-conflict-abort guarantee.
+
+    The dedup log in :class:`_ServerBase` keeps retried/duplicated submits
+    at-least-once safe: a retry of an already-sequenced transaction never
+    enters the engine twice, it just waits for (or re-receives) the cached
+    reply.  There is no recovery protocol — the sequencer is the one
+    authority and its state is volatile — so the cluster layer refuses
+    crash chaos for this protocol, exactly like 2PL.
+    """
+
+    def __init__(self, sim: Simulator, net: Network, server_id: Hashable,
+                 profile: TestbedProfile, rng: np.random.Generator, *,
+                 history: Any | None = None,
+                 queue_capacity: int | None = None,
+                 batch_size: int = 16,
+                 flush_interval: float = 0.01) -> None:
+        super().__init__(sim, net, server_id, profile, rng,
+                         queue_capacity=queue_capacity)
+        self.engine = BohmEngine(history=history, batch_size=batch_size)
+        self.flush_interval = flush_interval
+        #: BohmTx.id -> the submit request awaiting its batch's reply.
+        self._waiting: dict[int, BohmSubmitReq] = {}
+        sim.schedule(flush_interval, self._flush_tick)
+
+    @property
+    def store(self) -> VersionStore:
+        return self.engine.store
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _handle(self, msg: Any) -> None:
+        if isinstance(msg, BohmSubmitReq):
+            self._handle_submit(msg)
+        elif isinstance(msg, PurgeReq):
+            self.engine.purge_before(msg.bound)
+        elif isinstance(msg, EpochReq):
+            self._reply(msg, EpochReply(msg.req_id, epoch=self.epoch))
+        elif isinstance(msg, (ReleaseReq, GcReq)):
+            pass  # lock-free: nothing to release or collect
+        else:
+            raise TypeError(f"BohmSequencerServer got unknown message "
+                            f"{msg!r}")
+
+    def _handle_submit(self, req: BohmSubmitReq) -> None:
+        tx = self.engine.submit(req.spec, pid=0)
+        self._waiting[tx.id] = req
+        if len(self.engine._pending) >= self.engine.batch_size:
+            self._run_batch()
+
+    def _flush_tick(self) -> None:
+        if not self.crashed and self.engine._pending:
+            self._run_batch()
+        self.sim.schedule(self.flush_interval, self._flush_tick)
+
+    def _run_batch(self) -> None:
+        for tx in self.engine.run_batch():
+            req = self._waiting.pop(tx.id, None)
+            if req is None:
+                continue  # submitter unknown (crashed client cleanup)
+            self._reply(req, BohmSubmitReply(
+                req.req_id, committed=tx.committed,
+                commit_ts=tx.ts if tx.committed else None,
+                abort_reason=(str(tx.abort_reason)
+                              if tx.abort_reason is not None else None),
+                epoch=self.epoch))
+
+    # -- metrics ---------------------------------------------------------------
+
+    def lock_record_count(self) -> int:
+        return 0  # Bohm's defining property
+
+    def version_count(self) -> int:
+        return self.engine.version_count()

@@ -19,8 +19,8 @@ import sys
 import time
 
 from .bench import make_bench_doc, write_bench
-from .grid import (derive_seeds, failover_grid, figure_grid, reference_cell,
-                   scenario_grid)
+from .grid import (derive_seeds, failover_grid, figure_grid, policy_grid,
+                   reference_cell, scenario_grid)
 from .harness import print_progress, run_cells
 
 
@@ -46,6 +46,13 @@ def main(argv: list[str] | None = None) -> int:
                              "the figure grid and record per-scenario "
                              "outcomes, generated mixes and invariant "
                              "status (default output BENCH_7.json)")
+    parser.add_argument("--policies", action="store_true",
+                        help="run the policy-arena grid instead of the "
+                             "figure grid: every scenario under the "
+                             "adaptive selector, its fixed constituents "
+                             "and the Bohm baseline, plus Bohm-under-"
+                             "link-faults validation cells (default "
+                             "output BENCH_8.json)")
     parser.add_argument("--root-seed", type=int, default=2026,
                         help="root seed the per-cell seeds derive from")
     parser.add_argument("--compare-serial", action="store_true",
@@ -59,8 +66,9 @@ def main(argv: list[str] | None = None) -> int:
                              "reference cell (for recording the speedup)")
     args = parser.parse_args(argv)
 
-    if args.failover and args.scenarios:
-        parser.error("--failover and --scenarios are mutually exclusive")
+    if sum((args.failover, args.scenarios, args.policies)) > 1:
+        parser.error("--failover, --scenarios and --policies are "
+                     "mutually exclusive")
     if args.failover:
         if args.out == "BENCH_5.json":
             args.out = "BENCH_6.json"
@@ -76,6 +84,13 @@ def main(argv: list[str] | None = None) -> int:
             args.bench_name = "BENCH_7"
         [seed] = derive_seeds(args.root_seed, 1)
         cells = scenario_grid(seed=seed)
+    elif args.policies:
+        if args.out == "BENCH_5.json":
+            args.out = "BENCH_8.json"
+        if args.bench_name == "BENCH_5":
+            args.bench_name = "BENCH_8"
+        [seed] = derive_seeds(args.root_seed, 1)
+        cells = policy_grid(seed=seed)
     elif args.full:
         clients = (30, 90, 150, 300)
         seeds = derive_seeds(args.root_seed, 3)
@@ -84,10 +99,12 @@ def main(argv: list[str] | None = None) -> int:
         seeds = derive_seeds(args.root_seed, 2)
         cells = figure_grid(clients=(30, 150), seeds=seeds, measure=1.5)
 
-    if args.failover or args.scenarios:
-        # These cells record full histories (lost-commits audit / scenario
-        # invariant checks), which do not survive the worker-pipe pickle —
-        # run them in-process instead.
+    if args.failover:
+        # Failover cells ship the full ClusterResult (the lost-commits
+        # audit reads replication_report + history), which does not
+        # survive the worker-pipe pickle — run them in-process.  Scenario
+        # cells reduce to a picklable summary in the worker, so they
+        # parallelize like the figure grid.
         args.workers = 0
     print(f"[repro.exp] grid: {len(cells)} cells, workers={args.workers}",
           file=sys.stderr, flush=True)
@@ -121,7 +138,8 @@ def main(argv: list[str] | None = None) -> int:
             return 1
 
     hot_path = None
-    if not args.skip_hot_path and not args.failover and not args.scenarios:
+    if (not args.skip_hot_path and not args.failover
+            and not args.scenarios and not args.policies):
         cell = reference_cell()
         print(f"[repro.exp] hot-path reference cell {cell.label} "
               "(single process)", file=sys.stderr, flush=True)
@@ -168,33 +186,99 @@ def main(argv: list[str] | None = None) -> int:
     if args.scenarios and all(out.ok for out in outcomes):
         # Per-scenario derived record: generated mix, quiescence, duels
         # and invariant status (counts only — deterministic and compact).
-        from ..workload.scenarios import (check_scenario, ghost_abort_duel,
-                                          serial_skew_duel)
+        # Invariants and duels already ran inside the workers
+        # (reduce_scenario_cell); this just assembles their summaries.
         section = {}
         for out in outcomes:
-            name = out.key[1]
             res = out.result
-            invariant_failures = check_scenario(name, res)
-            skew = serial_skew_duel(name)
-            ghost = ghost_abort_duel(name)
-            section[name] = {
+            section[res.scenario] = {
                 "committed": res.committed,
                 "aborted": res.aborted,
                 "commit_rate": round(res.commit_rate, 4),
-                "quiesced": res.scenario_report["quiesced"],
-                "counters": dict(res.scenario_report["counters"]),
-                "final_state_keys": len(res.final_state or {}),
-                "invariant_failures": invariant_failures,
-                "serial_aborts": {
-                    policy: r["serial_aborts"] for policy, r in skew.items()},
-                "ghost_aborts": {
-                    policy: r["ghost_aborts"] for policy, r in ghost.items()},
+                "quiesced": res.quiesced,
+                "counters": dict(res.counters),
+                "final_state_keys": res.final_state_keys,
+                "invariant_failures": list(res.invariant_failures),
+                "serial_aborts": dict(res.serial_aborts),
+                "ghost_aborts": dict(res.ghost_aborts),
             }
-            if invariant_failures:
-                print(f"[repro.exp] ERROR: {name} invariants failed: "
-                      f"{invariant_failures}", file=sys.stderr)
+            if res.invariant_failures:
+                print(f"[repro.exp] ERROR: {res.scenario} invariants "
+                      f"failed: {list(res.invariant_failures)}",
+                      file=sys.stderr)
                 return 1
         doc["scenarios"] = section
+
+    if args.policies and all(out.ok for out in outcomes):
+        # The BENCH_8 record: per scenario x policy arena numbers, the
+        # Bohm link-fault validation verdicts, and the adaptive-policy
+        # acceptance bounds (within 10% of the best *fixed* policy's
+        # commit rate everywhere; strictly better than the worst fixed on
+        # a majority of scenarios).  Violations fail the run.
+        from ..workload.scenarios import ARENA_FIXED_POLICIES
+        arena: dict = {}
+        chaos: dict = {}
+        failures: list[str] = []
+        for out in outcomes:
+            res = out.result
+            if out.key[0] == "arena":
+                arena.setdefault(res.scenario, {})[res.policy] = {
+                    "committed": res.committed,
+                    "aborted": res.aborted,
+                    "decided": res.decided,
+                    "commit_rate": round(res.commit_rate, 4),
+                    "serializable": res.serializable,
+                    "switches": res.switches,
+                }
+                if not res.serializable:
+                    failures.append(f"{res.scenario}/{res.policy}: arena "
+                                    "history is not MVSG-serializable")
+            else:
+                chaos[res.scenario] = {
+                    "committed": res.committed,
+                    "aborted": res.aborted,
+                    "commit_rate": round(res.commit_rate, 4),
+                    "quiesced": res.quiesced,
+                    "serializable": res.serializable,
+                    "invariant_failures": list(res.invariant_failures),
+                }
+                if not res.serializable:
+                    failures.append(f"bohm-chaos/{res.scenario}: history "
+                                    "is not MVSG-serializable")
+                if res.invariant_failures:
+                    failures.append(f"bohm-chaos/{res.scenario}: "
+                                    f"{list(res.invariant_failures)}")
+        beats_worst = 0
+        acceptance: dict = {}
+        for scenario, by_policy in arena.items():
+            fixed = {p: by_policy[p]["commit_rate"]
+                     for p in ARENA_FIXED_POLICIES}
+            best, worst = max(fixed.values()), min(fixed.values())
+            rate = by_policy["mvtl-adaptive"]["commit_rate"]
+            within = rate >= 0.9 * best
+            beats = rate > worst
+            beats_worst += beats
+            acceptance[scenario] = {
+                "adaptive": rate, "best_fixed": best, "worst_fixed": worst,
+                "within_10pct_of_best": within, "beats_worst": beats,
+            }
+            if not within:
+                failures.append(
+                    f"{scenario}: adaptive commit rate {rate} is more than "
+                    f"10% below the best fixed policy ({best})")
+        if beats_worst < 3:
+            failures.append(f"adaptive beats the worst fixed policy on "
+                            f"only {beats_worst}/5 scenarios (need >= 3)")
+        doc["policies"] = {
+            "arena": arena,
+            "bohm_chaos": chaos,
+            "acceptance": acceptance,
+            "beats_worst_count": beats_worst,
+        }
+        if failures:
+            for msg in failures:
+                print(f"[repro.exp] ERROR: {msg}", file=sys.stderr)
+            return 1
 
     path = write_bench(doc, args.out)
     failed = doc["totals"]["failed"]

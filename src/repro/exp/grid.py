@@ -9,7 +9,7 @@ byte-identical to a serial run.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from ..sim.testbed import LOCAL_TESTBED
 from ..workload.generator import WorkloadConfig
 
 __all__ = ["Cell", "derive_seeds", "failover_grid", "figure_grid",
-           "reference_cell", "scenario_grid"]
+           "policy_grid", "reference_cell", "scenario_grid"]
 
 
 @dataclass(frozen=True)
@@ -27,10 +27,22 @@ class Cell:
 
     ``key`` must be unique within a grid and orderable (tuples of
     str/int/float); it names the cell in merged results and BENCH output.
+
+    ``run`` (``None`` = :func:`~repro.dist.cluster.run_cluster`) executes
+    the cell; ``reduce``, when set, maps the raw result to the value
+    shipped back from the worker.  Both must be top-level callables so the
+    cell pickles under the spawn start method.  Cells whose raw result is
+    not picklable (e.g. scenario runs, whose histories hold locks) **must**
+    set ``reduce`` to a picklable summary — the harness fails the cell
+    loudly otherwise instead of silently degrading to inline execution.
     """
 
     key: tuple
-    config: ClusterConfig
+    #: Usually a ClusterConfig; cells with a custom ``run`` may carry any
+    #: picklable config object their runner understands.
+    config: Any
+    run: Callable[[Any], Any] | None = None
+    reduce: Callable[[Any], Any] | None = None
 
     @property
     def label(self) -> str:
@@ -126,11 +138,48 @@ def scenario_grid(seed: int = 1) -> list[Cell]:
     its reference cluster config (``scenario_config``): the bench record
     pins every scenario's committed/aborted counts, generated mix and
     invariant status as one reproducible point.
+
+    Scenario results hold full histories (locks — not picklable), so the
+    cells reduce to :class:`~repro.workload.scenarios.ScenarioCellSummary`
+    in the worker: invariants and theorem duels run per-cell, which also
+    parallelizes them under ``--workers N``.
     """
-    from ..workload.scenarios import SCENARIOS, scenario_config
+    from ..workload.scenarios import (SCENARIOS, reduce_scenario_cell,
+                                      scenario_config)
     cells = [Cell(key=("scenario", name, int(seed)),
-                  config=scenario_config(name, seed=int(seed)))
+                  config=scenario_config(name, seed=int(seed)),
+                  reduce=reduce_scenario_cell)
              for name in SCENARIOS]
+    _check_unique(cells)
+    return cells
+
+
+def policy_grid(seed: int = 1) -> list[Cell]:
+    """The policy-arena grid behind the BENCH_8 record.
+
+    Two cell families:
+
+    * ``("arena", scenario, policy, seed)`` — every scenario's stream under
+      the adaptive selector, each of its fixed constituents and the Bohm
+      baseline, on the centralized-engine arena (``run_policy_cell``; the
+      config is a :class:`~repro.workload.scenarios.PolicyCellConfig`, not
+      a ClusterConfig).
+    * ``("bohm-chaos", scenario, seed)`` — the Bohm *cluster* under link
+      faults, reduced in-worker to MVSG + invariant verdicts.
+    """
+    from ..workload.scenarios import (ARENA_POLICIES, BOHM_CHAOS_SCENARIOS,
+                                      PolicyCellConfig, bohm_chaos_config,
+                                      reduce_bohm_chaos_cell,
+                                      run_policy_cell, scenario_names)
+    cells = [Cell(key=("arena", scenario, policy, int(seed)),
+                  config=PolicyCellConfig(scenario, policy, seed=int(seed)),
+                  run=run_policy_cell)
+             for scenario in scenario_names()
+             for policy in ARENA_POLICIES]
+    cells += [Cell(key=("bohm-chaos", scenario, int(seed)),
+                   config=bohm_chaos_config(scenario, seed=int(seed)),
+                   reduce=reduce_bohm_chaos_cell)
+              for scenario in BOHM_CHAOS_SCENARIOS]
     _check_unique(cells)
     return cells
 

@@ -45,15 +45,16 @@ class CellOutcome:
     """Result of one grid cell, successful or not.
 
     ``result`` is the full :class:`~repro.dist.cluster.ClusterResult` on
-    success and ``None`` on failure; ``error`` carries the worker's
-    traceback (or exit diagnosis) on failure.  ``wall_s`` is host
-    wall-clock and therefore nondeterministic — it is excluded from
-    :meth:`payload`, the deterministic merge view.
+    success (or, for cells with a ``reduce``, the reduced summary — which
+    must expose the same counter attributes) and ``None`` on failure;
+    ``error`` carries the worker's traceback (or exit diagnosis) on
+    failure.  ``wall_s`` is host wall-clock and therefore nondeterministic
+    — it is excluded from :meth:`payload`, the deterministic merge view.
     """
 
     key: tuple
     ok: bool
-    result: ClusterResult | None
+    result: Any
     error: str | None
     wall_s: float
 
@@ -113,16 +114,26 @@ def merged_payload(outcomes: Sequence[CellOutcome]) -> bytes:
 # Workers
 # ---------------------------------------------------------------------------
 
-def _cell_worker(conn: Any, config: ClusterConfig) -> None:
+def _cell_worker(conn: Any, cell: Cell) -> None:
     """Run one cell and ship the outcome back over ``conn``.
 
     Top-level so it pickles under the spawn start method.  Any exception is
     converted to an ("err", traceback) message; a hard crash is detected by
-    the parent as EOF-without-message.
+    the parent as EOF-without-message.  A result that does not survive the
+    pipe pickle is a loud per-cell failure naming the fix (a ``reduce``),
+    never a silent fallback to serial execution.
     """
     try:
-        result = run_cluster(config)
-        conn.send(("ok", result))
+        run = cell.run if cell.run is not None else run_cluster
+        result = run(cell.config)
+        if cell.reduce is not None:
+            result = cell.reduce(result)
+        try:
+            conn.send(("ok", result))
+        except Exception as exc:  # pickling the result failed
+            conn.send(("err",
+                       f"cell result is not picklable: {exc!r}; give the "
+                       f"cell a `reduce` returning a picklable summary"))
     except BaseException:  # noqa: BLE001 - the whole point is isolation
         try:
             conn.send(("err", traceback.format_exc()))
@@ -143,7 +154,10 @@ def _mp_context() -> mp.context.BaseContext:
 def _run_cell_inline(cell: Cell) -> CellOutcome:
     t0 = time.perf_counter()
     try:
-        result = run_cluster(cell.config)
+        run = cell.run if cell.run is not None else run_cluster
+        result = run(cell.config)
+        if cell.reduce is not None:
+            result = cell.reduce(result)
         return CellOutcome(cell.key, True, result, None,
                            time.perf_counter() - t0)
     except Exception:
@@ -185,7 +199,7 @@ def run_cells(cells: Sequence[Cell], workers: int = 1,
     def _launch() -> None:
         idx, cell = pending.pop()
         reader, writer = ctx.Pipe(duplex=False)
-        proc = ctx.Process(target=_cell_worker, args=(writer, cell.config),
+        proc = ctx.Process(target=_cell_worker, args=(writer, cell),
                            name=f"exp-cell-{cell.label}")
         proc.start()
         writer.close()  # parent keeps only the read end

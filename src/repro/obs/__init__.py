@@ -24,7 +24,8 @@ from .export import (metrics_sidecar_path, read_metrics_json,
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, fold_trace,
                       merge_conflict_counts, merge_overload_counters,
                       merge_replication_counters, merge_stripe_counts)
-from .profile import ContentionProfile, KeyStats, profile_report
+from .profile import (ContentionProfile, KeyStats, StripeSignals,
+                      profile_report)
 from .trace import (NULL_TRACER, EventKind, NullTracer, TraceEvent, Tracer,
                     span_width)
 
@@ -34,7 +35,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "fold_trace",
     "merge_conflict_counts", "merge_overload_counters",
     "merge_replication_counters", "merge_stripe_counts",
-    "ContentionProfile", "KeyStats", "profile_report",
+    "ContentionProfile", "KeyStats", "StripeSignals", "profile_report",
     "write_trace_jsonl", "read_trace_jsonl", "write_metrics_json",
     "read_metrics_json", "metrics_sidecar_path", "trace_sidecar_path",
 ]

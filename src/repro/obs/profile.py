@@ -22,7 +22,8 @@ from typing import Hashable, Iterable, Sequence
 
 from .trace import TERMINAL_KINDS, EventKind, TraceEvent
 
-__all__ = ["KeyStats", "ContentionProfile", "profile_report"]
+__all__ = ["KeyStats", "StripeSignals", "ContentionProfile",
+           "profile_report"]
 
 
 @dataclass
@@ -44,6 +45,68 @@ class KeyStats:
         one that merely shaves interval width.
         """
         return self.contended + 1000.0 * self.wait_time
+
+
+@dataclass
+class StripeSignals:
+    """Contention evidence for one lock stripe, folded online.
+
+    The adaptive policy selector (:mod:`repro.policies.adaptive`) feeds one
+    of these per stripe from transaction outcomes plus the engine's stripe
+    counters, then reads the derived signals — abort-reason mix, wait depth
+    and a hotness rank comparable to :attr:`KeyStats.hotness` — at its
+    decision points.  Pure counters, deterministic, cheap to update.
+    """
+
+    stripe: int
+    txs: int = 0
+    aborts: int = 0
+    critical_txs: int = 0
+    critical_aborts: int = 0
+    #: AbortReason value -> count (same taxonomy as :attr:`abort_reasons`).
+    reasons: dict = field(default_factory=dict)
+    #: Engine counters (deltas since the last decision point).
+    waits: int = 0
+    conflicts: int = 0
+
+    def record_outcome(self, aborted: bool, reason: str | None,
+                       critical: bool = False) -> None:
+        self.txs += 1
+        if critical:
+            self.critical_txs += 1
+        if aborted:
+            self.aborts += 1
+            if critical:
+                self.critical_aborts += 1
+            key = str(reason) if reason is not None else "unknown"
+            self.reasons[key] = self.reasons.get(key, 0) + 1
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborts / self.txs if self.txs else 0.0
+
+    @property
+    def wait_depth(self) -> float:
+        """Parked waits per transaction — the blocking-pressure signal."""
+        return self.waits / self.txs if self.txs else 0.0
+
+    def abort_share(self, reason: str) -> float:
+        """Share of this stripe's aborts attributed to ``reason``."""
+        return (self.reasons.get(str(reason), 0) / self.aborts
+                if self.aborts else 0.0)
+
+    @property
+    def hotness(self) -> float:
+        """Ranking score, same weighting idea as :attr:`KeyStats.hotness`:
+        conflicts count once, parked waits are weighted heavily."""
+        return self.conflicts + 10.0 * self.waits
+
+    def reset_window(self) -> None:
+        """Start a fresh observation window (keep nothing)."""
+        self.txs = self.aborts = 0
+        self.critical_txs = self.critical_aborts = 0
+        self.waits = self.conflicts = 0
+        self.reasons.clear()
 
 
 @dataclass

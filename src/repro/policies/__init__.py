@@ -11,15 +11,23 @@ each yields a serializable engine.  They differ in which workloads commit:
 :class:`MVTLEpsilonClock`       no serial aborts with eps-clocks (Thm. 4)
 :class:`MVTLGhostbuster`        no ghost aborts (Thm. 7)
 :class:`MVTIL`                  the §8 prototype (early/late variants)
+:class:`MVTLAdaptive`           per-stripe runtime selector over the above
 ============================  ==========================================
+
+Policies register declaratively in :mod:`repro.policies.registry`; harness
+and cluster code enumerates :func:`registered_policies` and instantiates via
+:func:`make_policy` instead of naming classes.
 """
 
+from .adaptive import MODES, MVTLAdaptive
 from .epsilon_clock import MVTLEpsilonClock
 from .ghostbuster import MVTLGhostbuster
 from .mvtil import MVTIL
 from .pessimistic import MVTLPessimistic
 from .pref import MVTLPreferential, offset_alternatives
 from .prio import MVTLPrioritizer
+from .registry import (PolicySpec, make_policy, policy_spec, policy_specs,
+                       register_policy, registered_policies)
 from .to import MVTLTimestampOrdering
 
 __all__ = [
@@ -31,4 +39,12 @@ __all__ = [
     "MVTLPrioritizer",
     "MVTLEpsilonClock",
     "MVTIL",
+    "MVTLAdaptive",
+    "MODES",
+    "PolicySpec",
+    "register_policy",
+    "policy_spec",
+    "policy_specs",
+    "make_policy",
+    "registered_policies",
 ]

@@ -1,0 +1,349 @@
+"""MVTL-Adaptive: per-stripe runtime policy selection.
+
+Theorem 1 holds for *every* MVTL policy, so a policy is free to change its
+locking behaviour per key — even mid-run — as long as each individual
+transaction's locks satisfy the engine's commit check (which the engine
+enforces regardless).  This policy exploits exactly that freedom: every lock
+stripe (the engine's unit of contention accounting) carries a *mode* chosen
+at runtime from the observed contention profile:
+
+``to``
+    MVTO+-style optimism (one timestamp, deferred point write locks) — the
+    cheap default for uncontended stripes.
+``pref``
+    TO plus alternative commit timestamps slightly below the preferred one
+    (Theorem 2's regime): a cure for moderate commit-point collisions.
+``eps``
+    epsilon-clock hedging (range write locks over ``[t-eps, t+eps]``,
+    commit low, collect eagerly): the cure when commit-point conflicts
+    dominate, e.g. under clock skew (Theorem 4's regime).
+``prio``
+    pessimistic treatment of ``priority=True`` transactions (Theorem 3's
+    regime): engaged when critical transactions are seen aborting.
+
+The selector feeds :class:`repro.obs.StripeSignals` — abort-reason mix,
+wait depth and hotness per stripe, combining the policy's own outcome
+observations (via the :meth:`~repro.core.policy.MVTLPolicy.on_finish`
+surface) with the engine's stripe contention counters — and re-evaluates at
+seeded, jittered decision points with hysteresis (a mode must win
+``patience`` consecutive decisions before a switch).  All decisions are
+pure functions of counters plus a seeded RNG: same seed, same schedule,
+same switches.
+
+Cross-mode coherence: a transaction touching stripes in different modes
+still needs one commit timestamp locked everywhere.  All modes anchor on
+the same base timestamp drawn at begin — TO/pref reads lock up to ``base``,
+eps carries ``[base-eps, base+eps]`` (which contains ``base``), pref
+alternatives sit just below ``base`` — so the mode mix narrows the
+candidate set but never voids it structurally.  ``commit_ts`` prefers the
+locked target but falls back to *any* engine-certified candidate
+(``pick_low``), making the adaptive policy at least as willing to commit
+as MVTL-TO on every schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Hashable
+
+from ..core.exceptions import AbortReason
+from ..core.intervals import EMPTY_SET, FULL_INTERVAL, IntervalSet, TsInterval
+from ..core.locks import LockMode
+from ..core.policy import MVTLPolicy
+from ..core.timestamp import TS_INF, Timestamp
+from ..core.transaction import Transaction
+from ..core.versions import Version
+from ..obs.profile import StripeSignals
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import MVTLEngine
+
+__all__ = ["MVTLAdaptive", "MODES"]
+
+#: The selectable per-stripe modes.
+MODES = ("to", "pref", "eps", "prio")
+
+
+class MVTLAdaptive(MVTLPolicy):
+    """Per-stripe adaptive policy selector (TO / Pref / eps-clock / Prio).
+
+    Parameters
+    ----------
+    epsilon:
+        Half-width of the hedging interval used by ``eps``-mode stripes and
+        the scale of ``pref`` alternatives (placed at ``-eps/2`` and
+        ``-eps/4`` below the base timestamp).
+    seed:
+        Seed for the decision-point RNG (jitters the re-evaluation cadence;
+        decisions themselves are counter-driven and deterministic).
+    decision_interval:
+        Re-evaluate stripe modes every ~this many ``begin``s (jittered by
+        up to 25% from the seeded RNG).
+    patience:
+        Hysteresis: a stripe switches only after the same recommendation
+        wins this many consecutive decision points.
+    min_samples:
+        Minimum transactions observed on a stripe within the current window
+        before its mode may change.
+    default_mode:
+        Initial mode of every stripe.
+    """
+
+    name = "mvtl-adaptive"
+
+    def __init__(self, epsilon: float = 0.05, seed: int = 0,
+                 decision_interval: int = 32, patience: int = 2,
+                 min_samples: int = 8,
+                 default_mode: str = "to") -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if decision_interval < 1:
+            raise ValueError("decision_interval must be >= 1")
+        if default_mode not in MODES:
+            raise ValueError(f"default_mode must be one of {MODES}")
+        self.epsilon = epsilon
+        self.decision_interval = decision_interval
+        self.patience = patience
+        self.min_samples = min_samples
+        self.default_mode = default_mode
+        self._rng = random.Random(seed)
+        self._modes: dict[int, str] = {}
+        self._signals: dict[int, StripeSignals] = {}
+        self._pending: dict[int, tuple[str, int]] = {}  # stripe -> (want, n)
+        self._begins = 0
+        self._next_decision = self._jittered_interval()
+        # Engine stripe-counter snapshot at the last decision point.
+        self._counter_base: dict[str, tuple[int, ...]] | None = None
+        #: Switch log for tests/benchmarks: (begin_count, stripe, old, new).
+        self.switches: list[tuple[int, int, str, str]] = []
+
+    # -- mode bookkeeping -----------------------------------------------------
+
+    def mode_of(self, engine: "MVTLEngine", key: Hashable) -> str:
+        """Current mode of ``key``'s stripe."""
+        return self._modes.get(engine.stripe_of(key), self.default_mode)
+
+    def set_mode(self, stripe: int, mode: str) -> None:
+        """Force a stripe's mode (harness/test entry point)."""
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        old = self._modes.get(stripe, self.default_mode)
+        if mode != old:
+            self.switches.append((self._begins, stripe, old, mode))
+        self._modes[stripe] = mode
+        self._pending.pop(stripe, None)
+
+    def _signal(self, stripe: int) -> StripeSignals:
+        sig = self._signals.get(stripe)
+        if sig is None:
+            sig = self._signals[stripe] = StripeSignals(stripe)
+        return sig
+
+    def _jittered_interval(self) -> int:
+        jitter = max(1, self.decision_interval // 4)
+        return self.decision_interval + self._rng.randrange(jitter)
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_begin(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        self._begins += 1
+        if self._begins >= self._next_decision:
+            self._decide(engine)
+            self._next_decision = self._begins + self._jittered_interval()
+        base = engine.make_ts(tx)
+        tx.state.ts = base
+        eps = self.epsilon
+        alts = []
+        if eps > 0:
+            alts = sorted({Timestamp(base.value - eps / 2, base.pid),
+                           Timestamp(base.value - eps / 4, base.pid)}
+                          - {base})
+        tx.state.poss = [base] + alts
+        tx.state.ts_set = IntervalSet.from_interval(TsInterval.closed(
+            Timestamp(base.value - eps, base.pid),
+            Timestamp(base.value + eps, base.pid)))
+        tx.state.chosen = None
+        tx.state.conflict_holders = ()
+        #: key -> mode snapshot taken at write() time, so commit_locks
+        #: treats each key the way its write was locked even if the stripe
+        #: switched modes mid-transaction.
+        tx.state.write_modes = {}
+
+    def write_locks(self, engine: "MVTLEngine", tx: Transaction,
+                    key: Hashable) -> None:
+        mode = self.mode_of(engine, key)
+        tx.state.write_modes[key] = mode
+        if mode == "prio" and tx.priority:
+            engine.acquire(tx, key, LockMode.WRITE, FULL_INTERVAL,
+                           wait=True, stop_on_frozen=False)
+            return
+        if mode == "eps":
+            ts_set: IntervalSet = tx.state.ts_set
+            if ts_set.is_empty:
+                return  # doomed on this axis; commit falls back or aborts
+            result = engine.acquire(tx, key, LockMode.WRITE, ts_set,
+                                    wait=True, stop_on_frozen=False)
+            tx.state.ts_set = result.acquired.union(
+                engine.locks.held(tx.id, key, LockMode.WRITE)
+                .intersect(ts_set))
+            return
+        # to / pref / non-priority prio: defer to commit time.
+
+    def read_locks(self, engine: "MVTLEngine", tx: Transaction,
+                   key: Hashable) -> Version | None:
+        mode = self.mode_of(engine, key)
+        base: Timestamp = tx.state.ts
+        if mode == "prio" and tx.priority:
+            got = self.read_lock_interval(engine, tx, key, TS_INF)
+            return got[0] if got is not None else None
+        if mode == "eps":
+            ts_set: IntervalSet = tx.state.ts_set
+            upper = ts_set.pick_high() if not ts_set.is_empty else base
+            if upper < base:
+                upper = base  # keep the shared anchor readable
+            got = self.read_lock_interval(engine, tx, key, upper)
+            if got is None:
+                return None
+            version, locked = got
+            if not ts_set.is_empty:
+                own = engine.locks.held(tx.id, key, LockMode.WRITE)
+                cover = locked.union(own)
+                tx.state.ts_set = ts_set.intersect(
+                    cover if not cover.is_empty else EMPTY_SET)
+            return version
+        # to / pref: read below base, lock (tr, base].  (pref alternatives
+        # sit *below* base, so base is the top either way — Thm. 2 regime.)
+        got = self.read_lock_interval(engine, tx, key, base,
+                                      version_below=base)
+        if got is None:
+            return None
+        version, locked = got
+        if mode == "pref":
+            tx.state.poss = [t for t in tx.state.poss
+                             if t == version.ts or t == base
+                             or locked.contains(t)]
+        return version
+
+    def commit_locks(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        base: Timestamp = tx.state.ts
+        modes: dict = tx.state.write_modes
+        deferred = [k for k in tx.writeset
+                    if modes.get(k, "to") in ("to", "pref")
+                    or (modes.get(k) == "prio" and not tx.priority)]
+        if not deferred:
+            return
+        # Try one shared commit point across every deferred key: base
+        # first, then the pref alternatives if any deferred key was written
+        # under pref mode.
+        targets = [base]
+        if any(modes.get(k) == "pref" for k in deferred):
+            targets += [t for t in tx.state.poss if t != base]
+        last_conflicts: tuple = ()
+        for t in targets:
+            point = TsInterval.point(t)
+            taken: list[Hashable] = []
+            ok = True
+            for key in deferred:
+                result = engine.acquire(tx, key, LockMode.WRITE, point,
+                                        wait=False)
+                if not result.ok:
+                    last_conflicts = result.conflicts
+                    ok = False
+                    break
+                taken.append(key)
+            if ok:
+                tx.state.chosen = t
+                return
+            # Back out only the freshly-taken points: eps-range and
+            # prio-full write locks on other keys must survive for the
+            # commit_ts fallback (release_all_write_locks would destroy
+            # them).
+            for key in taken:
+                engine.release(tx, key, LockMode.WRITE, point)
+        tx.state.conflict_holders = tuple(
+            c.holder for c in last_conflicts)
+
+    def commit_ts(self, engine: "MVTLEngine", tx: Transaction,
+                  candidates: IntervalSet) -> Timestamp | None:
+        if candidates.is_empty:
+            return None
+        chosen: Timestamp | None = tx.state.chosen
+        if chosen is not None and candidates.contains(chosen):
+            return chosen
+        for t in tx.state.poss:
+            if candidates.contains(t):
+                return t
+        # Any engine-certified timestamp commits (Thm. 1); committing low
+        # and collecting eagerly is the eps-clock discipline.
+        return candidates.pick_low()
+
+    def commit_gc(self, engine: "MVTLEngine", tx: Transaction) -> bool:
+        return True  # collect eagerly: no persistent dead read locks
+
+    def on_finish(self, engine: "MVTLEngine", tx: Transaction) -> None:
+        aborted = tx.aborted
+        reason = tx.abort_reason if aborted else None
+        stripes = {engine.stripe_of(k) for k, _ in tx.readset}
+        stripes.update(engine.stripe_of(k) for k in tx.writeset)
+        for stripe in stripes:
+            self._signal(stripe).record_outcome(aborted, reason,
+                                                critical=tx.priority)
+
+    # -- the selector ---------------------------------------------------------
+
+    def _decide(self, engine: "MVTLEngine") -> None:
+        """Re-evaluate every observed stripe's mode from its signals."""
+        counters = engine.stripe_contention()
+        base = self._counter_base
+        for stripe, sig in sorted(self._signals.items()):
+            waits = counters["waits"][stripe]
+            conflicts = counters["conflicts"][stripe]
+            if base is not None:
+                waits -= base["waits"][stripe]
+                conflicts -= base["conflicts"][stripe]
+            sig.waits = waits
+            sig.conflicts = conflicts
+            if sig.txs < self.min_samples:
+                continue
+            want = self._recommend(sig,
+                                   self._modes.get(stripe,
+                                                   self.default_mode))
+            current = self._modes.get(stripe, self.default_mode)
+            if want == current:
+                self._pending.pop(stripe, None)
+            else:
+                prev_want, n = self._pending.get(stripe, (None, 0))
+                n = n + 1 if prev_want == want else 1
+                if n >= self.patience:
+                    self.set_mode(stripe, want)
+                else:
+                    self._pending[stripe] = (want, n)
+            sig.reset_window()
+        self._counter_base = counters
+
+    def _recommend(self, sig: StripeSignals, current: str) -> str:
+        """Map a stripe's signal window to the mode that cures it.
+
+        The ladder mirrors the theorems: critical transactions failing
+        *disproportionately* (their abort rate exceeding the stripe's
+        overall rate) call for Prio (Thm. 3) — a lone critical abort in a
+        generally-contended window does not, because whatever cures the
+        general contention cures the criticals too; commit-point collisions
+        (no-common-timestamp dominating the abort mix) call for the
+        eps-clock hedge (Thm. 4) or, in moderation, Pref alternatives
+        (Thm. 2); heavy blocking with few aborts calls for plain
+        optimistic TO.
+        """
+        rate = sig.abort_rate
+        crit_rate = (sig.critical_aborts / sig.critical_txs
+                     if sig.critical_txs else 0.0)
+        if sig.critical_aborts >= 2 and crit_rate > rate:
+            return "prio"
+        ncts = sig.abort_share(AbortReason.NO_COMMON_TIMESTAMP)
+        if rate >= 0.25 and ncts >= 0.5:
+            return "eps"
+        if rate >= 0.10 and ncts >= 0.5:
+            return "pref"
+        if rate < 0.05 and sig.wait_depth > 0.5:
+            return "to"
+        return current

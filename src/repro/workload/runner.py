@@ -38,6 +38,12 @@ def run_tx(client: Any, spec: TxSpec,
 
     Raises :class:`TransactionAborted` when the protocol aborts it.
     """
+    # Non-interactive protocols (Bohm) take the whole pre-declared spec in
+    # one shot instead of the op-by-op begin/read/write/commit loop.
+    run_spec = getattr(client, "run_spec", None)
+    if run_spec is not None:
+        ok = yield from run_spec(spec)
+        return ok
     # The read-only hint lets snapshot-capable clients (replicated MVTIL
     # with follower_reads) serve the whole transaction lock-free at the GC
     # frontier instead of running the interval protocol.  spec.is_read_only

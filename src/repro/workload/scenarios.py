@@ -37,17 +37,22 @@ per-client RNG stream handed to it, so same-seed reruns are bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
 from .generator import (Op, TxSpec, WorkloadConfig, WorkloadGenerator,
                         zipf_probabilities)
 
-__all__ = ["SCENARIOS", "Scenario", "ScenarioGenerator",
-           "make_scenario_generator", "scenario_config", "check_scenario",
+__all__ = ["SCENARIOS", "Scenario", "ScenarioCellSummary",
+           "ScenarioGenerator", "make_scenario_generator",
+           "scenario_config", "check_scenario", "reduce_scenario_cell",
            "scenario_names", "encode_int", "decode_int",
-           "serial_skew_duel", "ghost_abort_duel"]
+           "serial_skew_duel", "ghost_abort_duel",
+           "ARENA_FIXED_POLICIES", "ARENA_POLICIES", "policy_arena",
+           "PolicyCellConfig", "PolicyArenaSummary", "run_policy_cell",
+           "BOHM_CHAOS_SCENARIOS", "bohm_chaos_config",
+           "BohmChaosSummary", "reduce_bohm_chaos_cell"]
 
 
 # ---------------------------------------------------------------------------
@@ -659,6 +664,65 @@ def check_scenario(name: str, result: Any) -> list[str]:
     return SCENARIOS[name].check(result)
 
 
+@dataclass(frozen=True)
+class ScenarioCellSummary:
+    """Picklable per-scenario cell summary for the parallel sweep.
+
+    A scenario ``ClusterResult`` carries the full history recorder (whose
+    lock does not pickle), so worker processes reduce to this summary
+    instead: the invariants and theorem duels run *inside the worker*, and
+    only their deterministic outputs cross the pipe.  The counter
+    attributes mirror ``ClusterResult`` so the harness payload view is
+    byte-identical between serial and parallel sweeps.
+    """
+
+    scenario: str
+    committed: int
+    aborted: int
+    throughput: float
+    commit_rate: float
+    messages_sent: int
+    messages_per_commit: float
+    sim_events: int
+    quiesced: bool
+    counters: dict
+    final_state_keys: int
+    invariant_failures: tuple
+    serial_aborts: dict
+    ghost_aborts: dict
+
+
+def reduce_scenario_cell(result: Any) -> ScenarioCellSummary:
+    """Reduce a scenario ClusterResult to its picklable summary.
+
+    Top-level so grid cells can reference it under the spawn start method.
+    Runs the scenario's invariant checks plus both theorem duels (which
+    depend only on the scenario name, so parallelizing them per-cell keeps
+    the merged output identical to the serial path).
+    """
+    name = result.config.scenario
+    skew = serial_skew_duel(name)
+    ghost = ghost_abort_duel(name)
+    return ScenarioCellSummary(
+        scenario=name,
+        committed=result.committed,
+        aborted=result.aborted,
+        throughput=result.throughput,
+        commit_rate=result.commit_rate,
+        messages_sent=result.messages_sent,
+        messages_per_commit=result.messages_per_commit,
+        sim_events=result.sim_events,
+        quiesced=result.scenario_report["quiesced"],
+        counters=dict(result.scenario_report["counters"]),
+        final_state_keys=len(result.final_state or {}),
+        invariant_failures=tuple(check_scenario(name, result)),
+        serial_aborts={policy: r["serial_aborts"]
+                       for policy, r in skew.items()},
+        ghost_aborts={policy: r["ghost_aborts"]
+                      for policy, r in ghost.items()},
+    )
+
+
 # ---------------------------------------------------------------------------
 # Theorem duels (centralized engine)
 # ---------------------------------------------------------------------------
@@ -702,7 +766,8 @@ def _apply_spec(engine: Any, tx: Any, spec: TxSpec) -> None:
 
 def serial_skew_duel(name: str = "bank-transfer", *, seed: int = 101,
                      num_txs: int = 150, epsilon: float = 0.05,
-                     num_pids: int = 4, num_keys: int = 8) -> dict:
+                     num_pids: int = 4, num_keys: int = 8,
+                     policies: Sequence[str] | None = None) -> dict:
     """Theorem 4 duel: serial execution under epsilon-skewed clocks.
 
     The named scenario's transaction stream runs strictly serially (each
@@ -714,33 +779,47 @@ def serial_skew_duel(name: str = "bank-transfer", *, seed: int = 101,
     behaves as MVTO+, Theorem 5) must abort at least once when a later
     transaction draws a smaller timestamp and collides with an earlier
     transaction's persistent read locks.
+
+    ``policies`` selects registered policy names (plus ``"bohm"``, which
+    runs the batched baseline on the same spec stream — one-transaction
+    batches, so the execution is serial too); the default pairing
+    preserves the original theorem duel.
     """
     from ..clocks.clock import SkewedClock
     from ..core.engine import MVTLEngine
     from ..core.exceptions import TransactionAborted
-    from ..policies.epsilon_clock import MVTLEpsilonClock
-    from ..policies.to import MVTLTimestampOrdering
+    from ..policies.registry import make_policy
 
     workload = _duel_workload(name, num_keys)
-    policies: list[tuple[str, Callable[[], Any]]] = [
-        ("mvtl-epsilon-clock", lambda: MVTLEpsilonClock(epsilon)),
-        ("mvtl-to", MVTLTimestampOrdering),
-    ]
+    if policies is None:
+        policies = ("mvtl-epsilon-clock", "mvtl-to")
     results: dict[str, dict[str, int]] = {}
-    for policy_name, make_policy in policies:
+    for policy_name in policies:
         # Identical seeded schedule per policy: same skews, same advances,
         # same transaction stream.
         rng = np.random.default_rng(seed)
         src = _SteppingTime()
         offsets = [float(rng.uniform(-epsilon, epsilon))
                    for _ in range(num_pids)]
-        clocks = {pid: SkewedClock(src, offsets[pid - 1])
-                  for pid in range(1, num_pids + 1)}
-        engine = MVTLEngine(make_policy(),
-                            clock_for_pid=lambda pid: clocks[pid],
-                            default_timeout=0.2)
         gen = make_scenario_generator(name, workload, rng)
         commits = aborts = 0
+        if policy_name == "bohm":
+            from ..baselines.bohm import BohmEngine
+            bohm = BohmEngine()
+            for n in range(num_txs):
+                src.advance(float(rng.uniform(0.2, 1.5)) * epsilon)
+                bohm.submit(gen.next_tx(), pid=1 + n % num_pids)
+                batch = bohm.run_batch()
+                commits += sum(1 for tx in batch if tx.committed)
+                aborts += sum(1 for tx in batch if not tx.committed)
+            results[policy_name] = {"commits": commits,
+                                    "serial_aborts": aborts}
+            continue
+        clocks = {pid: SkewedClock(src, offsets[pid - 1])
+                  for pid in range(1, num_pids + 1)}
+        engine = MVTLEngine(make_policy(policy_name, epsilon=epsilon),
+                            clock_for_pid=lambda pid: clocks[pid],
+                            default_timeout=0.2)
         for n in range(num_txs):
             # Advances comparable to the skew spread, so transaction order
             # and timestamp order frequently invert.
@@ -762,7 +841,8 @@ def serial_skew_duel(name: str = "bank-transfer", *, seed: int = 101,
 def ghost_abort_duel(name: str = "orders", *, seed: int = 202,
                      rounds: int = 40, batch: int = 6,
                      abort_fraction: float = 0.4,
-                     num_keys: int = 8) -> dict:
+                     num_keys: int = 8,
+                     policies: Sequence[str] | None = None) -> dict:
     """Theorem 7 duel: aborts caused by already-dead transactions.
 
     Each round begins a batch of scenario transactions together (ascending
@@ -773,22 +853,47 @@ def ghost_abort_duel(name: str = "orders", *, seed: int = 202,
     read-timestamps), so a surviving lower-timestamp writer can be killed
     by locks whose owners are all dead: a *ghost abort*, classified via
     the NO_COMMON_TIMESTAMP abort reason plus the conflict holders the
-    policy records at commit-lock failure.  MVTL-Ghostbuster GCs dead
-    transactions eagerly, so its ghost count must be zero (it may still
-    abort against *live or committed* conflicts — that is allowed).
+    policy reports at commit-lock failure (the
+    :meth:`~repro.core.policy.MVTLPolicy.conflict_holders` surface).
+    MVTL-Ghostbuster GCs dead transactions eagerly, so its ghost count must
+    be zero (it may still abort against *live or committed* conflicts —
+    that is allowed).
+
+    ``policies`` selects registered policy names (plus ``"bohm"``: dooms
+    map to Bohm's explicit user aborts, whose placeholders every reader
+    skips, so it can never ghost-abort either); the default pairing
+    preserves the original theorem duel.
     """
     from ..core.engine import MVTLEngine
     from ..core.exceptions import TransactionAborted
-    from ..policies.ghostbuster import MVTLGhostbuster
-    from ..policies.to import MVTLTimestampOrdering
+    from ..policies.registry import make_policy
 
     workload = _duel_workload(name, num_keys)
+    if policies is None:
+        policies = ("mvtl-ghostbuster", "mvtl-to")
     results: dict[str, dict[str, int]] = {}
-    for policy_name, make_policy in (("mvtl-ghostbuster", MVTLGhostbuster),
-                                     ("mvtl-to", MVTLTimestampOrdering)):
+    for policy_name in policies:
         rng = np.random.default_rng(seed)
-        engine = MVTLEngine(make_policy(), default_timeout=0.2)
         gen = make_scenario_generator(name, workload, rng)
+        if policy_name == "bohm":
+            from ..baselines.bohm import BohmEngine
+            bohm = BohmEngine()
+            commits = aborts = 0
+            for _ in range(rounds):
+                specs = [gen.next_tx() for _ in range(batch)]
+                doomed = [i > 0 and float(rng.random()) < abort_fraction
+                          for i in range(batch)]
+                for spec, doom in zip(specs, doomed):
+                    bohm.submit(spec, doomed=doom)
+                for tx in bohm.run_batch():
+                    if tx.committed:
+                        commits += 1
+                    elif not tx.doomed:
+                        aborts += 1
+            results[policy_name] = {"commits": commits, "aborts": aborts,
+                                    "ghost_aborts": 0}
+            continue
+        engine = MVTLEngine(make_policy(policy_name), default_timeout=0.2)
         dead_ids: set[Any] = set()
         commits = aborts = ghost_aborts = 0
         for _ in range(rounds):
@@ -812,10 +917,226 @@ def ghost_abort_duel(name: str = "orders", *, seed: int = 202,
                     commits += 1
                     continue
                 aborts += 1
-                holders = tuple(getattr(tx.state, "conflict_holders", ()))
+                holders = engine.policy.conflict_holders(tx)
                 if holders and all(h in dead_ids for h in holders):
                     ghost_aborts += 1
                 dead_ids.add(tx.id)
         results[policy_name] = {"commits": commits, "aborts": aborts,
                                 "ghost_aborts": ghost_aborts}
     return results
+
+
+# ---------------------------------------------------------------------------
+# Policy arena (BENCH_8): adaptive vs its fixed constituents vs Bohm
+# ---------------------------------------------------------------------------
+
+#: The four fixed policies the adaptive selector switches between.
+ARENA_FIXED_POLICIES = ("mvtl-to", "mvtl-pref", "mvtl-prio",
+                        "mvtl-epsilon-clock")
+
+#: Everything the BENCH_8 arena compares, in cell order.
+ARENA_POLICIES = ("mvtl-adaptive",) + ARENA_FIXED_POLICIES + ("bohm",)
+
+
+def policy_arena(name: str, policy_name: str, *, seed: int = 303,
+                 rounds: int = 100, batch: int = 6, epsilon: float = 0.05,
+                 skew: float = 0.05, num_keys: int = 8,
+                 doom_fraction: float = 0.15, check: bool = True) -> dict:
+    """One arena cell: the named scenario's stream under one policy.
+
+    The schedule combines both duel pathologies at moderate intensity so no
+    single fixed policy wins everywhere: each round begins a batch of
+    scenario transactions concurrently on epsilon-skewed per-process clocks
+    (Theorem 4 pressure on TO's single timestamp), user-aborts a seeded
+    fraction after execution (Theorem 7 ghost pressure on policies that
+    keep dead read locks), and commits the survivors in reverse begin order
+    (commit-point collisions, Theorem 2's regime).  The stream, the skews
+    and the doom draws are identical for every policy — the doom indices
+    are drawn up front, per round, so the RNG consumption cannot depend on
+    policy-specific abort behaviour.
+
+    ``commit_rate`` is commits over *decided* transactions (dooms are user
+    decisions, not policy failures, and their count is seed-fixed).  With
+    ``check`` the full history is recorded and MVSG-checked — every policy,
+    adaptive mid-run switches and Bohm included, must stay serializable.
+    """
+    from ..baselines.bohm import BohmEngine
+    from ..clocks.clock import SkewedClock
+    from ..core.engine import MVTLEngine
+    from ..core.exceptions import TransactionAborted
+    from ..policies.registry import make_policy
+    from ..verify.history import HistoryRecorder
+    from ..verify.mvsg import check_serializable
+
+    rng = np.random.default_rng(seed)
+    src = _SteppingTime()
+    offsets = [float(rng.uniform(-skew, skew)) for _ in range(batch)]
+    gen = make_scenario_generator(name, _duel_workload(name, num_keys), rng)
+    recorder = HistoryRecorder() if check else None
+    commits = aborts = decided = 0
+
+    if policy_name == "bohm":
+        engine: Any = BohmEngine(history=recorder)
+        for _ in range(rounds):
+            src.advance(float(rng.uniform(0.2, 1.5)) * skew)
+            specs = [gen.next_tx() for _ in range(batch)]
+            doomed = [i > 0 and float(rng.random()) < doom_fraction
+                      for i in range(batch)]
+            decided += sum(1 for d in doomed if not d)
+            for i, (spec, doom) in enumerate(zip(specs, doomed)):
+                engine.submit(spec, pid=i + 1, doomed=doom)
+            for tx in engine.run_batch():
+                if tx.committed:
+                    commits += 1
+                elif not tx.doomed:
+                    aborts += 1
+        switches = 0
+    else:
+        clocks = {pid: SkewedClock(src, offsets[pid - 1])
+                  for pid in range(1, batch + 1)}
+        engine = MVTLEngine(make_policy(policy_name, epsilon=epsilon),
+                            clock_for_pid=lambda pid: clocks[pid],
+                            default_timeout=0.005, history=recorder)
+        for _ in range(rounds):
+            src.advance(float(rng.uniform(0.2, 1.5)) * skew)
+            specs = [gen.next_tx() for _ in range(batch)]
+            doomed = [i > 0 and float(rng.random()) < doom_fraction
+                      for i in range(batch)]
+            decided += sum(1 for d in doomed if not d)
+            txs = [engine.begin(pid=i + 1, priority=bool(spec.critical))
+                   for i, spec in enumerate(specs)]
+            live: list[tuple[int, Any]] = []
+            for i, (tx, spec) in enumerate(zip(txs, specs)):
+                try:
+                    _apply_spec(engine, tx, spec)
+                    live.append((i, tx))
+                except TransactionAborted:
+                    if not doomed[i]:
+                        aborts += 1
+            for i, tx in live:
+                if doomed[i]:
+                    engine.abort(tx)
+            survivors = [(i, tx) for i, tx in live if not doomed[i]]
+            for _i, tx in reversed(survivors):
+                if engine.commit(tx):
+                    commits += 1
+                else:
+                    aborts += 1
+        switches = len(getattr(engine.policy, "switches", ()))
+
+    serializable = True
+    if recorder is not None:
+        report = check_serializable(recorder)
+        serializable = report.serializable
+    return {"commits": commits, "aborts": aborts, "decided": decided,
+            "commit_rate": commits / max(1, decided),
+            "serializable": serializable, "switches": switches}
+
+
+@dataclass(frozen=True)
+class PolicyCellConfig:
+    """Picklable config of one arena cell (what :class:`Cell` carries)."""
+
+    scenario: str
+    policy: str
+    seed: int = 303
+    rounds: int = 200
+    batch: int = 6
+    epsilon: float = 0.05
+    skew: float = 0.05
+    num_keys: int = 8
+    doom_fraction: float = 0.15
+
+
+@dataclass(frozen=True)
+class PolicyArenaSummary:
+    """Arena cell result: mirrors ClusterResult's counter attributes.
+
+    ``throughput``/``messages_*``/``sim_events`` are zero — the arena runs
+    on the centralized engine, outside the simulator — but the attributes
+    exist so the harness payload/bench views need no special cases.
+    """
+
+    scenario: str
+    policy: str
+    committed: int
+    aborted: int
+    decided: int
+    commit_rate: float
+    serializable: bool
+    switches: int
+    throughput: float = 0.0
+    messages_sent: int = 0
+    messages_per_commit: float = 0.0
+    sim_events: int = 0
+
+
+def run_policy_cell(config: PolicyCellConfig) -> PolicyArenaSummary:
+    """Grid entry point: run one arena cell (top-level, pickles)."""
+    res = policy_arena(config.scenario, config.policy, seed=config.seed,
+                       rounds=config.rounds, batch=config.batch,
+                       epsilon=config.epsilon, skew=config.skew,
+                       num_keys=config.num_keys,
+                       doom_fraction=config.doom_fraction)
+    return PolicyArenaSummary(
+        scenario=config.scenario, policy=config.policy,
+        committed=res["commits"], aborted=res["aborts"],
+        decided=res["decided"], commit_rate=res["commit_rate"],
+        serializable=res["serializable"], switches=res["switches"])
+
+
+# -- Bohm chaos validation (the BENCH_8 correctness cells) -------------------
+
+#: Scenarios compatible with the single-sequencer Bohm cluster (no
+#: replication/follower reads, no overload controller knobs).
+BOHM_CHAOS_SCENARIOS = ("bank-transfer", "orders", "secondary-index")
+
+
+def bohm_chaos_config(name: str, *, seed: int = 0) -> Any:
+    """The named scenario's cluster config on the Bohm protocol with link
+    faults (loss + duplicates) and retry-friendly RPC timeouts.
+
+    ``rpc_timeout`` must sit well inside the measure window: the default
+    5 s timeout means one lost message stalls a client past the whole run.
+    """
+    from ..sim.network import LinkFaults
+    return scenario_config(
+        name, seed=seed, protocol="bohm",
+        faults=LinkFaults(loss=0.02, duplicate=0.02),
+        rpc_timeout=0.2, rpc_retries=2, record_history=True)
+
+
+@dataclass(frozen=True)
+class BohmChaosSummary:
+    """Picklable Bohm chaos-cell result: counters + correctness verdicts."""
+
+    scenario: str
+    committed: int
+    aborted: int
+    throughput: float
+    commit_rate: float
+    messages_sent: int
+    messages_per_commit: float
+    sim_events: int
+    quiesced: bool
+    serializable: bool
+    invariant_failures: tuple
+
+
+def reduce_bohm_chaos_cell(result: Any) -> BohmChaosSummary:
+    """Reduce a Bohm chaos ClusterResult: MVSG + invariants, in-worker."""
+    from ..verify.mvsg import check_serializable
+    name = result.config.scenario
+    report = check_serializable(result.history)
+    return BohmChaosSummary(
+        scenario=name,
+        committed=result.committed,
+        aborted=result.aborted,
+        throughput=result.throughput,
+        commit_rate=result.commit_rate,
+        messages_sent=result.messages_sent,
+        messages_per_commit=result.messages_per_commit,
+        sim_events=result.sim_events,
+        quiesced=result.scenario_report["quiesced"],
+        serializable=report.serializable,
+        invariant_failures=tuple(check_scenario(name, result)))

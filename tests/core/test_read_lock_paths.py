@@ -1,0 +1,162 @@
+"""Audit of the empty-locked-set early returns in ``read_lock_interval``.
+
+``MVTLPolicy.read_lock_interval`` can return a *successful* read with an
+empty locked interval set in three places: the requested interval
+``(tr, upper]`` is empty, frozen-write truncation leaves nothing lockable,
+or the surviving piece is not adjacent to the version read.  These tests
+pin each path and prove the safety argument stated in the helper's
+docstring: the engine derives commit candidates exclusively from the lock
+table, so a key read without locks contributes an *empty* cover — it can
+never smuggle an unlocked timestamp into the candidate set, and a
+transaction whose only cover is empty aborts with NO_COMMON_TIMESTAMP
+rather than committing at an unlocked point.
+"""
+
+from repro.clocks.clock import PerfectClock
+from repro.core.engine import MVTLEngine
+from repro.core.exceptions import AbortReason
+from repro.core.intervals import IntervalSet, TsInterval
+from repro.core.locks import LockMode
+from repro.core.timestamp import Timestamp
+from repro.policies import MVTLTimestampOrdering
+
+
+def ts(value: float, pid: int = 0) -> Timestamp:
+    return Timestamp(float(value), pid)
+
+
+def make_engine(now: float = 5.0):
+    """Engine on a pinned clock; tests adjust ``src[0]`` to steer begin ts."""
+    src = [now]
+    engine = MVTLEngine(MVTLTimestampOrdering(),
+                        clock=PerfectClock(source=lambda: src[0]),
+                        default_timeout=0.01)
+    return engine, src
+
+
+def freeze_write(engine, key, lo, hi, pid=9):
+    """Simulate a committed writer's frozen write range (lo, hi]."""
+    span = TsInterval.open_closed(ts(lo), ts(hi))
+    writer = engine.begin(pid=pid)
+    result = engine.acquire(writer, key, LockMode.WRITE, span, wait=False)
+    assert result.ok, "test setup: frozen span must be uncontended"
+    engine.locks.freeze(writer.id, key, LockMode.WRITE, span)
+    return writer
+
+
+def held_cover(engine, tx, key) -> IntervalSet:
+    return engine.locks.held(tx.id, key, LockMode.READ).union(
+        engine.locks.held(tx.id, key, LockMode.WRITE))
+
+
+class TestEmptyLockedSetPaths:
+    def test_empty_interval_when_version_at_or_above_upper(self):
+        # Path 1: tr >= upper — the interval (tr, upper] is empty.
+        engine, _ = make_engine()
+        engine.store.install("k", ts(2.0), "v2")
+        reader = engine.begin()
+        got = engine.policy.read_lock_interval(
+            engine, reader, "k", ts(1.0), version_below=ts(3.0))
+        assert got is not None
+        version, locked = got
+        assert version.ts == ts(2.0)
+        assert locked.is_empty
+        assert engine.locks.held(reader.id, "k", LockMode.READ).is_empty
+
+    def test_empty_when_frozen_covers_whole_range(self):
+        # Path 2: (tr, upper] sits entirely inside frozen write ranges.
+        engine, _ = make_engine()
+        engine.store.install("k", ts(1.0), "v1")
+        freeze_write(engine, "k", 1.0, 3.0)
+        reader = engine.begin()
+        got = engine.policy.read_lock_interval(
+            engine, reader, "k", ts(2.0), version_below=ts(1.5))
+        assert got is not None
+        version, locked = got
+        assert version.ts == ts(1.0)
+        assert locked.is_empty
+        assert engine.locks.held(reader.id, "k", LockMode.READ).is_empty
+
+    def test_empty_when_first_piece_not_adjacent_to_version(self):
+        # Path 3: a frozen write sits immediately above tr, but its version
+        # is outside the lookup bound — the surviving piece (1.5, 2.5] is
+        # not adjacent to the version read at 1.0, so nothing is locked.
+        engine, _ = make_engine()
+        engine.store.install("k", ts(1.0), "v1")
+        freeze_write(engine, "k", 1.0, 1.5)
+        reader = engine.begin()
+        got = engine.policy.read_lock_interval(
+            engine, reader, "k", ts(2.5), version_below=ts(1.2))
+        assert got is not None
+        version, locked = got
+        assert version.ts == ts(1.0)
+        assert locked.is_empty
+        assert engine.locks.held(reader.id, "k", LockMode.READ).is_empty
+
+
+class TestCandidatesStayWithinLockedTimestamps:
+    """The regression the docstring promises: candidates ⊆ locked covers."""
+
+    def test_unlocked_read_cannot_commit(self):
+        # The whole readable range below the begin timestamp is frozen by
+        # another owner: the read succeeds (empty cover), but commit must
+        # abort with NO_COMMON_TIMESTAMP — never commit at an unlocked ts.
+        engine, src = make_engine()
+        # From below TS_ZERO so no lockable sliver survives above the
+        # BOTTOM version.
+        freeze_write(engine, "k", -1.0, 3.0)
+        src[0] = 2.0
+        tx = engine.begin(pid=1)
+        engine.read(tx, "k")  # succeeds: BOTTOM version, empty locked set
+        assert held_cover(engine, tx, "k").is_empty
+        engine.write(tx, "w", "x")
+        assert engine._candidates(tx).is_empty
+        assert engine.commit(tx) is False
+        assert tx.aborted
+        assert tx.abort_reason == AbortReason.NO_COMMON_TIMESTAMP
+
+    def test_truncated_cover_excludes_preferred_timestamp(self):
+        # Partial truncation: the read locks only (1.0, 1.2], so the TO
+        # policy's preferred commit point (the begin timestamp 2.0) is NOT
+        # in the candidate set, and every candidate lies inside the held
+        # cover.  The commit must abort rather than commit at 2.0.
+        engine, src = make_engine()
+        engine.store.install("k", ts(1.0), "v1")
+        freeze_write(engine, "k", 1.2, 3.0)
+        src[0] = 2.0
+        tx = engine.begin(pid=1)
+        engine.read(tx, "k")
+        cover = held_cover(engine, tx, "k")
+        assert not cover.is_empty
+        candidates = engine._candidates(tx)
+        assert candidates.subtract(cover).is_empty  # candidates ⊆ cover
+        assert not candidates.contains(ts(2.0, pid=1))
+        assert engine.commit(tx) is False
+        assert tx.abort_reason == AbortReason.NO_COMMON_TIMESTAMP
+
+    def test_candidates_subset_of_every_keys_cover(self):
+        # Multi-key: candidates are the intersection of per-key covers, so
+        # they must be a subset of each one — including keys whose cover
+        # was truncated by frozen writes.
+        engine, src = make_engine()
+        engine.store.install("a", ts(0.5), "va")
+        engine.store.install("b", ts(0.5), "vb")
+        freeze_write(engine, "b", 1.5, 1.8)
+        src[0] = 2.0
+        tx = engine.begin(pid=1)
+        engine.read(tx, "a")
+        engine.read(tx, "b")
+        candidates = engine._candidates(tx)
+        assert not candidates.is_empty
+        for key in ("a", "b"):
+            cover = held_cover(engine, tx, key)
+            assert candidates.subtract(cover).is_empty
+
+    def test_uncontended_read_still_commits(self):
+        # Control: with no frozen interference the same flow commits.
+        engine, src = make_engine()
+        engine.store.install("k", ts(1.0), "v1")
+        src[0] = 2.0
+        tx = engine.begin(pid=1)
+        assert engine.read(tx, "k") == "v1"
+        assert engine.commit(tx) is True

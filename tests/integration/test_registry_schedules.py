@@ -1,0 +1,149 @@
+"""Property tests over the *policy registry* surface (Theorem 1 + PR-8).
+
+Complements ``test_random_schedules``: instead of a hand-kept engine list,
+every policy comes from :mod:`repro.policies.registry` — so a newly
+registered policy is property-tested automatically — and two new engines
+join the pool:
+
+* **mvtl-adaptive with forced mid-run switches** — the schedule flips
+  stripe modes deterministically while transactions are in flight, the
+  exact hazard the adaptive policy's per-(tx, key) write-mode snapshots
+  exist for.  Theorem 1 must hold across every switch point.
+* **bohm** — the deterministic batched baseline: sessions' declared op
+  streams become pre-declared ``TxSpec``s executed in seeded batches.
+
+Each property asserts MVSG serializability AND same-seed determinism (two
+fresh runs of the same schedule produce identical histories).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bohm import BohmEngine
+from repro.core.engine import MVTLEngine
+from repro.core.exceptions import TransactionAborted
+from repro.policies.adaptive import MODES, MVTLAdaptive
+from repro.policies.registry import make_policy, registered_policies
+from repro.verify import HistoryRecorder, check_serializable
+from repro.workload.generator import Op, TxSpec
+
+KEYS = ["a", "b", "c"]
+
+# One schedule step: (session, op) with op in ("r", key) / ("w", key) /
+# ("c", None) — same shape as test_random_schedules.
+steps = st.lists(
+    st.tuples(st.integers(0, 3),
+              st.one_of(
+                  st.tuples(st.just("r"), st.sampled_from(KEYS)),
+                  st.tuples(st.just("w"), st.sampled_from(KEYS)),
+                  st.tuples(st.just("c"), st.none()))),
+    min_size=4, max_size=40)
+
+
+def make_registry_engine(name, history):
+    # Wide intervals/deltas maximize overlap on the tiny key space; the
+    # registry drops overrides a policy does not take.
+    policy = make_policy(name, epsilon=2.0, delta=10.0, seed=7,
+                         decision_interval=8)
+    return MVTLEngine(policy, history=history, default_timeout=0.05)
+
+
+def run_mvtl_schedule(name, schedule, *, force_switches=False):
+    """Run the schedule on an interactive MVTL engine; return the recorder.
+
+    With ``force_switches`` (adaptive only) every 5th step flips one
+    stripe's mode, cycling through MODES, while transactions are live.
+    """
+    history = HistoryRecorder()
+    engine = make_registry_engine(name, history)
+    policy = engine.policy
+    sessions = {}
+    value = 0
+    for step, (session, (kind, key)) in enumerate(schedule):
+        if force_switches and step % 5 == 0:
+            assert isinstance(policy, MVTLAdaptive)
+            stripe = engine.stripe_of(KEYS[(step // 5) % len(KEYS)])
+            policy.set_mode(stripe, MODES[(step // 5) % len(MODES)])
+        tx = sessions.get(session)
+        if tx is None or not tx.is_active:
+            tx = sessions[session] = engine.begin(
+                pid=session + 1, priority=(session == 0))
+        try:
+            if kind == "r":
+                engine.read(tx, key)
+            elif kind == "w":
+                value += 1
+                engine.write(tx, key, str(value))
+            else:
+                engine.commit(tx)
+                sessions[session] = None
+        except TransactionAborted:
+            sessions[session] = None
+    for tx in sessions.values():
+        if tx is not None and tx.is_active:
+            try:
+                engine.commit(tx)
+            except TransactionAborted:
+                pass
+    return history
+
+
+def run_bohm_schedule(schedule):
+    """Sessions' op streams become pre-declared specs run in batches."""
+    history = HistoryRecorder()
+    engine = BohmEngine(history=history, batch_size=3)
+    pending_ops = {}
+    value = 0
+    for session, (kind, key) in schedule:
+        ops = pending_ops.setdefault(session, [])
+        if kind == "r":
+            ops.append(Op(is_write=False, key=key))
+        elif kind == "w":
+            value += 1
+            ops.append(Op(is_write=True, key=key, value=str(value)))
+        elif ops:
+            engine.submit(TxSpec(ops=tuple(ops)), pid=session + 1)
+            pending_ops[session] = []
+            engine.maybe_run_batch()
+    for session in sorted(pending_ops):
+        ops = pending_ops[session]
+        if ops:
+            engine.submit(TxSpec(ops=tuple(ops)), pid=session + 1)
+    engine.run_batch()
+    return history
+
+
+REGISTRY_POLICIES = registered_policies()
+
+
+@pytest.mark.parametrize("name", REGISTRY_POLICIES)
+@given(schedule=steps)
+@settings(max_examples=15, deadline=None)
+def test_registry_policy_serializable_and_deterministic(name, schedule):
+    first = run_mvtl_schedule(name, schedule)
+    report = check_serializable(first)
+    assert report.serializable, (name, report.error, report.cycle)
+    second = run_mvtl_schedule(name, schedule)
+    assert first.records() == second.records(), name
+
+
+@given(schedule=steps)
+@settings(max_examples=20, deadline=None)
+def test_adaptive_mid_run_switches_stay_serializable(schedule):
+    first = run_mvtl_schedule("mvtl-adaptive", schedule, force_switches=True)
+    report = check_serializable(first)
+    assert report.serializable, (report.error, report.cycle)
+    second = run_mvtl_schedule("mvtl-adaptive", schedule,
+                               force_switches=True)
+    assert first.records() == second.records()
+
+
+@given(schedule=steps)
+@settings(max_examples=20, deadline=None)
+def test_bohm_schedules_serializable_and_deterministic(schedule):
+    first = run_bohm_schedule(schedule)
+    report = check_serializable(first)
+    assert report.serializable, (report.error, report.cycle)
+    second = run_bohm_schedule(schedule)
+    assert first.records() == second.records()
