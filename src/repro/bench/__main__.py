@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench chaos           # seeded fault-injection check
     python -m repro.bench overload        # graceful-degradation ramp
     python -m repro.bench failover        # replicated leader-crash check
+    python -m repro.bench selfheal        # anti-entropy self-healing check
     python -m repro.bench scenario bank-transfer   # one zoo scenario
     python -m repro.bench scenario        # the whole workload zoo
     python -m repro.bench policies        # registry-wide theorem duels
@@ -293,6 +294,137 @@ def run_failover(seed: int = 17) -> int:
     for failure in failures:
         print(f"FAIL: {failure}")
     print("failover: " + ("FAILED" if failures else "ok"))
+    return 1 if failures else 0
+
+
+def run_selfheal(seed: int = 17) -> int:
+    """CI check: self-healing replication under compound chaos (repro.repl).
+
+    One cluster, replication factor 3 over four servers (one outsider is
+    available as recruitment stock), WAL durability, follower reads,
+    anti-entropy sync, recruitment and reliable commit fan-out, runs under
+    lossy links (loss + duplication + delay spikes) while chaos crashes a
+    group leader *and* restarts a follower mid-measurement.  Runs twice
+    with the same seed and asserts:
+
+    * determinism — identical outcomes and counters across runs;
+    * zero lost committed writes, audited by ``scan_lost_commits`` against
+      the post-chaos membership (recruited replicas are only charged for
+      commits after their join cutoff);
+    * self-healing — every restarted server completed anti-entropy resync
+      (no server still dirty at the end) and a replacement replica was
+      recruited for the demoted leader's group;
+    * non-vacuous recovery — resynced servers actually served follower
+      reads afterwards, and dirty-refusals were observed before the sync
+      (so the servability gate was exercised, not bypassed);
+    * quorum safety — detector-observed live membership never dropped
+      below the write quorum of 2 (of 3);
+    * liveness + isolation — no orphaned write locks, and both surviving
+      histories are MVSG-serializable.
+    """
+    from ..dist.cluster import ClusterConfig, run_cluster
+    from ..dist.failure import ChaosConfig
+    from ..repl import write_quorum
+    from ..sim.network import LinkFaults
+    from ..sim.testbed import LOCAL_TESTBED
+    from ..verify import check_serializable
+    from ..workload.generator import WorkloadConfig
+
+    config = ClusterConfig(
+        protocol="mvtil-early",
+        profile=replace(LOCAL_TESTBED, gc_horizon=1.0),
+        workload=WorkloadConfig(num_keys=2_000, tx_size=4,
+                                write_fraction=0.3),
+        num_servers=4, num_clients=10, seed=seed,
+        warmup=1.5, measure=3.5, gc_period=0.2,
+        write_lock_timeout=0.25, rpc_timeout=0.15, rpc_retries=3,
+        replication=3, durability="wal", checkpoint_every=64,
+        follower_reads=True, record_history=True,
+        # Small sync batches stretch catch-up over many visible rounds so
+        # the dirty-refusal path is actually exercised mid-run.
+        anti_entropy=True, recruitment=True, reliable_fanout=True,
+        sync_batch=1, heartbeat_miss_limit=5,
+        faults=LinkFaults(loss=0.03, duplicate=0.02, delay_spike=0.01),
+        chaos=ChaosConfig(leader_crashes=1, leader_downtime=0.6,
+                          follower_restarts=1, follower_downtime=0.3))
+    quorum = write_quorum(config.replication)
+
+    print("== selfheal: leader crash + follower restart + lossy links ==")
+    runs = [run_cluster(config) for _ in range(2)]
+    res = runs[0]
+    rep = res.replication_report
+    refused = rep["snapshot_refused_by_reason"]
+    print(f"committed={res.committed} aborted={res.aborted} "
+          f"commit_rate={res.commit_rate:.3f}")
+    print(f"promotions={len(rep['promotions'])} "
+          f"recruitments={rep['recruitments']} "
+          f"min_live_members={rep['min_live_members']} quorum={quorum}")
+    print(f"resyncs={rep['resyncs']} "
+          f"resync_latencies={[round(v, 4) for v in rep['resync_latencies']]} "
+          f"sync_rounds={rep['sync_rounds']} "
+          f"sync_installs={rep['sync_installs']} "
+          f"sync_aborted={rep['sync_aborted']} "
+          f"wal_sync_records={rep['wal_sync_records']}")
+    print(f"refused_by_reason={refused} dirty_at_end={rep['dirty_at_end']} "
+          f"served_resynced={rep['snapshot_served_resynced_by_server']}")
+    print(f"commits_checked={rep['commits_checked']} "
+          f"lost_commits={rep['lost_commits']} "
+          f"replica_missing={rep['replica_missing']} "
+          f"fanout_acked={rep['fanout_acked']} "
+          f"fanout_unacked={rep['fanout_unacked']} "
+          f"orphans={res.chaos_report['orphaned_write_locks']}")
+
+    failures = []
+
+    def outcome(r):
+        return (r.committed, r.aborted, r.messages_sent,
+                r.chaos_report, r.replication_report)
+
+    if outcome(runs[0]) != outcome(runs[1]):
+        failures.append("same-seed runs diverged")
+    if not res.committed:
+        failures.append("no transaction survived the chaos")
+    if not rep["commits_checked"]:
+        failures.append("lost-commit audit checked nothing (vacuous)")
+    if rep["lost_commits"]:
+        failures.append(f"{rep['lost_commits']} committed writes missing "
+                        f"from their group's current leader")
+    if not rep["promotions"]:
+        failures.append("leader crashed but no follower was promoted")
+    if not rep["recruitments"]:
+        failures.append("no replacement replica was recruited after the "
+                        "promotion")
+    if rep["resyncs"] < 2:
+        failures.append(f"expected >= 2 anti-entropy resyncs (restarted "
+                        f"follower + crashed ex-leader), got "
+                        f"{rep['resyncs']}")
+    if rep["dirty_at_end"]:
+        failures.append(f"servers still snapshot-dirty at end: "
+                        f"{rep['dirty_at_end']}")
+    if not refused["dirty"]:
+        failures.append("no snapshot read was refused for dirtiness — the "
+                        "servability gate was never exercised")
+    served = rep["snapshot_served_resynced_by_server"]
+    for sid in rep["resyncs_by_server"]:
+        if not served.get(sid):
+            failures.append(f"server {sid} resynced but never served a "
+                            f"follower read afterwards (vacuous recovery)")
+    if rep["min_live_members"] < quorum:
+        failures.append(f"live membership dropped to "
+                        f"{rep['min_live_members']} < write quorum {quorum}")
+    if not rep["follower_reads"]:
+        failures.append("no read was served by a follower replica")
+    if res.chaos_report["orphaned_write_locks"]:
+        failures.append(f"{res.chaos_report['orphaned_write_locks']} "
+                        f"orphaned write locks after settle (Thms 9-10)")
+    for i, r in enumerate(runs):
+        report = check_serializable(r.history)
+        if not report.serializable:
+            failures.append(f"run {i}: history not MVSG-serializable: "
+                            f"{report.error}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print("selfheal: " + ("FAILED" if failures else "ok"))
     return 1 if failures else 0
 
 
@@ -651,6 +783,7 @@ def main(argv: list[str] | None = None) -> int:
                                                    "figures", "smoke",
                                                    "engine", "chaos",
                                                    "overload", "failover",
+                                                   "selfheal",
                                                    "scenario", "policies"],
                         help="which figure to regenerate ('figures' = all "
                              "figures, intended with --workers; or: 'smoke' "
@@ -660,6 +793,8 @@ def main(argv: list[str] | None = None) -> int:
                              "check, 'overload' = graceful-degradation "
                              "ramp past saturation, 'failover' = "
                              "replicated leader-crash recovery check, "
+                             "'selfheal' = anti-entropy + recruitment "
+                             "chaos-hardening check, "
                              "'scenario' = workload-zoo invariant + "
                              "theorem-duel check, 'policies' = registry-"
                              "wide theorem-duel matrix incl. the adaptive "
@@ -693,6 +828,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_overload(seed=args.seeds[0])
     if args.figure == "failover":
         return run_failover(seed=args.seeds[0])
+    if args.figure == "selfheal":
+        return run_selfheal(seed=args.seeds[0])
     if args.figure == "policies":
         return run_policies(seed=args.seeds[0])
     if args.figure == "scenario":

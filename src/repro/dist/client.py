@@ -186,7 +186,8 @@ class BaseClient:
         self.stats = {"commits": 0, "aborts": 0, "rpc_timeouts": 0,
                       "rpc_retries": 0, "msgs_sent": 0, "overloaded": 0,
                       "admission_rejects": 0, "follower_reads": 0,
-                      "snapshot_fallbacks": 0, "snapshot_commits": 0}
+                      "snapshot_fallbacks": 0, "snapshot_commits": 0,
+                      "fanout_acked": 0, "fanout_unacked": 0}
 
     # -- messaging ------------------------------------------------------------
 
@@ -554,11 +555,20 @@ class MVTILClient(BaseClient):
     def __init__(self, *args: Any, delta: float = 0.005, late: bool = False,
                  gc_on_commit: bool = True, read_timeout: float = 0.25,
                  defer_writes: bool = False, follower_reads: bool = False,
-                 **kwargs: Any) -> None:
+                 reliable_fanout: bool = False, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.delta = delta
         self.late = late
         self.gc_on_commit = gc_on_commit
+        #: Acked commit fan-out: each group member's CommitReq asks for a
+        #: CommitAck and unanswered members are retried (at-least-once).
+        #: Off = the paper's fire-and-forget notification, which assumes
+        #: loss-free links; under LinkFaults a lost CommitReq to a
+        #: non-mirrored member would otherwise permanently miss a version
+        #: there.  The decision is already made when the fan-out runs, so
+        #: retry exhaustion never fails the transaction — it is counted
+        #: (``fanout_unacked``) and left to the mirrored-hold timeout.
+        self.reliable_fanout = reliable_fanout
         #: Serve read-only transactions as lock-free snapshot reads at the
         #: GC frontier, preferring follower replicas (needs replication>1).
         self.follower_reads = follower_reads
@@ -774,7 +784,7 @@ class MVTILClient(BaseClient):
         # freeze the read-lock prefixes (they seal the serialization
         # decision), and — if gc_on_commit — release the rest.  The server
         # applies all of it atomically under the key latches (§8.1).
-        self._send_commit(tx, ts, release=self.gc_on_commit)
+        yield from self._send_commit(tx, ts, release=self.gc_on_commit)
         if self.history is not None:
             self.history.record_commit(tx.id, ts, tuple(tx.writeset))
         self.stats["commits"] += 1
@@ -905,9 +915,15 @@ class MVTILClient(BaseClient):
         return (self.server_of(key),)
 
     def _send_commit(self, tx: SimpleNamespace, ts: Timestamp,
-                     release: bool = True) -> None:
+                     release: bool = True) -> Generator[Any, Any, None]:
         """Alg. 11 commit tail + gc, batched per server (per member when
-        replicated)."""
+        replicated).
+
+        A generator either way: the default path sends fire-and-forget and
+        yields nothing (byte-identical to the historical behaviour), the
+        ``reliable_fanout`` path awaits CommitAcks and re-sends to
+        unanswered members through :meth:`_rpc_many`.
+        """
         spans_by_server: dict[Hashable, dict[Hashable, IntervalSet]] = {}
         for key, tr in tx.readset:
             if tr < ts:
@@ -929,19 +945,33 @@ class MVTILClient(BaseClient):
         targets = set(tx.touched)
         targets.update(spans_by_server)
         targets.update(writes_by_server)
+        use_ack = self.reliable_fanout and self.replication > 1
         # Sorted fan-out: tx.touched is a set, and set order over string
         # ids varies per process (hash randomization) — send order must
         # not, or the network RNG draws diverge between identical runs.
+        reqs: dict[Hashable, CommitReq] = {}
         for server in sorted(targets, key=str):
             keys = tuple(writes_by_server.get(server, ()))
-            self._send(server, CommitReq(
+            reqs[server] = CommitReq(
                 tx.id, self.client_id, self._next_req(), ts=ts,
                 write_keys=keys,
                 spans=spans_by_server.get(server, {}),
                 release=release,
                 # Redo payload: lets a server that lost its pending buffer
                 # in a crash still install the right values.
-                values={k: tx.writeset[k] for k in keys}))
+                values={k: tx.writeset[k] for k in keys},
+                ack=use_ack)
+        if not use_ack:
+            for server, req in reqs.items():
+                self._send(server, req)
+            return
+        # The decision is final: exhaustion weakens redundancy on the
+        # unanswered members (counted, audited by scan_lost_commits) but
+        # never un-commits — the mirrored-hold timeout is the backstop.
+        replies = yield from self._rpc_many(reqs)
+        self.stats["fanout_acked"] += len(replies)
+        if len(replies) < len(reqs):
+            self.stats["fanout_unacked"] += len(reqs) - len(replies)
 
     def _fail(self, tx: SimpleNamespace,
               reason: str) -> Generator[Any, Any, None]:

@@ -152,6 +152,26 @@ class ClusterConfig:
     #: follower is promoted.  Only runs when ``replication > 1``.
     heartbeat_interval: float = 0.05
     heartbeat_miss_limit: int = 3
+    #: Self-healing anti-entropy (DESIGN.md §5h): the failover controller
+    #: pokes dirty (restarted) members to stream missing committed
+    #: versions from their group leaders; a member that completes its full
+    #: sync plan clears ``snapshot_dirty`` and re-enters the follower-read
+    #: rotation.  Off = the §5e baseline where a restarted follower never
+    #: re-earns servability.  Requires ``replication > 1``.
+    anti_entropy: bool = False
+    #: Versions per SyncDelta batch (bounds sync message size/CPU).
+    sync_batch: int = 64
+    #: Dynamic membership: after every promotion the controller recruits a
+    #: clean outside server through the catch-up path and swaps it into
+    #: the demoted leader's slot (epoch bump), so repeated leader crashes
+    #: do not bleed the group's live quorum.  Requires ``anti_entropy``.
+    recruitment: bool = False
+    #: Acked, retried commit fan-out to group members (CommitAck replies)
+    #: instead of the paper's fire-and-forget notification.  The loss-
+    #: hardening for LinkFaults runs; decided transactions never fail on
+    #: the fan-out — exhausted retries are only counted.  Requires
+    #: ``replication > 1``.
+    reliable_fanout: bool = False
     #: Named scenario from the workload zoo (repro.workload.scenarios).
     #: When set, each client runs that scenario's generator instead of the
     #: knob-driven WorkloadGenerator (``workload`` still supplies the
@@ -236,11 +256,26 @@ class ClusterConfig:
                                  "replicated decision store)")
         if self.follower_reads and self.replication <= 1:
             raise ValueError("follower_reads requires replication > 1")
+        if self.sync_batch < 1:
+            raise ValueError("sync_batch must be >= 1")
+        if (self.anti_entropy or self.reliable_fanout) \
+                and self.replication <= 1:
+            raise ValueError("anti_entropy and reliable_fanout require "
+                             "replication > 1 (they harden the replica "
+                             "machinery)")
+        if self.recruitment and not self.anti_entropy:
+            raise ValueError("recruitment requires anti_entropy (a recruit "
+                             "joins through the catch-up sync path)")
         if (self.chaos is not None and self.chaos.leader_crashes > 0
                 and self.replication <= 1):
             raise ValueError("chaos.leader_crashes requires replication > 1 "
                              "(a failover controller must exist to promote "
                              "a follower)")
+        if (self.chaos is not None and self.chaos.follower_restarts > 0
+                and self.replication <= 1):
+            raise ValueError("chaos.follower_restarts requires "
+                             "replication > 1 (an unreplicated group has "
+                             "no followers to restart)")
         if self.scenario is not None and self.scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {self.scenario!r}; "
                              f"expected one of {sorted(SCENARIOS)}")
@@ -399,7 +434,8 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
     # validation makes committing clients re-confirm every touched server
     # before deciding, closing the lost-lock window.
     validate = chaos_on and (config.chaos.server_restarts > 0
-                             or config.chaos.leader_crashes > 0)
+                             or config.chaos.leader_crashes > 0
+                             or config.chaos.follower_restarts > 0)
     for i in range(config.num_clients):
         cid = f"client-{i}"
         client_ids.append(cid)
@@ -422,6 +458,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                  read_timeout=config.read_timeout,
                                  defer_writes=config.batching,
                                  follower_reads=config.follower_reads,
+                                 reliable_fanout=config.reliable_fanout,
                                  **common)
         elif config.protocol == "mvto":
             client = MVTOClient(sim, net, cid, pid, partition, clock,
@@ -479,7 +516,10 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         controller = FailoverController(
             sim, net, partition,
             interval=config.heartbeat_interval,
-            miss_limit=config.heartbeat_miss_limit)
+            miss_limit=config.heartbeat_miss_limit,
+            anti_entropy=config.anti_entropy,
+            recruit=config.recruitment,
+            sync_batch=config.sync_batch)
         controller.start()
 
     service = TimestampService(sim, net, server_ids, client_ids,
@@ -600,6 +640,9 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                 if crashes:
                     failover_latencies.append(when - crashes[-1])
         staleness = sorted(s for c in clients for s in c.read_staleness)
+        resync_latencies = sorted(
+            lat for s in servers
+            for lat in getattr(s, "resync_latencies", []))
         replication_report = {
             "replication": config.replication,
             "durability": config.durability,
@@ -620,9 +663,52 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                                   for s in servers),
             "snapshot_refused": sum(s.stats.get("snapshot_refused", 0)
                                     for s in servers),
+            # Satellite: refusals broken down by first failing guard, so
+            # anti-entropy progress is observable ("dirty" must go to zero
+            # once every restarted member completed its full sync plan).
+            "snapshot_refused_by_reason": {
+                reason: sum(s.stats.get(f"snapshot_refused_{reason}", 0)
+                            for s in servers)
+                for reason in ("dirty", "floor", "unfrozen", "missing")},
+            "snapshot_served_resynced_by_server": {
+                str(s.server_id): s.stats.get("snapshot_served_resynced", 0)
+                for s in servers
+                if s.stats.get("resyncs", 0) > 0},
+            # Self-healing (DESIGN.md §5h).
+            "sync_pokes": controller.sync_pokes if controller else 0,
+            "sync_sessions": sum(s.stats.get("sync_sessions", 0)
+                                 for s in servers),
+            "sync_rounds": sum(s.stats.get("sync_deltas", 0)
+                               for s in servers),
+            "sync_installs": sum(s.stats.get("sync_installs", 0)
+                                 for s in servers),
+            "sync_aborted": sum(s.stats.get("sync_aborted", 0)
+                                for s in servers),
+            "resyncs": sum(s.stats.get("resyncs", 0) for s in servers),
+            "resyncs_by_server": {
+                str(s.server_id): s.stats.get("resyncs", 0)
+                for s in servers if s.stats.get("resyncs", 0) > 0},
+            "resync_latencies": resync_latencies,
+            "recruitments": [
+                (t, gid, str(old), str(new), ep)
+                for (t, gid, old, new, ep) in
+                (controller.recruitments if controller else [])],
+            "min_live_members": (controller.min_live_members
+                                 if controller else None),
+            "dirty_at_end": sorted(
+                str(s.server_id) for s in servers
+                if getattr(s, "snapshot_dirty", False)),
+            "fanout_acked": sum(c.stats.get("fanout_acked", 0)
+                                for c in clients),
+            "fanout_unacked": sum(c.stats.get("fanout_unacked", 0)
+                                  for c in clients),
             "wal_records": sum(s.durable.wal.records_appended
                                for s in servers
                                if getattr(s, "durable", None) is not None),
+            "wal_sync_records": sum(
+                s.durable.wal.records_by_kind.get("sync", 0)
+                for s in servers
+                if getattr(s, "durable", None) is not None),
             "checkpoints": sum(s.durable.checkpoints for s in servers
                                if getattr(s, "durable", None) is not None),
             "read_staleness": {

@@ -108,6 +108,35 @@ class CrashInjector:
             self.sim.schedule(downtime, self._restart_server, server, co)
         self.sim.schedule(max(0.0, when - self.sim.now), fire)
 
+    def crash_follower_at(self, when: float, gid: int, idx: int,
+                          placement: Any, servers: dict,
+                          downtime: float,
+                          extras: dict | None = None) -> None:
+        """Schedule a crash of one *follower* of group ``gid`` at fire time.
+
+        Like :meth:`crash_leader_at`, the victim is resolved when the
+        event fires: the group's current members minus its current leader,
+        sorted by ``str`` for determinism, indexed by ``idx`` modulo the
+        follower count.  If the group has no live follower to crash (all
+        already down, or replication degenerated to the leader alone) the
+        event is skipped rather than crashing a leader — follower restarts
+        must never cost a group its write authority.
+        """
+        extras = extras or {}
+        def fire() -> None:
+            leader = placement.leader(gid)
+            followers = sorted((m for m in placement.members(gid)
+                                if m != leader), key=str)
+            followers = [m for m in followers if not servers[m].crashed]
+            if not followers:
+                return  # nothing safe to crash; skip
+            sid = followers[idx % len(followers)]
+            server = servers[sid]
+            co = (extras[sid],) if sid in extras else ()
+            self._crash_server(server, co)
+            self.sim.schedule(downtime, self._restart_server, server, co)
+        self.sim.schedule(max(0.0, when - self.sim.now), fire)
+
 
 @dataclass(frozen=True)
 class ChaosConfig:
@@ -127,24 +156,34 @@ class ChaosConfig:
     #: failover controller must exist to promote a follower.
     leader_crashes: int = 0
     leader_downtime: float = 0.5
+    #: Self-healing scenario: this many times, crash whatever server is
+    #: currently a *follower* of a randomly drawn key group (resolved at
+    #: fire time, never the leader) and restart it ``follower_downtime``
+    #: seconds later.  The restarted follower comes back dirty and must
+    #: re-earn snapshot-servability through anti-entropy sync.  Requires
+    #: ``ClusterConfig.replication > 1``.
+    follower_restarts: int = 0
+    follower_downtime: float = 0.3
 
     def __post_init__(self) -> None:
         if (self.client_crashes < 0 or self.server_restarts < 0
-                or self.leader_crashes < 0):
+                or self.leader_crashes < 0 or self.follower_restarts < 0):
             raise ValueError("event counts must be >= 0")
-        if self.downtime <= 0 or self.leader_downtime <= 0:
+        if (self.downtime <= 0 or self.leader_downtime <= 0
+                or self.follower_downtime <= 0):
             raise ValueError("downtime must be positive")
 
     @property
     def any(self) -> bool:
         return bool(self.client_crashes or self.server_restarts
-                    or self.leader_crashes)
+                    or self.leader_crashes or self.follower_restarts)
 
 
 @dataclass(frozen=True, order=True)
 class ChaosEvent:
     """One scheduled injection: ``action`` is ``"crash-client"``,
-    ``"crash-server"`` or ``"restart-server"``."""
+    ``"crash-server"``, ``"restart-server"``, ``"crash-leader"`` (target is
+    a group id) or ``"crash-follower"`` (target is ``(gid, idx)``)."""
 
     when: float
     action: str
@@ -155,9 +194,11 @@ class ChaosSchedule:
     """A deterministic scenario script: sorted :class:`ChaosEvent` list."""
 
     def __init__(self, events: Sequence[ChaosEvent],
-                 leader_downtime: float = 0.5) -> None:
+                 leader_downtime: float = 0.5,
+                 follower_downtime: float = 0.3) -> None:
         self.events = sorted(events)
         self.leader_downtime = leader_downtime
+        self.follower_downtime = follower_downtime
 
     @classmethod
     def generate(cls, config: ChaosConfig, rng: np.random.Generator,
@@ -228,7 +269,28 @@ class ChaosSchedule:
                 lo = start + k * slot
                 t = lo + float(rng.random()) * (slot - config.leader_downtime)
                 events.append(ChaosEvent(t, "crash-leader", gid))
-        return cls(events, leader_downtime=config.leader_downtime)
+        if config.follower_restarts:
+            # Also drawn after every pre-existing stream use (including
+            # leader crashes), so existing chaos seeds keep their outcomes.
+            if not num_groups:
+                raise ValueError(
+                    f"follower_restarts={config.follower_restarts} requires "
+                    f"a replicated placement (num_groups)")
+            n = config.follower_restarts
+            slot = span / n
+            if config.follower_downtime >= slot:
+                raise ValueError(
+                    f"follower_downtime {config.follower_downtime} does not "
+                    f"fit {n} follower restarts into a {span:.3f}s window")
+            for k in range(n):
+                gid = int(rng.integers(num_groups))
+                idx = int(rng.integers(1 << 16))
+                lo = start + k * slot
+                t = lo + float(rng.random()) * (slot
+                                                - config.follower_downtime)
+                events.append(ChaosEvent(t, "crash-follower", (gid, idx)))
+        return cls(events, leader_downtime=config.leader_downtime,
+                   follower_downtime=config.follower_downtime)
 
     def apply(self, injector: CrashInjector,
               client_procs: dict[Hashable, Process],
@@ -260,6 +322,13 @@ class ChaosSchedule:
                 injector.crash_leader_at(ev.when, ev.target, placement,
                                          servers, self.leader_downtime,
                                          extras)
+            elif ev.action == "crash-follower":
+                if placement is None:
+                    raise ValueError("crash-follower events need a placement")
+                gid, idx = ev.target
+                injector.crash_follower_at(ev.when, gid, idx, placement,
+                                           servers, self.follower_downtime,
+                                           extras)
             else:
                 raise ValueError(f"unknown chaos action {ev.action!r}")
 

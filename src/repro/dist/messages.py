@@ -39,6 +39,7 @@ __all__ = [
     "ReplicaHoldReq", "ReplicaHoldReply",
     "SnapshotReadReq", "SnapshotReadReply",
     "HeartbeatReq", "HeartbeatReply",
+    "CommitAck", "SyncPoke", "SyncReq", "SyncDelta", "SyncDone",
 ]
 
 
@@ -236,6 +237,18 @@ class CommitReq(Request):
     spans: dict = field(default_factory=dict)  # key -> IntervalSet
     release: bool = True
     values: dict = field(default_factory=dict)  # key -> written value
+    #: Ask for a :class:`CommitAck` reply.  The default fan-out is
+    #: fire-and-forget (the mirrored-hold timeout + commitment registry
+    #: self-heal a lost notification); the reliable fan-out used under
+    #: lossy links sets this so the client can retry unacked members.
+    ack: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CommitAck(Reply):
+    """Acknowledges an ``ack=True`` :class:`CommitReq` was applied."""
+
+    epoch: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -369,6 +382,80 @@ class HeartbeatReply(Reply):
     #: records while down and must not be preferred for promotion (nor
     #: serve snapshot reads).
     dirty: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SyncPoke:
+    """Failover-controller nudge driving anti-entropy (DESIGN.md §5h).
+
+    Not a :class:`Request`: the controller fires one per tick at each dirty
+    member and relies on the *next* tick — not dedup/retry — for loss
+    recovery, exactly like its heartbeats.  ``sources`` maps the catch-up
+    work: ``((leader, (gid, ...)), ...)`` — for each entry the receiver
+    runs one sync session against ``leader`` covering those placement
+    groups.  ``full=True`` marks the set as a complete servability plan
+    (every group the receiver is a member of): only completing *all* of a
+    full plan's sessions clears ``snapshot_dirty``.  ``mark_dirty`` is the
+    recruitment prologue: drop servability *now* (and any stale full plan)
+    before membership changes land.  ``origin`` is where to report
+    :class:`SyncDone` for non-full (recruitment) sessions.
+    """
+
+    sources: tuple = ()  # ((leader, (gid, ...)), ...)
+    full: bool = False
+    mark_dirty: bool = False
+    num_groups: int = 1
+    batch: int = 64
+    origin: Hashable = None
+
+
+@dataclass(frozen=True, slots=True)
+class SyncReq(Request):
+    """Pull one batch of committed versions from a group leader.
+
+    ``session`` is a follower-chosen nonce: the leader materializes its
+    committed state for ``gids`` once per session (a stable enumeration —
+    concurrent commits land via the ordinary fan-out, not the sync) and
+    serves ``batch`` entries from ``cursor``.  At-least-once safe: the
+    request rides the ordinary dedup layer, and a duplicated/stale delta
+    is dropped by the follower's (session, cursor) match.
+    """
+
+    gids: tuple = ()
+    session: int = 0
+    cursor: int = 0
+    batch: int = 64
+    num_groups: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class SyncDelta(Reply):
+    """One batch of a sync session: ``entries`` is ``((key, ts, value),
+    ...)`` committed versions; ``floor`` is the leader's stable GC floor at
+    session start (``None`` = leader never purged, i.e. the session ships
+    its *entire* committed state).  ``done`` marks the last batch."""
+
+    gids: tuple = ()
+    session: int = 0
+    cursor: int = 0
+    next_cursor: int = 0
+    entries: tuple = ()
+    done: bool = False
+    floor: Timestamp | None = None
+    epoch: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SyncDone:
+    """Follower -> controller: a recruitment sync session finished.
+
+    Re-sent on every later poke for the same completed session, so a lost
+    notification only delays — never wedges — the membership flip.
+    """
+
+    server: Hashable = None
+    gids: tuple = ()
+    session: int = 0
 
 
 # -- Bohm baseline (deterministic batched MVCC) --------------------------------

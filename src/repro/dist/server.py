@@ -60,16 +60,18 @@ from ..sim.server_queue import ServiceQueue
 from ..sim.simulator import Simulator
 from ..sim.testbed import TestbedProfile
 from ..repl.checkpoint import DurableStore
+from ..repl.placement import group_index
 from ..baselines.bohm import BohmEngine
 from .commitment import ABORT, CommitmentRegistry
 from .messages import (SHEDDABLE_REQUESTS, BohmSubmitReply, BohmSubmitReq,
-                       CommitReq, EpochReply, EpochReq,
+                       CommitAck, CommitReq, EpochReply, EpochReq,
                        FreezeReadReq, FreezeWriteReq, GcReq, HeartbeatReply,
                        HeartbeatReq, MVTLBatchLockReply, MVTLBatchLockReq,
                        MVTLReadReply, MVTLReadReq, MVTLWriteLockReply,
                        MVTLWriteLockReq, OverloadedReply, PurgeReq,
                        ReleaseReq, ReplicaHoldReply, ReplicaHoldReq, Reply,
                        Request, SnapshotReadReply, SnapshotReadReq,
+                       SyncDelta, SyncDone, SyncPoke, SyncReq,
                        TwoPLCommitReq, TwoPLLockReply, TwoPLLockReq,
                        TwoPLReleaseReq)
 
@@ -361,6 +363,28 @@ class MVTLServer(_ServerBase):
         self.store = VersionStore()
         #: Buffered values awaiting freeze: (tx, key) -> value (Alg. 13 l.3).
         self.pending: dict[tuple[Hashable, Hashable], Any] = {}
+        # -- anti-entropy state (DESIGN.md §5h) --
+        #: Leader side: (follower, gids) -> (session, entries, floor) — a
+        #: stable enumeration of committed state, materialized once per
+        #: session nonce and served in cursor batches.  Volatile: a restart
+        #: invalidates it (the epoch bump aborts in-flight runs).
+        self._sync_sessions: dict[tuple, tuple] = {}
+        #: Follower side: gids -> mutable run state of one sync session.
+        self._sync_runs: dict[tuple, dict] = {}
+        #: The full servability plan ((leader, gids), ...) whose completed
+        #: sessions clear ``snapshot_dirty``; None while no plan is active.
+        self._sync_plan: tuple | None = None
+        #: Session nonces + request ids survive restarts (monotonic across
+        #: the server's lifetime) so a post-restart run can never alias a
+        #: leader's cached pre-crash session or dedup entry.
+        self._sync_session_seq = 0
+        self._sync_req_seq = 0
+        #: When servability was last lost (restart or recruitment
+        #: mark-dirty); cleared — and the latency recorded — when a full
+        #: sync plan completes.
+        self._dirty_since: float | None = None
+        #: Restart-to-servable latencies, one per completed re-sync.
+        self.resync_latencies: list[float] = []
         self._state_multiplier = 1.0
         self._state_refresh_at = 0
         self.queue.service_time_fn = self._service_time
@@ -390,6 +414,13 @@ class MVTLServer(_ServerBase):
             # service multiplier at the next served request.
             self._state_refresh_at = 0
         self.snapshot_dirty = True
+        self._dirty_since = self.sim.now
+        # Sync state is volatile: cached sessions die with the epoch bump
+        # (aborting every in-flight run against us) and our own runs are
+        # forgotten — the controller's next poke starts a fresh plan.
+        self._sync_sessions.clear()
+        self._sync_runs.clear()
+        self._sync_plan = None
         super().restart()
         if self.durable is not None:
             # Re-derive dedup decisions for committed transactions: their
@@ -420,11 +451,15 @@ class MVTLServer(_ServerBase):
             # A batch saves messages, not lock work: it costs one data
             # request per item it carries.
             weight = float(max(1, len(msg.items)))
+        elif isinstance(msg, SyncDelta):
+            # Applying a sync batch is one cheap guarded install per entry.
+            weight = self.CONTROL_MSG_WEIGHT * max(1, len(msg.entries))
         else:
             weight = (self.CONTROL_MSG_WEIGHT
                       if isinstance(msg, (CommitReq, GcReq, ReleaseReq,
                                           FreezeWriteReq, FreezeReadReq,
-                                          PurgeReq, EpochReq, HeartbeatReq))
+                                          PurgeReq, EpochReq, HeartbeatReq,
+                                          SyncReq, SyncPoke))
                       else 1.0)
         return self.profile.service_time * self._state_multiplier * weight
 
@@ -460,6 +495,12 @@ class MVTLServer(_ServerBase):
                                             epoch=self.epoch,
                                             applied=self.applied_commits,
                                             dirty=self.snapshot_dirty))
+        elif isinstance(msg, SyncReq):
+            self._handle_sync_req(msg)
+        elif isinstance(msg, SyncDelta):
+            self._handle_sync_delta(msg)
+        elif isinstance(msg, SyncPoke):
+            self._handle_sync_poke(msg)
         elif isinstance(msg, EpochReq):
             self._reply(msg, EpochReply(msg.req_id, epoch=self.epoch))
         else:
@@ -719,6 +760,8 @@ class MVTLServer(_ServerBase):
         def apply(decision: Any) -> None:
             if decision == ABORT:
                 self._release_tx(req.tx_id, write_only=False)
+                if req.ack:
+                    self._reply(req, CommitAck(req.req_id, epoch=self.epoch))
                 return
             entries = tuple(
                 (key, self._apply_commit(req.tx_id, key, decision,
@@ -751,6 +794,10 @@ class MVTLServer(_ServerBase):
             # behaviour where read-timestamps persist and state accumulates
             # (Fig. 6).
             self._seal_tx(req.tx_id, keep_all_reads=not req.release)
+            if req.ack:
+                # Reliable fan-out: confirm application so the client stops
+                # retrying this member (the cached reply answers link dups).
+                self._reply(req, CommitAck(req.req_id, epoch=self.epoch))
 
         self._decide(req.tx_id, req.ts, apply)
 
@@ -888,21 +935,224 @@ class MVTLServer(_ServerBase):
         """
         self.stats["snapshot_reads"] = (
             self.stats.get("snapshot_reads", 0) + 1)
+        # Classify the refusal (first failing guard wins) so anti-entropy
+        # progress is observable: "dirty" refusals must vanish once a full
+        # sync plan completes, while "floor" lag is routine GC cadence.
         version = None
-        if (not self.snapshot_dirty and self.stable_floor is not None
-                and req.ts <= self.stable_floor
-                and not self._unfrozen_write_at_or_below(req.key, req.ts)):
+        if self.snapshot_dirty:
+            reason = "dirty"
+        elif self.stable_floor is None or req.ts > self.stable_floor:
+            reason = "floor"
+        elif self._unfrozen_write_at_or_below(req.key, req.ts):
+            reason = "unfrozen"
+        else:
             version = self.store.latest_before(req.key, req.ts)
-        if version is None:
+            reason = "missing" if version is None else None
+        if reason is not None:
             self.stats["snapshot_refused"] = (
                 self.stats.get("snapshot_refused", 0) + 1)
+            key = f"snapshot_refused_{reason}"
+            self.stats[key] = self.stats.get(key, 0) + 1
             self._reply(req, SnapshotReadReply(req.req_id, ok=False,
                                                epoch=self.epoch))
             return
+        if self.stats.get("resyncs"):
+            # Re-earned servability is non-vacuous: this server lost its
+            # snapshot and is serving follower reads again (the bench
+            # asserts this fires for every restarted/recruited member).
+            self.stats["snapshot_served_resynced"] = (
+                self.stats.get("snapshot_served_resynced", 0) + 1)
         self._reply(req, SnapshotReadReply(req.req_id, ok=True,
                                            tr=version.ts,
                                            value=version.value,
                                            epoch=self.epoch))
+
+    # -- anti-entropy (DESIGN.md §5h) ---------------------------------------
+
+    def _handle_sync_poke(self, poke: SyncPoke) -> None:
+        """Controller nudge: start/continue sync sessions per ``sources``.
+
+        Pokes are the loss-recovery mechanism — one arrives every
+        controller tick, so a run whose delta was dropped just re-requests
+        its current cursor.  A healthy run also streams on its own (each
+        delta immediately triggers the next request), making the poke
+        redundant there; the duplicate delta is dropped by cursor match.
+        """
+        if poke.mark_dirty and not self.snapshot_dirty:
+            # Recruitment prologue: drop servability *before* membership
+            # changes, and invalidate any stale full plan — completing one
+            # enumerated before this moment must not re-clear the flag.
+            self.snapshot_dirty = True
+            self._dirty_since = self.sim.now
+            self._sync_plan = None
+        if poke.full:
+            self._sync_plan = poke.sources
+        for leader, gids in poke.sources:
+            if leader == self.server_id:
+                continue
+            run = self._sync_runs.get(gids)
+            if (run is not None and run["leader"] == leader
+                    and run["full"] == poke.full):
+                if not run["done"]:
+                    self._send_sync_req(run)
+                elif not poke.full:
+                    # Completed recruitment session: re-notify the
+                    # controller (the previous SyncDone may have been lost).
+                    self.net.send(poke.origin,
+                                  SyncDone(server=self.server_id, gids=gids,
+                                           session=run["session"]),
+                                  src=self.server_id)
+                continue
+            self._sync_session_seq += 1
+            run = {"gids": gids, "leader": leader,
+                   "session": self._sync_session_seq, "cursor": 0,
+                   "done": False, "floor": None, "epoch": None,
+                   "batch": max(1, poke.batch),
+                   "num_groups": poke.num_groups,
+                   "full": poke.full, "origin": poke.origin}
+            self._sync_runs[gids] = run
+            self.stats["sync_sessions"] = (
+                self.stats.get("sync_sessions", 0) + 1)
+            self._send_sync_req(run)
+        if poke.full:
+            self._maybe_finish_resync()
+
+    def _send_sync_req(self, run: dict) -> None:
+        """One pull of the run's current cursor.  Every send draws a fresh
+        request id: the leader's dedup layer then only collapses *link*
+        duplicates (same id), while deliberate re-pulls after a lost delta
+        are re-executed — a cheap cached-session slice."""
+        self._sync_req_seq += 1
+        req = SyncReq("__sync__", self.server_id, self._sync_req_seq,
+                      gids=run["gids"], session=run["session"],
+                      cursor=run["cursor"], batch=run["batch"],
+                      num_groups=run["num_groups"])
+        self.stats["sync_reqs"] = self.stats.get("sync_reqs", 0) + 1
+        self.net.send(run["leader"], req, src=self.server_id)
+
+    def _handle_sync_req(self, req: SyncReq) -> None:
+        """Leader side: serve one batch of a cached session enumeration.
+
+        The enumeration is materialized once per session nonce — a stable
+        list the cursor walks even as new commits land (those reach the
+        follower through the ordinary fan-out, which it has been applying
+        all along; the session only back-fills what it missed while down).
+        ``floor`` is the stable GC floor at materialization: together with
+        the locked-timestamp argument (nothing can commit below the floor
+        anymore) it bounds what the follower must prove covered.
+        """
+        skey = (req.client, req.gids)
+        sess = self._sync_sessions.get(skey)
+        if sess is None or sess[0] != req.session:
+            gidset = set(req.gids)
+            entries = []
+            for key, versions, _floor in sorted(self.store.snapshot(),
+                                                key=lambda c: str(c[0])):
+                if group_index(key, req.num_groups) not in gidset:
+                    continue
+                for ts, value in versions:
+                    if ts == TS_ZERO:
+                        continue  # implicit base version, never shipped
+                    entries.append((key, ts, value))
+            sess = (req.session, tuple(entries), self.stable_floor)
+            self._sync_sessions[skey] = sess
+        _, entries, floor = sess
+        lo = min(req.cursor, len(entries))
+        hi = min(lo + max(1, req.batch), len(entries))
+        self.stats["sync_batches_served"] = (
+            self.stats.get("sync_batches_served", 0) + 1)
+        self._reply(req, SyncDelta(req.req_id, gids=req.gids,
+                                   session=req.session, cursor=lo,
+                                   next_cursor=hi, entries=entries[lo:hi],
+                                   done=hi >= len(entries), floor=floor,
+                                   epoch=self.epoch))
+
+    def _handle_sync_delta(self, d: SyncDelta) -> None:
+        """Follower side: apply one batch, WAL it, pull the next.
+
+        Stale, duplicated and reordered deltas are dropped by the
+        (session, cursor) match.  A leader epoch change mid-run aborts the
+        run: the enumeration we were walking died with the leader's
+        restart, and its post-restart store is itself dirty — continuing
+        would let an incomplete leader vouch for our completeness.
+        """
+        run = self._sync_runs.get(d.gids)
+        if (run is None or run["session"] != d.session or run["done"]
+                or d.cursor != run["cursor"]):
+            return
+        if run["epoch"] is None:
+            run["epoch"] = d.epoch
+        elif d.epoch != run["epoch"]:
+            del self._sync_runs[d.gids]
+            self.stats["sync_aborted"] = (
+                self.stats.get("sync_aborted", 0) + 1)
+            return
+        installed = []
+        for key, ts, value in d.entries:
+            # Guarded install: the version may have arrived through the
+            # ordinary commit fan-out while the session was in flight.
+            if self.store.version_at(key, ts) is None:
+                self.store.install(key, ts, value)
+                installed.append((key, ts, value))
+        if installed:
+            self.stats["sync_installs"] = (
+                self.stats.get("sync_installs", 0) + len(installed))
+            if self.durable is not None:
+                # Sync installs must be as durable as commit installs:
+                # after the plan clears snapshot_dirty, a crash must
+                # recover a state the servability proof still covers.
+                self.durable.log_sync(tuple(installed))
+                self.durable.maybe_checkpoint(self.store,
+                                              tuple(self._durable_dedup),
+                                              self.stable_floor)
+        self.stats["sync_deltas"] = self.stats.get("sync_deltas", 0) + 1
+        run["cursor"] = d.next_cursor
+        if not d.done:
+            self._send_sync_req(run)
+            return
+        run["done"] = True
+        run["floor"] = d.floor
+        if run["full"]:
+            self._maybe_finish_resync()
+        else:
+            self.net.send(run["origin"],
+                          SyncDone(server=self.server_id, gids=run["gids"],
+                                   session=run["session"]),
+                          src=self.server_id)
+
+    def _maybe_finish_resync(self) -> None:
+        """Clear ``snapshot_dirty`` once the active full plan is complete.
+
+        Every session of the plan shipped its leader's *entire* committed
+        state for the covered groups (a clean leader's state is a complete
+        commit prefix), and commits decided after each enumeration reach
+        us through the ordinary fan-out we have been applying since
+        restart.  Jointly that covers everything at or below the GC floor
+        — and above it, up to the fan-out's own loss model — so the
+        snapshot-read guards are sound again.  The adopted stable floor is
+        the most conservative session floor (a None floor means that
+        leader never purged, i.e. the session was the whole history and
+        constrains nothing).
+        """
+        if not self.snapshot_dirty or self._sync_plan is None:
+            return
+        floors = []
+        for leader, gids in self._sync_plan:
+            run = self._sync_runs.get(gids)
+            if run is None or run["leader"] != leader or not run["done"]:
+                return
+            if run["floor"] is not None:
+                floors.append(run["floor"])
+        self.snapshot_dirty = False
+        self._sync_plan = None
+        self.stats["resyncs"] = self.stats.get("resyncs", 0) + 1
+        if self._dirty_since is not None:
+            self.resync_latencies.append(self.sim.now - self._dirty_since)
+            self._dirty_since = None
+        if floors:
+            adopted = min(floors)
+            if self.stable_floor is None or adopted > self.stable_floor:
+                self.stable_floor = adopted
 
     # -- metrics ---------------------------------------------------------------
 

@@ -20,7 +20,7 @@ import time
 
 from .bench import make_bench_doc, write_bench
 from .grid import (derive_seeds, failover_grid, figure_grid, policy_grid,
-                   reference_cell, scenario_grid)
+                   reference_cell, scenario_grid, selfheal_grid)
 from .harness import print_progress, run_cells
 
 
@@ -41,6 +41,13 @@ def main(argv: list[str] | None = None) -> int:
                              "the figure grid and record failover latency, "
                              "goodput dip and the lost-commits audit "
                              "(default output BENCH_6.json)")
+    parser.add_argument("--selfheal", action="store_true",
+                        help="run the self-healing replication grid instead "
+                             "of the figure grid and record anti-entropy "
+                             "resync latencies, recruitment, the refusal-"
+                             "reason breakdown and the lost-commits audit "
+                             "under compound chaos (default output "
+                             "BENCH_9.json)")
     parser.add_argument("--scenarios", action="store_true",
                         help="run the workload-zoo scenario grid instead of "
                              "the figure grid and record per-scenario "
@@ -66,10 +73,19 @@ def main(argv: list[str] | None = None) -> int:
                              "reference cell (for recording the speedup)")
     args = parser.parse_args(argv)
 
-    if sum((args.failover, args.scenarios, args.policies)) > 1:
-        parser.error("--failover, --scenarios and --policies are "
-                     "mutually exclusive")
-    if args.failover:
+    if sum((args.failover, args.selfheal, args.scenarios,
+            args.policies)) > 1:
+        parser.error("--failover, --selfheal, --scenarios and --policies "
+                     "are mutually exclusive")
+    if args.selfheal:
+        if args.out == "BENCH_5.json":
+            args.out = "BENCH_9.json"
+        if args.bench_name == "BENCH_5":
+            args.bench_name = "BENCH_9"
+        [seed] = derive_seeds(args.root_seed, 1)
+        cells = selfheal_grid(seed=seed,
+                              measure=4.5 if args.full else 3.5)
+    elif args.failover:
         if args.out == "BENCH_5.json":
             args.out = "BENCH_6.json"
         if args.bench_name == "BENCH_5":
@@ -99,12 +115,12 @@ def main(argv: list[str] | None = None) -> int:
         seeds = derive_seeds(args.root_seed, 2)
         cells = figure_grid(clients=(30, 150), seeds=seeds, measure=1.5)
 
-    if args.failover:
-        # Failover cells ship the full ClusterResult (the lost-commits
-        # audit reads replication_report + history), which does not
-        # survive the worker-pipe pickle — run them in-process.  Scenario
-        # cells reduce to a picklable summary in the worker, so they
-        # parallelize like the figure grid.
+    if args.failover or args.selfheal:
+        # Failover/selfheal cells ship the full ClusterResult (the
+        # lost-commits audit reads replication_report + history), which
+        # does not survive the worker-pipe pickle — run them in-process.
+        # Scenario cells reduce to a picklable summary in the worker, so
+        # they parallelize like the figure grid.
         args.workers = 0
     print(f"[repro.exp] grid: {len(cells)} cells, workers={args.workers}",
           file=sys.stderr, flush=True)
@@ -138,7 +154,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
 
     hot_path = None
-    if (not args.skip_hot_path and not args.failover
+    if (not args.skip_hot_path and not args.failover and not args.selfheal
             and not args.scenarios and not args.policies):
         cell = reference_cell()
         print(f"[repro.exp] hot-path reference cell {cell.label} "
@@ -183,6 +199,80 @@ def main(argv: list[str] | None = None) -> int:
                 1.0 - by["repl-failover"].committed
                 / max(1, by["repl-steady"].committed), 4),
         }
+    if args.selfheal and all(out.ok for out in outcomes):
+        # The BENCH_9 record: self-healing verdicts from the reference
+        # cell's replication report, plus invariant status of the two
+        # scenario cells that ran under the same compound chaos.  Any
+        # unhealed server, lost commit or broken invariant fails the run.
+        from ..workload.scenarios import check_scenario
+        failures: list[str] = []
+        by = {out.key[:2]: out.result for out in outcomes}
+        main = by[("selfheal", 3)]
+        rep = main.replication_report
+        if rep["lost_commits"]:
+            failures.append(f"selfheal: {rep['lost_commits']} lost commits")
+        if not rep["commits_checked"]:
+            failures.append("selfheal: lost-commit audit was vacuous")
+        if rep["dirty_at_end"]:
+            failures.append(f"selfheal: still dirty at end: "
+                            f"{rep['dirty_at_end']}")
+        if not rep["resyncs"]:
+            failures.append("selfheal: no anti-entropy resync completed")
+        if not rep["recruitments"]:
+            failures.append("selfheal: no replacement replica recruited")
+        doc["selfheal"] = {
+            "promotions": len(rep["promotions"]),
+            "recruitments": rep["recruitments"],
+            "resyncs": rep["resyncs"],
+            "resync_latencies": [round(v, 4)
+                                 for v in rep["resync_latencies"]],
+            "sync_rounds": rep["sync_rounds"],
+            "sync_installs": rep["sync_installs"],
+            "sync_aborted": rep["sync_aborted"],
+            "wal_sync_records": rep["wal_sync_records"],
+            "snapshot_refused_by_reason": rep["snapshot_refused_by_reason"],
+            "served_resynced": rep["snapshot_served_resynced_by_server"],
+            "dirty_at_end": rep["dirty_at_end"],
+            "min_live_members": rep["min_live_members"],
+            "lost_commits": rep["lost_commits"],
+            "replica_missing": rep["replica_missing"],
+            "commits_checked": rep["commits_checked"],
+            "fanout_acked": rep["fanout_acked"],
+            "fanout_unacked": rep["fanout_unacked"],
+        }
+        scenarios = {}
+        for key, res in by.items():
+            if key[0] != "scenario-chaos":
+                continue
+            name = key[1]
+            srep = res.replication_report
+            bad = check_scenario(name, res)
+            scenarios[name] = {
+                "committed": res.committed,
+                "aborted": res.aborted,
+                "commit_rate": round(res.commit_rate, 4),
+                "invariant_failures": list(bad),
+                "lost_commits": srep["lost_commits"],
+                "commits_checked": srep["commits_checked"],
+                "resyncs": srep["resyncs"],
+                "dirty_at_end": srep["dirty_at_end"],
+                "recruitments": srep["recruitments"],
+            }
+            if bad:
+                failures.append(f"{name}: invariants failed under chaos: "
+                                f"{list(bad)}")
+            if srep["lost_commits"]:
+                failures.append(f"{name}: {srep['lost_commits']} lost "
+                                f"commits under chaos")
+            if srep["dirty_at_end"]:
+                failures.append(f"{name}: still dirty at end: "
+                                f"{srep['dirty_at_end']}")
+        doc["selfheal"]["scenarios"] = scenarios
+        if failures:
+            for msg in failures:
+                print(f"[repro.exp] ERROR: {msg}", file=sys.stderr)
+            return 1
+
     if args.scenarios and all(out.ok for out in outcomes):
         # Per-scenario derived record: generated mix, quiescence, duels
         # and invariant status (counts only — deterministic and compact).

@@ -18,7 +18,8 @@ from ..sim.testbed import LOCAL_TESTBED
 from ..workload.generator import WorkloadConfig
 
 __all__ = ["Cell", "derive_seeds", "failover_grid", "figure_grid",
-           "policy_grid", "reference_cell", "scenario_grid"]
+           "policy_grid", "reference_cell", "scenario_grid",
+           "selfheal_grid"]
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,60 @@ def failover_grid(seed: int = 1, measure: float = 2.5) -> list[Cell]:
         Cell(key=("repl-failover", 3, int(seed)),
              config=replace(repl, chaos=ChaosConfig(leader_crashes=1,
                                                     leader_downtime=0.6))),
+    ]
+    _check_unique(cells)
+    return cells
+
+
+def selfheal_grid(seed: int = 1, measure: float = 3.5) -> list[Cell]:
+    """The self-healing replication grid behind the BENCH_9 record.
+
+    Three cells, all replication factor 3 with WAL durability,
+    anti-entropy sync, replica recruitment, reliable commit fan-out and
+    lossy links, under compound chaos (one leader crash plus one follower
+    restart mid-measurement):
+
+    * ``selfheal`` — the reference self-healing cell (the bench
+      ``python -m repro.bench selfheal`` runs the same shape): its
+      replication report carries the resync latencies, recruitment log,
+      refusal-reason breakdown and the zero-lost-commits audit;
+    * ``scenario-chaos/bank-transfer`` — balance conservation must hold
+      across the crashes and the membership change;
+    * ``scenario-chaos/scan-vs-oltp`` — snapshot scans keep their
+      monotonic-counter invariant while followers drop out of and re-earn
+      servability.
+
+    Cells carry full ClusterResults (histories + reports for the audits),
+    which do not pickle — the ``--selfheal`` driver runs them in-process.
+    """
+    from ..dist.failure import ChaosConfig
+    from ..sim.network import LinkFaults
+    from ..workload.scenarios import scenario_config
+    faults = LinkFaults(loss=0.03, duplicate=0.02, delay_spike=0.01)
+    chaos = ChaosConfig(leader_crashes=1, leader_downtime=0.6,
+                        follower_restarts=1, follower_downtime=0.3)
+    healing = dict(num_servers=4, replication=3, durability="wal",
+                   checkpoint_every=64, anti_entropy=True, recruitment=True,
+                   reliable_fanout=True, sync_batch=1,
+                   heartbeat_miss_limit=5, write_lock_timeout=0.25,
+                   rpc_timeout=0.15, rpc_retries=3, faults=faults,
+                   chaos=chaos)
+    main = ClusterConfig(
+        protocol="mvtil-early",
+        profile=replace(LOCAL_TESTBED, gc_horizon=1.0),
+        workload=WorkloadConfig(num_keys=2_000, tx_size=4,
+                                write_fraction=0.3),
+        num_clients=10, seed=int(seed),
+        warmup=1.5, measure=measure, gc_period=0.2,
+        follower_reads=True, record_history=True, **healing)
+    cells = [
+        Cell(key=("selfheal", 3, int(seed)), config=main),
+        Cell(key=("scenario-chaos", "bank-transfer", int(seed)),
+             config=scenario_config("bank-transfer", seed=int(seed),
+                                    warmup=0.5, measure=2.5, **healing)),
+        Cell(key=("scenario-chaos", "scan-vs-oltp", int(seed)),
+             config=scenario_config("scan-vs-oltp", seed=int(seed),
+                                    measure=2.5, **healing)),
     ]
     _check_unique(cells)
     return cells

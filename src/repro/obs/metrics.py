@@ -270,8 +270,11 @@ def merge_replication_counters(registry: MetricsRegistry,
     """Merge replication/durability counters into the registry.
 
     Server side: mirrored write-lock holds and snapshot reads served /
-    refused (labelled by server id), plus WAL records and checkpoints for
-    durable servers.  Client side: follower reads, snapshot fallbacks
+    refused (labelled by server id) — refusals also broken down by reason
+    (dirty / floor / unfrozen / missing) — plus the anti-entropy sync
+    counters (requests, deltas, installs, batches served, aborted runs,
+    completed resyncs, reads served post-resync) and WAL records and
+    checkpoints for durable servers.  Client side: follower reads, snapshot fallbacks
     (refusals that fell through to another replica) and snapshot commits
     (labelled by client id), and every follower-read staleness sample into
     the ``replication.read_staleness`` histogram.  Zero counts are skipped
@@ -280,7 +283,24 @@ def merge_replication_counters(registry: MetricsRegistry,
     per_server = (("holds_mirrored", registry.counter("server.holds_mirrored")),
                   ("snapshot_reads", registry.counter("server.snapshot_reads")),
                   ("snapshot_refused",
-                   registry.counter("server.snapshot_refused")))
+                   registry.counter("server.snapshot_refused")),
+                  ("snapshot_refused_dirty",
+                   registry.counter("server.snapshot_refused_dirty")),
+                  ("snapshot_refused_floor",
+                   registry.counter("server.snapshot_refused_floor")),
+                  ("snapshot_refused_unfrozen",
+                   registry.counter("server.snapshot_refused_unfrozen")),
+                  ("snapshot_refused_missing",
+                   registry.counter("server.snapshot_refused_missing")),
+                  ("sync_reqs", registry.counter("server.sync_reqs")),
+                  ("sync_deltas", registry.counter("server.sync_deltas")),
+                  ("sync_installs", registry.counter("server.sync_installs")),
+                  ("sync_batches_served",
+                   registry.counter("server.sync_batches_served")),
+                  ("sync_aborted", registry.counter("server.sync_aborted")),
+                  ("resyncs", registry.counter("server.resyncs")),
+                  ("snapshot_served_resynced",
+                   registry.counter("server.snapshot_served_resynced")))
     wal_records = registry.counter("server.wal_records")
     checkpoints = registry.counter("server.checkpoints")
     for server in servers:
@@ -300,7 +320,10 @@ def merge_replication_counters(registry: MetricsRegistry,
                   ("snapshot_fallbacks",
                    registry.counter("client.snapshot_fallbacks")),
                   ("snapshot_commits",
-                   registry.counter("client.snapshot_commits")))
+                   registry.counter("client.snapshot_commits")),
+                  ("fanout_acked", registry.counter("client.fanout_acked")),
+                  ("fanout_unacked",
+                   registry.counter("client.fanout_unacked")))
     staleness = registry.histogram("replication.read_staleness")
     for client in clients:
         for stat, counter in per_client:

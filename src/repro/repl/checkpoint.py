@@ -28,6 +28,7 @@ __all__ = ["encode_snapshot", "decode_snapshot", "RecoveredState",
 #: Record kinds in the WAL (first element of each record tuple).
 COMMIT = "commit"
 PURGE = "purge"
+SYNC = "sync"
 
 _SNAPSHOT_VERSION = 1
 
@@ -111,6 +112,21 @@ class DurableStore:
         self.wal.append((PURGE, bound))
         self._since_checkpoint += 1
 
+    def log_sync(self,
+                 entries: "tuple[tuple[Hashable, Timestamp, Any], ...]"
+                 ) -> None:
+        """Log one applied anti-entropy batch (DESIGN.md §5h).
+
+        Versions installed by a sync session must be as durable as ones
+        installed by a CommitReq — otherwise a crash after the session
+        cleared ``snapshot_dirty`` (but before the next checkpoint) would
+        recover a state the servability proof no longer covers.  Dirtiness
+        itself is volatile: a restart always comes back dirty and re-earns
+        servability through a fresh full sync.
+        """
+        self.wal.append((SYNC, entries))
+        self._since_checkpoint += 1
+
     # -- checkpointing ------------------------------------------------------
 
     def maybe_checkpoint(self, store: VersionStore,
@@ -170,6 +186,14 @@ class DurableStore:
                 store.purge_before(bound)
                 if stable_floor is None or bound > stable_floor:
                     stable_floor = bound
+            elif kind == SYNC:
+                _, entries = record
+                for key, ts, value in entries:
+                    # Guarded like COMMIT replay: the same version may also
+                    # arrive via a logged commit or checkpoint overlap.
+                    if store.version_at(key, ts) is None:
+                        store.install(key, ts, value)
+                        replayed += 1
         return RecoveredState(store=store, dedup=dedup,
                               stable_floor=stable_floor,
                               replayed_installs=replayed)

@@ -20,7 +20,15 @@ from __future__ import annotations
 import zlib
 from typing import Hashable, Sequence
 
-__all__ = ["ReplicatedPlacement"]
+__all__ = ["ReplicatedPlacement", "group_index"]
+
+
+def group_index(key: Hashable, num_groups: int) -> int:
+    """Hash a key to its group id (the map shared by placement and the
+    sync protocol's server-side filtering — one function, one answer)."""
+    if isinstance(key, int):
+        return key % num_groups
+    return zlib.crc32(str(key).encode()) % num_groups
 
 
 class ReplicatedPlacement:
@@ -42,14 +50,18 @@ class ReplicatedPlacement:
             for gid in range(n)]
         self._leaders: list[Hashable] = [m[0] for m in self._members]
         self._epochs: list[int] = [0] * n
+        #: (gid, server) -> simulated join time for members recruited after
+        #: t=0.  Founding members have no entry: they are accountable for
+        #: the full history, recruits only for commits at or after joining
+        #: (earlier ones reach them via catch-up, audited by the stable
+        #: floor + join-cutoff exemptions in ``scan_lost_commits``).
+        self._joined: dict[tuple[int, Hashable], float] = {}
 
     # -- key routing --------------------------------------------------------
 
     def group_of(self, key: Hashable) -> int:
         """Hash a key to its group (same map as the old Partition)."""
-        if isinstance(key, int):
-            return key % self.num_groups
-        return zlib.crc32(str(key).encode()) % self.num_groups
+        return group_index(key, self.num_groups)
 
     def leader_of(self, key: Hashable) -> Hashable:
         return self._leaders[self.group_of(key)]
@@ -91,6 +103,38 @@ class ReplicatedPlacement:
         self._leaders[gid] = new_leader
         self._epochs[gid] += 1
         return self._epochs[gid]
+
+    # -- dynamic membership (DESIGN.md §5h) ---------------------------------
+
+    def replace_member(self, gid: int, old: Hashable, new: Hashable, *,
+                       now: float = 0.0) -> int:
+        """Swap follower ``old`` for recruit ``new``; returns the new epoch.
+
+        The group's size (and so its write quorum) is invariant: a recruit
+        joins only by taking a departing member's slot.  The current leader
+        cannot be replaced — demote it first (``promote``) so the group
+        always has a lock authority.  ``new`` must be a cluster server not
+        already in the group.  The epoch bump fences in-flight transactions
+        that mirrored onto ``old``, exactly as a promotion does.
+        """
+        if old not in self._members[gid]:
+            raise ValueError(f"{old!r} is not a member of group {gid}")
+        if old == self._leaders[gid]:
+            raise ValueError(f"cannot replace the leader {old!r} of group "
+                             f"{gid}; promote a successor first")
+        if new in self._members[gid]:
+            raise ValueError(f"{new!r} is already a member of group {gid}")
+        if new not in self._servers:
+            raise ValueError(f"{new!r} is not a cluster server")
+        self._members[gid] = tuple(new if m == old else m
+                                   for m in self._members[gid])
+        self._joined[(gid, new)] = now
+        self._epochs[gid] += 1
+        return self._epochs[gid]
+
+    def member_joined_at(self, gid: int, server: Hashable) -> float | None:
+        """Join time of a recruited member; None for founding members."""
+        return self._joined.get((gid, server))
 
     # -- Partition compatibility -------------------------------------------
 

@@ -233,15 +233,22 @@ class WriteAheadLog:
     exactly as a real process keeps its disk.
     """
 
-    __slots__ = ("_buf", "records_appended")
+    __slots__ = ("_buf", "records_appended", "records_by_kind")
 
     def __init__(self) -> None:
         self._buf = bytearray()
         self.records_appended = 0
+        #: Lifetime append counts per record kind (first tuple element) —
+        #: survives :meth:`truncate` like ``records_appended``, so the obs
+        #: layer can report how much of the log traffic was sync replay
+        #: versus ordinary commits.
+        self.records_by_kind: dict[Any, int] = {}
 
     def append(self, record: Any) -> None:
         self._buf += frame(encode_value(record))
         self.records_appended += 1
+        kind = record[0] if isinstance(record, tuple) and record else None
+        self.records_by_kind[kind] = self.records_by_kind.get(kind, 0) + 1
 
     def image(self) -> bytes:
         """The raw on-disk bytes (for tests and torn-tail simulation)."""

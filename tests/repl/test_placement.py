@@ -86,6 +86,45 @@ class TestFailover:
             pytest.fail("no group without the outsider")
 
 
+class TestReplaceMember:
+    def test_replace_swaps_membership_and_bumps_epoch(self):
+        placement = ReplicatedPlacement(SERVERS, replication=3)
+        gid = 0
+        old = placement.members(gid)[1]
+        outsider = next(s for s in SERVERS
+                        if s not in placement.members(gid))
+        epoch = placement.replace_member(gid, old, outsider, now=3.5)
+        assert epoch == 1
+        assert placement.group_epoch(gid) == 1
+        members = placement.members(gid)
+        assert outsider in members and old not in members
+        assert len(members) == 3
+        # Leadership is untouched; only the follower slot moved.
+        assert placement.leader(gid) == SERVERS[0]
+        assert placement.member_joined_at(gid, outsider) == 3.5
+        assert placement.member_joined_at(gid, old) is None
+        assert placement.member_joined_at(gid, SERVERS[0]) is None
+
+    def test_replace_refuses_to_touch_the_leader(self):
+        placement = ReplicatedPlacement(SERVERS, replication=3)
+        outsider = next(s for s in SERVERS
+                        if s not in placement.members(0))
+        with pytest.raises(ValueError, match="leader"):
+            placement.replace_member(0, placement.leader(0), outsider)
+
+    def test_replace_validates_old_and_new(self):
+        placement = ReplicatedPlacement(SERVERS, replication=3)
+        follower = placement.members(0)[1]
+        with pytest.raises(ValueError):  # new already a member
+            placement.replace_member(0, follower, placement.members(0)[2])
+        outsider = next(s for s in SERVERS
+                        if s not in placement.members(0))
+        with pytest.raises(ValueError):  # old not a member
+            placement.replace_member(0, outsider, outsider)
+        with pytest.raises(ValueError):  # new not a known server
+            placement.replace_member(0, follower, "nobody")
+
+
 class TestWriteQuorum:
     def test_majorities(self):
         assert write_quorum(1) == 1

@@ -222,3 +222,34 @@ class TestDurableStore:
         rec = durable.recover()
         assert rec.replayed_installs == 1
         assert rec.dedup == [("c", 7)]
+
+    def test_sync_records_replay_like_commits(self):
+        # Anti-entropy installs (DESIGN.md §5h) must survive a crash just
+        # like CommitReq installs: a post-resync restart recovers them.
+        durable = DurableStore()
+        durable.log_sync((("x", Timestamp(1.0, 1), "a"),
+                          ("y", Timestamp(2.0, 1), "b")))
+        rec = durable.recover()
+        assert rec.replayed_installs == 2
+        assert rec.store.version_at("x", Timestamp(1.0, 1)).value == "a"
+        assert rec.store.version_at("y", Timestamp(2.0, 1)).value == "b"
+        assert rec.dedup == []  # sync records carry no request identity
+
+    def test_sync_replay_is_guarded_against_commit_overlap(self):
+        # The same version can arrive via a logged commit *and* a sync
+        # batch (fan-out raced the session); replay installs it once.
+        durable = DurableStore()
+        durable.log_commit(("c", 1), Timestamp(1.0, 1), (("x", "a"),),
+                           "c", 7)
+        durable.log_sync((("x", Timestamp(1.0, 1), "a"),))
+        rec = durable.recover()
+        assert rec.replayed_installs == 1
+        assert rec.store.version_at("x", Timestamp(1.0, 1)).value == "a"
+
+    def test_records_by_kind_tracks_sync_appends(self):
+        durable = DurableStore()
+        durable.log_commit(("c", 1), Timestamp(1.0, 1), (("x", "a"),))
+        durable.log_sync((("y", Timestamp(2.0, 1), "b"),))
+        durable.log_sync((("z", Timestamp(3.0, 1), "c"),))
+        assert durable.wal.records_by_kind["commit"] == 1
+        assert durable.wal.records_by_kind["sync"] == 2
