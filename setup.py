@@ -1,0 +1,27 @@
+"""Build script for the optional compiled fast-core backend.
+
+The compiled kernels are strictly optional: ``pip``-less environments run
+the pure-Python twin in :mod:`repro._fastcore.kernels` with identical
+results.  Build in place with::
+
+    python setup.py build_ext --inplace
+
+which drops ``_kernels_c.*.so`` next to the pure module;
+``repro._fastcore`` picks it up automatically (set ``REPRO_FASTCORE=0``
+to force the pure backend even when the .so is present).
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    name="repro-fastcore",
+    version="0.0.0",
+    ext_modules=[
+        Extension(
+            "repro._fastcore._kernels_c",
+            sources=["src/repro/_fastcore/_kernels_c.c"],
+            optional=True,
+        ),
+    ],
+    package_dir={"": "src"},
+)

@@ -1,0 +1,573 @@
+/* Compiled fast-core kernels.
+ *
+ * Drop-in twin of repro/_fastcore/kernels.py: identical function
+ * signatures, identical results bit-for-bit, including the object-identity
+ * contract — result endpoints reuse the operand tuples' scalar objects,
+ * and a result numerically equal to an operand IS that operand tuple
+ * (preferring `a` over `b`), so callers' `is`-based change detection works
+ * the same under either backend.
+ *
+ * Timestamp values are compared as C doubles and pids as long long —
+ * exact for every producer in the repo (clock floats, small test ints;
+ * pid endpoints are +-2^31).  The pure backend is the reference; the
+ * differential hypothesis suites pin this file against it.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+/* One interval piece, scalar view + owned-elsewhere object view. */
+typedef struct {
+    double lo_v, hi_v;
+    long long lo_p, hi_p;
+    PyObject *lo_vo, *lo_po, *hi_vo, *hi_po; /* borrowed refs */
+} Piece;
+
+#define STACK_PIECES 8
+
+/* Lexicographic comparisons on (v, p). */
+#define TS_LT(av, ap, bv, bp) ((av) < (bv) || ((av) == (bv) && (ap) < (bp)))
+#define TS_LE(av, ap, bv, bp) ((av) < (bv) || ((av) == (bv) && (ap) <= (bp)))
+
+static int
+load_scalar(PyObject *vo, PyObject *po, double *v, long long *p)
+{
+    if (PyFloat_CheckExact(vo))
+        *v = PyFloat_AS_DOUBLE(vo);
+    else {
+        *v = PyFloat_AsDouble(vo);
+        if (*v == -1.0 && PyErr_Occurred())
+            return -1;
+    }
+    *p = PyLong_AsLongLong(po);
+    if (*p == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* Parse a flat tuple into pieces.  Returns piece count, or -1 on error.
+ * *pieces must point at a STACK_PIECES buffer; a larger heap buffer is
+ * allocated (caller frees iff *heap is set). */
+static Py_ssize_t
+load_flat(PyObject *flat, Piece **pieces, int *heap)
+{
+    Py_ssize_t len, n, i;
+
+    *heap = 0;
+    if (!PyTuple_CheckExact(flat)) {
+        PyErr_SetString(PyExc_TypeError, "flat interval set must be a tuple");
+        return -1;
+    }
+    len = PyTuple_GET_SIZE(flat);
+    if (len % 4) {
+        PyErr_SetString(PyExc_ValueError, "flat length must be divisible by 4");
+        return -1;
+    }
+    n = len / 4;
+    if (n > STACK_PIECES) {
+        Piece *buf = PyMem_Malloc((size_t)n * sizeof(Piece));
+        if (buf == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        *pieces = buf;
+        *heap = 1;
+    }
+    for (i = 0; i < n; i++) {
+        Piece *pc = &(*pieces)[i];
+        pc->lo_vo = PyTuple_GET_ITEM(flat, 4 * i);
+        pc->lo_po = PyTuple_GET_ITEM(flat, 4 * i + 1);
+        pc->hi_vo = PyTuple_GET_ITEM(flat, 4 * i + 2);
+        pc->hi_po = PyTuple_GET_ITEM(flat, 4 * i + 3);
+        if (load_scalar(pc->lo_vo, pc->lo_po, &pc->lo_v, &pc->lo_p) < 0 ||
+            load_scalar(pc->hi_vo, pc->hi_po, &pc->hi_v, &pc->hi_p) < 0) {
+            if (*heap) {
+                PyMem_Free(*pieces);
+                *heap = 0;
+            }
+            return -1;
+        }
+    }
+    return n;
+}
+
+/* Does the piece array `out[0..n)` numerically equal operand array
+ * `op[0..m)`? */
+static int
+pieces_equal(const Piece *out, Py_ssize_t n, const Piece *op, Py_ssize_t m)
+{
+    Py_ssize_t i;
+    if (n != m)
+        return 0;
+    for (i = 0; i < n; i++) {
+        if (out[i].lo_v != op[i].lo_v || out[i].lo_p != op[i].lo_p ||
+            out[i].hi_v != op[i].hi_v || out[i].hi_p != op[i].hi_p)
+            return 0;
+    }
+    return 1;
+}
+
+/* Build the result tuple from pieces.  Endpoint objects are INCREF'd; a
+ * NULL object slot means "materialize from the scalar" (pid succ/pred). */
+static PyObject *
+build_flat(const Piece *out, Py_ssize_t n)
+{
+    PyObject *res = PyTuple_New(4 * n);
+    Py_ssize_t i;
+    if (res == NULL)
+        return NULL;
+    for (i = 0; i < n; i++) {
+        PyObject *o;
+        o = out[i].lo_vo; Py_INCREF(o); PyTuple_SET_ITEM(res, 4 * i, o);
+        if (out[i].lo_po != NULL) {
+            o = out[i].lo_po;
+            Py_INCREF(o);
+        }
+        else {
+            o = PyLong_FromLongLong(out[i].lo_p);
+            if (o == NULL)
+                goto fail;
+        }
+        PyTuple_SET_ITEM(res, 4 * i + 1, o);
+        o = out[i].hi_vo; Py_INCREF(o); PyTuple_SET_ITEM(res, 4 * i + 2, o);
+        if (out[i].hi_po != NULL) {
+            o = out[i].hi_po;
+            Py_INCREF(o);
+        }
+        else {
+            o = PyLong_FromLongLong(out[i].hi_p);
+            if (o == NULL)
+                goto fail;
+        }
+        PyTuple_SET_ITEM(res, 4 * i + 3, o);
+    }
+    return res;
+fail:
+    Py_DECREF(res);
+    return NULL;
+}
+
+/* Shared tail: reuse operand on numeric equality (a preferred), else
+ * build a fresh tuple.  Frees heap buffers. */
+static PyObject *
+finish(PyObject *a, const Piece *pa, Py_ssize_t na, int heap_a,
+       PyObject *b, const Piece *pb, Py_ssize_t nb, int heap_b,
+       Piece *out, Py_ssize_t nout, int heap_out)
+{
+    PyObject *res;
+    if (pieces_equal(out, nout, pa, na)) {
+        Py_INCREF(a);
+        res = a;
+    }
+    else if (b != NULL && pieces_equal(out, nout, pb, nb)) {
+        Py_INCREF(b);
+        res = b;
+    }
+    else
+        res = build_flat(out, nout);
+    if (heap_a) PyMem_Free((void *)pa);
+    if (heap_b) PyMem_Free((void *)pb);
+    if (heap_out) PyMem_Free(out);
+    return res;
+}
+
+/* -- iv_contains ---------------------------------------------------------- */
+
+static PyObject *
+k_iv_contains(PyObject *self, PyObject *args)
+{
+    PyObject *flat, *vo, *po;
+    double v, pv;
+    long long p, pp;
+    Py_ssize_t len, i;
+
+    if (!PyArg_ParseTuple(args, "O!OO", &PyTuple_Type, &flat, &vo, &po))
+        return NULL;
+    if (load_scalar(vo, po, &v, &p) < 0)
+        return NULL;
+    len = PyTuple_GET_SIZE(flat);
+    if (len % 4) {
+        PyErr_SetString(PyExc_ValueError, "flat length must be divisible by 4");
+        return NULL;
+    }
+    for (i = 0; i < len; i += 4) {
+        if (load_scalar(PyTuple_GET_ITEM(flat, i),
+                        PyTuple_GET_ITEM(flat, i + 1), &pv, &pp) < 0)
+            return NULL;
+        if (TS_LT(v, p, pv, pp))
+            Py_RETURN_FALSE;  /* sorted: later pieces start higher still */
+        if (load_scalar(PyTuple_GET_ITEM(flat, i + 2),
+                        PyTuple_GET_ITEM(flat, i + 3), &pv, &pp) < 0)
+            return NULL;
+        if (TS_LE(v, p, pv, pp))
+            Py_RETURN_TRUE;
+    }
+    Py_RETURN_FALSE;
+}
+
+/* -- iv_intersect --------------------------------------------------------- */
+
+static PyObject *
+k_iv_intersect(PyObject *self, PyObject *args)
+{
+    PyObject *a, *b;
+    Piece sa[STACK_PIECES], sb[STACK_PIECES], sout[STACK_PIECES];
+    Piece *pa = sa, *pb = sb, *out = sout;
+    int ha = 0, hb = 0, hout = 0;
+    Py_ssize_t na, nb, nout = 0, i = 0, j = 0;
+
+    if (!PyArg_ParseTuple(args, "O!O!", &PyTuple_Type, &a, &PyTuple_Type, &b))
+        return NULL;
+    if (PyTuple_GET_SIZE(a) == 0 || PyTuple_GET_SIZE(b) == 0)
+        return PyTuple_New(0);
+    na = load_flat(a, &pa, &ha);
+    if (na < 0)
+        return NULL;
+    nb = load_flat(b, &pb, &hb);
+    if (nb < 0) {
+        if (ha) PyMem_Free(pa);
+        return NULL;
+    }
+    if (na + nb > STACK_PIECES) {
+        out = PyMem_Malloc((size_t)(na + nb) * sizeof(Piece));
+        if (out == NULL) {
+            if (ha) PyMem_Free(pa);
+            if (hb) PyMem_Free(pb);
+            return PyErr_NoMemory();
+        }
+        hout = 1;
+    }
+    while (i < na && j < nb) {
+        const Piece *x = &pa[i], *y = &pb[j];
+        Piece piece;
+        /* lo = max(x.lo, y.lo), hi = min(x.hi, y.hi); advance the side
+         * whose piece is exhausted first. */
+        if (TS_LE(y->lo_v, y->lo_p, x->lo_v, x->lo_p)) {
+            piece.lo_v = x->lo_v; piece.lo_p = x->lo_p;
+            piece.lo_vo = x->lo_vo; piece.lo_po = x->lo_po;
+        }
+        else {
+            piece.lo_v = y->lo_v; piece.lo_p = y->lo_p;
+            piece.lo_vo = y->lo_vo; piece.lo_po = y->lo_po;
+        }
+        if (TS_LE(x->hi_v, x->hi_p, y->hi_v, y->hi_p)) {
+            piece.hi_v = x->hi_v; piece.hi_p = x->hi_p;
+            piece.hi_vo = x->hi_vo; piece.hi_po = x->hi_po;
+            i++;
+        }
+        else {
+            piece.hi_v = y->hi_v; piece.hi_p = y->hi_p;
+            piece.hi_vo = y->hi_vo; piece.hi_po = y->hi_po;
+            j++;
+        }
+        if (TS_LE(piece.lo_v, piece.lo_p, piece.hi_v, piece.hi_p))
+            out[nout++] = piece;
+    }
+    return finish(a, pa, na, ha, b, pb, nb, hb, out, nout, hout);
+}
+
+/* -- iv_union ------------------------------------------------------------- */
+
+static PyObject *
+k_iv_union(PyObject *self, PyObject *args)
+{
+    PyObject *a, *b;
+    Piece sa[STACK_PIECES], sb[STACK_PIECES], sout[STACK_PIECES];
+    Piece *pa = sa, *pb = sb, *out = sout;
+    int ha = 0, hb = 0, hout = 0;
+    Py_ssize_t na, nb, nout = 0, i = 0, j = 0;
+
+    if (!PyArg_ParseTuple(args, "O!O!", &PyTuple_Type, &a, &PyTuple_Type, &b))
+        return NULL;
+    if (PyTuple_GET_SIZE(a) == 0) {
+        Py_INCREF(b);
+        return b;
+    }
+    if (PyTuple_GET_SIZE(b) == 0) {
+        Py_INCREF(a);
+        return a;
+    }
+    na = load_flat(a, &pa, &ha);
+    if (na < 0)
+        return NULL;
+    nb = load_flat(b, &pb, &hb);
+    if (nb < 0) {
+        if (ha) PyMem_Free(pa);
+        return NULL;
+    }
+    if (na + nb > STACK_PIECES) {
+        out = PyMem_Malloc((size_t)(na + nb) * sizeof(Piece));
+        if (out == NULL) {
+            if (ha) PyMem_Free(pa);
+            if (hb) PyMem_Free(pb);
+            return PyErr_NoMemory();
+        }
+        hout = 1;
+    }
+    while (i < na || j < nb) {
+        const Piece *src;
+        if (j >= nb)
+            src = &pa[i++];
+        else if (i >= na)
+            src = &pb[j++];
+        else if (TS_LE(pa[i].lo_v, pa[i].lo_p, pb[j].lo_v, pb[j].lo_p))
+            src = &pa[i++];
+        else
+            src = &pb[j++];
+        if (nout > 0) {
+            Piece *prev = &out[nout - 1];
+            /* touches(prev, src): src.lo <= succ(prev.hi). */
+            if (TS_LE(src->lo_v, src->lo_p, prev->hi_v, prev->hi_p + 1)) {
+                if (TS_LT(prev->hi_v, prev->hi_p, src->hi_v, src->hi_p)) {
+                    prev->hi_v = src->hi_v; prev->hi_p = src->hi_p;
+                    prev->hi_vo = src->hi_vo; prev->hi_po = src->hi_po;
+                }
+                continue;
+            }
+        }
+        out[nout++] = *src;
+    }
+    return finish(a, pa, na, ha, b, pb, nb, hb, out, nout, hout);
+}
+
+/* -- iv_subtract ---------------------------------------------------------- */
+
+static PyObject *
+k_iv_subtract(PyObject *self, PyObject *args)
+{
+    PyObject *a, *b;
+    Piece sa[STACK_PIECES], sb[STACK_PIECES], sout[2 * STACK_PIECES];
+    Piece *pa = sa, *pb = sb, *out = sout;
+    int ha = 0, hb = 0, hout = 0;
+    Py_ssize_t na, nb, nout = 0, i, j = 0;
+
+    if (!PyArg_ParseTuple(args, "O!O!", &PyTuple_Type, &a, &PyTuple_Type, &b))
+        return NULL;
+    if (PyTuple_GET_SIZE(a) == 0 || PyTuple_GET_SIZE(b) == 0) {
+        Py_INCREF(a);
+        return a;
+    }
+    na = load_flat(a, &pa, &ha);
+    if (na < 0)
+        return NULL;
+    nb = load_flat(b, &pb, &hb);
+    if (nb < 0) {
+        if (ha) PyMem_Free(pa);
+        return NULL;
+    }
+    if (na + nb + 1 > 2 * STACK_PIECES) {
+        out = PyMem_Malloc((size_t)(na + nb + 1) * sizeof(Piece));
+        if (out == NULL) {
+            if (ha) PyMem_Free(pa);
+            if (hb) PyMem_Free(pb);
+            return PyErr_NoMemory();
+        }
+        hout = 1;
+    }
+    for (i = 0; i < na; i++) {
+        /* Mutable remainder of a's piece i. */
+        double lo_v = pa[i].lo_v, hi_v = pa[i].hi_v;
+        long long lo_p = pa[i].lo_p, hi_p = pa[i].hi_p;
+        PyObject *lo_vo = pa[i].lo_vo, *lo_po = pa[i].lo_po;
+        PyObject *hi_vo = pa[i].hi_vo, *hi_po = pa[i].hi_po;
+        int consumed = 0;
+        Py_ssize_t k;
+        /* b pieces entirely below this a piece stay below later ones. */
+        while (j < nb && TS_LT(pb[j].hi_v, pb[j].hi_p, lo_v, lo_p))
+            j++;
+        for (k = j; k < nb; k++) {
+            const Piece *y = &pb[k];
+            if (TS_LT(hi_v, hi_p, y->lo_v, y->lo_p))
+                break;  /* b piece starts past the remainder */
+            if (TS_LT(lo_v, lo_p, y->lo_v, y->lo_p)) {
+                Piece *pc = &out[nout++];
+                pc->lo_v = lo_v; pc->lo_p = lo_p;
+                pc->lo_vo = lo_vo; pc->lo_po = lo_po;
+                pc->hi_v = y->lo_v; pc->hi_p = y->lo_p - 1;
+                pc->hi_vo = y->lo_vo; pc->hi_po = NULL; /* pred(b.lo) */
+            }
+            /* Remainder continues just above b's piece. */
+            lo_v = y->hi_v; lo_p = y->hi_p + 1;
+            lo_vo = y->hi_vo; lo_po = NULL;             /* succ(b.hi) */
+            if (TS_LT(hi_v, hi_p, lo_v, lo_p)) {
+                consumed = 1;
+                break;
+            }
+        }
+        if (!consumed) {
+            Piece *pc = &out[nout++];
+            pc->lo_v = lo_v; pc->lo_p = lo_p;
+            pc->lo_vo = lo_vo; pc->lo_po = lo_po;
+            pc->hi_v = hi_v; pc->hi_p = hi_p;
+            pc->hi_vo = hi_vo; pc->hi_po = hi_po;
+        }
+    }
+    /* Only `a` can be reused (the pure kernel never returns b here). */
+    return finish(a, pa, na, ha, NULL, NULL, 0, hb ? (PyMem_Free(pb), 0) : 0,
+                  out, nout, hout);
+}
+
+/* -- iv_normalize --------------------------------------------------------- */
+
+static int
+quad_cmp(const void *x, const void *y)
+{
+    const Piece *px = x, *py = y;
+    if (TS_LT(px->lo_v, px->lo_p, py->lo_v, py->lo_p))
+        return -1;
+    if (TS_LT(py->lo_v, py->lo_p, px->lo_v, px->lo_p))
+        return 1;
+    return 0;
+}
+
+static PyObject *
+k_iv_normalize(PyObject *self, PyObject *args)
+{
+    PyObject *quads, *fast;
+    Piece sbuf[STACK_PIECES];
+    Piece *buf = sbuf;
+    int heap = 0;
+    Py_ssize_t n, i, nout = 0;
+    PyObject *res;
+    int sorted_ok = 1;
+
+    if (!PyArg_ParseTuple(args, "O", &quads))
+        return NULL;
+    fast = PySequence_Fast(quads, "iv_normalize expects a sequence of quads");
+    if (fast == NULL)
+        return NULL;
+    n = PySequence_Fast_GET_SIZE(fast);
+    if (n == 0) {
+        Py_DECREF(fast);
+        return PyTuple_New(0);
+    }
+    if (n > STACK_PIECES) {
+        buf = PyMem_Malloc((size_t)n * sizeof(Piece));
+        if (buf == NULL) {
+            Py_DECREF(fast);
+            return PyErr_NoMemory();
+        }
+        heap = 1;
+    }
+    for (i = 0; i < n; i++) {
+        PyObject *q = PySequence_Fast_GET_ITEM(fast, i);
+        Piece *pc = &buf[i];
+        if (!PyTuple_Check(q) || PyTuple_GET_SIZE(q) != 4) {
+            PyErr_SetString(PyExc_TypeError, "quad must be a 4-tuple");
+            goto fail;
+        }
+        pc->lo_vo = PyTuple_GET_ITEM(q, 0);
+        pc->lo_po = PyTuple_GET_ITEM(q, 1);
+        pc->hi_vo = PyTuple_GET_ITEM(q, 2);
+        pc->hi_po = PyTuple_GET_ITEM(q, 3);
+        if (load_scalar(pc->lo_vo, pc->lo_po, &pc->lo_v, &pc->lo_p) < 0 ||
+            load_scalar(pc->hi_vo, pc->hi_po, &pc->hi_v, &pc->hi_p) < 0)
+            goto fail;
+        if (i > 0 && quad_cmp(&buf[i - 1], &buf[i]) > 0)
+            sorted_ok = 0;
+    }
+    if (!sorted_ok)
+        /* qsort is not stable, but equal keys here mean equal (lo_v, lo_p)
+         * scalars: the merge below collapses them identically regardless
+         * of which equal piece comes first (Python's sort only orders by
+         * this same key, so any ordering of equal keys is a valid
+         * sorted() outcome... except sorted() IS stable.  Match it. */
+        for (i = 1; i < n; i++) {
+            Piece key = buf[i];
+            Py_ssize_t m = i - 1;
+            while (m >= 0 && quad_cmp(&buf[m], &key) > 0) {
+                buf[m + 1] = buf[m];
+                m--;
+            }
+            buf[m + 1] = key;
+        }
+    /* Merge touching/overlapping pieces in place (prefix of buf). */
+    for (i = 1; i < n; i++) {
+        Piece *prev = &buf[nout];
+        Piece *cur = &buf[i];
+        if (TS_LE(cur->lo_v, cur->lo_p, prev->hi_v, prev->hi_p + 1)) {
+            if (TS_LT(prev->hi_v, prev->hi_p, cur->hi_v, cur->hi_p)) {
+                prev->hi_v = cur->hi_v; prev->hi_p = cur->hi_p;
+                prev->hi_vo = cur->hi_vo; prev->hi_po = cur->hi_po;
+            }
+        }
+        else
+            buf[++nout] = *cur;
+    }
+    nout++;
+    res = build_flat(buf, nout);
+    if (heap)
+        PyMem_Free(buf);
+    Py_DECREF(fast);
+    return res;
+fail:
+    if (heap)
+        PyMem_Free(buf);
+    Py_DECREF(fast);
+    return NULL;
+}
+
+/* -- vc_floor ------------------------------------------------------------- */
+
+static PyObject *
+k_vc_floor(PyObject *self, PyObject *args)
+{
+    PyObject *ts_v, *ts_p, *vo, *po;
+    double v, mv;
+    long long p, mp;
+    Py_ssize_t lo = 0, hi, mid;
+
+    if (!PyArg_ParseTuple(args, "O!O!OO", &PyList_Type, &ts_v,
+                          &PyList_Type, &ts_p, &vo, &po))
+        return NULL;
+    if (load_scalar(vo, po, &v, &p) < 0)
+        return NULL;
+    hi = PyList_GET_SIZE(ts_v);
+    if (PyList_GET_SIZE(ts_p) != hi) {
+        PyErr_SetString(PyExc_ValueError, "parallel arrays length mismatch");
+        return NULL;
+    }
+    while (lo < hi) {
+        mid = (lo + hi) / 2;
+        if (load_scalar(PyList_GET_ITEM(ts_v, mid),
+                        PyList_GET_ITEM(ts_p, mid), &mv, &mp) < 0)
+            return NULL;
+        if (TS_LT(mv, mp, v, p))
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return PyLong_FromSsize_t(lo);
+}
+
+/* -- module --------------------------------------------------------------- */
+
+static PyMethodDef kernel_methods[] = {
+    {"iv_contains", k_iv_contains, METH_VARARGS,
+     "iv_contains(flat, v, p) -> bool"},
+    {"iv_intersect", k_iv_intersect, METH_VARARGS,
+     "iv_intersect(a, b) -> flat tuple"},
+    {"iv_union", k_iv_union, METH_VARARGS,
+     "iv_union(a, b) -> flat tuple"},
+    {"iv_subtract", k_iv_subtract, METH_VARARGS,
+     "iv_subtract(a, b) -> flat tuple"},
+    {"iv_normalize", k_iv_normalize, METH_VARARGS,
+     "iv_normalize(quads) -> flat tuple"},
+    {"vc_floor", k_vc_floor, METH_VARARGS,
+     "vc_floor(ts_v, ts_p, v, p) -> int"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._fastcore._kernels_c",
+    "Compiled twin of repro._fastcore.kernels (see that module's docs).",
+    -1,
+    kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__kernels_c(void)
+{
+    return PyModule_Create(&kernels_module);
+}

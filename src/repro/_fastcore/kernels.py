@@ -1,0 +1,295 @@
+"""Pure-Python fast-core kernels over flat interval/version arrays.
+
+This module is the **reference backend** of :mod:`repro._fastcore`: every
+function here has a compiled twin in ``_kernels_c`` (a hand-written CPython
+extension) with bit-for-bit identical semantics, and the differential
+hypothesis suites (``tests/core/test_intervals_fastpath.py``,
+``tests/core/test_versions_model.py``) pin the two against each other and
+against the original object-based algebra.
+
+Representation
+--------------
+An interval set is a **flat tuple** of scalars, four per piece::
+
+    (lo_v, lo_p, hi_v, hi_p,  lo_v, lo_p, hi_v, hi_p,  ...)
+
+where ``(v, p)`` is a timestamp — clock ``value`` (float) and ``pid``
+(int), ordered lexicographically exactly like
+:class:`repro.core.timestamp.Timestamp`.  Pieces are sorted, pairwise
+disjoint, and non-adjacent (the canonical form
+:func:`repro.core.intervals.IntervalSet` always maintained); every piece is
+a canonically *closed* range ``[lo, hi]`` with ``lo <= hi``.
+
+The discrete successor/predecessor on the timestamp line are
+``succ(v, p) = (v, p + 1)`` and ``pred(v, p) = (v, p - 1)`` — the pid axis
+makes every timestamp's neighbours representable, so subtraction and
+adjacency need no open endpoints.
+
+Version chains are **parallel arrays** ``ts_v`` (values) / ``ts_p`` (pids)
+plus a values list kept by the caller; :func:`vc_floor` is the shared
+lexicographic bisect.
+
+Object identity contract
+------------------------
+Scalars flow through unchanged: output endpoints reuse the *objects* from
+the input tuples (so an ``int``-valued timestamp stays an ``int``), and
+when an operation's result equals one of its operands the operand tuple
+itself is returned.  Callers exploit this: ``IntervalSet`` maps
+``result is operand_flat`` back to the operand set object, which makes the
+ubiquitous ``new_state != old_state`` checks in the lock table an identity
+comparison.
+
+Numeric domain: timestamp values are clock readings (floats, or small ints
+in tests).  The compiled backend compares values as C doubles, so integer
+values must stay within the 2**53 exact-double range — every producer in
+the repo does.
+"""
+
+from __future__ import annotations
+
+__all__ = ["iv_contains", "iv_intersect", "iv_normalize", "iv_subtract",
+           "iv_union", "vc_floor"]
+
+
+def iv_contains(flat: tuple, v: float, p: int) -> bool:
+    """Whether timestamp ``(v, p)`` lies in the set.
+
+    Linear scan with an early exit: piece counts are tiny (usually 1-2),
+    and pieces are sorted, so the first piece starting above ``(v, p)``
+    ends the search.
+    """
+    for i in range(0, len(flat), 4):
+        lo_v = flat[i]
+        if v < lo_v or (v == lo_v and p < flat[i + 1]):
+            return False  # sorted: every later piece starts higher still
+        hi_v = flat[i + 2]
+        if v < hi_v or (v == hi_v and p <= flat[i + 3]):
+            return True
+    return False
+
+
+def iv_intersect(a: tuple, b: tuple) -> tuple:
+    """Intersection of two flat sets (canonical in, canonical out)."""
+    if not a or not b:
+        return ()
+    if len(a) == 4 and len(b) == 4:
+        # Fast path: lock state is almost always one contiguous range.
+        alo_v, alo_p, ahi_v, ahi_p = a
+        blo_v, blo_p, bhi_v, bhi_p = b
+        if alo_v > blo_v or (alo_v == blo_v and alo_p >= blo_p):
+            lo_v, lo_p, lo_src = alo_v, alo_p, a
+        else:
+            lo_v, lo_p, lo_src = blo_v, blo_p, b
+        if ahi_v < bhi_v or (ahi_v == bhi_v and ahi_p <= bhi_p):
+            hi_v, hi_p, hi_src = ahi_v, ahi_p, a
+        else:
+            hi_v, hi_p, hi_src = bhi_v, bhi_p, b
+        if lo_v > hi_v or (lo_v == hi_v and lo_p > hi_p):
+            return ()
+        if lo_src is hi_src:
+            return lo_src  # containment: the result IS one operand
+        res = (lo_v, lo_p, hi_v, hi_p)
+        # Mixed sources can still equal b numerically (ties prefer a's
+        # endpoint): keep the contract "equal to an operand IS the operand".
+        # Equalling a is impossible here — that would make both picks a.
+        if res == b:
+            return b
+        return res
+    out: list = []
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        alo_v, alo_p, ahi_v, ahi_p = a[i], a[i + 1], a[i + 2], a[i + 3]
+        blo_v, blo_p, bhi_v, bhi_p = b[j], b[j + 1], b[j + 2], b[j + 3]
+        if alo_v > blo_v or (alo_v == blo_v and alo_p >= blo_p):
+            lo_v, lo_p = alo_v, alo_p
+        else:
+            lo_v, lo_p = blo_v, blo_p
+        if ahi_v < bhi_v or (ahi_v == bhi_v and ahi_p <= bhi_p):
+            hi_v, hi_p = ahi_v, ahi_p
+            i += 4  # a's piece is exhausted first
+        else:
+            hi_v, hi_p = bhi_v, bhi_p
+            j += 4
+        if lo_v < hi_v or (lo_v == hi_v and lo_p <= hi_p):
+            out.append(lo_v)
+            out.append(lo_p)
+            out.append(hi_v)
+            out.append(hi_p)
+    res = tuple(out)
+    if res == a:
+        return a
+    if res == b:
+        return b
+    return res
+
+
+def iv_union(a: tuple, b: tuple) -> tuple:
+    """Union of two flat sets, merging touching/adjacent pieces."""
+    if not a:
+        return b
+    if not b:
+        return a
+    if len(a) == 4 and len(b) == 4:
+        alo_v, alo_p, ahi_v, ahi_p = a
+        blo_v, blo_p, bhi_v, bhi_p = b
+        # touches: max(lo) <= succ(min(hi)), successor unrolled.
+        if alo_v > blo_v or (alo_v == blo_v and alo_p >= blo_p):
+            mlo_v, mlo_p = alo_v, alo_p
+        else:
+            mlo_v, mlo_p = blo_v, blo_p
+        if ahi_v < bhi_v or (ahi_v == bhi_v and ahi_p <= bhi_p):
+            mhi_v, mhi_p = ahi_v, ahi_p
+        else:
+            mhi_v, mhi_p = bhi_v, bhi_p
+        if mlo_v < mhi_v or (mlo_v == mhi_v and mlo_p <= mhi_p + 1):
+            # Overlapping/adjacent: one merged piece (reuse a containing
+            # operand outright).
+            if alo_v < blo_v or (alo_v == blo_v and alo_p <= blo_p):
+                lo_v, lo_p, lo_src = alo_v, alo_p, a
+            else:
+                lo_v, lo_p, lo_src = blo_v, blo_p, b
+            if ahi_v > bhi_v or (ahi_v == bhi_v and ahi_p >= bhi_p):
+                hi_v, hi_p, hi_src = ahi_v, ahi_p, a
+            else:
+                hi_v, hi_p, hi_src = bhi_v, bhi_p, b
+            if lo_src is hi_src:
+                return lo_src
+            res = (lo_v, lo_p, hi_v, hi_p)
+            if res == b:  # ties pick a's endpoint; see iv_intersect
+                return b
+            return res
+        if alo_v < blo_v or (alo_v == blo_v and alo_p < blo_p):
+            return a + b
+        return b + a
+    # Linear merge of two sorted piece streams with touch-merging.
+    out: list = []
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na or j < nb:
+        if j >= nb:
+            src, k = a, i
+            i += 4
+        elif i >= na:
+            src, k = b, j
+            j += 4
+        else:
+            alo_v, alo_p = a[i], a[i + 1]
+            blo_v, blo_p = b[j], b[j + 1]
+            if alo_v < blo_v or (alo_v == blo_v and alo_p <= blo_p):
+                src, k = a, i
+                i += 4
+            else:
+                src, k = b, j
+                j += 4
+        lo_v, lo_p = src[k], src[k + 1]
+        hi_v, hi_p = src[k + 2], src[k + 3]
+        if out:
+            phi_v, phi_p = out[-2], out[-1]
+            # touches(prev, piece): lo <= succ(prev.hi) (pieces arrive in
+            # lo order, so prev.lo <= lo always).
+            if lo_v < phi_v or (lo_v == phi_v and lo_p <= phi_p + 1):
+                if hi_v > phi_v or (hi_v == phi_v and hi_p > phi_p):
+                    out[-2] = hi_v
+                    out[-1] = hi_p
+                continue
+        out.append(lo_v)
+        out.append(lo_p)
+        out.append(hi_v)
+        out.append(hi_p)
+    res = tuple(out)
+    if res == a:
+        return a
+    if res == b:
+        return b
+    return res
+
+
+def iv_subtract(a: tuple, b: tuple) -> tuple:
+    """Set difference ``a - b`` over flat sets."""
+    if not a or not b:
+        return a
+    if len(a) == 4 and len(b) == 4:
+        alo_v, alo_p, ahi_v, ahi_p = a
+        blo_v, blo_p, bhi_v, bhi_p = b
+        if (blo_v > ahi_v or (blo_v == ahi_v and blo_p > ahi_p)
+                or alo_v > bhi_v or (alo_v == bhi_v and alo_p > bhi_p)):
+            return a  # disjoint
+        out: list = []
+        if alo_v < blo_v or (alo_v == blo_v and alo_p < blo_p):
+            out += (alo_v, alo_p, blo_v, blo_p - 1)  # [a.lo, pred(b.lo)]
+        if bhi_v < ahi_v or (bhi_v == ahi_v and bhi_p < ahi_p):
+            out += (bhi_v, bhi_p + 1, ahi_v, ahi_p)  # [succ(b.hi), a.hi]
+        return tuple(out)
+    out = []
+    j = 0
+    nb = len(b)
+    for i in range(0, len(a), 4):
+        lo_v, lo_p = a[i], a[i + 1]
+        hi_v, hi_p = a[i + 2], a[i + 3]
+        # b pieces entirely below this a piece stay below later ones too.
+        while j < nb and (b[j + 2] < lo_v
+                          or (b[j + 2] == lo_v and b[j + 3] < lo_p)):
+            j += 4
+        k = j
+        while k < nb:
+            blo_v, blo_p = b[k], b[k + 1]
+            bhi_v, bhi_p = b[k + 2], b[k + 3]
+            if blo_v > hi_v or (blo_v == hi_v and blo_p > hi_p):
+                break  # b piece starts past the remainder
+            if lo_v < blo_v or (lo_v == blo_v and lo_p < blo_p):
+                out += (lo_v, lo_p, blo_v, blo_p - 1)
+            # Remainder continues just above b's piece.
+            lo_v, lo_p = bhi_v, bhi_p + 1
+            if lo_v > hi_v or (lo_v == hi_v and lo_p > hi_p):
+                lo_v = None  # fully consumed
+                break
+            k += 4
+        if lo_v is not None:
+            out += (lo_v, lo_p, hi_v, hi_p)
+    res = tuple(out)
+    if res == a:
+        return a
+    return res
+
+
+def iv_normalize(quads: list) -> tuple:
+    """Canonicalize arbitrary ``(lo_v, lo_p, hi_v, hi_p)`` quads.
+
+    Sorts by ``lo`` and merges overlapping/adjacent pieces — the
+    construction path of :class:`~repro.core.intervals.IntervalSet`.  Each
+    quad must already satisfy ``lo <= hi``.
+    """
+    if not quads:
+        return ()
+    quads = sorted(quads, key=lambda q: (q[0], q[1]))
+    out: list = []
+    for lo_v, lo_p, hi_v, hi_p in quads:
+        if out:
+            phi_v, phi_p = out[-2], out[-1]
+            if lo_v < phi_v or (lo_v == phi_v and lo_p <= phi_p + 1):
+                if hi_v > phi_v or (hi_v == phi_v and hi_p > phi_p):
+                    out[-2] = hi_v
+                    out[-1] = hi_p
+                continue
+        out += (lo_v, lo_p, hi_v, hi_p)
+    return tuple(out)
+
+
+def vc_floor(ts_v: list, ts_p: list, v: float, p: int) -> int:
+    """Lexicographic bisect over a version chain's parallel arrays.
+
+    Returns the number of chain entries strictly below ``(v, p)`` —
+    ``bisect_left`` semantics, so ``index - 1`` is the floor version and an
+    exact match sits *at* the returned index.
+    """
+    lo = 0
+    hi = len(ts_v)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        mv = ts_v[mid]
+        if mv < v or (mv == v and ts_p[mid] < p):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -17,6 +17,17 @@ yields ``[succ(tr), te]``.  Canonical closed form makes intersection, union,
 subtraction, adjacency, and min/max selection exact integer/float
 comparisons with no epsilon fudging and no unrepresentable "open gaps".
 
+Representation: an :class:`IntervalSet` stores its pieces as one **flat
+tuple of scalars**, four per piece — ``(lo_v, lo_p, hi_v, hi_p, ...)`` — and
+the set algebra runs in the :mod:`repro._fastcore` kernels (pure Python or
+the compiled extension, selected at import) without allocating a single
+:class:`TsInterval`/``Timestamp`` on the hot path.  ``TsInterval`` remains
+the boundary type: the :attr:`IntervalSet.pieces` view materializes (and
+caches) interval objects on demand, so policies, locks, and dist messages
+are untouched.  The kernels reuse operand tuples when a result equals an
+operand, which this module maps back to the operand *set* object — making
+"did the lock state change?" an ``is``-level comparison downstream.
+
 Classes
 -------
 :class:`TsInterval`
@@ -29,9 +40,11 @@ Classes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from .timestamp import TS_INF, TS_ZERO, Timestamp
+from .._fastcore import (iv_contains, iv_intersect, iv_normalize,
+                         iv_subtract, iv_union)
 
 __all__ = ["TsInterval", "IntervalSet", "EMPTY_SET", "FULL_INTERVAL",
            "ts_succ", "ts_pred"]
@@ -47,7 +60,7 @@ def ts_pred(ts: Timestamp) -> Timestamp:
     return Timestamp(ts.value, ts.pid - 1)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class TsInterval:
     """A non-empty closed interval ``[lo, hi]`` of timestamps.
 
@@ -106,9 +119,15 @@ class TsInterval:
 
         Used to find the contiguous lock coverage adjacent to a version read
         at ``ts``: a read-lock interval protects the read only if it starts
-        right after the version, with no gap.
+        right after the version, with no gap.  The successor comparison is
+        unrolled — ``contains(ts_succ(ts))`` without the allocation.
         """
-        return self.contains(ts_succ(ts))
+        v = ts.value
+        p = ts.pid + 1
+        lo = self.lo
+        hi = self.hi
+        return ((lo.value < v or (lo.value == v and lo.pid <= p))
+                and (v < hi.value or (v == hi.value and p <= hi.pid)))
 
     def contains_interval(self, other: "TsInterval") -> bool:
         return self.lo <= other.lo and other.hi <= self.hi
@@ -162,6 +181,15 @@ class TsInterval:
             pieces.append(TsInterval(ts_succ(other.hi), self.hi))
         return pieces
 
+    # -- flat view ---------------------------------------------------------
+
+    @property
+    def flat(self) -> tuple:
+        """The kernel operand form ``(lo_v, lo_p, hi_v, hi_p)``."""
+        lo = self.lo
+        hi = self.hi
+        return (lo.value, lo.pid, hi.value, hi.pid)
+
     # -- members -----------------------------------------------------------
 
     def min_member(self) -> Timestamp:
@@ -187,24 +215,37 @@ FULL_INTERVAL = TsInterval(TS_ZERO, TS_INF)
 class IntervalSet:
     """An immutable, normalized set of timestamps.
 
-    Stored as sorted, pairwise disjoint, non-adjacent :class:`TsInterval`
-    pieces.  This is the value type for questions like "which timestamps does
-    transaction tx hold read-locked on key k?" and for the commit-time
-    computation "the set T of timestamps locked across every accessed key"
-    (Algorithm 1, line 13) — which is simply the n-way intersection of
-    per-key IntervalSets.
+    Stored as a flat scalar tuple (four scalars per sorted, pairwise
+    disjoint, non-adjacent piece); see the module docstring.  This is the
+    value type for questions like "which timestamps does transaction tx hold
+    read-locked on key k?" and for the commit-time computation "the set T of
+    timestamps locked across every accessed key" (Algorithm 1, line 13) —
+    which is simply the n-way intersection of per-key IntervalSets.
     """
 
-    __slots__ = ("_pieces",)
+    __slots__ = ("_flat", "_pieces")
 
     def __init__(self, pieces: Iterable[TsInterval] = ()) -> None:
-        self._pieces: tuple[TsInterval, ...] = _normalize(list(pieces))
+        self._flat: tuple = iv_normalize(
+            [(p.lo.value, p.lo.pid, p.hi.value, p.hi.pid) for p in pieces])
+        self._pieces: tuple[TsInterval, ...] | None = None
 
     # -- constructors ------------------------------------------------------
 
     @classmethod
+    def _from_flat(cls, flat: tuple) -> "IntervalSet":
+        """Wrap an already-canonical kernel result (no validation)."""
+        s = cls.__new__(cls)
+        s._flat = flat
+        s._pieces = None
+        return s
+
+    @classmethod
     def from_interval(cls, interval: TsInterval) -> "IntervalSet":
         s = cls.__new__(cls)
+        lo = interval.lo
+        hi = interval.hi
+        s._flat = (lo.value, lo.pid, hi.value, hi.pid)
         s._pieces = (interval,)
         return s
 
@@ -219,40 +260,54 @@ class IntervalSet:
     # -- queries -----------------------------------------------------------
 
     @property
+    def flat(self) -> tuple:
+        """The raw scalar tuple — the kernel operand form."""
+        return self._flat
+
+    @property
     def pieces(self) -> tuple[TsInterval, ...]:
-        return self._pieces
+        p = self._pieces
+        if p is None:
+            f = self._flat
+            p = tuple(TsInterval(Timestamp(f[i], f[i + 1]),
+                                 Timestamp(f[i + 2], f[i + 3]))
+                      for i in range(0, len(f), 4))
+            self._pieces = p
+        return p
 
     @property
     def is_empty(self) -> bool:
-        return not self._pieces
+        return not self._flat
 
     def __bool__(self) -> bool:
-        return bool(self._pieces)
+        return bool(self._flat)
 
     def __iter__(self) -> Iterator[TsInterval]:
-        return iter(self._pieces)
+        return iter(self.pieces)
 
     def __len__(self) -> int:
-        return len(self._pieces)
+        return len(self._flat) // 4
 
     def contains(self, ts: Timestamp) -> bool:
-        # Linear scan: piece counts are tiny in practice (usually 1-2).
-        return any(p.contains(ts) for p in self._pieces)
+        return iv_contains(self._flat, ts.value, ts.pid)
 
     def min_member(self) -> Timestamp:
-        if not self._pieces:
+        f = self._flat
+        if not f:
             raise ValueError("empty IntervalSet has no minimum")
-        return self._pieces[0].lo
+        return Timestamp(f[0], f[1])
 
     def max_member(self) -> Timestamp:
-        if not self._pieces:
+        f = self._flat
+        if not f:
             raise ValueError("empty IntervalSet has no maximum")
-        return self._pieces[-1].hi
+        return Timestamp(f[-2], f[-1])
 
     def sample(self) -> Timestamp:
-        if not self._pieces:
+        f = self._flat
+        if not f:
             raise ValueError("cannot sample an empty IntervalSet")
-        return self._pieces[0].lo
+        return Timestamp(f[0], f[1])
 
     def pick_low(self) -> Timestamp:
         """The smallest member (the paper's ``min T``)."""
@@ -266,146 +321,71 @@ class IntervalSet:
 
     def intersect(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
         if isinstance(other, TsInterval):
-            bs: tuple[TsInterval, ...] = (other,)
+            lo = other.lo
+            hi = other.hi
+            b: tuple = (lo.value, lo.pid, hi.value, hi.pid)
+            other_set = None
         else:
-            bs = other._pieces
-        a = self._pieces
-        if not a or not bs:
+            b = other._flat
+            other_set = other
+        a = self._flat
+        res = iv_intersect(a, b)
+        if res is a:
+            return self
+        if res is b and other_set is not None:
+            return other_set
+        if not res:
             return EMPTY_SET
-        if len(a) == 1 and len(bs) == 1:
-            # Fast path: lock state is almost always one contiguous range.
-            x, y = a[0], bs[0]
-            lo = x.lo if x.lo >= y.lo else y.lo
-            hi = x.hi if x.hi <= y.hi else y.hi
-            if lo > hi:
-                return EMPTY_SET
-            # Containment: the result IS one of the operands — reuse it.
-            if lo is x.lo and hi is x.hi:
-                return self
-            if lo is y.lo and hi is y.hi and type(other) is IntervalSet:
-                return other
-            s = IntervalSet.__new__(IntervalSet)
-            s._pieces = (TsInterval(lo, hi),)
-            return s
-        out: list[TsInterval] = []
-        for x in a:
-            for y in bs:
-                got = x.intersect(y)
-                if got is not None:
-                    out.append(got)
-        s = IntervalSet.__new__(IntervalSet)
-        s._pieces = tuple(out)  # already sorted & disjoint by construction
-        return s
+        return IntervalSet._from_flat(res)
 
     def union(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
         if isinstance(other, TsInterval):
-            if not self._pieces:
+            if not self._flat:
                 return IntervalSet.from_interval(other)
-            b: tuple[TsInterval, ...] = (other,)
+            lo = other.lo
+            hi = other.hi
+            b: tuple = (lo.value, lo.pid, hi.value, hi.pid)
+            other_set = None
         else:
-            b = other._pieces
-            if not self._pieces:
-                return other
-            if not b:
-                return self
-        a = self._pieces
-        if len(a) == 1 and len(b) == 1:
-            # Fast path: merge or keep two ordered pieces, no list churn.
-            x, y = a[0], b[0]
-            if x.touches(y):
-                lo = x.lo if x.lo <= y.lo else y.lo
-                hi = x.hi if x.hi >= y.hi else y.hi
-                # Containment: the union IS one of the operands — reuse it.
-                if lo is x.lo and hi is x.hi:
-                    return self
-                if lo is y.lo and hi is y.hi and type(other) is IntervalSet:
-                    return other
-                s = IntervalSet.__new__(IntervalSet)
-                s._pieces = (TsInterval(lo, hi),)
-                return s
-            s = IntervalSet.__new__(IntervalSet)
-            s._pieces = (x, y) if x.lo <= y.lo else (y, x)
-            return s
-        # Linear merge of two already-sorted piece lists (no re-sort).
-        i = j = 0
-        merged: list[TsInterval] = []
-        while i < len(a) or j < len(b):
-            if j >= len(b) or (i < len(a) and a[i].lo <= b[j].lo):
-                piece = a[i]
-                i += 1
-            else:
-                piece = b[j]
-                j += 1
-            if merged and merged[-1].touches(piece):
-                merged[-1] = merged[-1].union_contiguous(piece)
-            else:
-                merged.append(piece)
-        s = IntervalSet.__new__(IntervalSet)
-        s._pieces = tuple(merged)
-        return s
+            b = other._flat
+            other_set = other
+        a = self._flat
+        res = iv_union(a, b)
+        if res is a:
+            return self
+        if res is b and other_set is not None:
+            return other_set
+        return IntervalSet._from_flat(res)
 
     def subtract(self, other: "IntervalSet | TsInterval") -> "IntervalSet":
         if isinstance(other, TsInterval):
-            bs: tuple[TsInterval, ...] = (other,)
+            lo = other.lo
+            hi = other.hi
+            b: tuple = (lo.value, lo.pid, hi.value, hi.pid)
         else:
-            bs = other._pieces
-        a = self._pieces
-        if not a or not bs:
+            b = other._flat
+        a = self._flat
+        res = iv_subtract(a, b)
+        if res is a:
             return self
-        if len(a) == 1 and len(bs) == 1:
-            # Fast path: one piece minus one piece is zero, one or two pieces.
-            x, y = a[0], bs[0]
-            if y.lo > x.hi or x.lo > y.hi:  # disjoint
-                return self
-            out: list[TsInterval] = []
-            if x.lo < y.lo:
-                out.append(TsInterval(x.lo, ts_pred(y.lo)))
-            if y.hi < x.hi:
-                out.append(TsInterval(ts_succ(y.hi), x.hi))
-            if not out:
-                return EMPTY_SET
-            s = IntervalSet.__new__(IntervalSet)
-            s._pieces = tuple(out)
-            return s
-        pieces = list(a)
-        for b in bs:
-            nxt: list[TsInterval] = []
-            for x in pieces:
-                nxt.extend(x.subtract(b))
-            pieces = nxt
-        s = IntervalSet.__new__(IntervalSet)
-        s._pieces = tuple(pieces)
-        return s
+        if not res:
+            return EMPTY_SET
+        return IntervalSet._from_flat(res)
 
     # -- equality ----------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IntervalSet):
             return NotImplemented
-        return self._pieces == other._pieces
+        return self._flat is other._flat or self._flat == other._flat
 
     def __hash__(self) -> int:
-        return hash(self._pieces)
+        return hash(self._flat)
 
     def __repr__(self) -> str:
-        if not self._pieces:
+        if not self._flat:
             return "IntervalSet()"
-        return "IntervalSet(" + " U ".join(map(repr, self._pieces)) + ")"
-
-
-def _normalize(pieces: Sequence[TsInterval]) -> tuple[TsInterval, ...]:
-    """Sort and merge touching/overlapping intervals."""
-    if not pieces:
-        return ()
-    ordered = sorted(pieces, key=lambda p: (p.lo.value, p.lo.pid))
-    merged: list[TsInterval] = [ordered[0]]
-    for piece in ordered[1:]:
-        last = merged[-1]
-        if last.touches(piece):
-            merged[-1] = last.union_contiguous(piece)
-        else:
-            merged.append(piece)
-    return tuple(merged)
+        return "IntervalSet(" + " U ".join(map(repr, self.pieces)) + ")"
 
 
 #: The empty set of timestamps.

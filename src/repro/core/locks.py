@@ -25,10 +25,11 @@ Conflict rules, per timestamp point:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 from .intervals import EMPTY_SET, IntervalSet, TsInterval
+from .._fastcore import iv_subtract
 
 __all__ = [
     "LockMode",
@@ -53,7 +54,7 @@ class FrozenConflictError(RuntimeError):
     """Raised on an attempt to release or un-hold a frozen lock range."""
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class Conflict:
     """One conflicting hold discovered during an acquire attempt.
 
@@ -78,7 +79,7 @@ class Conflict:
     frozen: bool
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class AcquireResult:
     """Outcome of :meth:`KeyLockState.try_acquire`.
 
@@ -105,12 +106,17 @@ class AcquireResult:
 
 @dataclass(slots=True)
 class _OwnerLocks:
-    """Lock state of a single owner on a single key."""
+    """Lock state of a single owner on a single key.
 
-    read: IntervalSet = field(default_factory=IntervalSet)
-    write: IntervalSet = field(default_factory=IntervalSet)
-    frozen_read: IntervalSet = field(default_factory=IntervalSet)
-    frozen_write: IntervalSet = field(default_factory=IntervalSet)
+    Defaults share the EMPTY_SET singleton — IntervalSet is immutable, and
+    owner records are minted on every first acquire, so per-field empty-set
+    construction was pure allocation churn.
+    """
+
+    read: IntervalSet = EMPTY_SET
+    write: IntervalSet = EMPTY_SET
+    frozen_read: IntervalSet = EMPTY_SET
+    frozen_write: IntervalSet = EMPTY_SET
 
     def held(self, mode: LockMode) -> IntervalSet:
         return self.read if mode is LockMode.READ else self.write
@@ -145,7 +151,8 @@ class KeyLockState:
     """
 
     __slots__ = ("_owners", "version", "_sealed_read", "_sealed_write",
-                 "_sealed_spans", "_rc_version", "_rc_count")
+                 "_sealed_spans", "_rc_version", "_rc_count",
+                 "_fwr_version", "_fwr_cache")
 
     #: Owner id reported for conflicts with sealed (ownerless) lock state.
     SEALED = "<sealed>"
@@ -165,14 +172,20 @@ class KeyLockState:
         # Metric record list: one span per lock record an implementation
         # without merging would store (Fig. 6's "number of locks").  Kept
         # raw — never re-compacted — so purging can subtract exactly the
-        # purged records and leave the survivors counted as-is.
-        self._sealed_spans: list[TsInterval] = []
+        # purged records and leave the survivors counted as-is.  Stored as
+        # flat (lo_v, lo_p, hi_v, hi_p) quads: only counted and purged,
+        # never handed out, so interval objects would be wasted here.
+        self._sealed_spans: list[tuple] = []
         # record_count memo, keyed on ``version``: every mutation that can
         # change the count bumps ``version``, so a matching tag means the
         # cached count is current.  State sampling (Fig. 6/7) sums counts
         # across every key far more often than most keys change.
         self._rc_version: int = -1
         self._rc_count: int = 0
+        # frozen_write_ranges memo, same ``version`` keying: every read
+        # consults the frozen-write union, most reads hit unchanged keys.
+        self._fwr_version: int = -1
+        self._fwr_cache: IntervalSet = EMPTY_SET
 
     # -- queries -----------------------------------------------------------
 
@@ -201,9 +214,13 @@ class KeyLockState:
         committing) version boundary that a read interval must not cross
         (Algorithms 3/4/8 "if found frozen write-lock ... retry").
         """
+        if self._fwr_version == self.version:
+            return self._fwr_cache
         out = self._sealed_write
         for ol in self._owners.values():
             out = out.union(ol.frozen_write)
+        self._fwr_version = self.version
+        self._fwr_cache = out
         return out
 
     def seal(self, owner: TxId, keep_all_reads: bool = False) -> None:
@@ -223,8 +240,14 @@ class KeyLockState:
         if ol is None:
             return
         reads = ol.read if keep_all_reads else ol.frozen_read
-        self._sealed_spans.extend(reads)
-        self._sealed_spans.extend(ol.frozen_write)
+        spans = self._sealed_spans
+        for flat in (reads.flat, ol.frozen_write.flat):
+            n = len(flat)
+            if n == 4:
+                spans.append(flat)  # single piece: the flat IS the quad
+            elif n:
+                for i in range(0, n, 4):
+                    spans.append(flat[i:i + 4])
         if reads:
             self._sealed_read = self._sealed_read.union(reads)
         if ol.frozen_write:
@@ -272,7 +295,9 @@ class KeyLockState:
         """
         result = self._split(owner, mode, _as_set(want))
         if result.acquired:
-            ol = self._owners.setdefault(owner, _OwnerLocks())
+            ol = self._owners.get(owner)
+            if ol is None:
+                ol = self._owners[owner] = _OwnerLocks()
             ol.set_held(mode, ol.held(mode).union(result.acquired))
             self.version += 1
         return result
@@ -289,12 +314,23 @@ class KeyLockState:
         """
         if not isinstance(granted, TsInterval) and granted.is_empty:
             return
-        ol = self._owners.setdefault(owner, _OwnerLocks())
-        held = ol.held(mode)
-        new_held = held.union(granted)
-        if new_held != held:
-            ol.set_held(mode, new_held)
-            self.version += 1
+        ol = self._owners.get(owner)
+        if ol is None:
+            ol = self._owners[owner] = _OwnerLocks()
+        # Mode-unrolled direct slot access: grant sits on the read path of
+        # every DES server, right after the lockable() probe.
+        if mode is LockMode.READ:
+            held = ol.read
+            new_held = held.union(granted)
+            if new_held != held:
+                ol.read = new_held
+                self.version += 1
+        else:
+            held = ol.write
+            new_held = held.union(granted)
+            if new_held != held:
+                ol.write = new_held
+                self.version += 1
 
     def freeze(self, owner: TxId, mode: LockMode,
                span: TsInterval | IntervalSet) -> None:
@@ -371,9 +407,12 @@ class KeyLockState:
             # removed, keep every surviving piece as its own record.  The
             # metric tracks an implementation without merging, so purging
             # must not collapse surviving records into the compacted form.
-            self._sealed_spans = [piece
-                                  for span in self._sealed_spans
-                                  for piece in span.subtract(bound)]
+            bound_flat = bound.flat
+            self._sealed_spans = [
+                rest[i:i + 4]
+                for span in self._sealed_spans
+                for rest in (iv_subtract(span, bound_flat),)
+                for i in range(0, len(rest), 4)]
             changed += 1
         for owner in list(self._owners):
             ol = self._owners[owner]
@@ -424,30 +463,51 @@ class KeyLockState:
                 free = free.subtract(overlap)
         if self._owners:
             # WRITE requests conflict with the other's read and write locks;
-            # READ requests only with the other's write locks.
-            blocking_modes = ((LockMode.READ, LockMode.WRITE)
-                              if mode is LockMode.WRITE
-                              else (LockMode.WRITE,))
+            # READ requests only with the other's write locks.  The mode
+            # pair is unrolled (no tuple loop) and holds are read straight
+            # off the slots: this runs once per lock request per co-active
+            # owner, the innermost loop of every server's data path.
+            write_req = mode is LockMode.WRITE
             for other, ol in self._owners.items():
                 if other == owner:
                     continue
-                for bmode in blocking_modes:
-                    held = ol.held(bmode)
-                    if held.is_empty:
-                        continue
+                if write_req:
+                    held = ol.read
+                    if not held.is_empty:
+                        overlap = want.intersect(held)
+                        if not overlap.is_empty:
+                            self._conflicts_for(conflicts, overlap,
+                                                other, LockMode.READ,
+                                                ol.frozen_read)
+                            free = free.subtract(overlap)
+                held = ol.write
+                if not held.is_empty:
                     overlap = want.intersect(held)
-                    if overlap.is_empty:
-                        continue
-                    frozen = ol.frozen(bmode)
-                    for piece in overlap:
-                        piece_set = IntervalSet.from_interval(piece)
-                        frozen_part = piece_set.intersect(frozen)
-                        for fp in frozen_part:
-                            conflicts.append(Conflict(fp, other, bmode, True))
-                        for up in piece_set.subtract(frozen_part):
-                            conflicts.append(Conflict(up, other, bmode, False))
-                    free = free.subtract(overlap)
+                    if not overlap.is_empty:
+                        self._conflicts_for(conflicts, overlap,
+                                            other, LockMode.WRITE,
+                                            ol.frozen_write)
+                        free = free.subtract(overlap)
         return AcquireResult(acquired=free, conflicts=tuple(conflicts))
+
+    @staticmethod
+    def _conflicts_for(conflicts: list[Conflict], overlap: IntervalSet,
+                       other: TxId, bmode: LockMode,
+                       frozen: IntervalSet) -> None:
+        """Append per-piece conflicts for one blocking hold of ``other``."""
+        if frozen.is_empty:
+            # Nothing frozen: every overlapping piece is a waitable
+            # conflict — skip the per-piece set splits entirely.
+            for piece in overlap:
+                conflicts.append(Conflict(piece, other, bmode, False))
+            return
+        for piece in overlap:
+            piece_set = IntervalSet.from_interval(piece)
+            frozen_part = piece_set.intersect(frozen)
+            for fp in frozen_part:
+                conflicts.append(Conflict(fp, other, bmode, True))
+            for up in piece_set.subtract(frozen_part):
+                conflicts.append(Conflict(up, other, bmode, False))
 
 
 class LockTable:
@@ -564,7 +624,16 @@ class LockTable:
 
     def total_record_count(self) -> int:
         """Total stored lock intervals across keys (Fig. 6 metric)."""
-        return sum(st.record_count() for st in self._keys.values())
+        # Reads the per-key memo directly when it is current (the common
+        # case on a periodic state-size refresh) — one attribute compare
+        # instead of a method call per key.
+        total = 0
+        for st in self._keys.values():
+            if st._rc_version == st.version:
+                total += st._rc_count
+            else:
+                total += st.record_count()
+        return total
 
     def purge_below(self, key: Hashable, bound: TsInterval) -> int:
         st = self._keys.get(key)

@@ -59,7 +59,7 @@ _PID_MIN = -(2**31)
 _PID_MAX = 2**31
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class Timestamp:
     """A globally unique point on the timestamp line.
 

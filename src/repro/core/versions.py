@@ -11,15 +11,24 @@ removing Algorithm 1's atomic commit block: a committing transaction first
 installs PENDING at its commit timestamp, then overwrites it with the real
 value; concurrent readers that see PENDING must wait (the threaded engine
 does this; the DES server installs in a single event and never needs it).
+
+Representation: a chain is three **parallel arrays** — timestamp values
+(``ts_v``), timestamp pids (``ts_p``), and the values — so every lookup is
+one lexicographic bisect over scalars (:func:`repro._fastcore.vc_floor`, the
+shared pure/compiled kernel) with no ``Timestamp`` comparisons on the hot
+path.  ``Timestamp``/:class:`Version` remain the API boundary: lookups
+rematerialize them from the stored scalar objects, which are the exact
+objects callers passed in, so values, reprs, and snapshots round-trip
+unchanged.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
 
 from .timestamp import BOTTOM, TS_ZERO, Timestamp
+from .._fastcore import vc_floor
 
 __all__ = ["Version", "Pending", "PENDING", "VersionStore"]
 
@@ -42,7 +51,7 @@ class Pending:
 PENDING = Pending()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class Version:
     """One committed (or pending) version of a key."""
 
@@ -55,42 +64,49 @@ class Version:
 
 
 class _KeyVersions:
-    """Sorted version chain for one key."""
+    """Sorted version chain for one key, as parallel scalar arrays."""
 
-    __slots__ = ("timestamps", "values")
+    __slots__ = ("ts_v", "ts_p", "values")
 
     def __init__(self) -> None:
-        self.timestamps: list[Timestamp] = [TS_ZERO]
+        self.ts_v: list[float] = [TS_ZERO.value]
+        self.ts_p: list[int] = [TS_ZERO.pid]
         self.values: list[Any] = [BOTTOM]
 
     def floor_before(self, ts: Timestamp) -> Version | None:
         """Latest version with timestamp strictly below ``ts``, if any."""
-        idx = bisect_left(self.timestamps, ts)
+        idx = vc_floor(self.ts_v, self.ts_p, ts.value, ts.pid)
         if idx == 0:
             return None
-        return Version(self.timestamps[idx - 1], self.values[idx - 1])
+        idx -= 1
+        return Version(Timestamp(self.ts_v[idx], self.ts_p[idx]),
+                       self.values[idx])
 
     def at(self, ts: Timestamp) -> Version | None:
-        idx = bisect_left(self.timestamps, ts)
-        if idx < len(self.timestamps) and self.timestamps[idx] == ts:
+        idx = vc_floor(self.ts_v, self.ts_p, ts.value, ts.pid)
+        if (idx < len(self.ts_v) and self.ts_v[idx] == ts.value
+                and self.ts_p[idx] == ts.pid):
             return Version(ts, self.values[idx])
         return None
 
     def install(self, ts: Timestamp, value: Any) -> bool:
         """Install; returns True iff a new entry was inserted (not a
         PENDING finalization)."""
-        idx = bisect_left(self.timestamps, ts)
-        if idx < len(self.timestamps) and self.timestamps[idx] == ts:
+        idx = vc_floor(self.ts_v, self.ts_p, ts.value, ts.pid)
+        if (idx < len(self.ts_v) and self.ts_v[idx] == ts.value
+                and self.ts_p[idx] == ts.pid):
             if self.values[idx] is PENDING:
                 self.values[idx] = value  # finalize a pending install
                 return False
             raise ValueError(f"version at {ts!r} already exists")
-        self.timestamps.insert(idx, ts)
+        self.ts_v.insert(idx, ts.value)
+        self.ts_p.insert(idx, ts.pid)
         self.values.insert(idx, value)
         return True
 
     def latest(self) -> Version:
-        return Version(self.timestamps[-1], self.values[-1])
+        return Version(Timestamp(self.ts_v[-1], self.ts_p[-1]),
+                       self.values[-1])
 
     def purge_before(self, bound: Timestamp) -> tuple[int, Timestamp | None]:
         """Drop versions with ts < bound, keeping the most recent of them.
@@ -100,16 +116,17 @@ class _KeyVersions:
         ``kept_floor`` is the oldest surviving version's timestamp — reads
         at or below it can no longer be served faithfully.
         """
-        idx = bisect_left(self.timestamps, bound)
+        idx = vc_floor(self.ts_v, self.ts_p, bound.value, bound.pid)
         drop = max(0, idx - 1)
         if not drop:
             return 0, None
-        del self.timestamps[:drop]
+        del self.ts_v[:drop]
+        del self.ts_p[:drop]
         del self.values[:drop]
-        return drop, self.timestamps[0]
+        return drop, Timestamp(self.ts_v[0], self.ts_p[0])
 
     def __len__(self) -> int:
-        return len(self.timestamps)
+        return len(self.ts_v)
 
 
 class VersionStore:
@@ -145,9 +162,10 @@ class VersionStore:
         Returns None only when the needed version was purged (§6): the
         caller must abort the transaction.
         """
-        floor = self._purge_floor.get(key)
-        if floor is not None and ts <= floor:
-            return None
+        if self._purge_floor:
+            floor = self._purge_floor.get(key)
+            if floor is not None and ts <= floor:
+                return None
         return self._chain(key).floor_before(ts)
 
     def version_at(self, key: Hashable, ts: Timestamp) -> Version | None:
@@ -174,9 +192,11 @@ class VersionStore:
     def drop(self, key: Hashable, ts: Timestamp) -> None:
         """Remove the version at (key, ts); used to back out PENDING installs."""
         chain = self._chain(key)
-        idx = bisect_left(chain.timestamps, ts)
-        if idx < len(chain.timestamps) and chain.timestamps[idx] == ts:
-            del chain.timestamps[idx]
+        idx = vc_floor(chain.ts_v, chain.ts_p, ts.value, ts.pid)
+        if (idx < len(chain.ts_v) and chain.ts_v[idx] == ts.value
+                and chain.ts_p[idx] == ts.pid):
+            del chain.ts_v[idx]
+            del chain.ts_p[idx]
             del chain.values[idx]
             self._total -= 1
 
@@ -231,8 +251,8 @@ class VersionStore:
         out = []
         for key, chain in self._keys.items():
             versions = tuple(
-                (ts, value)
-                for ts, value in zip(chain.timestamps, chain.values)
+                (Timestamp(v, p), value)
+                for v, p, value in zip(chain.ts_v, chain.ts_p, chain.values)
                 if value is not PENDING)
             out.append((key, versions, self._purge_floor.get(key)))
         return out
@@ -251,7 +271,8 @@ class VersionStore:
             chain = self._keys[key] = _KeyVersions()
         else:
             self._total -= len(chain)
-        chain.timestamps = [ts for ts, _ in versions]
+        chain.ts_v = [ts.value for ts, _ in versions]
+        chain.ts_p = [ts.pid for ts, _ in versions]
         chain.values = [value for _, value in versions]
         self._total += len(chain)
         if floor is not None:

@@ -634,10 +634,15 @@ class MVTILClient(BaseClient):
             return value
         if tx.interval.is_empty:
             yield from self._fail(tx, AbortReason.INTERVAL_EMPTY)
-        yield from self._check_deadline(tx)
+        # Guards inlined (see MVTOClient.read): skip the throwaway helper
+        # generators on the no-op path of this hot coroutine.
+        if tx.deadline is not None and self.sim.now >= tx.deadline:
+            yield from self._fail(tx, AbortReason.DEADLINE_EXCEEDED)
         server = self.server_of(key)
-        yield from self._check_group(tx, key)
-        yield from self._admit(tx, server)
+        if self.replication > 1:
+            yield from self._check_group(tx, key)
+        if self._breakers is not None and not tx.priority:
+            yield from self._admit(tx, server)
         req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
                           upper=tx.interval.pick_high(), wait=True,
                           floor=tx.interval.pick_low(),
@@ -652,11 +657,13 @@ class MVTILClient(BaseClient):
         reply = yield from self._rpc(server, req,
                                      timeout=self.read_timeout, retries=0,
                                      breaker_timeouts=False)
-        reply = yield from self._expect(tx, reply,
-                                        AbortReason.READ_LOCK_TIMEOUT)
+        if reply is None or isinstance(reply, OverloadedReply):
+            yield from self._expect(tx, reply,
+                                    AbortReason.READ_LOCK_TIMEOUT)
         if reply.tr is None:
             yield from self._fail(tx, AbortReason.PURGED_VERSION)
-        yield from self._check_epoch(tx, server, reply.epoch)
+        if tx.epochs.setdefault(server, reply.epoch) != reply.epoch:
+            yield from self._fail(tx, AbortReason.SERVER_RESTART)
         tx.interval = tx.interval.intersect(reply.locked)
         if self.tracer.enabled:
             self.tracer.lock_acquire(tx.id, key, "read",
@@ -724,10 +731,14 @@ class MVTILClient(BaseClient):
             if self.tracer.enabled:
                 self.tracer.write(tx.id, key)
             return
-        yield from self._check_deadline(tx)
+        # Guards inlined (see MVTOClient.read).
+        if tx.deadline is not None and self.sim.now >= tx.deadline:
+            yield from self._fail(tx, AbortReason.DEADLINE_EXCEEDED)
         server = self.server_of(key)
-        yield from self._check_group(tx, key)
-        yield from self._admit(tx, server)
+        if self.replication > 1:
+            yield from self._check_group(tx, key)
+        if self._breakers is not None and not tx.priority:
+            yield from self._admit(tx, server)
         req = MVTLWriteLockReq(tx.id, self.client_id, self._next_req(),
                                key=key, value=value, want=tx.interval,
                                wait=False,
@@ -738,8 +749,10 @@ class MVTILClient(BaseClient):
             self.registry.set_decision_point(tx.id, server)
         requested = tx.interval
         reply = yield from self._rpc(server, req)
-        reply = yield from self._expect(tx, reply, AbortReason.RPC_TIMEOUT)
-        yield from self._check_epoch(tx, server, reply.epoch)
+        if reply is None or isinstance(reply, OverloadedReply):
+            yield from self._expect(tx, reply, AbortReason.RPC_TIMEOUT)
+        if tx.epochs.setdefault(server, reply.epoch) != reply.epoch:
+            yield from self._fail(tx, AbortReason.SERVER_RESTART)
         tx.interval = tx.interval.intersect(reply.acquired)
         if self.tracer.enabled:
             self.tracer.lock_acquire(tx.id, key, "write",
@@ -1026,18 +1039,26 @@ class MVTOClient(BaseClient):
     def read(self, tx: SimpleNamespace, key: Hashable) -> Generator[Any, Any, Any]:
         if key in tx.writeset:
             return tx.writeset[key]
-        yield from self._check_deadline(tx)
+        # The guards below are _check_deadline/_admit/_expect/_check_epoch
+        # inlined: this is the hottest coroutine in the closed loop, and a
+        # ``yield from helper()`` that usually does nothing still builds
+        # and drives a throwaway generator per call.
+        if tx.deadline is not None and self.sim.now >= tx.deadline:
+            yield from self._fail(tx, AbortReason.DEADLINE_EXCEEDED)
         server = self.server_of(key)
-        yield from self._admit(tx, server)
+        if self._breakers is not None and not tx.priority:
+            yield from self._admit(tx, server)
         req = MVTLReadReq(tx.id, self.client_id, self._next_req(), key=key,
                           upper=tx.ts, wait=True,
                           deadline=tx.deadline, critical=tx.priority)
         tx.touched.add(server)
         reply = yield from self._rpc(server, req)
-        reply = yield from self._expect(tx, reply, AbortReason.RPC_TIMEOUT)
+        if reply is None or isinstance(reply, OverloadedReply):
+            yield from self._expect(tx, reply, AbortReason.RPC_TIMEOUT)
         if reply.tr is None:
             yield from self._fail(tx, AbortReason.PURGED_VERSION)
-        yield from self._check_epoch(tx, server, reply.epoch)
+        if tx.epochs.setdefault(server, reply.epoch) != reply.epoch:
+            yield from self._fail(tx, AbortReason.SERVER_RESTART)
         tx.readset.append((key, reply.tr))
         if self.history is not None:
             self.history.record_read(tx.id, key, reply.tr)
@@ -1072,9 +1093,11 @@ class MVTOClient(BaseClient):
                                        deadline=tx.deadline,
                                        critical=tx.priority)
                 reply = yield from self._rpc(server, req)
-                reply = yield from self._expect(tx, reply,
-                                                AbortReason.RPC_TIMEOUT)
-                yield from self._check_epoch(tx, server, reply.epoch)
+                if reply is None or isinstance(reply, OverloadedReply):
+                    yield from self._expect(tx, reply,
+                                            AbortReason.RPC_TIMEOUT)
+                if tx.epochs.setdefault(server, reply.epoch) != reply.epoch:
+                    yield from self._fail(tx, AbortReason.SERVER_RESTART)
                 if self.tracer.enabled:
                     self.tracer.lock_acquire(tx.id, key, "write",
                                              requested=point,

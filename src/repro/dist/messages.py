@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class Request:
     """Base: fields common to every client->server request.
 
@@ -65,14 +65,14 @@ class Request:
     critical: bool = field(default=False, kw_only=True)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class Reply:
     """Base: every server->client reply echoes the request id."""
 
     req_id: int
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class OverloadedReply(Reply):
     """Explicit load-shed rejection: the server's bounded queue was full.
 
@@ -85,7 +85,7 @@ class OverloadedReply(Reply):
 
 # -- MVTL family (MVTIL and MVTO+ run the same server ops, §8.1) -------------
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class MVTLReadReq(Request):
     """Read ``key`` and read-lock a contiguous interval below ``upper``.
 
@@ -104,7 +104,7 @@ class MVTLReadReq(Request):
     floor: Timestamp | None = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class MVTLReadReply(Reply):
     """``tr``/``value`` is the version read; ``locked`` the granted range.
 
@@ -117,7 +117,7 @@ class MVTLReadReply(Reply):
     epoch: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class MVTLWriteLockReq(Request):
     """Write-lock some of ``want`` on ``key`` and buffer ``value`` (Alg. 13).
 
@@ -136,13 +136,13 @@ class MVTLWriteLockReq(Request):
     all_or_nothing: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class MVTLWriteLockReply(Reply):
     acquired: IntervalSet = field(default_factory=IntervalSet)
     epoch: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class MVTLBatchLockReq(Request):
     """Write-lock several keys of one server in a single message.
 
@@ -162,7 +162,7 @@ class MVTLBatchLockReq(Request):
     all_or_nothing: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class MVTLBatchLockReply(Reply):
     """Per-key grant map for a :class:`MVTLBatchLockReq` (key -> granted
     IntervalSet; empty set = refused)."""
@@ -171,7 +171,7 @@ class MVTLBatchLockReply(Reply):
     epoch: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class FreezeWriteReq(Request):
     """Commit notification: freeze tx's write lock at ``ts`` and expose the
     buffered value (Alg. 13 receive-freeze-write-lock).  No reply needed."""
@@ -180,7 +180,7 @@ class FreezeWriteReq(Request):
     ts: Timestamp = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class FreezeReadReq(Request):
     """GC: freeze tx's read locks on ``key`` over ``span`` (Alg. 11 gc)."""
 
@@ -188,7 +188,7 @@ class FreezeReadReq(Request):
     span: IntervalSet = field(default_factory=IntervalSet)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ReleaseReq(Request):
     """Release tx's unfrozen locks on this server (abort / gc tail).
 
@@ -201,7 +201,7 @@ class ReleaseReq(Request):
     write_only: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class GcReq(Request):
     """Commit-time GC, batched per server (Alg. 11 ``gc``): freeze the given
     read-lock spans, then (if ``release``) release every other unfrozen lock
@@ -212,7 +212,7 @@ class GcReq(Request):
     release: bool = True
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class CommitReq(Request):
     """Commit notification, batched per server: atomically propose commit to
     the transaction's commitment object and — on a commit decision — freeze
@@ -244,14 +244,14 @@ class CommitReq(Request):
     ack: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class CommitAck(Reply):
     """Acknowledges an ``ack=True`` :class:`CommitReq` was applied."""
 
     epoch: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class EpochReq(Request):
     """Pre-commit epoch probe: "are you still the server I locked on?".
 
@@ -263,14 +263,14 @@ class EpochReq(Request):
     """
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class EpochReply(Reply):
     epoch: int = 0
 
 
 # -- 2PL family ---------------------------------------------------------------
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class TwoPLLockReq(Request):
     """Acquire the per-key readers-writer lock (exclusive if ``write``).
 
@@ -283,14 +283,14 @@ class TwoPLLockReq(Request):
     write: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class TwoPLLockReply(Reply):
     granted: bool = True
     value: Any = None
     version_ts: Timestamp | None = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class TwoPLCommitReq(Request):
     """Install ``writes`` at ``commit_ts`` and release all of tx's locks on
     this server (batched per server, like a real unlock piggyback)."""
@@ -300,7 +300,7 @@ class TwoPLCommitReq(Request):
     commit_ts: Timestamp = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class TwoPLReleaseReq(Request):
     """Release tx's locks on ``keys`` without writing (abort path)."""
 
@@ -309,7 +309,7 @@ class TwoPLReleaseReq(Request):
 
 # -- replication (repro.repl layer, DESIGN.md §5e) ---------------------------
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ReplicaHoldReq(Request):
     """Mirror granted write locks + pending values onto a follower.
 
@@ -327,7 +327,7 @@ class ReplicaHoldReq(Request):
     items: tuple = ()  # ((key, value, IntervalSet granted), ...)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ReplicaHoldReply(Reply):
     """``mirrored`` is False when some span could not be installed (the
     follower was promoted meanwhile and granted conflicting locks); the
@@ -337,7 +337,7 @@ class ReplicaHoldReply(Reply):
     epoch: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class SnapshotReadReq(Request):
     """Read ``key`` at the locked (GC-frontier) timestamp ``ts``.
 
@@ -353,7 +353,7 @@ class SnapshotReadReq(Request):
     ts: Timestamp = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class SnapshotReadReply(Reply):
     """``ok=False``: the replica cannot vouch for the snapshot (restarted
     since, frontier not yet applied, or an in-flight write straddles the
@@ -365,12 +365,12 @@ class SnapshotReadReply(Reply):
     epoch: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class HeartbeatReq(Request):
     """Failover-controller ping; cheap control traffic, never shed."""
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class HeartbeatReply(Reply):
     """Liveness + freshness report used to pick promotion candidates."""
 
@@ -384,7 +384,7 @@ class HeartbeatReply(Reply):
     dirty: bool = False
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class SyncPoke:
     """Failover-controller nudge driving anti-entropy (DESIGN.md §5h).
 
@@ -409,7 +409,7 @@ class SyncPoke:
     origin: Hashable = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class SyncReq(Request):
     """Pull one batch of committed versions from a group leader.
 
@@ -428,7 +428,7 @@ class SyncReq(Request):
     num_groups: int = 1
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class SyncDelta(Reply):
     """One batch of a sync session: ``entries`` is ``((key, ts, value),
     ...)`` committed versions; ``floor`` is the leader's stable GC floor at
@@ -445,7 +445,7 @@ class SyncDelta(Reply):
     epoch: int = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class SyncDone:
     """Follower -> controller: a recruitment sync session finished.
 
@@ -460,7 +460,7 @@ class SyncDone:
 
 # -- Bohm baseline (deterministic batched MVCC) --------------------------------
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class BohmSubmitReq(Request):
     """Ship a whole pre-declared transaction to the Bohm sequencer.
 
@@ -475,7 +475,7 @@ class BohmSubmitReq(Request):
     spec: Any = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class BohmSubmitReply(Reply):
     """Outcome of a sequenced transaction, sent when its batch executes."""
 
@@ -487,14 +487,14 @@ class BohmSubmitReply(Reply):
 
 # -- maintenance ---------------------------------------------------------------
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class PurgeReq(Request):
     """From the timestamp service: purge versions/locks older than ``bound``."""
 
     bound: Timestamp = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ClockBroadcast:
     """Timestamp-service broadcast to clients: advance your clock to ``t``."""
 
@@ -503,7 +503,7 @@ class ClockBroadcast:
 
 # -- commitment object (consensus) ----------------------------------------------
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class ProposeReq(Request):
     """Propose an outcome for tx to its commitment object.
 
@@ -513,7 +513,7 @@ class ProposeReq(Request):
     outcome: Any = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class DecisionReply(Reply):
     outcome: Any = None  # "abort" or the decided commit Timestamp
 

@@ -23,17 +23,23 @@ class Partition:
         if not servers:
             raise ValueError("need at least one server")
         self._servers = tuple(servers)
+        # key -> server memo: every client op hashes its key, workloads
+        # reuse a bounded keyspace, and crc32-of-str is pure.
+        self._cache: dict[Hashable, Hashable] = {}
 
     @property
     def servers(self) -> tuple[Hashable, ...]:
         return self._servers
 
     def server_of(self, key: Hashable) -> Hashable:
-        if isinstance(key, int):
-            idx = key % len(self._servers)
-        else:
-            idx = zlib.crc32(str(key).encode()) % len(self._servers)
-        return self._servers[idx]
+        server = self._cache.get(key)
+        if server is None:
+            if isinstance(key, int):
+                idx = key % len(self._servers)
+            else:
+                idx = zlib.crc32(str(key).encode()) % len(self._servers)
+            server = self._cache[key] = self._servers[idx]
+        return server
 
     def __len__(self) -> int:
         return len(self._servers)

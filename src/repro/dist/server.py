@@ -52,6 +52,7 @@ import numpy as np
 
 from ..core.intervals import EMPTY_SET, IntervalSet, TsInterval
 from ..core.locks import LockMode, LockTable
+from .._fastcore import iv_subtract
 from ..obs.trace import NULL_TRACER
 from ..core.timestamp import BOTTOM, TS_ZERO, Timestamp
 from ..core.versions import VersionStore
@@ -89,6 +90,18 @@ _APPLIED = object()
 
 #: Sentinel distinguishing "no pending buffer entry" from a buffered None.
 _MISSING = object()
+
+#: Service-cost class per message type (see MVTLServer._service_time):
+#: 1 = control notification, 2 = per-item batch, 3 = per-entry sync batch;
+#: absent = full-weight data request.  An exact-type dict lookup replaces
+#: three isinstance chains on the per-request service-time path.
+_WEIGHT_KIND: dict[type, int] = {
+    CommitReq: 1, GcReq: 1, ReleaseReq: 1, FreezeWriteReq: 1,
+    FreezeReadReq: 1, PurgeReq: 1, EpochReq: 1, HeartbeatReq: 1,
+    SyncReq: 1, SyncPoke: 1,
+    MVTLBatchLockReq: 2, ReplicaHoldReq: 2,
+    SyncDelta: 3,
+}
 
 
 class _Resubmit:
@@ -226,7 +239,7 @@ class _ServerBase:
         """Queue handler: dedup by (client, req_id), then dispatch."""
         if self.crashed:
             return  # a crashed CPU finishes nothing
-        if isinstance(msg, _Resubmit):
+        if msg.__class__ is _Resubmit:
             self._handle(msg.req)
             return
         if isinstance(msg, Request):
@@ -388,6 +401,8 @@ class MVTLServer(_ServerBase):
         self._state_multiplier = 1.0
         self._state_refresh_at = 0
         self.queue.service_time_fn = self._service_time
+        self._dispatch = {cls: getattr(self, name)
+                          for cls, name in self._HANDLERS.items()}
 
     def restart(self) -> None:
         """Rejoin after a crash: locks and buffered values are volatile and
@@ -447,64 +462,60 @@ class MVTLServer(_ServerBase):
             # Baseline is ~2 records/key (one version + one lock interval).
             self._state_multiplier = 1.0 + self.STATE_COST_FACTOR * max(
                 0.0, per_key - 2.0)
-        if isinstance(msg, (MVTLBatchLockReq, ReplicaHoldReq)):
+        kind = _WEIGHT_KIND.get(msg.__class__)
+        if kind is None:  # data request (read / write lock / snapshot read)
+            weight = 1.0
+        elif kind == 1:  # control notification
+            weight = self.CONTROL_MSG_WEIGHT
+        elif kind == 2:
             # A batch saves messages, not lock work: it costs one data
             # request per item it carries.
             weight = float(max(1, len(msg.items)))
-        elif isinstance(msg, SyncDelta):
+        else:
             # Applying a sync batch is one cheap guarded install per entry.
             weight = self.CONTROL_MSG_WEIGHT * max(1, len(msg.entries))
-        else:
-            weight = (self.CONTROL_MSG_WEIGHT
-                      if isinstance(msg, (CommitReq, GcReq, ReleaseReq,
-                                          FreezeWriteReq, FreezeReadReq,
-                                          PurgeReq, EpochReq, HeartbeatReq,
-                                          SyncReq, SyncPoke))
-                      else 1.0)
         return self.profile.service_time * self._state_multiplier * weight
 
     # -- dispatch -----------------------------------------------------------
 
+    #: Message type -> handler method name; bound per instance in
+    #: ``__init__`` so a single exact-type dict lookup replaces the
+    #: 16-branch isinstance chain on every request.
+    _HANDLERS: dict[type, str] = {
+        MVTLReadReq: "_handle_read",
+        MVTLWriteLockReq: "_handle_write_lock",
+        MVTLBatchLockReq: "_handle_batch_lock",
+        FreezeWriteReq: "_handle_freeze_write",
+        FreezeReadReq: "_handle_freeze_read",
+        CommitReq: "_handle_commit_req",
+        GcReq: "_handle_gc",
+        ReleaseReq: "_handle_release",
+        PurgeReq: "_handle_purge",
+        ReplicaHoldReq: "_handle_replica_hold",
+        SnapshotReadReq: "_handle_snapshot_read",
+        HeartbeatReq: "_handle_heartbeat",
+        SyncReq: "_handle_sync_req",
+        SyncDelta: "_handle_sync_delta",
+        SyncPoke: "_handle_sync_poke",
+        EpochReq: "_handle_epoch_req",
+    }
+
+    def _handle_heartbeat(self, msg: HeartbeatReq) -> None:
+        self._reply(msg, HeartbeatReply(msg.req_id,
+                                        server=self.server_id,
+                                        epoch=self.epoch,
+                                        applied=self.applied_commits,
+                                        dirty=self.snapshot_dirty))
+
+    def _handle_epoch_req(self, msg: EpochReq) -> None:
+        self._reply(msg, EpochReply(msg.req_id, epoch=self.epoch))
+
     def _handle(self, msg: Any) -> None:
         self.stats["requests"] += 1
-        if isinstance(msg, MVTLReadReq):
-            self._handle_read(msg)
-        elif isinstance(msg, MVTLWriteLockReq):
-            self._handle_write_lock(msg)
-        elif isinstance(msg, MVTLBatchLockReq):
-            self._handle_batch_lock(msg)
-        elif isinstance(msg, FreezeWriteReq):
-            self._handle_freeze_write(msg)
-        elif isinstance(msg, FreezeReadReq):
-            self._handle_freeze_read(msg)
-        elif isinstance(msg, CommitReq):
-            self._handle_commit_req(msg)
-        elif isinstance(msg, GcReq):
-            self._handle_gc(msg)
-        elif isinstance(msg, ReleaseReq):
-            self._handle_release(msg)
-        elif isinstance(msg, PurgeReq):
-            self._handle_purge(msg)
-        elif isinstance(msg, ReplicaHoldReq):
-            self._handle_replica_hold(msg)
-        elif isinstance(msg, SnapshotReadReq):
-            self._handle_snapshot_read(msg)
-        elif isinstance(msg, HeartbeatReq):
-            self._reply(msg, HeartbeatReply(msg.req_id,
-                                            server=self.server_id,
-                                            epoch=self.epoch,
-                                            applied=self.applied_commits,
-                                            dirty=self.snapshot_dirty))
-        elif isinstance(msg, SyncReq):
-            self._handle_sync_req(msg)
-        elif isinstance(msg, SyncDelta):
-            self._handle_sync_delta(msg)
-        elif isinstance(msg, SyncPoke):
-            self._handle_sync_poke(msg)
-        elif isinstance(msg, EpochReq):
-            self._reply(msg, EpochReply(msg.req_id, epoch=self.epoch))
-        else:
+        handler = self._dispatch.get(msg.__class__)
+        if handler is None:
             raise TypeError(f"MVTLServer got unknown message {msg!r}")
+        handler(msg)
 
     # -- reads ---------------------------------------------------------------
 
@@ -529,11 +540,21 @@ class MVTLServer(_ServerBase):
                                            locked=EMPTY_SET,
                                            epoch=self.epoch))
             return
-        want = TsInterval.open_closed(version.ts, req.upper)
-        available = (IntervalSet.from_interval(want)
-                     .subtract(state.frozen_write_ranges()))
-        if (available.is_empty
-                or not available.pieces[0].contains_just_after(version.ts)):
+        # The hottest handler in every workload — run it on flat scalar
+        # quads (see core.intervals), materializing interval objects only
+        # for the reply.  want = (tr, upper] = [succ(tr), upper] closed.
+        tr = version.ts
+        up = req.upper
+        tr_v = tr.value
+        tr_p1 = tr.pid + 1
+        up_v = up.value
+        up_p = up.pid
+        want_flat = (tr_v, tr_p1, up_v, up_p)
+        fwr = state.frozen_write_ranges()
+        avail = iv_subtract(want_flat, fwr.flat) if fwr.flat else want_flat
+        # The lockable range must still contain succ(tr): pieces are
+        # sorted and ⊆ want, so that means the first piece starts AT it.
+        if not avail or avail[0] != tr_v or avail[1] != tr_p1:
             # A frozen write sits immediately above tr: with freeze+install
             # atomic on the server this cannot happen (the floor lookup
             # would have found that version), but purge/floor races are
@@ -543,36 +564,47 @@ class MVTLServer(_ServerBase):
                                            locked=EMPTY_SET,
                                            epoch=self.epoch))
             return
-        first = available.pieces[0]
-        probe = state.lockable(req.tx_id, LockMode.READ, first)
-        # The contiguous grantable prefix adjacent to the version read.
-        prefix: TsInterval | None = None
-        for piece in probe.acquired:
-            if piece.contains_just_after(version.ts):
-                prefix = piece
-                break
-        floor = req.floor if req.floor is not None else req.upper
-        reaches_floor = prefix is not None and prefix.hi >= floor
+        first_flat = avail if len(avail) == 4 else avail[:4]
+        probe = state.lockable(req.tx_id, LockMode.READ,
+                               IntervalSet._from_flat(first_flat))
+        # The contiguous grantable prefix adjacent to the version read:
+        # acquired ⊆ first starts at succ(tr) only via its first piece.
+        af = probe.acquired.flat
+        if af and af[0] == tr_v and af[1] == tr_p1:
+            prefix_flat = af if len(af) == 4 else af[:4]
+            phi_v = prefix_flat[2]
+            phi_p = prefix_flat[3]
+        else:
+            prefix_flat = None
+        floor = req.floor if req.floor is not None else up
+        flo_v = floor.value
+        flo_p = floor.pid
+        reaches_floor = (prefix_flat is not None
+                         and (phi_v > flo_v
+                              or (phi_v == flo_v and phi_p >= flo_p)))
         # Waiting only helps if an *unfrozen* conflict is what limits the
         # prefix; a frozen truncation (first.hi < upper) never moves.
-        unfrozen_limited = prefix is None or prefix.hi < first.hi
+        # prefix ⊆ first shares its lo, so "shorter" is just hi inequality.
+        unfrozen_limited = (prefix_flat is None
+                            or phi_v != first_flat[2]
+                            or phi_p != first_flat[3])
         if req.wait and not reaches_floor and unfrozen_limited:
             # "Waiting if write-locked but not frozen": the usable prefix
             # does not reach what the client needs yet; park until the
             # conflicting (unfrozen) locks move.
             self._park(key, req)
             return
-        if prefix is None or prefix.hi < want.hi:
+        if prefix_flat is None or phi_v != up_v or phi_p != up_p:
             # Another transaction's lock truncated the read's lockable
             # range — a contended access even though nobody waited.
             self._note_conflict(key)
         locked = EMPTY_SET
-        if prefix is not None:
+        if prefix_flat is not None:
             # prefix came out of probe.acquired just above and the handler
             # is atomic, so the conflict check needn't be repeated.
-            state.grant(req.tx_id, LockMode.READ, prefix)
+            locked = IntervalSet._from_flat(prefix_flat)
+            state.grant(req.tx_id, LockMode.READ, locked)
             self.locks.note_owner(req.tx_id, key)
-            locked = IntervalSet.from_interval(prefix)
         self._reply(req, MVTLReadReply(req.req_id, tr=version.ts,
                                        value=version.value, locked=locked,
                                        epoch=self.epoch))

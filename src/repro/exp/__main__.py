@@ -18,7 +18,8 @@ import argparse
 import sys
 import time
 
-from .bench import make_bench_doc, write_bench
+from .bench import (check_trajectory, format_trajectory, load_trajectory,
+                    make_bench_doc, write_bench)
 from .grid import (derive_seeds, failover_grid, figure_grid, policy_grid,
                    reference_cell, scenario_grid, selfheal_grid)
 from .harness import print_progress, run_cells
@@ -71,7 +72,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline-hotpath-wall-s", type=float, default=None,
                         help="pre-optimization wall seconds of the hot-path "
                              "reference cell (for recording the speedup)")
+    parser.add_argument("--report", action="store_true",
+                        help="run nothing: load the committed BENCH_*.json "
+                             "records, print the perf-trajectory table, and "
+                             "fail if the reference cell's events_per_s "
+                             "ever regressed between records")
+    parser.add_argument("--report-root", default=".",
+                        help="directory holding the BENCH_*.json records "
+                             "(default: current directory)")
     args = parser.parse_args(argv)
+
+    if args.report:
+        docs = load_trajectory(args.report_root)
+        if not docs:
+            print(f"[repro.exp] no BENCH_*.json under {args.report_root}",
+                  file=sys.stderr)
+            return 1
+        print(format_trajectory(docs))
+        failures = check_trajectory(docs)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print("trajectory: " + ("FAILED" if failures else "ok"))
+        return 1 if failures else 0
 
     if sum((args.failover, args.selfheal, args.scenarios,
             args.policies)) > 1:

@@ -19,6 +19,7 @@ exactly how a crashed process looks to others in an asynchronous system.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Any, Callable, Hashable
 
 import numpy as np
@@ -26,6 +27,9 @@ import numpy as np
 from .simulator import Simulator
 
 __all__ = ["LatencyModel", "LinkFaults", "Network"]
+
+#: Latency draws block-sampled per generator call (see Network.__init__).
+LAT_POOL = 256
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,17 @@ class Network:
         self._lat_mu = latency.mu
         self._lat_sigma = latency.sigma
         self._rng = rng
+        # Latency draws are block-sampled: one generator call refills this
+        # pool with LAT_POOL lognormal draws, and sends consume it by index.
+        # numpy's Generator produces bit-identical values for a size-N block
+        # and N sequential single draws, so consuming the pool in order is
+        # byte-identical to the unbatched code — provided nothing else
+        # interleaves draws on the same stream.  That holds whenever the
+        # fault model has its own stream (``fault_rng``) or no fault model
+        # is installed; the one exception (faults sharing the latency
+        # stream) falls back to single draws and never touches the pool.
+        self._lat_pool: list[float] = []
+        self._lat_i = 0
         #: RNG for fault sampling; separate from the latency stream so
         #: installing a fault model never perturbs the latency draws of the
         #: messages that do get through.
@@ -197,17 +212,31 @@ class Network:
         self.messages_sent += 1
         sim = self.sim
         if not self._have_faults:
-            # Fault-free fast path: no link lookup, latency sampled inline
-            # (identical generator call to LatencyModel.sample).
-            arrival = sim.now + float(self._rng.lognormal(self._lat_mu,
-                                                          self._lat_sigma))
+            # Fault-free fast path: no link lookup, latency served from the
+            # block-sampled pool (identical draws to per-message sampling).
+            i = self._lat_i
+            pool = self._lat_pool
+            if i >= len(pool):
+                pool = self._lat_pool = self._rng.lognormal(
+                    self._lat_mu, self._lat_sigma, LAT_POOL).tolist()
+                i = 0
+            self._lat_i = i + 1
+            now = sim.now
+            arrival = now + pool[i]
             if src is not None:
                 conn = (src, dst)
                 prev = self._last_arrival.get(conn, 0.0)
                 if arrival < prev:
                     arrival = prev  # FIFO: do not overtake earlier messages
                 self._last_arrival[conn] = arrival
-            sim.schedule(arrival - sim.now, self._deliver, dst, msg)
+            # Inlined sim.schedule(arrival - now, ...): one delivery per
+            # message makes the call overhead measurable.  The event time
+            # MUST stay ``now + (arrival - now)`` — schedule() computes
+            # that, and it is not the same float as ``arrival``.
+            seq = sim._seq
+            sim._seq = seq + 1
+            heappush(sim._heap,
+                     (now + (arrival - now), seq, self._deliver, (dst, msg)))
             return
         faults = self._faults_for(src, dst)
         duplicated = False
@@ -218,12 +247,12 @@ class Network:
                 return
             if faults.duplicate and rng.random() < faults.duplicate:
                 duplicated = True
-            delay = self.latency.sample(self._rng)
+            delay = self._next_latency()
             if faults.delay_spike and rng.random() < faults.delay_spike:
                 self.delay_spikes += 1
                 delay *= faults.spike_factor
         else:
-            delay = self.latency.sample(self._rng)
+            delay = self._next_latency()
         arrival = self.sim.now + delay
         if src is not None:
             conn = (src, dst)
@@ -236,8 +265,26 @@ class Network:
             # The duplicate rides outside the FIFO floor: it models a
             # retransmitted datagram and may overtake later sends.
             self.messages_duplicated += 1
-            extra = self.latency.sample(self._rng)
+            extra = self._next_latency()
             self.sim.schedule(extra, self._deliver, dst, msg)
+
+    def _next_latency(self) -> float:
+        """One lognormal latency draw, pooled when the pool is sound.
+
+        Fault probability draws share the latency stream only when no
+        dedicated ``fault_rng`` was given; block-sampling would then reorder
+        the interleaved draws, so that configuration samples singly.
+        """
+        if self._have_faults and self._fault_rng is None:
+            return float(self._rng.lognormal(self._lat_mu, self._lat_sigma))
+        i = self._lat_i
+        pool = self._lat_pool
+        if i >= len(pool):
+            pool = self._lat_pool = self._rng.lognormal(
+                self._lat_mu, self._lat_sigma, LAT_POOL).tolist()
+            i = 0
+        self._lat_i = i + 1
+        return pool[i]
 
     def _deliver(self, dst: Hashable, msg: Any) -> None:
         deliver = self._nodes.get(dst)

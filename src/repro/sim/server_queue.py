@@ -32,6 +32,7 @@ the cheapest work to shed — its client has already given up.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable
 
 import numpy as np
@@ -83,6 +84,15 @@ class ServiceQueue:
         #: (critical, normal) — deque for O(1) popleft at the deep-queue
         #: moments a bounded queue is built for (list.pop(0) is O(n)).
         self._queues: tuple[deque, deque] = (deque(), deque())
+        # Pool of standard-exponential draws, refilled one block per
+        # generator call.  ``rng.exponential(mean)`` is exactly
+        # ``mean * rng.standard_exponential()`` (numpy scales the same
+        # unit draw), and a size-N block equals N sequential single draws
+        # bit-for-bit, so pooled consumption reproduces the unbatched
+        # stream exactly.  The rng is this queue's own stream — nothing
+        # else draws from it — so prefetching cannot reorder anything.
+        self._exp_pool: list[float] = []
+        self._exp_i = 0
         self._busy = 0
         self._generation = 0
         self.requests_served = 0
@@ -131,8 +141,9 @@ class ServiceQueue:
         self._generation += 1
 
     def _dispatch(self) -> None:
+        critical_q, normal_q = self._queues
+        sim = self.sim
         while self._busy < self.concurrency:
-            critical_q, normal_q = self._queues
             if critical_q:
                 request = critical_q.popleft()
             elif normal_q:
@@ -150,11 +161,22 @@ class ServiceQueue:
             mean = (self.service_time_fn(request)
                     if self.service_time_fn is not None
                     else self.service_time)
-            duration = float(self._rng.exponential(mean))
+            i = self._exp_i
+            pool = self._exp_pool
+            if i >= len(pool):
+                pool = self._exp_pool = (
+                    self._rng.standard_exponential(256).tolist())
+                i = 0
+            self._exp_i = i + 1
+            duration = mean * pool[i]
             self.requests_served += 1
             self.busy_time += duration
-            self.sim.schedule(duration, self._complete, request,
-                              self._generation)
+            # Inlined sim.schedule(duration, self._complete, ...): every
+            # served request passes through here once.
+            seq = sim._seq
+            sim._seq = seq + 1
+            heappush(sim._heap, (sim.now + duration, seq, self._complete,
+                                 (request, self._generation)))
 
     def _complete(self, request: Any, generation: int = 0) -> None:
         self._busy -= 1

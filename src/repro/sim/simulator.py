@@ -21,10 +21,10 @@ sequence number breaks ties), and all randomness comes from
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from itertools import count
-from typing import Any, Callable, Generator, Iterable
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator
 
 __all__ = ["Simulator", "Process", "Mailbox", "SimEvent", "Sleep", "Recv",
            "WaitEvent", "RECV_TIMEOUT"]
@@ -39,14 +39,14 @@ class _TimeoutSentinel:
 RECV_TIMEOUT = _TimeoutSentinel()
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class Sleep:
     """Effect: resume the process after ``delay`` simulated seconds."""
 
     delay: float
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class Recv:
     """Effect: resume with the next message from ``mailbox``.
 
@@ -58,7 +58,7 @@ class Recv:
     timeout: float | None = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(unsafe_hash=True, slots=True)
 class WaitEvent:
     """Effect: resume (with the event's value) once ``event`` is set."""
 
@@ -74,7 +74,7 @@ class Simulator:
         # comparison is settled before ever reaching fn/args — callables and
         # arbitrary payloads need not be comparable.
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
-        self._seq = count()
+        self._seq = 0
         self._processes: list[Process] = []
         self.events_processed: int = 0
 
@@ -85,8 +85,9 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(self._heap,
-                       (self.now + delay, next(self._seq), fn, args))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self.now + delay, seq, fn, args))
 
     def spawn(self, gen: Generator[Any, Any, Any],
               name: str = "proc") -> "Process":
@@ -101,7 +102,7 @@ class Simulator:
     def run_until(self, t_end: float) -> None:
         """Process events up to and including time ``t_end``."""
         heap = self._heap
-        pop = heapq.heappop
+        pop = heappop
         fired = 0
         while heap and heap[0][0] <= t_end:
             when, _seq, fn, args = pop(heap)
@@ -116,7 +117,7 @@ class Simulator:
         """Run until the event heap drains (or ``max_events`` fired)."""
         fired = 0
         heap = self._heap
-        pop = heapq.heappop
+        pop = heappop
         try:
             while heap:
                 when, _seq, fn, args = pop(heap)
@@ -169,7 +170,16 @@ class Process:
         self._register(effect)
 
     def _register(self, effect: Any) -> None:
-        if isinstance(effect, Sleep):
+        # Exact-type dispatch first (the effect classes are final in
+        # practice); isinstance only on the cold fallback path.
+        cls = effect.__class__
+        if cls is Recv:
+            effect.mailbox._register(self, effect.timeout)
+        elif cls is Sleep:
+            self.sim.schedule(effect.delay, self._step, None)
+        elif cls is WaitEvent:
+            effect.event._register(self)
+        elif isinstance(effect, Sleep):
             self.sim.schedule(effect.delay, self._step, None)
         elif isinstance(effect, Recv):
             effect.mailbox._register(self, effect.timeout)
@@ -193,7 +203,9 @@ class Mailbox:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self._queue: list[Any] = []
+        # deque: a backlogged mailbox drains from the left once per Recv,
+        # and list.pop(0) is O(n) exactly when the backlog is deep.
+        self._queue: deque[Any] = deque()
         self._waiter: Process | None = None
         self._wait_token = 0
 
@@ -209,22 +221,23 @@ class Mailbox:
 
     def _register(self, proc: Process, timeout: float | None) -> None:
         if self._queue:
-            self.sim.schedule(0.0, proc._step, self._queue.pop(0))
+            self.sim.schedule(0.0, proc._step, self._queue.popleft())
             return
         if self._waiter is not None:
             raise RuntimeError("mailbox already has a waiting process")
         self._waiter = proc
         self._wait_token += 1
         if timeout is not None:
-            token = self._wait_token
+            # Bound method + args instead of a per-Recv closure: RPC-heavy
+            # clients register a timed Recv per reply awaited.
+            self.sim.schedule(timeout, self._on_timeout, proc,
+                              self._wait_token)
 
-            def on_timeout() -> None:
-                if self._waiter is proc and self._wait_token == token:
-                    self._waiter = None
-                    self._wait_token += 1
-                    proc._step(RECV_TIMEOUT)
-
-            self.sim.schedule(timeout, on_timeout)
+    def _on_timeout(self, proc: Process, token: int) -> None:
+        if self._waiter is proc and self._wait_token == token:
+            self._waiter = None
+            self._wait_token += 1
+            proc._step(RECV_TIMEOUT)
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -93,6 +93,42 @@ class WorkloadConfig:
 #: are marked read-only; ``rng.choice`` only reads them.
 _ZIPF_CACHE: dict[tuple[int, float], np.ndarray] = {}
 
+#: Memoized normalized Zipf CDFs (same keying).  ``rng.choice(n, p=probs)``
+#: recomputes ``p.cumsum()`` on *every* draw; sampling via a cached CDF +
+#: ``searchsorted(rng.random(), side="right")`` replicates numpy's choice
+#: computation (cumsum, normalize by the last entry, right-bisect one
+#: uniform draw) and therefore consumes the identical stream and returns
+#: the identical index — verified bit-for-bit against ``choice``.
+_ZIPF_CDF_CACHE: dict[tuple[int, float], np.ndarray] = {}
+
+#: Memoized key-string tables (``k0000000`` ...), keyed by num_keys: the
+#: generators format the same few thousand key names millions of times.
+_KEY_CACHE: dict[int, list[str]] = {}
+
+#: Key spaces above this size fall back to per-draw formatting rather than
+#: materializing a giant string table.
+_KEY_CACHE_MAX = 200_000
+
+
+def _zipf_cdf(num_keys: int, zipf_s: float) -> np.ndarray:
+    cache_key = (num_keys, zipf_s)
+    cdf = _ZIPF_CDF_CACHE.get(cache_key)
+    if cdf is None:
+        cdf = zipf_probabilities(num_keys, zipf_s).cumsum()
+        cdf /= cdf[-1]  # exactly numpy choice's normalization
+        cdf.setflags(write=False)
+        _ZIPF_CDF_CACHE[cache_key] = cdf
+    return cdf
+
+
+def _key_table(num_keys: int) -> list[str] | None:
+    if num_keys > _KEY_CACHE_MAX:
+        return None
+    table = _KEY_CACHE.get(num_keys)
+    if table is None:
+        table = _KEY_CACHE[num_keys] = [f"k{i:07d}" for i in range(num_keys)]
+    return table
+
 
 def zipf_probabilities(num_keys: int, zipf_s: float) -> np.ndarray:
     """The (memoized, read-only) Zipf probability table ``ranks ** -s``."""
@@ -117,14 +153,23 @@ class WorkloadGenerator:
         self._value_counter = 0
         if config.zipf_s > 0.0:
             self._probs = zipf_probabilities(config.num_keys, config.zipf_s)
+            self._cdf = _zipf_cdf(config.num_keys, config.zipf_s)
         else:
             self._probs = None
+            self._cdf = None
+        self._keys = _key_table(config.num_keys)
 
     def _pick_key(self) -> str:
-        if self._probs is None:
+        if self._cdf is None:
             idx = int(self._rng.integers(self.config.num_keys))
         else:
-            idx = int(self._rng.choice(self.config.num_keys, p=self._probs))
+            # Stream-identical unrolling of rng.choice(n, p=self._probs):
+            # one uniform draw, right-bisected into the cached CDF.
+            idx = int(self._cdf.searchsorted(self._rng.random(),
+                                             side="right"))
+        keys = self._keys
+        if keys is not None:
+            return keys[idx]
         return f"k{idx:07d}"  # 8-character keys, like the prototype
 
     def _pick_value(self) -> str:
